@@ -1,0 +1,57 @@
+"""E8 / §IV-A — the O(n^n) -> O(n^3) constraint reduction, counted.
+
+Regenerates the accounting the paper argues from: exponential path
+terms vs the 2n^3 joint-constraint equations with (2n-1) n^2 unknowns,
+plus measured formation throughput of the polynomial system.
+"""
+
+import pytest
+
+from conftest import bench_ns
+from repro.core.categories import total_equations, total_terms, total_unknowns
+from repro.core.strategies import SingleThread
+from repro.instrument.report import ResultTable, human_seconds
+from repro.kirchhoff.paths import total_paths_paper
+from repro.mea.wetlab import quick_device_data
+
+
+@pytest.mark.benchmark(group="formation-throughput")
+@pytest.mark.parametrize("n", [10, 20, 40])
+def test_formation_throughput(benchmark, n):
+    _, z = quick_device_data(n, seed=106)
+    report = benchmark(SingleThread().run, z)
+    assert report.terms_formed == total_terms(n)
+
+
+@pytest.mark.benchmark(group="counts-table")
+def test_reduction_table(benchmark, emit):
+    def build():
+        rows = []
+        for n in bench_ns():
+            rows.append((
+                n,
+                total_paths_paper(n),
+                total_equations(n),
+                total_unknowns(n),
+                total_terms(n),
+            ))
+        return rows
+
+    rows = benchmark(build)
+    table = ResultTable(
+        "§IV-A — constraint reduction: exponential paths vs 2n^3 joints",
+        ["n", "paths (n^(n+1))", "equations (2n^3)", "unknowns",
+         "flow terms (2n^4)"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    emit(table, "equation_counts")
+    ratios = []
+    for n, paths, eqs, unknowns, terms in rows:
+        assert eqs == 2 * n**3
+        assert unknowns == (2 * n - 1) * n**2
+        ratios.append(paths / eqs)
+        if n >= 20:
+            assert paths > 10**9 * eqs  # the reduction is astronomical
+    # And the gap widens superexponentially with n.
+    assert all(b > 10 * a for a, b in zip(ratios, ratios[1:]))

@@ -1,0 +1,108 @@
+"""E5 / Figure 10 — MPI strong scaling up to 1,024 processes.
+
+Paper findings: linear strong scalability for practical workloads
+(50x50 and larger); for 10x10 / 20x20 the inter-node parallelism is
+not effective and intra-node parallelization is recommended.
+
+Two layers here:
+
+* **correctness** — the actual Parma decomposition runs under the
+  repo's MPI runtime with real forked ranks (small rank counts), and
+  the union of rank shares equals the single-thread formation exactly;
+* **scaling series** — the 1,024-rank sweep replays calibrated per-item
+  costs on the simulated FDR-InfiniBand cluster model (one physical
+  core here — DESIGN.md §2) — results/fig10_mpi.txt.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.equations import form_pair_block
+from repro.core.partition import partition_betti
+from repro.core.strategies import SingleThread, item_costs_seconds
+from repro.instrument.report import ResultTable, human_seconds
+from repro.mea.wetlab import quick_device_data
+from repro.parallel.mpi import run_mpi
+from repro.parallel.simcluster import HPC_FDR, scaling_sweep, speedup_curve
+
+PROTOTYPE_SLOWDOWN = 25.0
+RANKS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+WORKLOADS = (10, 20, 50, 100)
+
+
+def mpi_formation_program(comm, z):
+    """SPMD Parma formation: rank r forms its Betti-partition share."""
+    rank, size = comm.Get_rank(), comm.Get_size()
+    n = z.shape[0]
+    part = partition_betti(n, size)
+    terms = 0
+    checksum = 0.0
+    for idx in np.flatnonzero(part.worker_of == rank):
+        item = part.items[idx]
+        block = form_pair_block(
+            n, item.row, item.col, z[item.row, item.col],
+            categories=[item.category],
+        )
+        terms += block.num_terms
+        checksum += block.checksum()
+    totals = comm.allreduce(np.array([terms, checksum]))
+    return totals
+
+
+@pytest.mark.benchmark(group="fig10-real-mpi")
+@pytest.mark.parametrize("size", [2, 4])
+def test_real_mpi_formation(benchmark, size):
+    _, z = quick_device_data(10, seed=105)
+    reference = SingleThread().run(z)
+
+    def run():
+        return run_mpi(mpi_formation_program, size, args=(z,))
+
+    results = benchmark.pedantic(run, rounds=2, iterations=1)
+    for totals in results:
+        assert int(totals[0]) == reference.terms_formed
+        assert totals[1] == pytest.approx(reference.checksum)
+
+
+@pytest.mark.benchmark(group="fig10-table")
+def test_fig10_table(benchmark, emit, sec_per_term):
+    def build():
+        out = {}
+        for n in WORKLOADS:
+            part = partition_betti(n, 1)
+            costs = item_costs_seconds(part, sec_per_term * PROTOTYPE_SLOWDOWN)
+            out[n] = scaling_sweep(costs, RANKS, HPC_FDR)
+        return out
+
+    sweeps = benchmark(build)
+    table = ResultTable(
+        "Fig. 10 — MPI strong scaling (simulated FDR cluster)",
+        ["n"] + [f"p={p}" for p in RANKS],
+    )
+    for n, points in sweeps.items():
+        table.add_row(n, *[human_seconds(pt.total) for pt in points])
+    speed_table = ResultTable(
+        "Fig. 10 (speedups vs p=1)",
+        ["n"] + [f"p={p}" for p in RANKS],
+    )
+    for n, points in sweeps.items():
+        sp = speedup_curve(points)
+        speed_table.add_row(n, *[f"{s:.1f}" for s in sp])
+    emit(table, "fig10_mpi")
+    emit(speed_table, "fig10_mpi_speedup")
+
+    # Paper shape assertions.
+    sp100 = speedup_curve(sweeps[100])
+    sp50 = speedup_curve(sweeps[50])
+    sp10 = speedup_curve(sweeps[10])
+    # 50x50+ : keeps improving all the way to 1,024 ranks...
+    assert (np.diff([pt.total for pt in sweeps[100]]) < 0).all()
+    assert (np.diff([pt.total for pt in sweeps[50]]) < 0).all()
+    # ...with near-linear efficiency through 64 ranks.
+    idx64 = RANKS.index(64)
+    assert sp100[idx64] > 0.7 * 64
+    assert sp50[idx64] > 0.6 * 64
+    # 10x10: inter-node parallelism ineffective (peak speedup tiny and
+    # reached well before 1,024).
+    assert sp10.max() < 16
+    assert int(np.argmax(sp10)) < len(RANKS) - 1

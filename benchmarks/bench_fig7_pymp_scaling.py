@@ -1,0 +1,84 @@
+"""E2 / Figure 7 — PyMP compute time (no I/O) at k in {2..32}.
+
+The paper sweeps the PyMP parallelism level on the HPC cluster and
+reports near-linear decrease of compute time per workload for n >= 20,
+with inconsistent behaviour at n = 10 (overhead-bound).
+
+Real measurement: the pytest-benchmark entries execute the actual
+PyMP strategy with small fork counts (what one core can host).  The
+figure's (n, k) grid is regenerated on the simulated cluster clock
+from calibrated per-item costs — results/fig7_pymp.txt.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import bench_ks, bench_ns
+from repro.core.partition import partition_betti
+from repro.core.strategies import PyMPStrategy, item_costs_seconds
+from repro.instrument.report import ResultTable, human_seconds
+from repro.mea.wetlab import quick_device_data
+from repro.parallel.simcluster import Z820_SMP
+
+PROTOTYPE_SLOWDOWN = 25.0  # see bench_fig6_strategies.py
+
+
+@pytest.mark.benchmark(group="fig7-real")
+@pytest.mark.parametrize("k", [1, 2, 4])
+def test_real_pymp_formation(benchmark, k):
+    _, z = quick_device_data(16, seed=102)
+    report = benchmark(PyMPStrategy(k).run, z)
+    assert report.terms_formed == 2 * 16**4
+
+
+def simulated_pymp_time(n: int, k: int, spt: float) -> float:
+    """Simulated formation time of PyMP-k at scale n (no I/O)."""
+    part = partition_betti(n, k)
+    costs = item_costs_seconds(part, spt * PROTOTYPE_SLOWDOWN)
+    loads = np.zeros(part.num_workers)
+    for c, w in zip(costs, part.worker_of):
+        loads[w] += c
+    makespan = float(loads.max())
+    if k == 1:
+        return makespan
+    startup = Z820_SMP.startup_per_rank * (np.ceil(np.log2(k)) + 1)
+    return makespan + startup
+
+
+@pytest.mark.benchmark(group="fig7-table")
+def test_fig7_table(benchmark, emit, sec_per_term):
+    ks = bench_ks()
+
+    def build():
+        return {
+            n: [simulated_pymp_time(n, k, sec_per_term) for k in ks]
+            for n in bench_ns()
+        }
+
+    grid = benchmark(build)
+    table = ResultTable(
+        "Fig. 7 — PyMP compute time (no I/O), simulated cluster",
+        ["n"] + [f"k={k}" for k in ks] + ["k32 speedup"],
+    )
+    for n, times in grid.items():
+        speedup = times[0] * 2 / times[-1] / ks[-1] * ks[0]  # vs k=2
+        table.add_row(
+            n, *[human_seconds(t) for t in times],
+            f"{times[0] / times[-1]:.1f}x",
+        )
+    emit(table, "fig7_pymp")
+
+    for n, times in grid.items():
+        if n >= 20:
+            # Improvement with k for real workloads (within 10% slack
+            # at the tail, where startup nibbles at the gain)...
+            assert all(b <= a * 1.10 for a, b in zip(times, times[1:]))
+        if n >= 30:
+            assert all(b < a for a, b in zip(times, times[1:]))
+        if n >= 40:
+            # ...and near-linear k2 -> k32 gain at scale (>= 8x of the
+            # ideal 16x once startup is paid).
+            assert times[0] / times[-1] > 8.0
+    # n = 10 is overhead-bound: more workers do NOT keep helping.
+    t10 = grid[10]
+    assert t10[-1] > min(t10) * 0.99

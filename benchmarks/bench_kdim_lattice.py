@@ -1,0 +1,69 @@
+"""E12 / §IV-B — the k-dimensional generalization, measured.
+
+The paper's k-dim claims are asymptotic; this bench grounds them:
+
+* the parallelism budget (unit cells) and the loop count the physics
+  actually needs (mesh analysis) for k ∈ {1, 2, 3};
+* the §IV-B headline ratio  O(n^{k+1}) constraints / (n−1)^k cells
+  ≈ 2n, tabulated;
+* real face-to-face solves on 3-D lattices against the closed form.
+"""
+
+import pytest
+
+from repro.instrument.report import ResultTable, human_seconds
+from repro.mea.kdim import KDimMEA
+from repro.mea.lattice import LatticeDevice, uniform_face_resistance_exact
+from repro.utils.timing import measure
+
+
+@pytest.mark.benchmark(group="kdim-physics")
+@pytest.mark.parametrize("n,k", [(4, 2), (6, 2), (3, 3)])
+def test_face_to_face_solve_cost(benchmark, n, k):
+    dev = LatticeDevice.uniform(n, k, ohms=1000.0)
+    z = benchmark(dev.face_to_face_resistance, 0)
+    expected = uniform_face_resistance_exact(n, k, 1000.0)
+    assert z == pytest.approx(expected, rel=1e-5)
+
+
+@pytest.mark.benchmark(group="kdim-table")
+def test_kdim_table(benchmark, emit):
+    def build():
+        rows = []
+        for n, k in ((10, 1), (5, 2), (10, 2), (20, 2), (3, 3), (5, 3)):
+            mea = KDimMEA(n, k)
+            dev = LatticeDevice.uniform(min(n, 6), k)
+            t_mesh = measure(dev.mesh_loop_count, repeats=1)
+            rows.append((
+                n,
+                k,
+                mea.num_sites,
+                mea.num_unit_cells,
+                mea.cyclomatic_number(),
+                mea.joint_constraint_count(),
+                mea.theoretical_parallel_time_units(),
+                t_mesh,
+            ))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = ResultTable(
+        "§IV-B — k-dim MEA accounting (constraints / cells ≈ 2n)",
+        ["n", "k", "sites", "cells (n-1)^k", "beta1", "constraints",
+         "per-cell share", "mesh-count time"],
+    )
+    for n, k, sites, cells, beta1, cons, share, t in rows:
+        table.add_row(n, k, sites, cells, beta1, cons, share,
+                      human_seconds(t))
+    emit(table, "kdim_accounting")
+
+    for n, k, sites, cells, beta1, cons, share, _ in rows:
+        # The paper's O(n) headline: per-cell share within a factor
+        # (n/(n-1))^k of 2n.
+        assert 2 * n <= share <= 2 * n * (n / (n - 1)) ** k + 1
+        if k == 1:
+            assert beta1 == 0 and cells == n - 1  # path graph: no loops
+        if k == 2:
+            assert cells == beta1  # squares ARE the loops in 2-D
+        if k == 3:
+            assert cells < beta1  # cube relations (see kdim docs)

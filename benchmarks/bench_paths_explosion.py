@@ -1,0 +1,68 @@
+"""E6 / §II-C — the path explosion that motivates Parma.
+
+Regenerates the table behind "there are overall n^(n+1) possible
+paths" and "[the] path-based approach is unfeasible ... when n > 6":
+exact counts (closed form, cross-checked by enumeration where
+feasible), the paper's estimate, storage estimates, and measured
+enumeration time growth.
+"""
+
+import pytest
+
+from repro.instrument.report import ResultTable, human_bytes, human_seconds
+from repro.kirchhoff.paths import (
+    count_paths_exact,
+    count_paths_paper,
+    enumerate_paths,
+    storage_estimate_bytes,
+    total_paths_exact,
+)
+from repro.mea.device import MEAGrid
+from repro.utils.timing import measure
+
+
+@pytest.mark.benchmark(group="paths-enumeration")
+@pytest.mark.parametrize("n", [3, 4, 5])
+def test_enumeration_cost(benchmark, n):
+    grid = MEAGrid(n)
+    paths = benchmark(enumerate_paths, grid, 0, 0)
+    assert len(paths) == count_paths_exact(n, n)
+
+
+@pytest.mark.benchmark(group="paths-table")
+def test_path_explosion_table(benchmark, emit):
+    def build():
+        rows = []
+        for n in range(2, 11):
+            exact = count_paths_exact(n, n)
+            paper = count_paths_paper(n)
+            storage = storage_estimate_bytes(n)
+            if n <= 6:
+                t = measure(lambda n=n: enumerate_paths(MEAGrid(n), 0, 0), 1)
+            else:
+                t = None
+            rows.append((n, exact, paper, total_paths_exact(n, n), storage, t))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = ResultTable(
+        "§II-C — path explosion (exact vs paper's n^(n-1) estimate)",
+        ["n", "paths/pair", "paper est.", "all pairs", "storage",
+         "enum time/pair"],
+    )
+    for n, exact, paper, total, storage, t in rows:
+        table.add_row(
+            n, exact, paper, total, human_bytes(storage),
+            human_seconds(t) if t is not None else "infeasible",
+        )
+    emit(table, "paths_explosion")
+
+    by_n = {r[0]: r for r in rows}
+    # Paper's estimate is exact at n = 3 (the worked example).
+    assert by_n[3][1] == by_n[3][2] == 9
+    # Superexponential growth; storage infeasible past n = 6.
+    assert by_n[6][4] < 2**30 < by_n[7][4]
+    assert by_n[10][4] > 10 * 2**40
+    # Measured time grows by > 10x from n=5 to n=6.
+    if by_n[5][5] and by_n[6][5]:
+        assert by_n[6][5] > 10 * by_n[5][5]

@@ -1,0 +1,71 @@
+"""Streaming formation at the paper's largest scale (n up to 100).
+
+§V-A evaluates "up to 100 x 100 arrays".  The streaming mode forms the
+full 2·10⁸-term system of an n = 100 device with O(n²) memory, so this
+repository can actually execute the paper's largest workload on a
+small container.  Measured throughput here also back-fills the
+calibration used by the simulated-cluster figures.
+
+Quick scale runs n = 50 (12.5M terms, a few seconds); set
+``REPRO_BENCH_SCALE=full`` to run the true n = 100 system.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from conftest import SCALE
+from repro.core.categories import total_terms
+from repro.core.streaming import CountingSink, stream_formation, stream_to_file
+from repro.instrument.memory import rss_bytes
+from repro.instrument.report import ResultTable, human_bytes, human_seconds
+from repro.mea.wetlab import quick_device_data
+
+BIG_N = 100 if SCALE == "full" else 50
+
+
+@pytest.mark.benchmark(group="streaming")
+def test_stream_formation_at_scale(benchmark, emit):
+    _, z = quick_device_data(BIG_N, seed=301)
+    before = rss_bytes()
+
+    def run():
+        sink = CountingSink()
+        report = stream_formation(z, sink)
+        return report, sink
+
+    report, sink = benchmark.pedantic(run, rounds=1, iterations=1)
+    after = rss_bytes()
+    assert sink.terms == total_terms(BIG_N)
+    assert sink.equations == 2 * BIG_N**3
+
+    table = ResultTable(
+        f"Streaming formation at n = {BIG_N} (paper's §V-A scale)",
+        ["metric", "value"],
+    )
+    table.add_row("terms formed", report.terms_formed)
+    table.add_row("equations", sink.equations)
+    table.add_row("wall time", human_seconds(report.elapsed_seconds))
+    table.add_row("throughput (terms/s)", f"{report.terms_per_second():.3e}")
+    table.add_row("RSS growth", human_bytes(max(0, after - before)))
+    emit(table, "streaming_scale")
+    # Memory must stay bounded: far below the materialized system size.
+    from repro.core.equations import SystemStats
+
+    full_bytes = SystemStats.for_device(BIG_N).bytes_estimate
+    assert max(0, after - before) < 0.25 * full_bytes
+
+
+@pytest.mark.benchmark(group="streaming")
+def test_stream_to_disk_medium(benchmark, tmp_path):
+    """Disk-backed streaming at a medium size (per-round fresh file)."""
+    _, z = quick_device_data(24, seed=302)
+    counter = iter(range(100000))
+
+    def run():
+        return stream_to_file(z, tmp_path / f"s{next(counter)}.bin")
+
+    report, nbytes = benchmark(run)
+    assert report.terms_formed == total_terms(24)
+    assert nbytes > 0

@@ -1,0 +1,66 @@
+"""E7 / §III — Betti numbers of MEA complexes at device scales.
+
+Verifies β = (1, (n-1)^2) for the joint complex by three independent
+routes (homology over GF(2), spanning-tree cyclomatic count, analytic
+formula) and benchmarks the homology computation itself — the cost of
+"identifying the intrinsic parallelism".
+"""
+
+import pytest
+
+from conftest import bench_ns
+from repro.instrument.report import ResultTable, human_seconds
+from repro.mea.device import MEAGrid
+from repro.mea.graph import device_complex, expected_betti, joint_graph
+from repro.topology.cycles import cyclomatic_number, fundamental_cycles
+from repro.topology.homology import HomologyCalculator
+from repro.utils.timing import measure
+
+
+@pytest.mark.benchmark(group="topology-homology")
+@pytest.mark.parametrize("n", [4, 8, 12])
+def test_betti_computation_cost(benchmark, n):
+    complex_ = device_complex(MEAGrid(n))
+
+    def compute():
+        return HomologyCalculator(complex_).betti_numbers()
+
+    betti = benchmark(compute)
+    assert betti == (1, (n - 1) ** 2)
+
+
+@pytest.mark.benchmark(group="topology-cycles")
+@pytest.mark.parametrize("n", [8, 16, 32])
+def test_fundamental_cycle_cost(benchmark, n):
+    g = joint_graph(MEAGrid(n), include_terminals=False)
+    nodes, edges = list(g.nodes), list(g.edges)
+    basis = benchmark(fundamental_cycles, nodes, edges)
+    assert len(basis) == (n - 1) ** 2
+
+
+@pytest.mark.benchmark(group="topology-table")
+def test_topology_table(benchmark, emit):
+    def build():
+        rows = []
+        for n in [n for n in bench_ns() if n <= 40] or [10]:
+            grid = MEAGrid(min(n, 16))  # homology cost grows fast
+            g = joint_graph(grid, include_terminals=False)
+            nodes, edges = list(g.nodes), list(g.edges)
+            maxwell = cyclomatic_number(nodes, edges)
+            analytic = expected_betti(grid)[1]
+            t_basis = measure(
+                lambda: fundamental_cycles(nodes, edges), repeats=1
+            )
+            rows.append((grid.n, maxwell, analytic, t_basis))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    table = ResultTable(
+        "§III — holes (parallelism units) of the device complex",
+        ["n", "Maxwell |E|-|V|+1", "(n-1)^2", "cycle-basis time"],
+    )
+    for n, maxwell, analytic, t in rows:
+        table.add_row(n, maxwell, analytic, human_seconds(t))
+    emit(table, "topology_holes")
+    for n, maxwell, analytic, _ in rows:
+        assert maxwell == analytic == (n - 1) ** 2

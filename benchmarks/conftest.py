@@ -1,0 +1,59 @@
+"""Shared benchmark fixtures and result-table emission.
+
+Every benchmark regenerates one of the paper's figures as a text table
+(the series the figure plots).  Tables are printed and also written to
+``benchmarks/results/<name>.txt`` so the artifact survives pytest's
+output capture; EXPERIMENTS.md references those files.
+
+Scale control: set ``REPRO_BENCH_SCALE=full`` to run the paper's full
+n-range (n to 100; minutes on one core).  The default ``quick`` range
+keeps the whole suite under ~2 minutes while preserving every curve's
+shape (crossovers happen by n = 20-40).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+#: The paper sweeps n in {10, 20, ..., 100}.
+FULL_NS = (10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+QUICK_NS = (10, 20, 30, 40)
+
+#: PyMP parallelism levels of Fig. 7/9.
+FULL_KS = (2, 4, 8, 16, 32)
+QUICK_KS = (2, 4, 8, 16, 32)
+
+
+def bench_ns():
+    return FULL_NS if SCALE == "full" else QUICK_NS
+
+
+def bench_ks():
+    return FULL_KS if SCALE == "full" else QUICK_KS
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Write a rendered ResultTable to results/<name>.txt and stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(table, name: str) -> None:
+        text = table.render()
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def sec_per_term():
+    """Measured formation cost per term on this machine (calibration
+    for every simulated-cluster figure)."""
+    from repro.core.strategies import calibrate_sec_per_term
+
+    return calibrate_sec_per_term(40, sample_pairs=64)

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Parma vs the path-enumeration baseline ([15], paper §II-C).
+
+Head-to-head on the same measurements:
+
+* the **baseline** enumerates every conduction path and solves the
+  parallel-paths system ``Z^{-1} = Σ P_k^{-1}(R)`` — exponential cost,
+  and (above n = 2) approximate *physics*, because paths share
+  resistors;
+* **Parma** forms the polynomial joint-constraint system and inverts
+  the exact network model.
+
+The table shows both effects at once: the baseline's cost explodes
+while its accuracy degrades; Parma stays cheap and exact.  Ground
+truth is known (simulated lab), so errors are real errors.
+
+Usage::
+
+    python examples/baseline_comparison.py
+"""
+
+import numpy as np
+
+from repro.core.solver import solve_nested
+from repro.instrument.heatmap import render_comparison
+from repro.instrument.report import ResultTable, human_seconds
+from repro.kirchhoff.forward import measure
+from repro.kirchhoff.paths import count_paths_exact
+from repro.kirchhoff.pathsystem import build_path_system, solve_path_system
+from repro.mea.device import MEAGrid
+from repro.utils.rng import default_rng
+from repro.utils.timing import Timer
+
+
+def main() -> None:
+    rng = default_rng(17)
+    table = ResultTable(
+        "baseline (path enumeration) vs Parma (joint constraints)",
+        ["n", "paths/pair", "baseline err", "baseline time",
+         "parma err", "parma time"],
+    )
+    last = None
+    # Iteration caps keep the diverging large-n baseline runs bounded;
+    # past n = 3 the path model cannot fit exact physics at all and
+    # the optimizer chases an unattainable fit to absurd R values.
+    for n, max_nfev in ((2, 2000), (3, 500), (4, 30)):
+        r_true = rng.uniform(2000.0, 9000.0, size=(n, n))
+        z = measure(r_true)
+
+        with Timer() as t_base:
+            system = build_path_system(MEAGrid(n))
+            r_base = solve_path_system(system, z, max_nfev=max_nfev)
+        base_err = float(np.max(np.abs(r_base - r_true) / r_true))
+
+        with Timer() as t_parma:
+            result = solve_nested(z)
+        parma_err = result.max_relative_error(r_true)
+
+        table.add_row(
+            n,
+            count_paths_exact(n, n),
+            f"{base_err:.2e}",
+            human_seconds(t_base.elapsed),
+            f"{parma_err:.2e}",
+            human_seconds(t_parma.elapsed),
+        )
+        if n == 3:
+            last = (n, r_true, r_base, result.r_estimate)
+
+    table.print()
+    print(
+        "\nn = 2 is the only size where the path model is exact physics\n"
+        "(no two paths share a resistor); beyond it the baseline's\n"
+        "error is structural, not numerical.  At n = 6 enumeration\n"
+        "already needs ~180 MB; at n = 7, ~10 GB (see\n"
+        "benchmarks/results/paths_explosion.txt).\n"
+    )
+
+    n, r_true, r_base, r_parma = last
+    print(f"recovered fields at n = {n} (baseline left, Parma right):")
+    print(render_comparison(r_base, r_parma, labels=("baseline", "parma")))
+    print("\nground truth vs Parma:")
+    print(render_comparison(r_true, r_parma, labels=("truth", "parma")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Device design study: how big an MEA can you afford to read?
+
+A lab choosing a device size trades spatial resolution against the
+inverse problem's conditioning: bigger crossbars give more pixels but
+every measurement averages over more parallel paths, so recovering
+each pixel gets harder.  This study quantifies the trade-off with the
+library's diagnostics:
+
+* κ(J) and worst-case noise amplification per size (spectral);
+* empirical RMS amplification (Monte-Carlo re-solves);
+* the recovered-field error you'd actually see at the paper's
+  instrument quality, with and without Tikhonov regularization;
+* where the hardest-to-recover field pattern lives (always the
+  high-frequency checkerboard — the regularizer's justification).
+
+Usage::
+
+    python examples/device_design.py
+"""
+
+import numpy as np
+
+from repro.core.conditioning import (
+    analyze_conditioning,
+    empirical_noise_amplification,
+)
+from repro.core.regularized import solve_regularized
+from repro.core.solver import solve_nested
+from repro.instrument.heatmap import render_field
+from repro.instrument.report import ResultTable
+from repro.mea.wetlab import quick_device_data
+
+NOISE = 0.02  # a poor instrument: where regularization starts to pay
+
+
+def main() -> None:
+    table = ResultTable(
+        f"device-size trade-off at {NOISE:.1%} instrument noise",
+        ["n", "kappa(J)", "worst amp", "RMS amp", "plain err",
+         "regularized err"],
+    )
+    worst_pattern = None
+    for n in (4, 6, 8, 10, 12):
+        uniform = np.full((n, n), 3000.0)
+        rep = analyze_conditioning(uniform)
+        rms_amp = empirical_noise_amplification(uniform, trials=4)
+        r_true, z = quick_device_data(n, seed=77, noise_rel=NOISE)
+        plain = solve_nested(z, tol=1e-9).mean_relative_error(r_true)
+        # Pick lambda by the discrepancy principle (no ground truth).
+        from repro.core.regularized import l_curve, pick_lambda_by_discrepancy
+
+        points = l_curve(z, [1e-5, 1e-4, 1e-3, 1e-2])
+        chosen = pick_lambda_by_discrepancy(points, NOISE, z.size)
+        reg = chosen.result.mean_relative_error(r_true)
+        table.add_row(
+            n,
+            f"{rep.condition_number:.1f}",
+            f"{rep.noise_amplification:.1f}x",
+            f"{rms_amp:.1f}x",
+            f"{plain:.1%}",
+            f"{reg:.1%}",
+        )
+        if n == 10:
+            worst_pattern = rep.worst_direction
+    table.print()
+
+    print(
+        "\nreading the table: κ and the amplification factors grow with n\n"
+        "— the ill-posedness the paper cites [13, 14].  Regularization\n"
+        "pays where amplified noise exceeds the anomaly contrast (larger\n"
+        "n / noisier instruments); at small n plain inversion still wins\n"
+        "because the prior blurs the anomaly more than the noise hurts.\n"
+    )
+    if worst_pattern is not None:
+        print("hardest-to-recover field pattern at n = 10 (log-R units):")
+        print(render_field(worst_pattern))
+        print(
+            "\nnote the sign-alternating, spatially rough structure (high\n"
+            "lattice-Laplacian energy): exactly the component the\n"
+            "regularizer damps."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Wound-surface monitoring: the paper's §II-C biomedical scenario.
+
+An MEA sits on a patient's wound (or a cell medium) for a day; the
+instrument reads all pairwise resistances at 0, 6, 12 and 24 hours.
+A proliferating anomaly raises local resistance over time.  This
+example runs the full monitoring pipeline:
+
+* each timepoint is parametrized by Parma;
+* the per-timepoint fields show the anomaly growing;
+* the drift detector localizes the *growing* region — robust even when
+  the absolute field is heterogeneous.
+
+Usage::
+
+    python examples/wound_monitoring.py [n] [seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import ParmaEngine, run_pipeline
+from repro.anomaly.metrics import localization_errors, score_mask
+from repro.mea.synthetic import anomaly_mask, paper_like_spec
+from repro.mea.wetlab import WetLabConfig, run_campaign
+
+
+def sparkline(values, width=32):
+    """Tiny text heat summary of a field row."""
+    glyphs = " .:-=+*#%@"
+    lo, hi = float(np.min(values)), float(np.max(values))
+    span = hi - lo or 1.0
+    idx = ((np.asarray(values) - lo) / span * (len(glyphs) - 1)).astype(int)
+    return "".join(glyphs[i] for i in idx[:width])
+
+
+def main(n: int = 10, seed: int = 11) -> None:
+    print(f"== 24-hour wound monitoring, {n}x{n} device ==\n")
+    spec = paper_like_spec(n, num_anomalies=1, seed=seed)
+    config = WetLabConfig(noise_rel=0.002, growth_per_hour=0.03)
+    run = run_campaign(spec, config, seed=seed)
+
+    engine = ParmaEngine(strategy="balanced", num_workers=4)
+    out = run_pipeline(run.campaign, engine=engine, growth_threshold=0.15)
+
+    blob = spec.blobs[0]
+    row = int(round(blob.center[0]))
+    print(f"anomaly row {row} of the recovered field over the day:")
+    for res in out.results:
+        field = res.resistance
+        peak = field.max()
+        print(f"  t={res.measurement.hour:>4.0f} h  "
+              f"|{sparkline(field[row])}|  peak {peak:7.0f} kΩ  "
+              f"({res.detection.num_regions} region(s) flagged)")
+
+    print("\ndrift analysis (0 h -> 24 h):")
+    drift = out.drift_detection
+    assert drift is not None
+    print(f"  {drift.num_regions} growing region(s) above "
+          f"{drift.threshold:.0%} relative growth")
+    truth = anomaly_mask(spec)
+    score = score_mask(drift.mask, truth)
+    print(f"  vs ground truth: precision {score.precision:.2f}, "
+          f"recall {score.recall:.2f}")
+    if drift.regions:
+        errs = localization_errors(
+            [r.centroid for r in drift.regions], [blob.center]
+        )
+        print(f"  localization error: {errs[0]:.2f} sites")
+
+    # Clinical readout: how fast is the lesion growing?
+    series = out.resistance_series()
+    peaks = series.reshape(len(series), -1).max(axis=1)
+    growth = (peaks[-1] / peaks[0]) ** (1 / 24.0) - 1.0
+    print(f"\npeak-resistance growth rate: {growth:.1%} per hour "
+          f"(simulated {config.growth_per_hour:.1%})")
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:3]]
+    main(*args)

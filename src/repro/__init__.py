@@ -1,0 +1,49 @@
+"""Parma: topological modeling and parallelization of MEA data.
+
+A production-grade reproduction of *"Topological Modeling and
+Parallelization of Multidimensional Data on Microelectrode Arrays"*
+(IPPS 2022).  Subpackages:
+
+====================  =====================================================
+:mod:`repro.core`      Parma itself: joint-constraint formation, parallel
+                       strategies, the R-recovery solvers, the engine.
+:mod:`repro.topology`  Algebraic topology: simplicial complexes, GF(2)
+                       chains, boundary operators, homology, Betti numbers.
+:mod:`repro.mea`       Device model, graph abstractions, synthetic fields,
+                       simulated wet-lab campaigns.
+:mod:`repro.kirchhoff` Circuit theory: Kirchhoff laws, the exact forward
+                       solver, the exponential path baseline.
+:mod:`repro.parallel`  PyMP-style fork regions, shared memory, schedulers,
+                       an MPI-like runtime, the simulated cluster clock.
+:mod:`repro.manifold`  Discrete differential geometry (§IV-B).
+:mod:`repro.anomaly`   Anomaly detection and scoring.
+:mod:`repro.io`        Measurement text format, equation serialization.
+:mod:`repro.instrument` Memory sampling and result tables.
+====================  =====================================================
+
+Quick start::
+
+    from repro import ParmaEngine
+    from repro.mea import paper_like_spec, run_campaign
+
+    run = run_campaign(paper_like_spec(10, seed=7), seed=7)
+    engine = ParmaEngine(strategy="pymp", num_workers=4)
+    result = engine.parametrize(run.campaign.measurements[0])
+    print(result.summary())
+"""
+
+from repro.core.engine import ParmaEngine, ParmaResult
+from repro.core.pipeline import CampaignResult, run_pipeline
+from repro.core.solver import SolveResult, solve
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CampaignResult",
+    "ParmaEngine",
+    "ParmaResult",
+    "SolveResult",
+    "__version__",
+    "run_pipeline",
+    "solve",
+]

@@ -1,0 +1,29 @@
+"""Anomaly detection on recovered resistance fields and its scoring."""
+
+from repro.anomaly.detect import (
+    AnomalyRegion,
+    DetectionResult,
+    detect_anomalies,
+    detect_drift_anomalies,
+)
+from repro.anomaly.tracking import Track, TrackingResult, track_regions
+from repro.anomaly.metrics import (
+    DetectionScore,
+    field_relative_error,
+    localization_errors,
+    score_mask,
+)
+
+__all__ = [
+    "AnomalyRegion",
+    "Track",
+    "TrackingResult",
+    "track_regions",
+    "DetectionResult",
+    "DetectionScore",
+    "detect_anomalies",
+    "detect_drift_anomalies",
+    "field_relative_error",
+    "localization_errors",
+    "score_mask",
+]

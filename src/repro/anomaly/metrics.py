@@ -1,0 +1,94 @@
+"""Scoring detected anomalies against ground truth.
+
+Because the wet-lab substitute (:mod:`repro.mea.wetlab`) knows the
+true anomaly mask, recovery experiments can report detection quality —
+something the paper (working on unlabelled lab data) could not.  All
+metrics are mask-level; region-level localization error is also
+provided for the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DetectionScore:
+    """Pixel-level confusion summary of a detection mask."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def iou(self) -> float:
+        denom = self.true_positives + self.false_positives + self.false_negatives
+        return self.true_positives / denom if denom else 1.0
+
+
+def score_mask(predicted: np.ndarray, truth: np.ndarray) -> DetectionScore:
+    """Confusion counts of two boolean masks of equal shape."""
+    pred = np.asarray(predicted, dtype=bool)
+    true = np.asarray(truth, dtype=bool)
+    if pred.shape != true.shape:
+        raise ValueError(
+            f"mask shapes differ: {pred.shape} vs {true.shape}"
+        )
+    return DetectionScore(
+        true_positives=int(np.sum(pred & true)),
+        false_positives=int(np.sum(pred & ~true)),
+        false_negatives=int(np.sum(~pred & true)),
+        true_negatives=int(np.sum(~pred & ~true)),
+    )
+
+
+def localization_errors(
+    predicted_centroids: list[tuple[float, float]],
+    true_centers: list[tuple[float, float]],
+) -> list[float]:
+    """Greedy nearest-match distance from each true center to a
+    predicted centroid (inf if no prediction remains)."""
+    remaining = list(predicted_centroids)
+    errors: list[float] = []
+    for tc in true_centers:
+        if not remaining:
+            errors.append(float("inf"))
+            continue
+        dists = [np.hypot(tc[0] - p[0], tc[1] - p[1]) for p in remaining]
+        best = int(np.argmin(dists))
+        errors.append(float(dists[best]))
+        remaining.pop(best)
+    return errors
+
+
+def field_relative_error(estimate: np.ndarray, truth: np.ndarray) -> dict[str, float]:
+    """Summary relative-error statistics of a recovered R field."""
+    est = np.asarray(estimate, dtype=np.float64)
+    tru = np.asarray(truth, dtype=np.float64)
+    if est.shape != tru.shape:
+        raise ValueError("field shapes differ")
+    rel = np.abs(est - tru) / tru
+    return {
+        "mean": float(rel.mean()),
+        "median": float(np.median(rel)),
+        "max": float(rel.max()),
+        "p95": float(np.percentile(rel, 95)),
+    }

@@ -1,0 +1,159 @@
+"""Tracking anomaly regions across campaign timepoints.
+
+The §II-C monitoring workload is longitudinal: the clinician cares how
+each lesion *evolves* over the 0/6/12/24 h readings, not just where
+blobs are at one instant.  This module links per-timepoint
+:class:`~repro.anomaly.detect.DetectionResult` region sets into tracks
+by greedy nearest-centroid matching (gated by a max jump distance),
+and derives per-track statistics: growth rate, drift velocity, and
+whether the lesion is newly appeared or resolved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.anomaly.detect import AnomalyRegion, DetectionResult
+
+
+@dataclass
+class Track:
+    """One anomaly followed through time."""
+
+    track_id: int
+    hours: list[float] = field(default_factory=list)
+    regions: list[AnomalyRegion] = field(default_factory=list)
+
+    @property
+    def first_seen(self) -> float:
+        return self.hours[0]
+
+    @property
+    def last_seen(self) -> float:
+        return self.hours[-1]
+
+    @property
+    def observations(self) -> int:
+        return len(self.regions)
+
+    def sizes(self) -> np.ndarray:
+        return np.array([r.size for r in self.regions], dtype=np.float64)
+
+    def peaks(self) -> np.ndarray:
+        return np.array(
+            [r.peak_resistance for r in self.regions], dtype=np.float64
+        )
+
+    def centroids(self) -> np.ndarray:
+        return np.array([r.centroid for r in self.regions])
+
+    def growth_rate_per_hour(self) -> float:
+        """Log-linear fit of peak resistance vs time (0 if one point
+        or no time span)."""
+        if self.observations < 2:
+            return 0.0
+        hours = np.asarray(self.hours)
+        span = hours[-1] - hours[0]
+        if span <= 0:
+            return 0.0
+        logs = np.log(self.peaks())
+        slope = np.polyfit(hours, logs, 1)[0]
+        return float(np.expm1(slope))
+
+    def drift_velocity(self) -> float:
+        """Mean centroid displacement per hour (grid units)."""
+        if self.observations < 2:
+            return 0.0
+        cents = self.centroids()
+        hours = np.asarray(self.hours)
+        dists = np.linalg.norm(np.diff(cents, axis=0), axis=1)
+        dt = np.diff(hours)
+        valid = dt > 0
+        if not valid.any():
+            return 0.0
+        return float((dists[valid] / dt[valid]).mean())
+
+
+@dataclass(frozen=True)
+class TrackingResult:
+    tracks: tuple[Track, ...]
+    hours: tuple[float, ...]
+
+    @property
+    def num_tracks(self) -> int:
+        return len(self.tracks)
+
+    def persistent_tracks(self) -> list[Track]:
+        """Tracks observed at every timepoint."""
+        return [t for t in self.tracks if t.observations == len(self.hours)]
+
+    def transient_tracks(self) -> list[Track]:
+        return [t for t in self.tracks if t.observations < len(self.hours)]
+
+    def fastest_growing(self) -> Track | None:
+        growing = [t for t in self.tracks if t.observations >= 2]
+        if not growing:
+            return None
+        return max(growing, key=lambda t: t.growth_rate_per_hour())
+
+
+def track_regions(
+    detections: list[DetectionResult],
+    hours: list[float],
+    max_jump: float = 3.0,
+) -> TrackingResult:
+    """Link detections across timepoints into tracks.
+
+    Greedy nearest-centroid matching per consecutive timepoint pair:
+    each region at time t+1 claims the closest unclaimed active track
+    whose last centroid is within ``max_jump`` grid units; unmatched
+    regions start new tracks; unmatched tracks go dormant (they keep
+    their history and may NOT be resumed — a re-appearing lesion is a
+    new track, which is the conservative clinical reading).
+    """
+    if len(detections) != len(hours):
+        raise ValueError("detections and hours must align")
+    if sorted(hours) != list(hours):
+        raise ValueError("hours must be ascending")
+    tracks: list[Track] = []
+    active: list[Track] = []
+    next_id = 1
+    for det, hour in zip(detections, hours):
+        regions = list(det.regions)
+        # Distance matrix between active tracks and current regions.
+        claimed_regions: set[int] = set()
+        claimed_tracks: set[int] = set()
+        pairs: list[tuple[float, int, int]] = []
+        for ti, track in enumerate(active):
+            last = track.regions[-1].centroid
+            for ri, region in enumerate(regions):
+                dist = float(
+                    np.hypot(
+                        last[0] - region.centroid[0],
+                        last[1] - region.centroid[1],
+                    )
+                )
+                if dist <= max_jump:
+                    pairs.append((dist, ti, ri))
+        for dist, ti, ri in sorted(pairs):
+            if ti in claimed_tracks or ri in claimed_regions:
+                continue
+            active[ti].hours.append(hour)
+            active[ti].regions.append(regions[ri])
+            claimed_tracks.add(ti)
+            claimed_regions.add(ri)
+        survivors = [t for i, t in enumerate(active) if i in claimed_tracks]
+        for ri, region in enumerate(regions):
+            if ri in claimed_regions:
+                continue
+            track = Track(track_id=next_id, hours=[hour], regions=[region])
+            next_id += 1
+            tracks.append(track)
+            survivors.append(track)
+        active = survivors
+    # `tracks` holds every track ever created, in creation order; the
+    # ones created on the first timepoint appear first.
+    all_tracks = sorted(tracks, key=lambda t: t.track_id)
+    return TrackingResult(tracks=tuple(all_tracks), hours=tuple(hours))

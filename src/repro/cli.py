@@ -1,0 +1,300 @@
+"""Command-line interface: ``parma <subcommand>``.
+
+Subcommands mirror the wet-lab workflow:
+
+``simulate``
+    Generate a synthetic measurement campaign (the wet-lab stand-in)
+    and write it as a measurement text file.
+``solve``
+    Parametrize one timepoint of a campaign file: form the joint
+    constraints (optionally persisting them), recover R, report
+    anomalies.
+``monitor``
+    Run the whole campaign with drift analysis (§II-C monitoring).
+``screen``
+    Quality-control screening: recover R for one timepoint and flag
+    open/shorted crossings (manufacturing defects).
+``convert``
+    Convert a lab workbook directory (CSV sheets) to the measurement
+    text format — the paper's "Excel files converted into text".
+``selftest``
+    Run the library's core-invariant checks (installation sanity).
+``info``
+    Print device/topology/accounting facts for a given n.
+
+All output is plain text; exit status is nonzero on failure.  Invoke
+as ``parma ...`` (console script) or ``python -m repro.cli ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.io.textformat import save_campaign
+    from repro.mea.synthetic import paper_like_spec
+    from repro.mea.wetlab import WetLabConfig, run_campaign
+
+    spec = paper_like_spec(args.n, num_anomalies=args.anomalies, seed=args.seed)
+    config = WetLabConfig(noise_rel=args.noise)
+    run = run_campaign(spec, config, seed=args.seed)
+    save_campaign(run.campaign, args.out)
+    if args.truth_out:
+        np.save(args.truth_out, np.stack(run.ground_truth))
+    print(
+        f"wrote {len(run.campaign)} timepoints of a {args.n}x{args.n} "
+        f"campaign (noise {args.noise:.3%}) to {args.out}"
+    )
+    if args.truth_out:
+        print(f"wrote ground-truth fields to {args.truth_out}")
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro.core.engine import ParmaEngine
+    from repro.io.textformat import load_campaign
+
+    campaign = load_campaign(args.campaign)
+    try:
+        meas = campaign.at_hour(args.hour)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    engine = ParmaEngine(
+        strategy=args.strategy,
+        num_workers=args.workers,
+        solver=args.solver,
+        threshold_sigmas=args.threshold,
+    )
+    solver_kwargs = (
+        {"lam": args.lam} if args.solver == "regularized" else None
+    )
+    result = engine.parametrize(
+        meas, output_dir=args.equations_dir, solver_kwargs=solver_kwargs
+    )
+    print(result.summary())
+    if args.show:
+        from repro.instrument.heatmap import render_field
+
+        print(render_field(result.resistance, mask=result.detection.mask))
+    for region in result.detection.regions:
+        print(
+            f"  region {region.label}: {region.size} site(s), centroid "
+            f"({region.centroid[0]:.1f}, {region.centroid[1]:.1f}), "
+            f"peak {region.peak_resistance:.0f} kΩ"
+        )
+    if args.field_out:
+        np.save(args.field_out, result.resistance)
+        print(f"wrote recovered field to {args.field_out}")
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.core.engine import ParmaEngine
+    from repro.core.pipeline import run_pipeline
+    from repro.io.textformat import load_campaign
+
+    campaign = load_campaign(args.campaign)
+    engine = ParmaEngine(
+        strategy=args.strategy,
+        num_workers=args.workers,
+        threshold_sigmas=args.threshold,
+    )
+    out = run_pipeline(
+        campaign,
+        engine=engine,
+        growth_threshold=args.growth,
+        warm_start=not args.no_warm_start,
+    )
+    print(out.summary())
+    if args.show and out.drift_detection is not None:
+        from repro.instrument.heatmap import render_comparison
+
+        print(render_comparison(
+            out.results[0].resistance,
+            out.results[-1].resistance,
+            labels=(f"{out.hours[0]:g} h", f"{out.hours[-1]:g} h"),
+        ))
+    return 0
+
+
+def _cmd_screen(args: argparse.Namespace) -> int:
+    from repro.core.solver import solve_nested
+    from repro.instrument.heatmap import render_mask
+    from repro.io.textformat import load_campaign
+    from repro.mea.defects import classify_crossings, healthy_band_violations
+
+    campaign = load_campaign(args.campaign)
+    try:
+        meas = campaign.at_hour(args.hour)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = solve_nested(meas.z_kohm, voltage=meas.voltage, max_iter=200)
+    defects = classify_crossings(result.r_estimate)
+    print(
+        f"screened {meas.z_kohm.shape[0]}x{meas.z_kohm.shape[1]} device at "
+        f"hour {meas.hour:g}: {defects.num_opens} open(s), "
+        f"{defects.num_shorts} short(s)"
+    )
+    for site in defects.open_sites():
+        print(f"  OPEN  at crossing {site}")
+    for site in defects.short_sites():
+        print(f"  SHORT at crossing {site}")
+    suspects = healthy_band_violations(result.r_estimate)
+    suspects &= defects.codes == 0
+    if suspects.any():
+        print(f"  {int(suspects.sum())} crossing(s) outside the healthy "
+              "band (suspect calibration):")
+        print(render_mask(suspects, on="?"))
+    return 0 if defects.num_defects == 0 else 1
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from repro.io.workbook import convert_workbook
+
+    campaign = convert_workbook(args.workbook, args.out)
+    print(
+        f"converted {args.workbook} -> {args.out}: "
+        f"{len(campaign)} timepoints at hours {campaign.hours}"
+    )
+    return 0
+
+
+def _cmd_selftest(args: argparse.Namespace) -> int:
+    from repro.core.selftest import run_selftest
+
+    report = run_selftest(n=args.n)
+    print(report.render())
+    return 0 if report.passed else 1
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro.core.categories import (
+        total_equations,
+        total_terms,
+        total_unknowns,
+    )
+    from repro.core.equations import SystemStats
+    from repro.instrument.report import human_bytes
+    from repro.kirchhoff.paths import total_paths_paper
+    from repro.mea.device import MEAGrid
+    from repro.mea.graph import expected_betti, mesh_count
+
+    n = args.n
+    grid = MEAGrid(n)
+    print(f"{n}x{n} MEA device")
+    print(f"  wires: {n} horizontal + {n} vertical")
+    print(f"  resistors: {grid.num_resistors}; joints: {grid.num_joints}")
+    print(f"  conduction paths (paper estimate n^(n+1)): "
+          f"{total_paths_paper(n):.3e}" if n > 12 else
+          f"  conduction paths (paper estimate n^(n+1)): "
+          f"{total_paths_paper(n)}")
+    beta = expected_betti(grid)
+    print(f"  topology: beta_0 = {beta[0]}, beta_1 = {beta[1]} holes "
+          f"(= {mesh_count(grid)} meshes = parallelism budget)")
+    print("joint-constraint system (Parma):")
+    print(f"  equations: {total_equations(n)}  (2 n^3)")
+    print(f"  unknowns:  {total_unknowns(n)}  ((2n-1) n^2)")
+    print(f"  flow terms: {total_terms(n)}  (2 n^4)")
+    stats = SystemStats.for_device(n)
+    print(f"  memory estimate: {human_bytes(stats.bytes_estimate)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="parma",
+        description="Parma: topological parametrization of MEA data",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="generate a synthetic campaign")
+    p_sim.add_argument("--n", type=int, default=12, help="device side")
+    p_sim.add_argument("--seed", type=int, default=7)
+    p_sim.add_argument("--anomalies", type=int, default=1)
+    p_sim.add_argument("--noise", type=float, default=0.002,
+                       help="relative instrument noise")
+    p_sim.add_argument("--out", type=Path, required=True,
+                       help="campaign text file to write")
+    p_sim.add_argument("--truth-out", type=Path, default=None,
+                       help="optional .npy for ground-truth fields")
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_solve = sub.add_parser("solve", help="parametrize one timepoint")
+    p_solve.add_argument("campaign", type=Path)
+    p_solve.add_argument("--hour", type=float, default=0.0)
+    p_solve.add_argument("--strategy", default="pymp",
+                         choices=["single", "parallel", "balanced",
+                                  "pymp", "pymp-dynamic"])
+    p_solve.add_argument("--workers", type=int, default=4)
+    p_solve.add_argument("--solver", default="nested",
+                         choices=["nested", "full", "regularized"])
+    p_solve.add_argument("--lam", type=float, default=1e-3,
+                         help="Tikhonov weight for --solver regularized")
+    p_solve.add_argument("--threshold", type=float, default=3.0,
+                         help="anomaly threshold in robust sigmas")
+    p_solve.add_argument("--equations-dir", type=Path, default=None,
+                         help="persist formed equations here")
+    p_solve.add_argument("--field-out", type=Path, default=None,
+                         help="write recovered R field (.npy)")
+    p_solve.add_argument("--show", action="store_true",
+                         help="render the recovered field as a heatmap")
+    p_solve.set_defaults(func=_cmd_solve)
+
+    p_mon = sub.add_parser("monitor", help="full-campaign drift analysis")
+    p_mon.add_argument("campaign", type=Path)
+    p_mon.add_argument("--strategy", default="pymp",
+                       choices=["single", "parallel", "balanced",
+                                "pymp", "pymp-dynamic"])
+    p_mon.add_argument("--workers", type=int, default=4)
+    p_mon.add_argument("--threshold", type=float, default=3.0)
+    p_mon.add_argument("--growth", type=float, default=0.25,
+                       help="relative growth flag level")
+    p_mon.add_argument("--no-warm-start", action="store_true")
+    p_mon.add_argument("--show", action="store_true",
+                       help="render first/last recovered fields")
+    p_mon.set_defaults(func=_cmd_monitor)
+
+    p_scr = sub.add_parser("screen", help="defect screening (QC)")
+    p_scr.add_argument("campaign", type=Path)
+    p_scr.add_argument("--hour", type=float, default=0.0)
+    p_scr.set_defaults(func=_cmd_screen)
+
+    p_conv = sub.add_parser("convert",
+                            help="workbook dir -> measurement text")
+    p_conv.add_argument("workbook", type=Path)
+    p_conv.add_argument("--out", type=Path, required=True)
+    p_conv.set_defaults(func=_cmd_convert)
+
+    p_self = sub.add_parser("selftest", help="core-invariant checks")
+    p_self.add_argument("--n", type=int, default=5)
+    p_self.set_defaults(func=_cmd_selftest)
+
+    p_info = sub.add_parser("info", help="device/system accounting")
+    p_info.add_argument("--n", type=int, default=10)
+    p_info.set_defaults(func=_cmd_info)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

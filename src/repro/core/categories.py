@@ -1,0 +1,96 @@
+"""The four constraint categories of the joint-constraint system.
+
+§IV-A groups the ``2n`` per-pair Kirchhoff equations by the joint they
+constrain:
+
+* ``SOURCE`` — the equation at the driven horizontal wire ``i``
+  (1-to-n flow), one per pair;
+* ``DEST`` — the equation at the driven vertical wire ``j``
+  (n-to-1 flow), one per pair;
+* ``UA`` — the ``n - 1`` equations at intermediate vertical wires
+  (source-side intermediates);
+* ``UB`` — the ``n - 1`` equations at intermediate horizontal wires
+  (destination-side intermediates).
+
+The category sizes are what skews the *Parallel* baseline: per device
+the intermediate categories hold ``n^2 (n-1)`` constraints each while
+SOURCE/DEST hold ``n^2`` — the cubic-vs-quadratic gap §IV-C.1 calls
+"two hefty tasks compared to others".
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+from repro.utils.validation import require_positive_int
+
+
+class Category(IntEnum):
+    """Constraint category codes (stable: serialized into benchmarks)."""
+
+    SOURCE = 0
+    DEST = 1
+    UA = 2
+    UB = 3
+
+
+#: Paper-facing labels.
+CATEGORY_LABELS = {
+    Category.SOURCE: "source (1-to-n)",
+    Category.DEST: "destination (n-to-1)",
+    Category.UA: "intermediate near source (Ua)",
+    Category.UB: "intermediate near destination (Ub)",
+}
+
+
+def equations_per_pair(n: int) -> dict[Category, int]:
+    """Per-pair equation counts: 1 + 1 + (n-1) + (n-1) = 2n."""
+    n = require_positive_int(n, "n", minimum=2)
+    return {
+        Category.SOURCE: 1,
+        Category.DEST: 1,
+        Category.UA: n - 1,
+        Category.UB: n - 1,
+    }
+
+
+def equations_per_device(n: int) -> dict[Category, int]:
+    """Whole-device counts (``n^2`` pairs): totals ``2 n^3``."""
+    per_pair = equations_per_pair(n)
+    return {cat: count * n * n for cat, count in per_pair.items()}
+
+
+def total_equations(n: int) -> int:
+    """``2 n^3`` (paper §IV-A)."""
+    n = require_positive_int(n, "n", minimum=2)
+    return 2 * n**3
+
+
+def total_unknowns(n: int) -> int:
+    """``(2n - 1) n^2``: ``n^2`` R's + ``2 (n-1) n^2`` voltages."""
+    n = require_positive_int(n, "n", minimum=2)
+    return (2 * n - 1) * n**2
+
+
+def terms_per_pair(n: int) -> int:
+    """Every per-pair equation has exactly ``n`` flow terms: ``2 n^2``."""
+    n = require_positive_int(n, "n", minimum=2)
+    return 2 * n * n
+
+
+def total_terms(n: int) -> int:
+    """``2 n^4`` flow terms across the device — the memory driver."""
+    n = require_positive_int(n, "n", minimum=2)
+    return 2 * n**4
+
+
+def category_costs(n: int) -> dict[Category, float]:
+    """Relative formation cost per category (proportional to terms).
+
+    Each equation carries ``n`` terms regardless of category, so cost
+    is proportional to equation count; this is the cost vector the
+    planners in :mod:`repro.core.partition` consume.
+    """
+    return {
+        cat: float(count * n) for cat, count in equations_per_device(n).items()
+    }

@@ -1,0 +1,393 @@
+"""Formation of the joint-constraint equation system (paper §IV-A).
+
+For endpoint pair ``(i, j)`` of an ``n x n`` device driven at voltage
+``U`` with measured resistance ``Z_ij``, the unknowns are the global
+resistances ``R`` plus per-pair intermediate wire voltages
+``Ua_{k'}`` (vertical wires ``k != j``) and ``Ub_{m'}`` (horizontal
+wires ``m != i``), and the ``2n`` equations are Kirchhoff current
+balances::
+
+    U/Z_ij = U/R_ij + Σ_k (U - Ua_k')/R_ik          # at i   (SOURCE)
+    U/Z_ij = U/R_ij + Σ_m Ub_m'/R_mj                # at j   (DEST)
+    (U - Ua_k')/R_ik = Σ_m (Ua_k' - Ub_m')/R_mk     # per k  (UA)
+    Ub_m'/R_mj = Σ_k (Ua_k' - Ub_m')/R_mk           # per m  (UB)
+
+(The sum subscripts follow the physics: from an intermediate vertical
+wire ``k`` the current fans out to horizontal wires ``m != i``, and
+vice versa — the paper's printed subscripts on the last two equation
+families contain a typo that the worked 3x3 example disambiguates.)
+
+Each equation has exactly ``n`` *flow terms* of the shape
+``± (V_plus - V_minus) / R_row,col``.  A :class:`PairBlock` stores one
+pair's equations as structure-of-arrays: five parallel numpy arrays
+over the terms (equation id, sign, resistor row/col, voltage-node
+codes), built with pure index arithmetic — no per-term Python objects.
+This formation is the operation the paper's compute-time figures
+measure, so its cost profile (array fills, O(n^2) per pair) matters as
+much as its correctness.
+
+Formation can be restricted to a subset of categories (the *Parallel*
+strategy forms one category per worker), in which case the block holds
+only those equations, with the same deterministic intra-category
+layout.
+
+Voltage-node codes (per pair): ``0`` = ground (wire ``V_j``),
+``1`` = the drive ``U`` (wire ``H_i``), ``2 + k'`` = ``Ua_{k'}``,
+``2 + (n-1) + m'`` = ``Ub_{m'}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.categories import Category
+from repro.utils.validation import require_positive, require_positive_int
+
+#: Voltage-node codes.
+NODE_GROUND = 0
+NODE_DRIVE = 1
+NODE_FIRST_UA = 2
+
+ALL_CATEGORIES: tuple[Category, ...] = (
+    Category.SOURCE,
+    Category.DEST,
+    Category.UA,
+    Category.UB,
+)
+
+
+def node_code_ua(k_prime: int) -> int:
+    return NODE_FIRST_UA + k_prime
+
+
+def node_code_ub(m_prime: int, n: int) -> int:
+    return NODE_FIRST_UA + (n - 1) + m_prime
+
+
+@dataclass(frozen=True)
+class PairBlock:
+    """Joint-constraint equations of one endpoint pair (all or a
+    category subset).
+
+    Term arrays are parallel and term-major; ``eq_id`` maps each term
+    to its local equation index.  ``rhs`` has one entry per equation
+    (``U/Z`` for SOURCE/DEST, 0 otherwise) and ``category`` the
+    per-equation category code.  For a full block the equation order is
+    ``[SOURCE, DEST, UA_0.., UB_0..]`` (``2n`` equations, ``2 n^2``
+    terms).
+    """
+
+    n: int
+    row: int
+    col: int
+    voltage: float
+    z: float
+    eq_id: np.ndarray  # int32, term -> local equation index
+    sign: np.ndarray  # int8, +1 / -1
+    r_row: np.ndarray  # int32, resistor row of the term
+    r_col: np.ndarray  # int32, resistor col
+    v_plus: np.ndarray  # int16 voltage-node code
+    v_minus: np.ndarray  # int16 voltage-node code
+    rhs: np.ndarray  # float64, per equation
+    category: np.ndarray  # int8, per equation
+
+    @property
+    def num_equations(self) -> int:
+        return len(self.rhs)
+
+    @property
+    def num_terms(self) -> int:
+        return len(self.eq_id)
+
+    @property
+    def pair_index(self) -> int:
+        return self.row * self.n + self.col
+
+    def nbytes(self) -> int:
+        """Memory footprint of the term arrays (the Fig. 8 driver)."""
+        return sum(
+            a.nbytes
+            for a in (
+                self.eq_id,
+                self.sign,
+                self.r_row,
+                self.r_col,
+                self.v_plus,
+                self.v_minus,
+                self.rhs,
+                self.category,
+            )
+        )
+
+    # -- evaluation -----------------------------------------------------------
+
+    def node_voltages(self, ua: np.ndarray, ub: np.ndarray) -> np.ndarray:
+        """Assemble the per-pair voltage table indexed by node code."""
+        n = self.n
+        if ua.shape != (n - 1,) or ub.shape != (n - 1,):
+            raise ValueError(f"ua/ub must have shape ({n - 1},)")
+        table = np.empty(2 + 2 * (n - 1), dtype=np.float64)
+        table[NODE_GROUND] = 0.0
+        table[NODE_DRIVE] = self.voltage
+        table[NODE_FIRST_UA : NODE_FIRST_UA + n - 1] = ua
+        table[NODE_FIRST_UA + n - 1 :] = ub
+        return table
+
+    def residuals(
+        self, resistance: np.ndarray, ua: np.ndarray, ub: np.ndarray
+    ) -> np.ndarray:
+        """Equation residuals (LHS - RHS) for a candidate solution.
+
+        Fully vectorised: one gather per array plus a ``np.add.at``
+        scatter into the equation slots.
+        """
+        r = np.asarray(resistance, dtype=np.float64)
+        if r.shape != (self.n, self.n):
+            raise ValueError(f"resistance must be ({self.n}, {self.n})")
+        table = self.node_voltages(ua, ub)
+        flows = (
+            self.sign
+            * (table[self.v_plus] - table[self.v_minus])
+            / r[self.r_row, self.r_col]
+        )
+        out = -self.rhs.copy()
+        np.add.at(out, self.eq_id, flows)
+        return out
+
+    def max_relative_residual(
+        self, resistance: np.ndarray, ua: np.ndarray, ub: np.ndarray
+    ) -> float:
+        """Residuals normalised by the drive current ``U/Z``."""
+        res = self.residuals(resistance, ua, ub)
+        return float(np.max(np.abs(res)) / (self.voltage / self.z))
+
+    def checksum(self) -> float:
+        """Order-independent digest of the term arrays.
+
+        Used by the parallel strategies to prove (in tests) that every
+        worker formed exactly its share: checksums are additive across
+        category sub-blocks of the same pair.
+        """
+        return float(
+            (self.sign.astype(np.float64) * (self.r_row + 1) * (self.r_col + 1)
+             * (self.v_plus + 1) * (self.v_minus + 3)).sum()
+        )
+
+
+def _section_source(n, row, col, ks, ua_codes):
+    """SOURCE terms: U/R_ij + Σ_k (U - Ua_k')/R_ik."""
+    eq = np.zeros(n, dtype=np.int32)
+    sign = np.ones(n, dtype=np.int8)
+    r_row = np.full(n, row, dtype=np.int32)
+    r_col = np.empty(n, dtype=np.int32)
+    r_col[0] = col
+    r_col[1:] = ks
+    v_plus = np.full(n, NODE_DRIVE, dtype=np.int16)
+    v_minus = np.empty(n, dtype=np.int16)
+    v_minus[0] = NODE_GROUND
+    v_minus[1:] = ua_codes
+    return eq, sign, r_row, r_col, v_plus, v_minus, 1
+
+
+def _section_dest(n, row, col, ms, ub_codes):
+    """DEST terms: U/R_ij + Σ_m Ub_m'/R_mj."""
+    eq = np.zeros(n, dtype=np.int32)
+    sign = np.ones(n, dtype=np.int8)
+    r_row = np.empty(n, dtype=np.int32)
+    r_row[0] = row
+    r_row[1:] = ms
+    r_col = np.full(n, col, dtype=np.int32)
+    v_plus = np.empty(n, dtype=np.int16)
+    v_plus[0] = NODE_DRIVE
+    v_plus[1:] = ub_codes
+    v_minus = np.full(n, NODE_GROUND, dtype=np.int16)
+    return eq, sign, r_row, r_col, v_plus, v_minus, 1
+
+
+def _section_ua(n, row, col, ks, ms, ua_codes, ub_codes):
+    """UA terms: per k', +(U - Ua_k')/R_ik - Σ_m (Ua_k' - Ub_m')/R_mk."""
+    kp = np.arange(n - 1)
+    eq = np.repeat(kp, n).astype(np.int32)
+    sign = np.empty((n - 1, n), dtype=np.int8)
+    sign[:, 0] = 1
+    sign[:, 1:] = -1
+    r_row = np.empty((n - 1, n), dtype=np.int32)
+    r_row[:, 0] = row
+    r_row[:, 1:] = ms[None, :]
+    r_col = np.repeat(ks, n).astype(np.int32)
+    v_plus = np.empty((n - 1, n), dtype=np.int16)
+    v_plus[:, 0] = NODE_DRIVE
+    v_plus[:, 1:] = ua_codes[:, None]
+    v_minus = np.empty((n - 1, n), dtype=np.int16)
+    v_minus[:, 0] = ua_codes
+    v_minus[:, 1:] = ub_codes[None, :]
+    return (
+        eq,
+        sign.ravel(),
+        r_row.ravel(),
+        r_col,
+        v_plus.ravel(),
+        v_minus.ravel(),
+        n - 1,
+    )
+
+
+def _section_ub(n, row, col, ks, ms, ua_codes, ub_codes):
+    """UB terms: per m', +Σ_k (Ua_k' - Ub_m')/R_mk - Ub_m'/R_mj."""
+    mp = np.arange(n - 1)
+    eq = np.repeat(mp, n).astype(np.int32)
+    sign = np.empty((n - 1, n), dtype=np.int8)
+    sign[:, :-1] = 1
+    sign[:, -1] = -1
+    r_row = np.repeat(ms, n).astype(np.int32)
+    r_col = np.empty((n - 1, n), dtype=np.int32)
+    r_col[:, :-1] = ks[None, :]
+    r_col[:, -1] = col
+    v_plus = np.empty((n - 1, n), dtype=np.int16)
+    v_plus[:, :-1] = ua_codes[None, :]
+    v_plus[:, -1] = ub_codes
+    v_minus = np.empty((n - 1, n), dtype=np.int16)
+    v_minus[:, :-1] = ub_codes[:, None]
+    v_minus[:, -1] = NODE_GROUND
+    return (
+        eq,
+        sign.ravel(),
+        r_row,
+        r_col.ravel(),
+        v_plus.ravel(),
+        v_minus.ravel(),
+        n - 1,
+    )
+
+
+def form_pair_block(
+    n: int,
+    row: int,
+    col: int,
+    z: float,
+    voltage: float = 5.0,
+    categories: Sequence[Category] = ALL_CATEGORIES,
+) -> PairBlock:
+    """Build the :class:`PairBlock` for pair ``(row, col)``.
+
+    With the default ``categories`` the block holds all ``2n``
+    equations in the canonical order ``[SOURCE, DEST, UA.., UB..]``;
+    a subset builds only those sections (same per-section layout), so
+    category-parallel workers each produce a disjoint share whose
+    union is exactly the full block.
+    """
+    n = require_positive_int(n, "n", minimum=2)
+    require_positive(z, "z")
+    require_positive(voltage, "voltage")
+    if not (0 <= row < n and 0 <= col < n):
+        raise IndexError(f"pair ({row}, {col}) out of range for n={n}")
+    cats = list(categories)
+    if len(set(cats)) != len(cats):
+        raise ValueError("duplicate categories")
+
+    ks = np.delete(np.arange(n), col)  # vertical wires k != j
+    ms = np.delete(np.arange(n), row)  # horizontal wires m != i
+    ua_codes = (NODE_FIRST_UA + np.arange(n - 1)).astype(np.int16)
+    ub_codes = (NODE_FIRST_UA + (n - 1) + np.arange(n - 1)).astype(np.int16)
+
+    sections = []
+    for cat in cats:
+        if cat == Category.SOURCE:
+            sec = _section_source(n, row, col, ks, ua_codes)
+        elif cat == Category.DEST:
+            sec = _section_dest(n, row, col, ms, ub_codes)
+        elif cat == Category.UA:
+            sec = _section_ua(n, row, col, ks, ms, ua_codes, ub_codes)
+        elif cat == Category.UB:
+            sec = _section_ub(n, row, col, ks, ms, ua_codes, ub_codes)
+        else:  # pragma: no cover - enum is closed
+            raise ValueError(f"unknown category {cat!r}")
+        sections.append((cat, sec))
+
+    eq_parts, sign_parts, rr_parts, rc_parts, vp_parts, vm_parts = (
+        [], [], [], [], [], []
+    )
+    rhs_parts, cat_parts = [], []
+    eq_offset = 0
+    for cat, (eq, sign, r_row_a, r_col_a, v_plus, v_minus, n_eqs) in sections:
+        eq_parts.append(eq + eq_offset)
+        sign_parts.append(sign)
+        rr_parts.append(r_row_a)
+        rc_parts.append(r_col_a)
+        vp_parts.append(v_plus)
+        vm_parts.append(v_minus)
+        rhs = np.zeros(n_eqs, dtype=np.float64)
+        if cat in (Category.SOURCE, Category.DEST):
+            rhs[:] = voltage / z
+        rhs_parts.append(rhs)
+        cat_parts.append(np.full(n_eqs, int(cat), dtype=np.int8))
+        eq_offset += n_eqs
+
+    return PairBlock(
+        n=n,
+        row=row,
+        col=col,
+        voltage=voltage,
+        z=float(z),
+        eq_id=np.concatenate(eq_parts),
+        sign=np.concatenate(sign_parts),
+        r_row=np.concatenate(rr_parts).astype(np.int32),
+        r_col=np.concatenate(rc_parts).astype(np.int32),
+        v_plus=np.concatenate(vp_parts),
+        v_minus=np.concatenate(vm_parts),
+        rhs=np.concatenate(rhs_parts),
+        category=np.concatenate(cat_parts),
+    )
+
+
+def iter_pair_blocks(
+    z: np.ndarray, voltage: float = 5.0
+) -> Iterator[PairBlock]:
+    """Stream the blocks of every pair (row-major), never holding all.
+
+    Peak memory stays at one block (O(n^2)) regardless of device size —
+    the streaming mode behind the n = 100 experiments.
+    """
+    z = np.asarray(z, dtype=np.float64)
+    if z.ndim != 2 or z.shape[0] != z.shape[1]:
+        raise ValueError("z must be square (n, n)")
+    n = z.shape[0]
+    for row in range(n):
+        for col in range(n):
+            yield form_pair_block(n, row, col, z[row, col], voltage=voltage)
+
+
+@dataclass(frozen=True)
+class SystemStats:
+    """Closed-form size accounting of a device's joint system."""
+
+    n: int
+    num_pairs: int
+    num_equations: int
+    num_unknowns: int
+    num_terms: int
+    bytes_estimate: int
+
+    @classmethod
+    def for_device(cls, n: int) -> "SystemStats":
+        n = require_positive_int(n, "n", minimum=2)
+        terms = 2 * n**4
+        # Per-term bytes follow PairBlock dtypes: i32 + i8 + i32 + i32 + i16 + i16.
+        per_term = 4 + 1 + 4 + 4 + 2 + 2
+        per_eq = 8 + 1  # rhs + category
+        return cls(
+            n=n,
+            num_pairs=n * n,
+            num_equations=2 * n**3,
+            num_unknowns=(2 * n - 1) * n**2,
+            num_terms=terms,
+            bytes_estimate=terms * per_term + 2 * n**3 * per_eq,
+        )
+
+
+def form_all_blocks(z: np.ndarray, voltage: float = 5.0) -> list[PairBlock]:
+    """Materialise every block (small n only — see :class:`SystemStats`)."""
+    return list(iter_pair_blocks(z, voltage=voltage))

@@ -1,0 +1,169 @@
+"""Work decomposition for parallel equation formation (paper §IV).
+
+The schedulable atom is a :class:`WorkItem` — "form the equations of
+category ``c`` for endpoint pair ``(i, j)``" — whose cost is known
+ahead of time (``n`` terms for SOURCE/DEST, ``n (n-1)`` for UA/UB).
+Three decompositions mirror the paper's three strategies:
+
+* :func:`partition_by_category` — 4 work units, one per category
+  (*Parallel*): maximally coarse and maximally skewed.
+* :func:`partition_balanced` — deterministic LPT over the
+  ``4 n^2`` items (*Balanced Parallel*): any worker count, computed
+  ahead of time (§IV-C.1's deterministic "work stealing").
+* :func:`partition_betti` — the Betti-number-aware decomposition
+  (*PyMP*): items are first grouped into the ``(n-1)^2`` homology
+  holes of the device complex (each hole collects the pairs whose
+  resistor anchors its mesh cell), and holes are dealt round-robin to
+  workers.  The hole count is the theoretical parallelism budget of
+  §IV-B; partitioning cannot beneficially exceed it, which the
+  ablation benchmark demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.categories import Category
+from repro.parallel.workstealing import Assignment, lpt_schedule
+from repro.utils.validation import require_positive_int
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One schedulable formation task."""
+
+    row: int
+    col: int
+    category: Category
+    cost: float  # term count — exact, not an estimate
+
+    @property
+    def pair_index_in(self) -> int:
+        return self.row
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A complete decomposition: items and their worker assignment."""
+
+    n: int
+    num_workers: int
+    scheme: str
+    items: tuple[WorkItem, ...]
+    worker_of: np.ndarray  # int64, item -> worker
+
+    def items_of(self, worker: int) -> list[WorkItem]:
+        return [
+            self.items[i] for i in np.flatnonzero(self.worker_of == worker)
+        ]
+
+    def loads(self) -> np.ndarray:
+        loads = np.zeros(self.num_workers)
+        for item, w in zip(self.items, self.worker_of):
+            loads[w] += item.cost
+        return loads
+
+    def makespan(self) -> float:
+        return float(self.loads().max(initial=0.0))
+
+    def imbalance(self) -> float:
+        loads = self.loads()
+        mean = float(loads.mean()) if len(loads) else 0.0
+        return float(loads.max(initial=0.0) / mean) if mean > 0 else 1.0
+
+    def total_cost(self) -> float:
+        return float(sum(it.cost for it in self.items))
+
+
+def make_items(n: int) -> tuple[WorkItem, ...]:
+    """All ``4 n^2`` (pair, category) items with exact term costs."""
+    n = require_positive_int(n, "n", minimum=2)
+    items: list[WorkItem] = []
+    light = float(n)  # SOURCE/DEST: n terms
+    heavy = float(n * (n - 1))  # UA/UB: n (n-1) terms
+    for row in range(n):
+        for col in range(n):
+            items.append(WorkItem(row, col, Category.SOURCE, light))
+            items.append(WorkItem(row, col, Category.DEST, light))
+            items.append(WorkItem(row, col, Category.UA, heavy))
+            items.append(WorkItem(row, col, Category.UB, heavy))
+    return tuple(items)
+
+
+def partition_by_category(n: int) -> Partition:
+    """The *Parallel* strategy: worker = category (always 4 workers)."""
+    items = make_items(n)
+    worker_of = np.array([int(it.category) for it in items], dtype=np.int64)
+    return Partition(
+        n=n, num_workers=4, scheme="category", items=items, worker_of=worker_of
+    )
+
+
+def partition_balanced(n: int, num_workers: int) -> Partition:
+    """The *Balanced Parallel* strategy: deterministic LPT plan."""
+    require_positive_int(num_workers, "num_workers")
+    items = make_items(n)
+    plan: Assignment = lpt_schedule([it.cost for it in items], num_workers)
+    return Partition(
+        n=n,
+        num_workers=num_workers,
+        scheme="balanced",
+        items=items,
+        worker_of=plan.worker_of,
+    )
+
+
+def hole_of_pair(row: int, col: int, n: int) -> int:
+    """Map pair (row, col) to a hole id in [0, (n-1)^2).
+
+    Hole ``(a, b)`` is the mesh cell whose top-left resistor is
+    ``(a, b)``; pair ``(i, j)`` anchors to cell
+    ``(min(i, n-2), min(j, n-2))`` so boundary pairs fold into the last
+    cell of their row/column.
+    """
+    a = min(row, n - 2)
+    b = min(col, n - 2)
+    return a * (n - 1) + b
+
+
+def partition_betti(n: int, num_workers: int) -> Partition:
+    """The *PyMP* strategy: Betti-aware fine-grained decomposition.
+
+    Items are grouped by homology hole; holes are assigned to workers
+    round-robin in hole order (deterministic).  Every item of a hole
+    lands on the hole's worker, keeping the spatial locality that the
+    manifold argument of §IV-B assumes while spreading the heavy UA/UB
+    items evenly (each hole contains the same category mix).
+    """
+    require_positive_int(num_workers, "num_workers")
+    items = make_items(n)
+    num_holes = (n - 1) * (n - 1)
+    worker_of = np.empty(len(items), dtype=np.int64)
+    for idx, item in enumerate(items):
+        hole = hole_of_pair(item.row, item.col, n)
+        worker_of[idx] = hole % num_workers
+    return Partition(
+        n=n,
+        num_workers=num_workers,
+        scheme="betti",
+        items=items,
+        worker_of=worker_of,
+    )
+
+
+def effective_parallelism(n: int, num_workers: int) -> int:
+    """min(workers, holes): the §IV-B bound on useful workers."""
+    return min(num_workers, (n - 1) * (n - 1))
+
+
+def partition(n: int, num_workers: int, scheme: str) -> Partition:
+    """Dispatch by scheme name: 'category' | 'balanced' | 'betti'."""
+    if scheme == "category":
+        return partition_by_category(n)
+    if scheme == "balanced":
+        return partition_balanced(n, num_workers)
+    if scheme == "betti":
+        return partition_betti(n, num_workers)
+    raise ValueError(f"unknown scheme {scheme!r}")

@@ -1,0 +1,358 @@
+"""Global residual and analytic sparse Jacobian of the joint system.
+
+The *full* Parma solve treats every unknown jointly: the state vector
+is ``x = [θ, Ua, Ub]`` with ``θ = log R`` (length ``n^2``; the log
+parametrization enforces R > 0 for free) and the per-pair voltages
+``Ua``/``Ub`` (each ``n^2 * (n-1)``).  Residuals are the ``2 n^3``
+Kirchhoff balances of :mod:`repro.core.equations`, normalised per pair
+by the drive current ``U / Z`` so rows are dimensionless and O(1).
+
+Equation order: for pair ``p`` (row-major), the ``2n`` rows
+``[SOURCE, DEST, UA_0.., UB_0..]`` — identical to
+:func:`repro.core.equations.form_pair_block`.
+
+The Jacobian is assembled analytically in COO form.  Per pair there
+are at most ``6 n^2`` nonzeros, so the full matrix has O(n^4) nonzeros
+— sparse at density ``~3/n^2`` — and ``scipy.optimize.least_squares``
+with ``tr_solver="lsmr"`` scales to the sizes the solver benchmarks
+use.  Derivatives (G = e^{-θ}, so ∂/∂θ = -G ∂/∂G):
+
+All rows use the LHS - RHS convention of
+:meth:`repro.core.equations.PairBlock.residuals`, so the global vector
+restricted to one pair equals that pair's block residuals (up to the
+per-pair normalisation ``z/U``).  Derivatives (G = e^{-θ}, so
+``∂/∂θ = -G ∂/∂G``):
+
+=========  ==================================================================
+row        nonzero columns
+=========  ==================================================================
+SOURCE     θ_ij: -U G_ij;  θ_ik: -(U - Ua_k) G_ik;  Ua_k: -G_ik
+DEST       θ_ij: -U G_ij;  θ_mj: -Ub_m G_mj;  Ub_m: +G_mj
+UA_k       θ_ik: -(U - Ua_k) G_ik;  θ_mk: +(Ua_k - Ub_m) G_mk;
+           Ua_k: -(G_ik + Σ_m G_mk);  Ub_m: +G_mk
+UB_m       θ_mk: -(Ua_k - Ub_m) G_mk;  θ_mj: +Ub_m G_mj;
+           Ua_k: +G_mk;  Ub_m: -(Σ_k G_mk + G_mj)
+=========  ==================================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse
+
+from repro.utils.validation import require_positive, require_positive_array
+
+
+@dataclass(frozen=True)
+class JointSystem:
+    """Index bookkeeping for the full joint system of one device."""
+
+    n: int
+    z: np.ndarray  # (n, n) measured
+    voltage: float
+
+    def __post_init__(self) -> None:
+        z = require_positive_array(self.z, "z")
+        if z.ndim != 2 or z.shape[0] != z.shape[1]:
+            raise ValueError("z must be square")
+        object.__setattr__(self, "z", z)
+        require_positive(self.voltage, "voltage")
+        if z.shape[0] != self.n:
+            raise ValueError(f"z side {z.shape[0]} != n = {self.n}")
+
+    # -- layout ------------------------------------------------------------
+
+    @property
+    def num_pairs(self) -> int:
+        return self.n * self.n
+
+    @property
+    def num_theta(self) -> int:
+        return self.n * self.n
+
+    @property
+    def num_voltage_unknowns(self) -> int:
+        return 2 * self.num_pairs * (self.n - 1)
+
+    @property
+    def num_unknowns(self) -> int:
+        return self.num_theta + self.num_voltage_unknowns
+
+    @property
+    def num_residuals(self) -> int:
+        return 2 * self.n * self.num_pairs
+
+    def theta_index(self, row: np.ndarray, col: np.ndarray) -> np.ndarray:
+        return row * self.n + col
+
+    def ua_index(self, pair: np.ndarray, k_prime: np.ndarray) -> np.ndarray:
+        return self.num_theta + pair * (self.n - 1) + k_prime
+
+    def ub_index(self, pair: np.ndarray, m_prime: np.ndarray) -> np.ndarray:
+        return (
+            self.num_theta
+            + self.num_pairs * (self.n - 1)
+            + pair * (self.n - 1)
+            + m_prime
+        )
+
+    # -- state packing -----------------------------------------------------
+
+    def pack(self, r: np.ndarray, ua: np.ndarray, ub: np.ndarray) -> np.ndarray:
+        """Pack (R (n,n), Ua (p, n-1), Ub (p, n-1)) into the x vector."""
+        n, p = self.n, self.num_pairs
+        if r.shape != (n, n) or ua.shape != (p, n - 1) or ub.shape != (p, n - 1):
+            raise ValueError("state shapes do not match the device")
+        return np.concatenate(
+            [np.log(np.asarray(r, dtype=np.float64)).ravel(), ua.ravel(), ub.ravel()]
+        )
+
+    def unpack(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        n, p = self.n, self.num_pairs
+        if x.shape != (self.num_unknowns,):
+            raise ValueError(
+                f"x has length {x.shape}, expected {self.num_unknowns}"
+            )
+        theta = x[: self.num_theta].reshape(n, n)
+        ua = x[self.num_theta : self.num_theta + p * (n - 1)].reshape(p, n - 1)
+        ub = x[self.num_theta + p * (n - 1) :].reshape(p, n - 1)
+        return np.exp(theta), ua, ub
+
+    # -- residual -----------------------------------------------------------
+
+    def residual(self, x: np.ndarray) -> np.ndarray:
+        """All ``2 n^3`` normalised residuals, fully vectorised.
+
+        Works on whole-device tensors: ``UA``/``UB`` are reshaped to
+        ``(n, n, n-1)`` (pair row, pair col, intermediate index) and the
+        category sums become einsum/matmul contractions.
+        """
+        n = self.n
+        r, ua_flat, ub_flat = self.unpack(x)
+        g = 1.0 / r
+        u = self.voltage
+        ua = ua_flat.reshape(n, n, n - 1)  # [i, j, k']
+        ub = ub_flat.reshape(n, n, n - 1)  # [i, j, m']
+        drive = u / self.z  # (n, n)
+
+        # Gathered conductance tables.
+        g_ik = _delete_cols_per_j(g)  # [i, j, k'] = G[i, k(k')]
+        g_mj = _delete_rows_per_i(g)  # [i, j, m'] = G[m(m'), j]
+        g_mk = _delete_both(g)  # [i, j, m', k'] = G[m, k]
+
+        # SOURCE: U G_ij + Σ_k (U - Ua) G_ik - drive   (LHS - RHS, the
+        # same convention as PairBlock.residuals).
+        f_src = u * g + ((u - ua) * g_ik).sum(axis=2) - drive
+        # DEST: U G_ij + Σ_m Ub G_mj - drive
+        f_dst = u * g + (ub * g_mj).sum(axis=2) - drive
+        # UA_k: (U - Ua_k) G_ik - Σ_m (Ua_k - Ub_m) G_mk
+        cross = ua[:, :, None, :] - ub[:, :, :, None]  # [i,j,m',k']
+        f_ua = (u - ua) * g_ik - (cross * g_mk).sum(axis=2)
+        # UB_m: Σ_k (Ua_k - Ub_m) G_mk - Ub_m G_mj
+        f_ub = (cross * g_mk).sum(axis=3) - ub * g_mj
+
+        # Normalise and interleave into per-pair order
+        # [SOURCE, DEST, UA.., UB..].
+        scale = 1.0 / drive
+        out = np.empty((n * n, 2 * n), dtype=np.float64)
+        out[:, 0] = (f_src * scale).ravel()
+        out[:, 1] = (f_dst * scale).ravel()
+        out[:, 2 : n + 1] = (f_ua * scale[:, :, None]).reshape(n * n, n - 1)
+        out[:, n + 1 :] = (f_ub * scale[:, :, None]).reshape(n * n, n - 1)
+        return out.ravel()
+
+    # -- Jacobian --------------------------------------------------------------
+
+    def jacobian(self, x: np.ndarray) -> scipy.sparse.csr_matrix:
+        """Analytic sparse Jacobian at ``x`` (CSR, rows = residuals)."""
+        n = self.n
+        r, ua_flat, ub_flat = self.unpack(x)
+        g = 1.0 / r
+        u = self.voltage
+        pairs = np.arange(self.num_pairs)
+        i_of = pairs // n
+        j_of = pairs % n
+        # ks[p] = the n-1 vertical wires != j; ms[p] = horizontals != i.
+        ks = _others(j_of, n)  # (p, n-1)
+        ms = _others(i_of, n)  # (p, n-1)
+        ua = ua_flat  # (p, n-1)
+        ub = ub_flat
+        g_ik = g[i_of[:, None], ks]  # (p, n-1)
+        g_mj = g[ms, j_of[:, None]]  # (p, n-1)
+        g_mk = g[ms[:, :, None], ks[:, None, :]]  # (p, m', k')
+        g_ij = g[i_of, j_of]  # (p,)
+        scale = (self.z[i_of, j_of] / u).ravel()  # per-pair row scale
+
+        rows: list[np.ndarray] = []
+        cols: list[np.ndarray] = []
+        vals: list[np.ndarray] = []
+        base = 2 * n * pairs  # first residual row of each pair
+
+        def add(rr, cc, vv):
+            rr, cc, vv = np.broadcast_arrays(
+                np.asarray(rr), np.asarray(cc), np.asarray(vv)
+            )
+            rows.append(rr.ravel())
+            cols.append(cc.ravel())
+            vals.append(vv.astype(np.float64).ravel())
+
+        nm1 = n - 1
+        # --- SOURCE row (base + 0): f = U G_ij + Σ (U - Ua) G_ik - drive,
+        # ∂/∂θ = -G ∂/∂G.
+        r_src = base
+        add(r_src, self.theta_index(i_of, j_of), -scale * u * g_ij)
+        add(
+            np.repeat(r_src, nm1),
+            self.theta_index(np.repeat(i_of, nm1), ks.ravel()),
+            (-scale[:, None] * (u - ua) * g_ik).ravel(),
+        )
+        add(
+            np.repeat(r_src, nm1),
+            self.ua_index(np.repeat(pairs, nm1), np.tile(np.arange(nm1), len(pairs))),
+            (-scale[:, None] * g_ik).ravel(),
+        )
+        # --- DEST row (base + 1): f = U G_ij + Σ Ub G_mj - drive -----------
+        r_dst = base + 1
+        add(r_dst, self.theta_index(i_of, j_of), -scale * u * g_ij)
+        add(
+            np.repeat(r_dst, nm1),
+            self.theta_index(ms.ravel(), np.repeat(j_of, nm1)),
+            (-scale[:, None] * ub * g_mj).ravel(),
+        )
+        add(
+            np.repeat(r_dst, nm1),
+            self.ub_index(np.repeat(pairs, nm1), np.tile(np.arange(nm1), len(pairs))),
+            (scale[:, None] * g_mj).ravel(),
+        )
+        # --- UA rows (base + 2 + k') ---------------------------------------
+        r_ua = base[:, None] + 2 + np.arange(nm1)[None, :]  # (p, k')
+        # θ_ik: -(U - Ua_k) G_ik
+        add(
+            r_ua,
+            self.theta_index(i_of[:, None], ks),
+            -scale[:, None] * (u - ua) * g_ik,
+        )
+        # θ_mk: +(Ua_k - Ub_m) G_mk   (summed term, one entry per (m,k))
+        cross = ua[:, None, :] - ub[:, :, None]  # (p, m', k')
+        add(
+            np.broadcast_to(r_ua[:, None, :], g_mk.shape),
+            self.theta_index(
+                np.broadcast_to(ms[:, :, None], g_mk.shape),
+                np.broadcast_to(ks[:, None, :], g_mk.shape),
+            ),
+            scale[:, None, None] * cross * g_mk,
+        )
+        # Ua_k: -(G_ik + Σ_m G_mk)
+        add(
+            r_ua,
+            self.ua_index(pairs[:, None], np.arange(nm1)[None, :]),
+            -scale[:, None] * (g_ik + g_mk.sum(axis=1)),
+        )
+        # Ub_m: +G_mk  (entry per (m', k'): row = UA_k, col = Ub_m)
+        add(
+            np.broadcast_to(r_ua[:, None, :], g_mk.shape),
+            self.ub_index(pairs[:, None, None], np.arange(nm1)[None, :, None]),
+            scale[:, None, None] * g_mk,
+        )
+        # --- UB rows (base + n + 1 + m') --------------------------------------
+        r_ub = base[:, None] + n + 1 + np.arange(nm1)[None, :]  # (p, m')
+        # θ_mk: -(Ua_k - Ub_m) G_mk
+        add(
+            np.broadcast_to(r_ub[:, :, None], g_mk.shape),
+            self.theta_index(
+                np.broadcast_to(ms[:, :, None], g_mk.shape),
+                np.broadcast_to(ks[:, None, :], g_mk.shape),
+            ),
+            -scale[:, None, None] * cross * g_mk,
+        )
+        # θ_mj: +Ub_m G_mj
+        add(
+            r_ub,
+            self.theta_index(ms, j_of[:, None]),
+            scale[:, None] * ub * g_mj,
+        )
+        # Ua_k: +G_mk (row = UB_m, col = Ua_k)
+        add(
+            np.broadcast_to(r_ub[:, :, None], g_mk.shape),
+            self.ua_index(pairs[:, None, None], np.arange(nm1)[None, None, :]),
+            scale[:, None, None] * g_mk,
+        )
+        # Ub_m: -(Σ_k G_mk + G_mj)
+        add(
+            r_ub,
+            self.ub_index(pairs[:, None], np.arange(nm1)[None, :]),
+            -scale[:, None] * (g_mk.sum(axis=2) + g_mj),
+        )
+
+        mat = scipy.sparse.coo_matrix(
+            (
+                np.concatenate(vals),
+                (np.concatenate(rows), np.concatenate(cols)),
+            ),
+            shape=(self.num_residuals, self.num_unknowns),
+        )
+        return mat.tocsr()
+
+    def initial_state(self, r0: np.ndarray | None = None) -> np.ndarray:
+        """A physically consistent starting vector.
+
+        Defaults to ``R0 = n * Z`` scaled so the uniform-field forward
+        model roughly reproduces Z, with Ua/Ub from the exact forward
+        solve under ``R0`` — so the initial residual only reflects the
+        R-error, not arbitrary voltages.
+        """
+        from repro.kirchhoff.forward import solve_all_drives
+
+        n = self.n
+        if r0 is None:
+            # For a uniform field R, Z = R * (2n - 1) / n^2; invert that
+            # estimate around the median measurement.
+            r_unif = float(np.median(self.z) * n * n / (2 * n - 1))
+            r0 = np.full((n, n), r_unif)
+        r0 = np.asarray(r0, dtype=np.float64)
+        ua = np.empty((self.num_pairs, n - 1))
+        ub = np.empty((self.num_pairs, n - 1))
+        for sol in solve_all_drives(r0, voltage=self.voltage):
+            p = sol.row * n + sol.col
+            ua[p] = sol.ua()
+            ub[p] = sol.ub()
+        return self.pack(r0, ua, ub)
+
+
+def _others(idx: np.ndarray, n: int) -> np.ndarray:
+    """For each entry of ``idx``, the sorted other indices in [0, n)."""
+    p = len(idx)
+    grid = np.broadcast_to(np.arange(n), (p, n))
+    mask = grid != idx[:, None]
+    return grid[mask].reshape(p, n - 1)
+
+
+def _delete_cols_per_j(g: np.ndarray) -> np.ndarray:
+    """[i, j, k'] = G[i, k] with column j removed, k ascending."""
+    n = g.shape[0]
+    out = np.empty((n, n, n - 1), dtype=np.float64)
+    for j in range(n):
+        out[:, j, :] = np.delete(g, j, axis=1)
+    return out
+
+
+def _delete_rows_per_i(g: np.ndarray) -> np.ndarray:
+    """[i, j, m'] = G[m, j] with row i removed, m ascending."""
+    n = g.shape[0]
+    out = np.empty((n, n, n - 1), dtype=np.float64)
+    for i in range(n):
+        out[i, :, :] = np.delete(g, i, axis=0).T
+    return out
+
+
+def _delete_both(g: np.ndarray) -> np.ndarray:
+    """[i, j, m', k'] = G[m, k], row i and column j removed."""
+    n = g.shape[0]
+    out = np.empty((n, n, n - 1, n - 1), dtype=np.float64)
+    for i in range(n):
+        sub = np.delete(g, i, axis=0)
+        for j in range(n):
+            out[i, j] = np.delete(sub, j, axis=1)
+    return out

@@ -1,0 +1,182 @@
+"""Installation self-test: the library's core invariants in one call.
+
+A downstream user's first question is "does this work here?".
+:func:`run_selftest` executes the load-bearing invariants end to end
+on a small device and reports each:
+
+1. **forward/inverse round-trip** — measure a known field, invert,
+   compare (must be ~machine exact);
+2. **equation consistency** — ground-truth R + forward-solved voltages
+   zero out every generated joint constraint;
+3. **topology/physics agreement** — β1 (GF(2) homology) = Maxwell
+   count = mesh equations = (n−1)²;
+4. **strategy equivalence** — every parallel formation strategy
+   produces the single-thread system exactly (real forked workers);
+5. **serialization round-trip** — binary equation files reload
+   bit-exactly.
+
+Exposed on the CLI as ``parma selftest``.  Checks run independently;
+the report lists every failure rather than stopping at the first.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one invariant check."""
+
+    name: str
+    passed: bool
+    detail: str
+    elapsed_seconds: float
+
+
+@dataclass(frozen=True)
+class SelfTestReport:
+    checks: tuple[CheckResult, ...] = field(default_factory=tuple)
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    @property
+    def num_failed(self) -> int:
+        return sum(not c.passed for c in self.checks)
+
+    def render(self) -> str:
+        lines = ["Parma self-test:"]
+        for c in self.checks:
+            status = "PASS" if c.passed else "FAIL"
+            lines.append(
+                f"  [{status}] {c.name} ({c.elapsed_seconds * 1e3:.0f} ms)"
+                + (f" — {c.detail}" if c.detail else "")
+            )
+        verdict = (
+            "all invariants hold"
+            if self.passed
+            else f"{self.num_failed} check(s) FAILED"
+        )
+        lines.append(f"=> {verdict}")
+        return "\n".join(lines)
+
+
+def _check(name, fn) -> CheckResult:
+    start = time.perf_counter()
+    try:
+        detail = fn() or ""
+        passed = True
+    except Exception as exc:  # noqa: BLE001 - report, don't crash
+        detail = f"{type(exc).__name__}: {exc}"
+        passed = False
+    return CheckResult(
+        name=name,
+        passed=passed,
+        detail=detail,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+
+
+def run_selftest(n: int = 5, seed: int = 1234) -> SelfTestReport:
+    """Run every invariant check on an ``n x n`` device."""
+    from repro.mea.wetlab import quick_device_data
+
+    r_true, z = quick_device_data(n, seed=seed)
+    checks = []
+
+    def roundtrip():
+        from repro.core.solver import solve_nested
+
+        result = solve_nested(z)
+        err = result.max_relative_error(r_true)
+        if err > 1e-8:
+            raise AssertionError(f"round-trip error {err:.2e} > 1e-8")
+        return f"max rel err {err:.1e}"
+
+    checks.append(_check("forward/inverse round-trip", roundtrip))
+
+    def equations():
+        from repro.core.equations import form_pair_block
+        from repro.kirchhoff.forward import solve_drive
+
+        worst = 0.0
+        for i in range(n):
+            for j in range(n):
+                sol = solve_drive(r_true, i, j, voltage=5.0)
+                blk = form_pair_block(n, i, j, z=sol.z, voltage=5.0)
+                worst = max(
+                    worst, blk.max_relative_residual(r_true, sol.ua(), sol.ub())
+                )
+        if worst > 1e-10:
+            raise AssertionError(f"equation residual {worst:.2e} > 1e-10")
+        return f"worst residual {worst:.1e}"
+
+    checks.append(_check("joint-constraint consistency", equations))
+
+    def topology():
+        from repro.kirchhoff.laws import Circuit, ResistorEdge
+        from repro.mea.device import MEAGrid
+        from repro.mea.graph import device_complex, wire_graph
+        from repro.topology.cycles import cyclomatic_number
+        from repro.topology.homology import betti_numbers
+
+        grid = MEAGrid(n)
+        beta = betti_numbers(device_complex(grid))
+        wg = wire_graph(grid)
+        maxwell = cyclomatic_number(list(wg.nodes), list(wg.edges))
+        circuit = Circuit([ResistorEdge(u, v, 1.0) for u, v in wg.edges])
+        mesh = circuit.num_independent_l2()
+        expected = (n - 1) ** 2
+        if not (beta == (1, expected) and maxwell == mesh == expected):
+            raise AssertionError(
+                f"beta={beta}, maxwell={maxwell}, mesh={mesh}, "
+                f"expected {(1, expected)}"
+            )
+        return f"beta1 = {expected} holes, three ways"
+
+    checks.append(_check("topology/physics agreement", topology))
+
+    def strategies():
+        from repro.core.strategies import (
+            BalancedParallel,
+            ParallelStrategy,
+            PyMPStrategy,
+            SingleThread,
+        )
+
+        reference = SingleThread().run(z)
+        for strategy in (ParallelStrategy(), BalancedParallel(2), PyMPStrategy(2)):
+            rep = strategy.run(z)
+            if rep.terms_formed != reference.terms_formed or not np.isclose(
+                rep.checksum, reference.checksum
+            ):
+                raise AssertionError(f"{rep.strategy} diverged from baseline")
+        return f"{reference.terms_formed} terms, 4 strategies agree"
+
+    checks.append(_check("parallel strategy equivalence", strategies))
+
+    def serialization():
+        from repro.core.equations import form_all_blocks
+        from repro.io.equations_io import load_blocks_binary, save_blocks_binary
+
+        blocks = form_all_blocks(z)
+        with tempfile.TemporaryDirectory() as d:
+            path = Path(d) / "selftest.bin"
+            save_blocks_binary(blocks, path)
+            back = load_blocks_binary(path)
+        a = sum(b.checksum() for b in blocks)
+        b = sum(b.checksum() for b in back)
+        if len(back) != len(blocks) or not np.isclose(a, b):
+            raise AssertionError("binary round-trip mismatch")
+        return f"{len(blocks)} blocks round-tripped"
+
+    checks.append(_check("equation serialization round-trip", serialization))
+
+    return SelfTestReport(checks=tuple(checks))

@@ -1,0 +1,371 @@
+"""Execution strategies for equation formation (paper §IV-A/§IV-C/§V).
+
+The four systems the paper evaluates, mapped 1:1:
+
+* :class:`SingleThread` — the serialized baseline of [15];
+* :class:`ParallelStrategy` — 4 workers, one constraint category each
+  (*Parallel*, §IV-A): capped at 4 and skewed;
+* :class:`BalancedParallel` — deterministic LPT plan over the
+  ``4 n^2`` (pair, category) items (*Balanced Parallel*, §IV-C.1);
+* :class:`PyMPStrategy` — fine-grained Betti-aware decomposition with
+  static (hole round-robin) or dynamic (shared-counter) scheduling
+  (*PyMP-k*, §IV-C.2).
+
+All strategies *really execute*: workers are forked PyMP-style
+processes forming real term arrays (optionally serializing them to
+per-worker part files, the Fig. 9 path) and reporting their share
+through shared memory.  On a many-core box the wall-clock elapsed in
+the report is the paper's measured quantity; on this 1-core container
+the elapsed is serial-ish, and the scaling *figures* instead feed the
+strategies' exact per-item costs into the calibrated cluster model
+(:mod:`repro.parallel.simcluster`) — see DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.categories import Category
+from repro.core.equations import form_pair_block, iter_pair_blocks
+from repro.core.partition import (
+    Partition,
+    WorkItem,
+    partition_balanced,
+    partition_betti,
+    partition_by_category,
+)
+from repro.io.equations_io import write_block_binary, write_block_text
+from repro.parallel import pymp
+from repro.utils.validation import require_positive, require_positive_int
+
+
+@dataclass(frozen=True)
+class FormationReport:
+    """What one formation run did, and what it cost."""
+
+    strategy: str
+    n: int
+    num_workers: int
+    elapsed_seconds: float
+    terms_formed: int
+    checksum: float
+    per_worker_terms: np.ndarray
+    bytes_written: int = 0
+    part_files: tuple[str, ...] = field(default_factory=tuple)
+
+    def terms_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return self.terms_formed / self.elapsed_seconds
+
+
+def _validate_z(z: np.ndarray) -> np.ndarray:
+    z = np.asarray(z, dtype=np.float64)
+    if z.ndim != 2 or z.shape[0] != z.shape[1]:
+        raise ValueError("z must be a square (n, n) matrix")
+    if z.shape[0] < 2:
+        raise ValueError("device must be at least 2x2")
+    return z
+
+
+class SingleThread:
+    """Serial formation of every pair block (baseline [15])."""
+
+    name = "single-thread"
+    num_workers = 1
+
+    def run(
+        self,
+        z: np.ndarray,
+        voltage: float = 5.0,
+        output_dir: str | Path | None = None,
+        fmt: str = "binary",
+    ) -> FormationReport:
+        z = _validate_z(z)
+        require_positive(voltage, "voltage")
+        n = z.shape[0]
+        start = time.perf_counter()
+        terms = 0
+        checksum = 0.0
+        bytes_written = 0
+        parts: tuple[str, ...] = ()
+        writer, fh = _open_writer(output_dir, fmt, worker=0)
+        try:
+            for block in iter_pair_blocks(z, voltage=voltage):
+                terms += block.num_terms
+                checksum += block.checksum()
+                if writer is not None:
+                    bytes_written += writer(block, fh)
+        finally:
+            if fh is not None:
+                fh.close()
+                parts = (fh.name,)
+        return FormationReport(
+            strategy=self.name,
+            n=n,
+            num_workers=1,
+            elapsed_seconds=time.perf_counter() - start,
+            terms_formed=terms,
+            checksum=checksum,
+            per_worker_terms=np.array([terms], dtype=np.int64),
+            bytes_written=bytes_written,
+            part_files=parts,
+        )
+
+
+class _PartitionedStrategy:
+    """Shared machinery: execute a static :class:`Partition` with PyMP."""
+
+    name = "partitioned"
+
+    def __init__(self, num_workers: int) -> None:
+        self.num_workers = require_positive_int(num_workers, "num_workers")
+
+    def _partition(self, n: int) -> Partition:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def run(
+        self,
+        z: np.ndarray,
+        voltage: float = 5.0,
+        output_dir: str | Path | None = None,
+        fmt: str = "binary",
+    ) -> FormationReport:
+        z = _validate_z(z)
+        require_positive(voltage, "voltage")
+        n = z.shape[0]
+        part = self._partition(n)
+        workers = part.num_workers
+        items = part.items
+        worker_of = part.worker_of
+        per_worker_terms = pymp.shared_array((workers,), dtype=np.int64)
+        per_worker_checksum = pymp.shared_array((workers,), dtype=np.float64)
+        per_worker_bytes = pymp.shared_array((workers,), dtype=np.int64)
+        start = time.perf_counter()
+        with pymp.Parallel(workers) as p:
+            me = p.thread_num
+            writer, fh = _open_writer(output_dir, fmt, worker=me)
+            my_terms = 0
+            my_checksum = 0.0
+            my_bytes = 0
+            try:
+                mine = np.flatnonzero(worker_of == me)
+                for idx in mine:
+                    item = items[idx]
+                    block = form_pair_block(
+                        n,
+                        item.row,
+                        item.col,
+                        z[item.row, item.col],
+                        voltage=voltage,
+                        categories=[item.category],
+                    )
+                    my_terms += block.num_terms
+                    my_checksum += block.checksum()
+                    if writer is not None:
+                        my_bytes += writer(block, fh)
+            finally:
+                if fh is not None:
+                    fh.close()
+            per_worker_terms[me] = my_terms
+            per_worker_checksum[me] = my_checksum
+            per_worker_bytes[me] = my_bytes
+        elapsed = time.perf_counter() - start
+        parts = _part_files(output_dir, fmt, workers)
+        return FormationReport(
+            strategy=self.name,
+            n=n,
+            num_workers=workers,
+            elapsed_seconds=elapsed,
+            terms_formed=int(per_worker_terms.sum()),
+            checksum=float(per_worker_checksum.sum()),
+            per_worker_terms=per_worker_terms.copy(),
+            bytes_written=int(per_worker_bytes.sum()),
+            part_files=parts,
+        )
+
+
+class ParallelStrategy(_PartitionedStrategy):
+    """The paper's *Parallel*: exactly 4 workers, one per category."""
+
+    name = "parallel"
+
+    def __init__(self) -> None:
+        super().__init__(4)
+
+    def _partition(self, n: int) -> Partition:
+        return partition_by_category(n)
+
+
+class BalancedParallel(_PartitionedStrategy):
+    """The paper's *Balanced Parallel*: deterministic LPT plan."""
+
+    name = "balanced-parallel"
+
+    def _partition(self, n: int) -> Partition:
+        return partition_balanced(n, self.num_workers)
+
+
+class PyMPStrategy(_PartitionedStrategy):
+    """The paper's *PyMP-k*: Betti-aware fine-grained multiprocessing.
+
+    ``schedule="static"`` deals homology holes round-robin
+    (deterministic); ``schedule="dynamic"`` pulls items from a shared
+    counter (OpenMP ``dynamic``), trading determinism for adaptivity.
+    """
+
+    name = "pymp"
+
+    def __init__(self, num_workers: int, schedule: str = "static") -> None:
+        super().__init__(num_workers)
+        if schedule not in ("static", "dynamic"):
+            raise ValueError(f"unknown schedule {schedule!r}")
+        self.schedule = schedule
+
+    def _partition(self, n: int) -> Partition:
+        return partition_betti(n, self.num_workers)
+
+    def run(
+        self,
+        z: np.ndarray,
+        voltage: float = 5.0,
+        output_dir: str | Path | None = None,
+        fmt: str = "binary",
+    ) -> FormationReport:
+        if self.schedule == "static":
+            return super().run(z, voltage=voltage, output_dir=output_dir, fmt=fmt)
+        return self._run_dynamic(z, voltage, output_dir, fmt)
+
+    def _run_dynamic(
+        self,
+        z: np.ndarray,
+        voltage: float,
+        output_dir: str | Path | None,
+        fmt: str,
+    ) -> FormationReport:
+        z = _validate_z(z)
+        require_positive(voltage, "voltage")
+        n = z.shape[0]
+        part = self._partition(n)  # for the item list only
+        items = part.items
+        workers = self.num_workers
+        per_worker_terms = pymp.shared_array((workers,), dtype=np.int64)
+        per_worker_checksum = pymp.shared_array((workers,), dtype=np.float64)
+        per_worker_bytes = pymp.shared_array((workers,), dtype=np.int64)
+        start = time.perf_counter()
+        with pymp.Parallel(workers) as p:
+            me = p.thread_num
+            writer, fh = _open_writer(output_dir, fmt, worker=me)
+            my_terms = 0
+            my_checksum = 0.0
+            my_bytes = 0
+            try:
+                for idx in p.xrange(len(items)):
+                    item = items[idx]
+                    block = form_pair_block(
+                        n,
+                        item.row,
+                        item.col,
+                        z[item.row, item.col],
+                        voltage=voltage,
+                        categories=[item.category],
+                    )
+                    my_terms += block.num_terms
+                    my_checksum += block.checksum()
+                    if writer is not None:
+                        my_bytes += writer(block, fh)
+            finally:
+                if fh is not None:
+                    fh.close()
+            per_worker_terms[me] = my_terms
+            per_worker_checksum[me] = my_checksum
+            per_worker_bytes[me] = my_bytes
+        elapsed = time.perf_counter() - start
+        parts = _part_files(output_dir, fmt, workers)
+        return FormationReport(
+            strategy=f"{self.name}-dynamic",
+            n=n,
+            num_workers=workers,
+            elapsed_seconds=elapsed,
+            terms_formed=int(per_worker_terms.sum()),
+            checksum=float(per_worker_checksum.sum()),
+            per_worker_terms=per_worker_terms.copy(),
+            bytes_written=int(per_worker_bytes.sum()),
+            part_files=parts,
+        )
+
+
+def _open_writer(output_dir, fmt, worker):
+    """(writer function, open handle) or (None, None)."""
+    if output_dir is None:
+        return None, None
+    out = Path(output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    if fmt == "binary":
+        fh = open(out / f"equations-part{worker:04d}.bin", "wb")
+        return write_block_binary, fh
+    if fmt == "text":
+        fh = open(out / f"equations-part{worker:04d}.txt", "w", encoding="utf-8")
+        return write_block_text, fh
+    raise ValueError(f"unknown format {fmt!r}; use 'binary' or 'text'")
+
+
+def _part_files(output_dir, fmt, workers) -> tuple[str, ...]:
+    if output_dir is None:
+        return ()
+    ext = "bin" if fmt == "binary" else "txt"
+    return tuple(
+        str(Path(output_dir) / f"equations-part{w:04d}.{ext}")
+        for w in range(workers)
+        if (Path(output_dir) / f"equations-part{w:04d}.{ext}").exists()
+    )
+
+
+def make_strategy(name: str, num_workers: int = 4) -> "SingleThread | _PartitionedStrategy":
+    """Factory by paper name: 'single' | 'parallel' | 'balanced' | 'pymp'."""
+    if name in ("single", "single-thread"):
+        return SingleThread()
+    if name == "parallel":
+        return ParallelStrategy()
+    if name in ("balanced", "balanced-parallel"):
+        return BalancedParallel(num_workers)
+    if name == "pymp":
+        return PyMPStrategy(num_workers)
+    if name == "pymp-dynamic":
+        return PyMPStrategy(num_workers, schedule="dynamic")
+    raise ValueError(f"unknown strategy {name!r}")
+
+
+# -- cost calibration for the simulated-cluster figures ----------------------
+
+
+def calibrate_sec_per_term(
+    n: int, voltage: float = 5.0, sample_pairs: int = 64, seed_z: float = 1000.0
+) -> float:
+    """Measured seconds per formed term on this machine.
+
+    Forms ``sample_pairs`` representative full pair blocks and divides
+    elapsed time by terms produced.  Formation cost is data-independent
+    (pure index arithmetic), so a constant Z is fine.
+    """
+    require_positive_int(n, "n", minimum=2)
+    count = min(sample_pairs, n * n)
+    sample = np.linspace(0, n * n - 1, count).astype(np.int64)
+    start = time.perf_counter()
+    terms = 0
+    for p in sample:
+        row, col = divmod(int(p), n)
+        block = form_pair_block(n, row, col, seed_z, voltage=voltage)
+        terms += block.num_terms
+    elapsed = time.perf_counter() - start
+    return elapsed / max(terms, 1)
+
+
+def item_costs_seconds(partition_obj: Partition, sec_per_term: float) -> np.ndarray:
+    """Per-item wall costs: exact term counts × measured sec/term."""
+    return np.array([it.cost for it in partition_obj.items]) * sec_per_term

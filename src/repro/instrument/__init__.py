@@ -1,0 +1,21 @@
+"""Measurement instrumentation: memory sampling and result tables."""
+
+from repro.instrument.memory import (
+    MemorySampler,
+    fraction_below,
+    peak_and_quantiles,
+    rss_bytes,
+    usage_cdf,
+)
+from repro.instrument.report import ResultTable, human_bytes, human_seconds
+
+__all__ = [
+    "MemorySampler",
+    "ResultTable",
+    "fraction_below",
+    "human_bytes",
+    "human_seconds",
+    "peak_and_quantiles",
+    "rss_bytes",
+    "usage_cdf",
+]

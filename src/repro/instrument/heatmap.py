@@ -1,0 +1,100 @@
+"""Terminal rendering of device fields (ASCII heatmaps).
+
+Parma is a CLI-first tool in this reproduction; operators inspecting a
+recovered resistance field or an anomaly mask need a zero-dependency
+way to *see* it.  :func:`render_field` maps a 2-D array onto a density
+glyph ramp with an optional overlay of detected regions;
+:func:`render_mask` shows boolean masks; both return plain strings
+(printed by the CLI's ``--show`` flags and the examples).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Glyph ramp from low to high (space = minimum).
+DEFAULT_RAMP = " .:-=+*#%@"
+
+
+def render_field(
+    field: np.ndarray,
+    ramp: str = DEFAULT_RAMP,
+    mask: np.ndarray | None = None,
+    mask_glyph: str = "X",
+    legend: bool = True,
+    vmin: float | None = None,
+    vmax: float | None = None,
+) -> str:
+    """Render a 2-D field as an ASCII heatmap.
+
+    ``mask`` (optional boolean array of the same shape) overrides the
+    glyph at flagged sites — used to overlay detections.  ``vmin`` /
+    ``vmax`` pin the color scale (e.g. to compare timepoints); default
+    is the field's own range.
+    """
+    f = np.asarray(field, dtype=np.float64)
+    if f.ndim != 2:
+        raise ValueError("field must be 2-D")
+    if len(ramp) < 2:
+        raise ValueError("ramp needs at least 2 glyphs")
+    lo = float(f.min()) if vmin is None else float(vmin)
+    hi = float(f.max()) if vmax is None else float(vmax)
+    span = hi - lo
+    if span <= 0:
+        span = 1.0
+    scaled = np.clip((f - lo) / span, 0.0, 1.0)
+    idx = np.minimum((scaled * len(ramp)).astype(int), len(ramp) - 1)
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != f.shape:
+            raise ValueError("mask shape must match field shape")
+    lines = []
+    rows, cols = f.shape
+    border = "+" + "-" * cols + "+"
+    lines.append(border)
+    for r in range(rows):
+        cells = []
+        for c in range(cols):
+            if mask is not None and mask[r, c]:
+                cells.append(mask_glyph)
+            else:
+                cells.append(ramp[idx[r, c]])
+        lines.append("|" + "".join(cells) + "|")
+    lines.append(border)
+    if legend:
+        lines.append(
+            f"[{ramp[0]!r}={lo:.3g} .. {ramp[-1]!r}={hi:.3g}"
+            + (f", {mask_glyph!r}=flagged" if mask is not None else "")
+            + "]"
+        )
+    return "\n".join(lines)
+
+
+def render_mask(mask: np.ndarray, on: str = "#", off: str = ".") -> str:
+    """Render a boolean mask compactly."""
+    m = np.asarray(mask, dtype=bool)
+    if m.ndim != 2:
+        raise ValueError("mask must be 2-D")
+    return "\n".join("".join(on if v else off for v in row) for row in m)
+
+
+def render_comparison(
+    left: np.ndarray,
+    right: np.ndarray,
+    labels: tuple[str, str] = ("truth", "recovered"),
+    gap: str = "   ",
+) -> str:
+    """Two same-shape fields side by side on a shared scale."""
+    a = np.asarray(left, dtype=np.float64)
+    b = np.asarray(right, dtype=np.float64)
+    if a.shape != b.shape or a.ndim != 2:
+        raise ValueError("fields must be 2-D and same shape")
+    vmin = float(min(a.min(), b.min()))
+    vmax = float(max(a.max(), b.max()))
+    la = render_field(a, legend=False, vmin=vmin, vmax=vmax).splitlines()
+    lb = render_field(b, legend=False, vmin=vmin, vmax=vmax).splitlines()
+    width = len(la[0])
+    header = labels[0].center(width) + gap + labels[1].center(width)
+    body = "\n".join(x + gap + y for x, y in zip(la, lb))
+    legend = f"[shared scale {vmin:.3g} .. {vmax:.3g}]"
+    return header + "\n" + body + "\n" + legend

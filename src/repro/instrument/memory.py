@@ -1,0 +1,94 @@
+"""Memory-footprint sampling for the Fig. 8 CDF experiment.
+
+The paper characterizes memory as a *CDF of usage over time*: what
+fraction of the run is spent below each footprint level, per scale
+``n`` and parallelism ``k``.  :class:`MemorySampler` polls the
+process's resident set (``/proc/self/status`` VmRSS on Linux, with a
+``tracemalloc`` fallback elsewhere) on demand — the formation loops
+call :meth:`sample` between work items, which avoids a sampler thread
+perturbing the measurement.
+
+:func:`usage_cdf` turns a sample trace into the plotted CDF, and
+:func:`fraction_below` extracts the paper's headline statistic ("two
+threads incur a low memory footprint in about 60 % of time, four
+threads only ~30 %").
+"""
+
+from __future__ import annotations
+
+import os
+import tracemalloc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+_PAGE = os.sysconf("SC_PAGESIZE") if hasattr(os, "sysconf") else 4096
+
+
+def rss_bytes() -> int:
+    """Current resident set size in bytes (best effort)."""
+    try:
+        with open("/proc/self/statm", "r") as fh:
+            fields = fh.read().split()
+        return int(fields[1]) * _PAGE
+    except (OSError, IndexError, ValueError):  # pragma: no cover - non-Linux
+        if tracemalloc.is_tracing():
+            current, _ = tracemalloc.get_traced_memory()
+            return current
+        return 0
+
+
+@dataclass
+class MemorySampler:
+    """Collects (timestamp-ordered) RSS samples during a run."""
+
+    samples: list[int] = field(default_factory=list)
+
+    def sample(self) -> int:
+        value = rss_bytes()
+        self.samples.append(value)
+        return value
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.samples, dtype=np.float64)
+
+    @property
+    def peak(self) -> int:
+        return max(self.samples, default=0)
+
+    def reset(self) -> None:
+        self.samples.clear()
+
+
+def usage_cdf(samples: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF ``(levels, fraction_of_time_below)``.
+
+    Samples are assumed uniformly spaced in time (the formation loop
+    samples once per work item, which is near-uniform because items
+    within one run have equal cost).
+    """
+    s = np.sort(np.asarray(samples, dtype=np.float64))
+    if s.size == 0:
+        return np.empty(0), np.empty(0)
+    frac = np.arange(1, s.size + 1) / s.size
+    return s, frac
+
+
+def fraction_below(samples: np.ndarray, level: float) -> float:
+    """Fraction of the run spent at or below ``level`` bytes."""
+    s = np.asarray(samples, dtype=np.float64)
+    if s.size == 0:
+        return 0.0
+    return float(np.mean(s <= level))
+
+
+def peak_and_quantiles(samples: np.ndarray) -> dict[str, float]:
+    """Summary used by the memory benchmark's table output."""
+    s = np.asarray(samples, dtype=np.float64)
+    if s.size == 0:
+        return {"peak": 0.0, "p50": 0.0, "p90": 0.0}
+    return {
+        "peak": float(s.max()),
+        "p50": float(np.percentile(s, 50)),
+        "p90": float(np.percentile(s, 90)),
+    }

@@ -1,0 +1,78 @@
+"""Plain-text result tables for the benchmark harnesses.
+
+Every benchmark prints its figure's data as an aligned text table (the
+"same rows/series the paper reports"), via :class:`ResultTable`.  No
+plotting dependency: the series are the artifact; EXPERIMENTS.md
+records them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+@dataclass
+class ResultTable:
+    """An aligned text table with a title and typed columns."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[tuple] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def render(self) -> str:
+        cells = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(str(c)), *(len(r[i]) for r in cells)) if cells else len(str(c))
+            for i, c in enumerate(self.columns)
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append(
+            "  ".join(str(c).ljust(w) for c, w in zip(self.columns, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print(self.render())
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def human_bytes(nbytes: float) -> str:
+    """1536 -> '1.5 KiB' (for memory tables)."""
+    units = ["B", "KiB", "MiB", "GiB", "TiB"]
+    value = float(nbytes)
+    for unit in units:
+        if abs(value) < 1024 or unit == units[-1]:
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{value:.1f} TiB"  # pragma: no cover
+
+
+def human_seconds(seconds: float) -> str:
+    """Pretty duration: µs/ms/s/min ranges."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 120:
+        return f"{seconds:.2f} s"
+    return f"{seconds / 60:.1f} min"

@@ -1,0 +1,192 @@
+"""Serialization of formed equation blocks to disk (Fig. 9's I/O).
+
+The paper's end-to-end experiments *write the generated system of
+equations to a file*; the I/O figure measures exactly that.  Two
+formats are provided:
+
+* **binary** (default for benchmarks): each :class:`PairBlock`'s term
+  arrays are appended with a tiny header — a raw ``tofile`` per array,
+  no encoding cost, so the benchmark measures disk I/O rather than
+  string formatting;
+* **text**: human-readable equations
+  (``+ (U - Ua_1)/R[2,4] ... = 0.00625``), the form a user would
+  inspect and the closest analogue of the paper's artifact.
+
+Both round-trip: readers reconstruct blocks bit-exactly (binary) or to
+float precision (text), and the writers are safe for the per-worker
+"part file" pattern the parallel strategies use (each worker owns one
+file; no locking needed).
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import BinaryIO, Iterator, TextIO
+
+import numpy as np
+
+from repro.core.categories import Category
+from repro.core.equations import (
+    NODE_DRIVE,
+    NODE_FIRST_UA,
+    NODE_GROUND,
+    PairBlock,
+)
+
+_MAGIC = b"PMEQ1\x00"
+_HEADER = struct.Struct("<iiidd q")  # n, row, col, voltage, z, num_terms
+
+
+# -- binary format ---------------------------------------------------------
+
+
+def write_block_binary(block: PairBlock, fh: BinaryIO) -> int:
+    """Append one block; returns bytes written."""
+    header = _HEADER.pack(
+        block.n, block.row, block.col, block.voltage, block.z, block.num_terms
+    )
+    fh.write(_MAGIC)
+    fh.write(header)
+    written = len(_MAGIC) + len(header)
+    for arr in (
+        block.eq_id,
+        block.sign,
+        block.r_row,
+        block.r_col,
+        block.v_plus,
+        block.v_minus,
+    ):
+        data = np.ascontiguousarray(arr).tobytes()
+        fh.write(data)
+        written += len(data)
+    # Per-equation arrays, length-prefixed (category subsets vary).
+    neq = np.int64(block.num_equations).tobytes()
+    fh.write(neq)
+    written += len(neq)
+    for arr in (block.rhs, block.category):
+        data = np.ascontiguousarray(arr).tobytes()
+        fh.write(data)
+        written += len(data)
+    return written
+
+
+def _read_exact(fh: BinaryIO, nbytes: int) -> bytes:
+    """Read exactly ``nbytes`` or raise (truncation must not pass
+    silently — a short ``np.frombuffer`` would otherwise yield a
+    structurally broken block)."""
+    data = fh.read(nbytes)
+    if len(data) != nbytes:
+        raise ValueError(
+            f"corrupt equation file: expected {nbytes} bytes, "
+            f"got {len(data)} (truncated?)"
+        )
+    return data
+
+
+def read_blocks_binary(fh: BinaryIO) -> Iterator[PairBlock]:
+    """Stream blocks back from a binary equation file."""
+    while True:
+        magic = fh.read(len(_MAGIC))
+        if not magic:
+            return
+        if magic != _MAGIC:
+            raise ValueError("corrupt equation file: bad magic")
+        n, row, col, voltage, z, num_terms = _HEADER.unpack(
+            _read_exact(fh, _HEADER.size)
+        )
+        arrays = []
+        for dtype in (np.int32, np.int8, np.int32, np.int32, np.int16, np.int16):
+            nbytes = num_terms * np.dtype(dtype).itemsize
+            arrays.append(
+                np.frombuffer(_read_exact(fh, nbytes), dtype=dtype).copy()
+            )
+        (neq,) = np.frombuffer(_read_exact(fh, 8), dtype=np.int64)
+        rhs = np.frombuffer(
+            _read_exact(fh, int(neq) * 8), dtype=np.float64
+        ).copy()
+        category = np.frombuffer(_read_exact(fh, int(neq)), dtype=np.int8).copy()
+        yield PairBlock(
+            n=n,
+            row=row,
+            col=col,
+            voltage=voltage,
+            z=z,
+            eq_id=arrays[0],
+            sign=arrays[1],
+            r_row=arrays[2],
+            r_col=arrays[3],
+            v_plus=arrays[4],
+            v_minus=arrays[5],
+            rhs=rhs,
+            category=category,
+        )
+
+
+def save_blocks_binary(
+    blocks: "Iterator[PairBlock] | list[PairBlock]", path: str | Path
+) -> int:
+    """Write blocks to ``path``; returns total bytes."""
+    total = 0
+    with open(path, "wb") as fh:
+        for block in blocks:
+            total += write_block_binary(block, fh)
+    return total
+
+
+def load_blocks_binary(path: str | Path) -> list[PairBlock]:
+    """Read every block from a binary equation file."""
+    with open(path, "rb") as fh:
+        return list(read_blocks_binary(fh))
+
+
+# -- text format -------------------------------------------------------------
+
+
+def _node_name(code: int, n: int) -> str:
+    if code == NODE_GROUND:
+        return "0"
+    if code == NODE_DRIVE:
+        return "U"
+    if code < NODE_FIRST_UA + (n - 1):
+        return f"Ua_{code - NODE_FIRST_UA + 1}"
+    return f"Ub_{code - NODE_FIRST_UA - (n - 1) + 1}"
+
+
+def write_block_text(block: PairBlock, fh: TextIO) -> int:
+    """Append one block as human-readable equations; returns chars."""
+    n = block.n
+    written = 0
+    head = (
+        f"## pair i={block.row + 1} j={block.col + 1} "
+        f"U={block.voltage:g} Z={block.z:.10g}\n"
+    )
+    fh.write(head)
+    written += len(head)
+    for eq in range(block.num_equations):
+        cat = Category(int(block.category[eq])).name
+        terms = np.flatnonzero(block.eq_id == eq)
+        parts = []
+        for t in terms:
+            sign = "+" if block.sign[t] > 0 else "-"
+            vp = _node_name(int(block.v_plus[t]), n)
+            vm = _node_name(int(block.v_minus[t]), n)
+            num = vp if vm == "0" else f"({vp} - {vm})"
+            parts.append(
+                f"{sign} {num}/R[{block.r_row[t] + 1},{block.r_col[t] + 1}]"
+            )
+        line = f"{cat}: {' '.join(parts)} = {block.rhs[eq]:.10g}\n"
+        fh.write(line)
+        written += len(line)
+    return written
+
+
+def save_blocks_text(
+    blocks: "Iterator[PairBlock] | list[PairBlock]", path: str | Path
+) -> int:
+    """Write blocks as human-readable equations; returns characters."""
+    total = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for block in blocks:
+            total += write_block_text(block, fh)
+    return total

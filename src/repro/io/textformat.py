@@ -1,0 +1,175 @@
+"""The wet-lab tabular text format (the paper's Excel → text step).
+
+The paper's measurement pipeline exports Excel sheets and converts
+them to text files before Parma ingests them.  This module defines
+that text format for this repository: a self-describing, line-oriented
+layout that a spreadsheet export could trivially produce —
+
+::
+
+    # parma-measurement v1
+    # voltage_volts: 5.0
+    # hour: 6.0
+    # rows: 3
+    # cols: 3
+    # meta source: wetlab-sim
+    1234.5 2345.6 3456.7
+    ...
+
+One matrix row per line, whitespace-separated kΩ values.  A campaign
+file is several such sections separated by blank lines, ordered by
+hour.  Readers are strict: malformed headers or ragged rows raise
+:class:`FormatError` with line numbers.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from repro.mea.dataset import Measurement, MeasurementCampaign
+
+MAGIC = "# parma-measurement v1"
+
+
+class FormatError(ValueError):
+    """Raised on malformed measurement text."""
+
+
+def dump_measurement(meas: Measurement, fh: TextIO) -> None:
+    """Write one measurement section to an open text stream."""
+    m, n = meas.shape
+    fh.write(f"{MAGIC}\n")
+    fh.write(f"# voltage_volts: {meas.voltage!r}\n")
+    fh.write(f"# hour: {meas.hour!r}\n")
+    fh.write(f"# rows: {m}\n")
+    fh.write(f"# cols: {n}\n")
+    for key in sorted(meas.meta):
+        value = str(meas.meta[key])
+        if "\n" in value:
+            raise FormatError(f"meta value for {key!r} contains a newline")
+        fh.write(f"# meta {key}: {value}\n")
+    for row in meas.z_kohm:
+        fh.write(" ".join(f"{v:.10g}" for v in row))
+        fh.write("\n")
+
+
+def dumps_measurement(meas: Measurement) -> str:
+    """Serialize one measurement section to a string."""
+    buf = _io.StringIO()
+    dump_measurement(meas, buf)
+    return buf.getvalue()
+
+
+def save_measurement(meas: Measurement, path: str | Path) -> None:
+    """Write one measurement section to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        dump_measurement(meas, fh)
+
+
+def save_campaign(campaign: MeasurementCampaign, path: str | Path) -> None:
+    """Write a whole campaign (blank-line-separated sections)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for idx, meas in enumerate(campaign):
+            if idx:
+                fh.write("\n")
+            dump_measurement(meas, fh)
+
+
+def _parse_section(lines: list[tuple[int, str]]) -> Measurement:
+    if not lines or lines[0][1] != MAGIC:
+        lineno = lines[0][0] if lines else 0
+        raise FormatError(f"line {lineno}: missing magic header {MAGIC!r}")
+    header: dict[str, str] = {}
+    meta: dict[str, str] = {}
+    data_start = None
+    for pos, (lineno, text) in enumerate(lines[1:], start=1):
+        if not text.startswith("#"):
+            data_start = pos
+            break
+        body = text[1:].strip()
+        if body.startswith("meta "):
+            key, _, value = body[5:].partition(":")
+            meta[key.strip()] = value.strip()
+            continue
+        key, sep, value = body.partition(":")
+        if not sep:
+            raise FormatError(f"line {lineno}: malformed header {text!r}")
+        header[key.strip()] = value.strip()
+    if data_start is None:
+        raise FormatError("section has headers but no data rows")
+    try:
+        rows = int(header["rows"])
+        cols = int(header["cols"])
+        voltage = float(header["voltage_volts"])
+        hour = float(header["hour"])
+    except KeyError as exc:
+        raise FormatError(f"missing header field {exc}") from None
+    except ValueError as exc:
+        raise FormatError(f"bad header value: {exc}") from None
+    data_lines = lines[data_start:]
+    if len(data_lines) != rows:
+        raise FormatError(
+            f"expected {rows} data rows, found {len(data_lines)}"
+        )
+    z = np.empty((rows, cols), dtype=np.float64)
+    for r, (lineno, text) in enumerate(data_lines):
+        parts = text.split()
+        if len(parts) != cols:
+            raise FormatError(
+                f"line {lineno}: expected {cols} values, found {len(parts)}"
+            )
+        try:
+            z[r] = [float(p) for p in parts]
+        except ValueError as exc:
+            raise FormatError(f"line {lineno}: {exc}") from None
+    return Measurement(z_kohm=z, voltage=voltage, hour=hour, meta=meta)
+
+
+def load_measurement(path: str | Path) -> Measurement:
+    """Read exactly one measurement section from ``path``."""
+    sections = _split_sections(Path(path).read_text(encoding="utf-8"))
+    if len(sections) != 1:
+        raise FormatError(
+            f"expected one measurement section, found {len(sections)}"
+        )
+    return _parse_section(sections[0])
+
+
+def loads_measurement(text: str) -> Measurement:
+    """Parse exactly one measurement section from a string."""
+    sections = _split_sections(text)
+    if len(sections) != 1:
+        raise FormatError(
+            f"expected one measurement section, found {len(sections)}"
+        )
+    return _parse_section(sections[0])
+
+
+def load_campaign(path: str | Path) -> MeasurementCampaign:
+    """Read a whole campaign (one or more sections) from ``path``."""
+    sections = _split_sections(Path(path).read_text(encoding="utf-8"))
+    if not sections:
+        raise FormatError("file contains no measurement sections")
+    return MeasurementCampaign(
+        measurements=tuple(_parse_section(s) for s in sections)
+    )
+
+
+def _split_sections(text: str) -> list[list[tuple[int, str]]]:
+    sections: list[list[tuple[int, str]]] = []
+    current: list[tuple[int, str]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            if current:
+                sections.append(current)
+                current = []
+            continue
+        current.append((lineno, line))
+    if current:
+        sections.append(current)
+    return sections

@@ -1,0 +1,149 @@
+"""Workbook ingestion — the paper's "Excel files converted into text".
+
+§V-B: "The data are originally saved as Excel files and converted into
+text files before being fed to the Parma system prototype."  The lab's
+workbook layout is modelled here without any spreadsheet dependency:
+a *workbook directory* holds one CSV sheet per timepoint plus a
+metadata sheet —
+
+::
+
+    mydevice.workbook/
+        meta.csv              # key,value rows: voltage_volts, device, ...
+        sheet-0h.csv          # n x n comma-separated Z readings (kΩ)
+        sheet-6h.csv
+        sheet-12h.csv
+        sheet-24h.csv
+
+which is exactly what "Save as CSV" on a per-timepoint Excel workbook
+produces.  :func:`convert_workbook` performs the paper's conversion
+step: workbook directory → the Parma measurement text format
+(:mod:`repro.io.textformat`); :func:`export_workbook` goes the other
+way so the simulated lab can emit lab-shaped artifacts.
+"""
+
+from __future__ import annotations
+
+import csv
+import re
+from pathlib import Path
+
+import numpy as np
+
+from repro.io.textformat import save_campaign
+from repro.mea.dataset import Measurement, MeasurementCampaign
+
+_SHEET_RE = re.compile(r"^sheet-(\d+(?:\.\d+)?)h\.csv$")
+
+
+class WorkbookError(ValueError):
+    """Raised on malformed workbook directories."""
+
+
+def export_workbook(campaign: MeasurementCampaign, path: str | Path) -> Path:
+    """Write ``campaign`` as a lab-style workbook directory."""
+    root = Path(path)
+    if root.suffix != ".workbook":
+        root = root.with_suffix(".workbook")
+    root.mkdir(parents=True, exist_ok=True)
+    with open(root / "meta.csv", "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["key", "value"])
+        writer.writerow(["voltage_volts", campaign.measurements[0].voltage])
+        m, n = campaign.shape
+        writer.writerow(["rows", m])
+        writer.writerow(["cols", n])
+        for key, value in sorted(campaign.measurements[0].meta.items()):
+            writer.writerow([f"meta:{key}", value])
+    for meas in campaign:
+        name = f"sheet-{meas.hour:g}h.csv"
+        with open(root / name, "w", newline="", encoding="utf-8") as fh:
+            writer = csv.writer(fh)
+            for row in meas.z_kohm:
+                writer.writerow([f"{v:.10g}" for v in row])
+    return root
+
+
+def load_workbook(path: str | Path) -> MeasurementCampaign:
+    """Parse a workbook directory into a campaign (strict)."""
+    root = Path(path)
+    if not root.is_dir():
+        raise WorkbookError(f"{root} is not a workbook directory")
+    meta_path = root / "meta.csv"
+    if not meta_path.exists():
+        raise WorkbookError(f"{root} has no meta.csv")
+    header: dict[str, str] = {}
+    meta: dict[str, str] = {}
+    with open(meta_path, newline="", encoding="utf-8") as fh:
+        reader = csv.reader(fh)
+        rows = list(reader)
+    if not rows or [c.strip() for c in rows[0]] != ["key", "value"]:
+        raise WorkbookError("meta.csv must start with a 'key,value' header")
+    for lineno, row in enumerate(rows[1:], start=2):
+        if len(row) != 2:
+            raise WorkbookError(f"meta.csv line {lineno}: expected 2 cells")
+        key, value = row[0].strip(), row[1].strip()
+        if key.startswith("meta:"):
+            meta[key[5:]] = value
+        else:
+            header[key] = value
+    try:
+        voltage = float(header["voltage_volts"])
+        rows_n = int(header["rows"])
+        cols_n = int(header["cols"])
+    except KeyError as exc:
+        raise WorkbookError(f"meta.csv missing field {exc}") from None
+    except ValueError as exc:
+        raise WorkbookError(f"meta.csv bad value: {exc}") from None
+
+    sheets: list[tuple[float, Path]] = []
+    for child in root.iterdir():
+        match = _SHEET_RE.match(child.name)
+        if match:
+            sheets.append((float(match.group(1)), child))
+    if not sheets:
+        raise WorkbookError(f"{root} contains no sheet-<hour>h.csv files")
+    sheets.sort()
+
+    measurements = []
+    for hour, sheet in sheets:
+        z = _read_sheet(sheet, rows_n, cols_n)
+        measurements.append(
+            Measurement(z_kohm=z, voltage=voltage, hour=hour, meta=meta)
+        )
+    return MeasurementCampaign(measurements=tuple(measurements))
+
+
+def _read_sheet(path: Path, rows_n: int, cols_n: int) -> np.ndarray:
+    with open(path, newline="", encoding="utf-8") as fh:
+        reader = csv.reader(fh)
+        rows = [r for r in reader if r and any(c.strip() for c in r)]
+    if len(rows) != rows_n:
+        raise WorkbookError(
+            f"{path.name}: expected {rows_n} rows, found {len(rows)}"
+        )
+    z = np.empty((rows_n, cols_n), dtype=np.float64)
+    for i, row in enumerate(rows):
+        cells = [c for c in row if c.strip()]
+        if len(cells) != cols_n:
+            raise WorkbookError(
+                f"{path.name} row {i + 1}: expected {cols_n} cells, "
+                f"found {len(cells)}"
+            )
+        try:
+            z[i] = [float(c) for c in cells]
+        except ValueError as exc:
+            raise WorkbookError(f"{path.name} row {i + 1}: {exc}") from None
+    return z
+
+
+def convert_workbook(
+    workbook_path: str | Path, text_path: str | Path
+) -> MeasurementCampaign:
+    """The paper's conversion step: workbook dir → measurement text.
+
+    Returns the parsed campaign (also written to ``text_path``).
+    """
+    campaign = load_workbook(workbook_path)
+    save_campaign(campaign, text_path)
+    return campaign

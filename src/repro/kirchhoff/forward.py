@@ -1,0 +1,194 @@
+"""Exact forward solver for crossbar MEAs (the ground-truth oracle).
+
+Electrically, an ``m x n`` crossbar with ideal wires collapses to a
+graph with one node per wire and one conductance ``G_ij = 1/R_ij`` per
+crossing (see :func:`repro.mea.graph.wire_graph`).  Everything the
+device can measure is then classical linear circuit theory:
+
+* the measured pairwise resistance ``Z_ij`` is the *effective
+  resistance* between nodes ``H_i`` and ``V_j``, computed from the
+  pseudo-inverse of the weighted graph Laplacian:
+  ``Z_ij = L+_ii + L+_jj - 2 L+_ij``;
+* the internal wire voltages for a drive ``U_ij`` across ``(H_i, V_j)``
+  come from the same solve, and are exactly the paper's ``Ua``/``Ub``
+  unknowns (§IV-A).
+
+This module is the *forward* direction (R -> Z); Parma inverts it.
+Because the collapsed graph has only ``m + n`` nodes (≤ 200 for the
+paper's largest device), a dense symmetric solve is both exact and
+cheap; a sparse path is provided for very wide devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.linalg
+
+from repro.utils.validation import require_positive, require_positive_array
+
+
+def crossbar_laplacian(resistance: np.ndarray) -> np.ndarray:
+    """Weighted Laplacian of the collapsed wire graph.
+
+    ``resistance`` is the ``(m, n)`` array of ``R_ij`` (any consistent
+    unit).  Node order: ``H_0..H_{m-1}, V_0..V_{n-1}``.  The Laplacian
+    has the block form ``[[diag(Gr), -G], [-G^T, diag(Gc)]]`` with
+    ``G = 1/R`` — assembled fully vectorised.
+    """
+    r = require_positive_array(resistance, "resistance")
+    m, n = r.shape
+    g = 1.0 / r
+    lap = np.zeros((m + n, m + n), dtype=np.float64)
+    lap[:m, m:] = -g
+    lap[m:, :m] = -g.T
+    lap[np.arange(m), np.arange(m)] = g.sum(axis=1)
+    lap[np.arange(m, m + n), np.arange(m, m + n)] = g.sum(axis=0)
+    return lap
+
+
+def effective_resistance_matrix(resistance: np.ndarray) -> np.ndarray:
+    """All ``m * n`` pairwise measured resistances ``Z`` in one solve.
+
+    Uses the Moore–Penrose pseudo-inverse of the Laplacian; with
+    ``P = L^+``, ``Z_ij = P[H_i, H_i] + P[V_j, V_j] - 2 P[H_i, V_j]``,
+    evaluated for every pair with broadcasting (no Python loops).
+    """
+    r = np.asarray(resistance, dtype=np.float64)
+    m, n = r.shape
+    lap = crossbar_laplacian(r)
+    pinv = _laplacian_pinv(lap)
+    dh = np.diag(pinv)[:m]
+    dv = np.diag(pinv)[m:]
+    cross = pinv[:m, m:]
+    return dh[:, None] + dv[None, :] - 2.0 * cross
+
+
+def _laplacian_pinv(lap: np.ndarray) -> np.ndarray:
+    """Pseudo-inverse of a connected-graph Laplacian.
+
+    Exploits the known one-dimensional null space (the all-ones
+    vector): ``L^+ = (L + J/N)^{-1} - J/N`` with ``J`` the all-ones
+    matrix.  This is a plain symmetric positive-definite solve —
+    much faster and better conditioned than a generic SVD ``pinv``.
+    """
+    nnodes = lap.shape[0]
+    shift = 1.0 / nnodes
+    shifted = lap + shift
+    inv = scipy.linalg.inv(shifted, overwrite_a=False)
+    return inv - shift
+
+
+@dataclass(frozen=True)
+class DriveSolution:
+    """Internal state for one driven endpoint pair.
+
+    Voltages follow the paper's convention for pair ``(i, j)``: the
+    driven vertical wire is ground (``V_j = 0``) and the driven
+    horizontal wire sits at ``U_ij = voltage``.
+
+    Attributes
+    ----------
+    h_voltages, v_voltages:
+        Potentials of every horizontal / vertical wire (length m / n).
+    total_current:
+        Current delivered by the source.
+    z:
+        Measured resistance ``voltage / total_current``.
+    """
+
+    row: int
+    col: int
+    voltage: float
+    h_voltages: np.ndarray
+    v_voltages: np.ndarray
+    total_current: float
+
+    @property
+    def z(self) -> float:
+        return self.voltage / self.total_current
+
+    def ua(self) -> np.ndarray:
+        """The paper's ``Ua_{ij k'}``: voltages of vertical wires k != j,
+        in k-ascending order (k' = k for k < j, k-1 for k > j)."""
+        return np.delete(self.v_voltages, self.col)
+
+    def ub(self) -> np.ndarray:
+        """The paper's ``Ub_{ij m'}``: voltages of horizontal wires
+        m != i, in m-ascending order."""
+        return np.delete(self.h_voltages, self.row)
+
+
+def solve_drive(
+    resistance: np.ndarray, row: int, col: int, voltage: float = 5.0
+) -> DriveSolution:
+    """Solve the network with ``voltage`` applied across ``(H_row, V_col)``.
+
+    Dirichlet conditions pin the two driven nodes; the reduced
+    symmetric system for the remaining ``m + n - 2`` free nodes is
+    solved directly.  The source current is read off the driven row of
+    the full Laplacian, so Kirchhoff L1 holds to solver precision at
+    every node — the property tests rely on this.
+    """
+    r = require_positive_array(resistance, "resistance")
+    voltage = require_positive(voltage, "voltage")
+    m, n = r.shape
+    if not (0 <= row < m and 0 <= col < n):
+        raise IndexError(f"pair ({row}, {col}) out of range for {m}x{n}")
+    lap = crossbar_laplacian(r)
+    nnodes = m + n
+    src = row  # H_row
+    snk = m + col  # V_col
+    free = np.setdiff1d(np.arange(nnodes), [src, snk], assume_unique=False)
+    potentials = np.zeros(nnodes, dtype=np.float64)
+    potentials[src] = voltage
+    if free.size:
+        a = lap[np.ix_(free, free)]
+        b = -lap[np.ix_(free, [src, snk])] @ np.array([voltage, 0.0])
+        potentials[free] = scipy.linalg.solve(a, b, assume_a="pos")
+    total_current = float(lap[src] @ potentials)
+    return DriveSolution(
+        row=row,
+        col=col,
+        voltage=voltage,
+        h_voltages=potentials[:m].copy(),
+        v_voltages=potentials[m:].copy(),
+        total_current=total_current,
+    )
+
+
+def solve_all_drives(
+    resistance: np.ndarray, voltage: float = 5.0
+) -> list[DriveSolution]:
+    """``solve_drive`` for every endpoint pair (row-major order)."""
+    r = np.asarray(resistance, dtype=np.float64)
+    m, n = r.shape
+    return [
+        solve_drive(r, i, j, voltage=voltage) for i in range(m) for j in range(n)
+    ]
+
+
+def measure(resistance: np.ndarray, voltage: float = 5.0) -> np.ndarray:
+    """The device's measurement: the ``(m, n)`` matrix of ``Z_ij``.
+
+    Equivalent to ``effective_resistance_matrix`` (one global solve);
+    ``voltage`` does not affect Z for a linear network but is accepted
+    to mirror the physical protocol.
+    """
+    del voltage  # linear network: Z is drive-independent
+    return effective_resistance_matrix(resistance)
+
+
+def residual_current_at_wires(
+    resistance: np.ndarray, sol: DriveSolution
+) -> np.ndarray:
+    """Kirchhoff-L1 residual (net current) at every wire node.
+
+    Zero (to numerical precision) except at the two driven nodes,
+    where it equals ±total_current.  Used by tests as the definition
+    of "the solution satisfies Kirchhoff's first law".
+    """
+    lap = crossbar_laplacian(resistance)
+    potentials = np.concatenate([sol.h_voltages, sol.v_voltages])
+    return lap @ potentials

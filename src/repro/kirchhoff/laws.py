@@ -1,0 +1,261 @@
+"""Kirchhoff's laws on arbitrary resistive graphs.
+
+This is the general-circuit substrate behind §II-A of the paper:
+
+* **L1 (current law)** — one equation per vertex; exactly ``|V| - 1``
+  of them are independent (the all-vertex sum telescopes to zero).
+* **L2 (voltage law)** — one equation per independent loop; there are
+  ``|E| - |V| + c`` of them (Maxwell's cyclomatic number), and they
+  are jointly independent of the L1 set.
+
+:class:`Circuit` builds both systems explicitly (incidence and
+cycle-basis matrices), exposes the independence counts the paper
+quotes, and solves the network by nodal analysis so the two law sets
+can be verified numerically on the solution.  Edges are resistors;
+ideal voltage sources are modelled by pinning node potentials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+import numpy as np
+import scipy.linalg
+
+from repro.topology.cycles import CycleBasis, fundamental_cycles
+from repro.utils.validation import require_positive
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class ResistorEdge:
+    """A resistor between ``a`` and ``b`` with value ``ohms``.
+
+    Current direction convention: positive current flows a -> b.
+    """
+
+    a: Vertex
+    b: Vertex
+    ohms: float
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ValueError(f"resistor shorts node {self.a!r} to itself")
+        require_positive(self.ohms, "ohms")
+
+
+class Circuit:
+    """A connected resistive circuit with explicit L1/L2 systems."""
+
+    def __init__(self, edges: Sequence[ResistorEdge]) -> None:
+        if not edges:
+            raise ValueError("circuit needs at least one resistor")
+        self.edges = tuple(edges)
+        nodes: dict[Vertex, int] = {}
+        for e in self.edges:
+            nodes.setdefault(e.a, len(nodes))
+            nodes.setdefault(e.b, len(nodes))
+        self.node_index = nodes
+        self.nodes: tuple[Vertex, ...] = tuple(nodes)
+        self._cycles: CycleBasis | None = None
+
+    # -- structural counts -------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def num_l1_equations(self) -> int:
+        """|V| equations of the current law (one per vertex)."""
+        return self.num_nodes
+
+    def num_independent_l1(self) -> int:
+        """``|V| - 1`` — any one vertex equation is redundant."""
+        return self.num_nodes - 1
+
+    def num_independent_l2(self) -> int:
+        """``|E| - |V| + 1`` for a connected circuit (Maxwell)."""
+        return self.num_edges - self.num_nodes + 1
+
+    # -- matrices ------------------------------------------------------------
+
+    def incidence_matrix(self) -> np.ndarray:
+        """Oriented incidence matrix ``A`` (|V| x |E|): row v, column e,
+        entry +1 if e leaves v (v == e.a), -1 if it enters (v == e.b).
+
+        ``A @ currents = injected`` *is* Kirchhoff L1.
+        """
+        a = np.zeros((self.num_nodes, self.num_edges), dtype=np.float64)
+        for col, e in enumerate(self.edges):
+            a[self.node_index[e.a], col] = 1.0
+            a[self.node_index[e.b], col] = -1.0
+        return a
+
+    def cycle_basis(self) -> CycleBasis:
+        """Fundamental cycle basis of the *simple* underlying graph.
+
+        Parallel resistors collapse to one edge here; the multigraph-
+        aware loop system used for mesh analysis is
+        :meth:`cycle_matrix`, which works on edge indices directly.
+        """
+        if self._cycles is None:
+            vertices = list(self.nodes)
+            pairs = [(e.a, e.b) for e in self.edges]
+            self._cycles = fundamental_cycles(vertices, pairs)
+        return self._cycles
+
+    def cycle_matrix(self) -> np.ndarray:
+        """Signed cycle-edge matrix ``B`` (|cycles| x |E|).
+
+        Row c gives the orientation (+1/-1/0) of each edge as the cycle
+        is traversed; ``B @ (R * currents) = 0`` *is* Kirchhoff L2.
+
+        Multigraph-aware: edges are identified by index, so parallel
+        resistors each get their own fundamental cycle (a non-tree
+        parallel edge closes a 2-edge loop with its twin).  Exactly
+        ``|E| - |V| + c`` rows for ``c`` connected components.
+        """
+        # BFS spanning forest over edge indices.
+        adj: dict[Vertex, list[tuple[int, Vertex]]] = {v: [] for v in self.nodes}
+        for idx, e in enumerate(self.edges):
+            adj[e.a].append((idx, e.b))
+            adj[e.b].append((idx, e.a))
+        # parent[v] = (parent node, edge index, sign of edge when
+        # traversed parent -> v); sign +1 means the edge's a -> b
+        # direction points parent -> v.
+        parent: dict[Vertex, tuple[Vertex, int, int] | None] = {}
+        tree_edges: set[int] = set()
+        from collections import deque
+
+        for root in self.nodes:
+            if root in parent:
+                continue
+            parent[root] = None
+            queue = deque([root])
+            while queue:
+                u = queue.popleft()
+                for idx, w in adj[u]:
+                    if w in parent or idx in tree_edges:
+                        continue
+                    sign = +1 if self.edges[idx].a == u else -1
+                    parent[w] = (u, idx, sign)
+                    tree_edges.add(idx)
+                    queue.append(w)
+
+        def root_path(v: Vertex) -> list[tuple[Vertex, int, int]]:
+            """Steps (child, edge idx, sign parent->child) up to root."""
+            steps = []
+            while parent[v] is not None:
+                u, idx, sign = parent[v]  # type: ignore[misc]
+                steps.append((v, idx, sign))
+                v = u
+            return steps
+
+        chords = [i for i in range(self.num_edges) if i not in tree_edges]
+        b = np.zeros((len(chords), self.num_edges), dtype=np.float64)
+        for row, chord in enumerate(chords):
+            e = self.edges[chord]
+            b[row, chord] = 1.0  # traverse chord a -> b
+            path_a = root_path(e.a)
+            path_b = root_path(e.b)
+            # Trim common suffix (shared ancestry near the root).
+            while path_a and path_b and path_a[-1] == path_b[-1]:
+                path_a.pop()
+                path_b.pop()
+            # Continue b -> ... -> lca: each step is child -> parent,
+            # i.e. *against* the recorded parent->child sign; then
+            # lca -> ... -> a re-descends path_a in parent -> child
+            # direction, *with* the recorded sign.
+            for _, idx, sign in path_b:
+                b[row, idx] += -sign
+            for _, idx, sign in path_a:
+                b[row, idx] += sign
+        return b
+
+    # -- solving ------------------------------------------------------------
+
+    def solve_nodal(
+        self, source: Vertex, sink: Vertex, voltage: float
+    ) -> "CircuitSolution":
+        """Node potentials and edge currents with ``voltage`` across
+        ``source``/``sink`` (sink grounded)."""
+        require_positive(voltage, "voltage")
+        if source not in self.node_index or sink not in self.node_index:
+            raise KeyError("source/sink must be circuit nodes")
+        if source == sink:
+            raise ValueError("source and sink coincide")
+        nv = self.num_nodes
+        lap = np.zeros((nv, nv), dtype=np.float64)
+        for e in self.edges:
+            g = 1.0 / e.ohms
+            ia, ib = self.node_index[e.a], self.node_index[e.b]
+            lap[ia, ia] += g
+            lap[ib, ib] += g
+            lap[ia, ib] -= g
+            lap[ib, ia] -= g
+        s, t = self.node_index[source], self.node_index[sink]
+        free = np.setdiff1d(np.arange(nv), [s, t])
+        potentials = np.zeros(nv)
+        potentials[s] = voltage
+        if free.size:
+            a = lap[np.ix_(free, free)]
+            rhs = -lap[np.ix_(free, [s])] @ np.array([voltage])
+            potentials[free] = scipy.linalg.solve(a, rhs, assume_a="pos")
+        currents = np.array(
+            [
+                (potentials[self.node_index[e.a]] - potentials[self.node_index[e.b]])
+                / e.ohms
+                for e in self.edges
+            ]
+        )
+        injected = lap @ potentials
+        return CircuitSolution(
+            circuit=self,
+            potentials=potentials,
+            currents=currents,
+            source=source,
+            sink=sink,
+            total_current=float(injected[s]),
+        )
+
+    def __repr__(self) -> str:
+        return f"Circuit(|V|={self.num_nodes}, |E|={self.num_edges})"
+
+
+@dataclass(frozen=True)
+class CircuitSolution:
+    """Solved network state, with law-residual accessors for testing."""
+
+    circuit: Circuit
+    potentials: np.ndarray
+    currents: np.ndarray
+    source: Vertex
+    sink: Vertex
+    total_current: float
+
+    def l1_residual(self) -> np.ndarray:
+        """Net current at each node minus the source injection (≈ 0)."""
+        a = self.circuit.incidence_matrix()
+        injected = np.zeros(self.circuit.num_nodes)
+        injected[self.circuit.node_index[self.source]] = self.total_current
+        injected[self.circuit.node_index[self.sink]] = -self.total_current
+        return a @ self.currents - injected
+
+    def l2_residual(self) -> np.ndarray:
+        """Loop voltage sums over the fundamental cycle basis (≈ 0)."""
+        b = self.circuit.cycle_matrix()
+        drops = self.currents * np.array([e.ohms for e in self.circuit.edges])
+        return b @ drops
+
+    def effective_resistance(self) -> float:
+        src = self.circuit.node_index[self.source]
+        snk = self.circuit.node_index[self.sink]
+        return float(
+            (self.potentials[src] - self.potentials[snk]) / self.total_current
+        )

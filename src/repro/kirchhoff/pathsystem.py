@@ -1,0 +1,127 @@
+"""The path-based nonlinear system — baseline formulation of [15]/§II-C.
+
+Every endpoint pair ``(i, j)`` contributes one equation
+
+    ``Z_ij^{-1} = Σ_k P_k(R)^{-1}``
+
+where ``P_k(R)`` is the series resistance along the k-th enumerated
+path.  Two facts reproduced here, both load-bearing for the paper's
+motivation:
+
+* the equation *count* is polynomial but each equation has an
+  exponential number of terms, so building the system is exponential —
+  infeasible for ``n > 6`` (the benchmark measures the blow-up);
+* the parallel-paths aggregation is exact only when paths share no
+  resistor (true at ``n = 2``) and an approximation above that — the
+  test suite quantifies the model error against the exact forward
+  solver, which is useful context the paper leaves implicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.optimize
+
+from repro.kirchhoff.forward import measure
+from repro.kirchhoff.paths import CrossbarPath, enumerate_paths
+from repro.mea.device import MEAGrid
+from repro.utils.validation import require_positive_array
+
+
+@dataclass(frozen=True)
+class PathSystem:
+    """The assembled baseline system for a square device.
+
+    ``paths[(i, j)]`` holds every path for that pair; the unknown
+    vector is the flattened ``(n, n)`` resistance field.
+    """
+
+    grid: MEAGrid
+    paths: dict[tuple[int, int], tuple[CrossbarPath, ...]]
+
+    @property
+    def num_equations(self) -> int:
+        return len(self.paths)
+
+    @property
+    def num_terms(self) -> int:
+        """Total path terms across all equations (the exponential part)."""
+        return sum(len(ps) for ps in self.paths.values())
+
+    def predicted_z(self, resistance: np.ndarray) -> np.ndarray:
+        """Model measurement ``Z̃`` from the parallel-paths formula."""
+        r = require_positive_array(resistance, "resistance")
+        m, n = self.grid.m, self.grid.n
+        out = np.empty((m, n), dtype=np.float64)
+        for (i, j), ps in self.paths.items():
+            inv = 0.0
+            for p in ps:
+                inv += 1.0 / p.resistance(r)
+            out[i, j] = 1.0 / inv
+        return out
+
+    def residual(self, r_flat: np.ndarray, z: np.ndarray) -> np.ndarray:
+        """Admittance-scale residual ``1/Z̃ - 1/Z`` (flattened).
+
+        The admittance scale keeps magnitudes comparable across pairs
+        of very different Z, which conditions the solve.
+        """
+        r = r_flat.reshape(self.grid.m, self.grid.n)
+        pred = self.predicted_z(r)
+        return (1.0 / pred - 1.0 / np.asarray(z)).ravel()
+
+
+def build_path_system(grid: MEAGrid) -> PathSystem:
+    """Enumerate all paths for every pair (exponential; keep n small)."""
+    paths: dict[tuple[int, int], tuple[CrossbarPath, ...]] = {}
+    for i in range(grid.m):
+        for j in range(grid.n):
+            paths[(i, j)] = tuple(enumerate_paths(grid, i, j))
+    return PathSystem(grid=grid, paths=paths)
+
+
+def solve_path_system(
+    system: PathSystem,
+    z: np.ndarray,
+    r0: np.ndarray | None = None,
+    max_nfev: int = 2000,
+) -> np.ndarray:
+    """Recover R from Z under the path model (Levenberg–Marquardt).
+
+    Positivity is enforced by optimizing ``log R`` (so LM needs no
+    bounds; trust-region-reflective was observed to stall on the flat
+    admittance surface).  Returns the ``(m, n)`` estimate.  This is the
+    *baseline* solver: accurate for ``n = 2`` (exact model) and
+    approximate beyond.
+    """
+    z = require_positive_array(z, "z")
+    m, n = system.grid.m, system.grid.n
+    if z.shape != (m, n):
+        raise ValueError(f"z has shape {z.shape}, expected {(m, n)}")
+    if r0 is None:
+        # The direct resistor dominates each measurement, so Z itself
+        # is a serviceable starting field.
+        r0 = z.copy()
+    x0 = np.log(np.asarray(r0, dtype=np.float64).ravel())
+
+    def fun(x: np.ndarray) -> np.ndarray:
+        return system.residual(np.exp(x), z)
+
+    result = scipy.optimize.least_squares(
+        fun, x0, method="lm", max_nfev=max_nfev
+    )
+    return np.exp(result.x).reshape(m, n)
+
+
+def model_error_vs_exact(grid: MEAGrid, resistance: np.ndarray) -> float:
+    """Max relative deviation of the path-model Z from the exact Z.
+
+    0 (to machine precision) for 2 x 2 devices; grows with n — the
+    structural approximation error of the baseline formulation.
+    """
+    system = build_path_system(grid)
+    exact = measure(resistance)
+    approx = system.predicted_z(resistance)
+    return float(np.max(np.abs(approx - exact) / exact))

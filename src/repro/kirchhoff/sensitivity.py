@@ -1,0 +1,105 @@
+"""Measurement sensitivity maps: which resistors does a reading see?
+
+From the analytic derivative behind the nested solver
+(:func:`repro.core.solver.nested_jacobian`):
+
+    ``∂Z_st / ∂R_ab = (x_st^T L⁺ b_ab)² / R_ab²``
+
+— the squared *transfer potential* across resistor (a, b) when unit
+current is driven through pair (s, t).  Normalized per pair this is a
+probability-like map of where the measurement's information lives:
+
+* the driven pair's own resistor dominates;
+* sensitivity decays away from the driven wires — the physical basis
+  for the paper's §IV-B locality/manifold argument;
+* the aggregate map over all pairs shows the device's blind spots
+  (corners are seen by fewer low-resistance paths).
+
+Used by the examples to visualize devices, and by tests to pin the
+locality structure quantitatively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import require_positive_array
+
+
+def sensitivity_map(resistance: np.ndarray, row: int, col: int) -> np.ndarray:
+    """``∂Z_row,col / ∂R`` over every resistor, shape (m, n).
+
+    Entries are non-negative (Rayleigh monotonicity) and carry units
+    of (measured Ω) per (resistor Ω).
+    """
+    from repro.core.solver import nested_jacobian
+
+    r = require_positive_array(resistance, "resistance")
+    m, n = r.shape
+    if not (0 <= row < m and 0 <= col < n):
+        raise IndexError(f"pair ({row}, {col}) out of range for {m}x{n}")
+    jac = nested_jacobian(r)  # dZ/d(log R), rows = pairs, cols = resistors
+    pair = row * n + col
+    # dZ/dR = dZ/dθ / R.
+    return (jac[pair] / r.ravel()).reshape(m, n)
+
+
+def normalized_sensitivity(
+    resistance: np.ndarray, row: int, col: int
+) -> np.ndarray:
+    """Sensitivity map scaled to sum to 1 (information distribution)."""
+    s = sensitivity_map(resistance, row, col)
+    total = s.sum()
+    if total <= 0:  # pragma: no cover - impossible for positive R
+        raise ArithmeticError("degenerate sensitivity")
+    return s / total
+
+
+def aggregate_sensitivity(resistance: np.ndarray) -> np.ndarray:
+    """Sum of normalized maps over all pairs: device coverage.
+
+    Uniform coverage would be flat at ``m * n / (m * n) = 1`` after
+    dividing by the pair count; structure reveals which resistors are
+    well- or poorly-observed.
+    """
+    from repro.core.solver import nested_jacobian
+
+    r = require_positive_array(resistance, "resistance")
+    m, n = r.shape
+    jac = nested_jacobian(r) / r.ravel()[None, :]
+    jac = jac / jac.sum(axis=1, keepdims=True)
+    return jac.sum(axis=0).reshape(m, n) / (m * n) * (m * n)
+
+
+def locality_profile(
+    resistance: np.ndarray, row: int, col: int
+) -> np.ndarray:
+    """Mean normalized sensitivity vs Chebyshev distance to (row, col).
+
+    Decreasing profile = the measurement is local — §IV-B's premise.
+    Returns an array indexed by distance 0..max_dist.
+    """
+    s = normalized_sensitivity(resistance, row, col)
+    m, n = s.shape
+    rows, cols = np.mgrid[0:m, 0:n]
+    dist = np.maximum(np.abs(rows - row), np.abs(cols - col))
+    out = []
+    for d in range(int(dist.max()) + 1):
+        mask = dist == d
+        out.append(float(s[mask].mean()))
+    return np.array(out)
+
+
+def self_sensitivity_fraction(resistance: np.ndarray) -> np.ndarray:
+    """Per pair: fraction of sensitivity on the pair's own resistor.
+
+    The diagonal-dominance structure that makes ``R0 = Z``-style
+    initializations work.
+    """
+    from repro.core.solver import nested_jacobian
+
+    r = require_positive_array(resistance, "resistance")
+    m, n = r.shape
+    jac = nested_jacobian(r) / r.ravel()[None, :]
+    own = np.diagonal(jac)
+    return (own / jac.sum(axis=1)).reshape(m, n)

@@ -1,0 +1,65 @@
+"""Differential-geometric view of MEAs (paper §IV-B).
+
+* :mod:`repro.manifold.vectorfield` — discrete gradient/divergence/
+  curl and circulation on the lattice.
+* :mod:`repro.manifold.frames` — chart maps, per-cell Jacobians,
+  pullback/pushforward between physical and lattice frames.
+* :mod:`repro.manifold.stokes` — the discrete Stokes identity behind
+  the per-hole locality argument.
+* :mod:`repro.manifold.smooth` — smoothness checks and the repeated-
+  measurement manifold.
+"""
+
+from repro.manifold.frames import (
+    ChartMap,
+    degenerate_cells,
+    jacobian_determinants,
+    local_jacobians,
+    orthogonality_defect,
+    pullback_gradient,
+    pushforward_gradient,
+)
+from repro.manifold.smooth import (
+    RepeatedMeasurement,
+    is_smooth,
+    mixed_partial_gap,
+    smoothness_index,
+)
+from repro.manifold.stokes import (
+    exactness_defect,
+    rectangle_boundary,
+    stokes_gap,
+    verify_stokes,
+)
+from repro.manifold.vectorfield import (
+    circulation,
+    curl,
+    div,
+    grad,
+    laplacian,
+    voltage_field_from_drive,
+)
+
+__all__ = [
+    "ChartMap",
+    "RepeatedMeasurement",
+    "circulation",
+    "curl",
+    "degenerate_cells",
+    "div",
+    "exactness_defect",
+    "grad",
+    "is_smooth",
+    "jacobian_determinants",
+    "laplacian",
+    "local_jacobians",
+    "mixed_partial_gap",
+    "orthogonality_defect",
+    "pullback_gradient",
+    "pushforward_gradient",
+    "rectangle_boundary",
+    "smoothness_index",
+    "stokes_gap",
+    "verify_stokes",
+    "voltage_field_from_drive",
+]

@@ -1,0 +1,144 @@
+"""Local frames and Jacobian change-of-frame (paper §IV-B).
+
+The paper notes that real MEAs need not be equidistant orthogonal
+grids: with a chart map ``φ: lattice -> R^2`` describing where each
+sensor physically sits, calculus can still be done per-cell by pulling
+derivatives back through the Jacobian of ``φ`` — "convert any
+arbitrary MEA into a locally orthogonal frame".
+
+:class:`ChartMap` represents the deformation; :func:`local_jacobians`
+estimates the per-cell Jacobian by central/forward differences;
+:func:`pullback_gradient` maps a physical-space gradient into lattice
+coordinates (``∇_lattice = J^T ∇_phys``) and back.  Degenerate cells
+(non-invertible Jacobians, i.e. a folded or torn device) are detected
+and reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ChartMap:
+    """Physical positions of an ``n x n`` lattice of sensors.
+
+    ``x``/``y`` are ``(n, n)`` arrays of physical coordinates.  Build
+    from a callable with :meth:`from_function` or use :meth:`identity`
+    for the equidistant device.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        x = np.asarray(self.x, dtype=np.float64)
+        y = np.asarray(self.y, dtype=np.float64)
+        if x.ndim != 2 or x.shape != y.shape:
+            raise ValueError("x and y must be equal-shape 2-D arrays")
+        object.__setattr__(self, "x", x)
+        object.__setattr__(self, "y", y)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.x.shape  # type: ignore[return-value]
+
+    @classmethod
+    def identity(cls, n: int) -> "ChartMap":
+        rows, cols = np.mgrid[0:n, 0:n].astype(np.float64)
+        return cls(x=rows, y=cols)
+
+    @classmethod
+    def from_function(
+        cls, n: int, fn: Callable[[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]
+    ) -> "ChartMap":
+        """``fn(rows, cols) -> (x, y)`` applied to the integer lattice."""
+        rows, cols = np.mgrid[0:n, 0:n].astype(np.float64)
+        x, y = fn(rows, cols)
+        return cls(x=np.asarray(x, dtype=np.float64), y=np.asarray(y, dtype=np.float64))
+
+
+def local_jacobians(chart: ChartMap) -> np.ndarray:
+    """Per-cell Jacobians ``J[a, b] = d(x, y)/d(row, col)``.
+
+    Estimated with forward differences on each unit cell (cell grid is
+    ``(n-1, n-1)``); entry layout ``[[dx/dr, dx/dc], [dy/dr, dy/dc]]``.
+    """
+    x, y = chart.x, chart.y
+    dxdr = np.diff(x, axis=0)[:, :-1]
+    dxdc = np.diff(x, axis=1)[:-1, :]
+    dydr = np.diff(y, axis=0)[:, :-1]
+    dydc = np.diff(y, axis=1)[:-1, :]
+    jac = np.empty(dxdr.shape + (2, 2), dtype=np.float64)
+    jac[..., 0, 0] = dxdr
+    jac[..., 0, 1] = dxdc
+    jac[..., 1, 0] = dydr
+    jac[..., 1, 1] = dydc
+    return jac
+
+
+def jacobian_determinants(chart: ChartMap) -> np.ndarray:
+    """Per-cell det J; ≈ cell area, sign flips where the device folds."""
+    jac = local_jacobians(chart)
+    return np.linalg.det(jac)
+
+
+def degenerate_cells(chart: ChartMap, tol: float = 1e-12) -> np.ndarray:
+    """Boolean mask of cells whose frame is not invertible."""
+    return np.abs(jacobian_determinants(chart)) < tol
+
+
+def pullback_gradient(
+    chart: ChartMap, grad_phys: np.ndarray
+) -> np.ndarray:
+    """Physical-space gradients → lattice-coordinate gradients.
+
+    ``grad_phys`` has shape ``(n-1, n-1, 2)`` (per cell, (d/dx, d/dy));
+    returns the same shape in (d/drow, d/dcol): the chain rule
+    ``∇_lattice = J^T ∇_phys``.
+    """
+    jac = local_jacobians(chart)
+    grad_phys = np.asarray(grad_phys, dtype=np.float64)
+    if grad_phys.shape != jac.shape[:2] + (2,):
+        raise ValueError(
+            f"grad_phys must have shape {jac.shape[:2] + (2,)}"
+        )
+    return np.einsum("abji,abj->abi", jac, grad_phys)
+
+
+def pushforward_gradient(
+    chart: ChartMap, grad_lattice: np.ndarray
+) -> np.ndarray:
+    """Lattice gradients → physical gradients: ``∇_phys = J^{-T} ∇_lat``.
+
+    Raises on degenerate cells (the device geometry is invalid there).
+    """
+    jac = local_jacobians(chart)
+    if degenerate_cells(chart).any():
+        raise ValueError("chart has degenerate (non-invertible) cells")
+    grad_lattice = np.asarray(grad_lattice, dtype=np.float64)
+    if grad_lattice.shape != jac.shape[:2] + (2,):
+        raise ValueError(
+            f"grad_lattice must have shape {jac.shape[:2] + (2,)}"
+        )
+    inv_t = np.linalg.inv(jac).transpose(0, 1, 3, 2)
+    return np.einsum("abij,abj->abi", inv_t, grad_lattice)
+
+
+def orthogonality_defect(chart: ChartMap) -> np.ndarray:
+    """Per-cell |cos angle| between the two frame vectors.
+
+    0 for a perfectly orthogonal device; benchmark ablations deform a
+    device and track how far Parma's equidistant assumptions stretch.
+    """
+    jac = local_jacobians(chart)
+    e1 = jac[..., :, 0]
+    e2 = jac[..., :, 1]
+    dot = np.einsum("abi,abi->ab", e1, e2)
+    norms = np.linalg.norm(e1, axis=-1) * np.linalg.norm(e2, axis=-1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        out = np.abs(dot) / norms
+    return np.nan_to_num(out, nan=1.0)

@@ -1,0 +1,116 @@
+"""Smoothness of MEA fields and repeated-measurement manifolds.
+
+§IV-B's parallel-calculus argument assumes the voltage field is
+*continuous* — no abrupt jumps between neighbouring sensors.  The
+paper suggests two practical handles, both implemented here:
+
+* a quantitative smoothness check (:func:`smoothness_index`,
+  :func:`is_smooth`): the largest second difference relative to the
+  field's dynamic range — small for dense healthy devices, spiking at
+  anomaly edges;
+* the repeated-measurement manifold (:class:`RepeatedMeasurement`):
+  averaging ``k`` noisy measurement replicas shrinks instrument noise
+  like ``1/sqrt(k)``, recovering the differentiability the single
+  snapshot lacks ("repeat the measurement and consider the vector of
+  repeated measurements as a more realistic manifold").
+
+Plus the mixed-partial symmetry check the paper quotes
+(``∂²U/∂x∂y = ∂²U/∂y∂x``), exact for the discrete operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def second_differences(field: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Axis-wise second differences (∂²/∂x², ∂²/∂y² analogues)."""
+    f = np.asarray(field, dtype=np.float64)
+    if f.ndim != 2:
+        raise ValueError("field must be 2-D")
+    return np.diff(f, n=2, axis=0), np.diff(f, n=2, axis=1)
+
+
+def mixed_partials(field: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Both orders of the discrete mixed partial (identical arrays)."""
+    f = np.asarray(field, dtype=np.float64)
+    dxy = np.diff(np.diff(f, axis=0), axis=1)
+    dyx = np.diff(np.diff(f, axis=1), axis=0)
+    return dxy, dyx
+
+
+def mixed_partial_gap(field: np.ndarray) -> float:
+    """Max |∂²U/∂x∂y - ∂²U/∂y∂x| — zero exactly (finite differences
+    commute), mirroring the paper's Euclidean identity."""
+    dxy, dyx = mixed_partials(field)
+    return float(np.max(np.abs(dxy - dyx), initial=0.0))
+
+
+def smoothness_index(field: np.ndarray) -> float:
+    """Largest second difference over the field's dynamic range.
+
+    0 for affine fields; O(1) when neighbouring sites jump by the full
+    range.  Dimensionless, comparable across devices and units.
+    """
+    f = np.asarray(field, dtype=np.float64)
+    if f.ndim != 2:
+        raise ValueError("field must be 2-D")
+    span = float(f.max() - f.min())
+    if span == 0.0:
+        return 0.0
+    d2x, d2y = second_differences(f)
+    worst = max(
+        float(np.max(np.abs(d2x), initial=0.0)),
+        float(np.max(np.abs(d2y), initial=0.0)),
+    )
+    return worst / span
+
+
+def is_smooth(field: np.ndarray, threshold: float = 0.5) -> bool:
+    """Whether the §IV-B continuity assumption plausibly holds."""
+    return smoothness_index(field) <= threshold
+
+
+@dataclass(frozen=True)
+class RepeatedMeasurement:
+    """A stack of measurement replicas of the same quantity.
+
+    ``replicas`` has shape ``(k, n, n)``; the mean is the manifold
+    estimate, and :meth:`noise_scale` tracks the residual replica
+    spread of the mean (shrinking like ``1/sqrt(k)``).
+    """
+
+    replicas: np.ndarray
+
+    def __post_init__(self) -> None:
+        reps = np.asarray(self.replicas, dtype=np.float64)
+        if reps.ndim != 3 or reps.shape[0] < 1:
+            raise ValueError("replicas must be a (k, n, n) stack, k >= 1")
+        object.__setattr__(self, "replicas", reps)
+
+    @property
+    def count(self) -> int:
+        return self.replicas.shape[0]
+
+    def mean_field(self) -> np.ndarray:
+        return self.replicas.mean(axis=0)
+
+    def noise_scale(self) -> float:
+        """Std of the replica mean, averaged over sites."""
+        if self.count == 1:
+            return 0.0
+        per_site = self.replicas.std(axis=0, ddof=1) / np.sqrt(self.count)
+        return float(per_site.mean())
+
+    def smoothness_gain(self) -> float:
+        """Smoothness index ratio: single replica / averaged manifold.
+
+        > 1 whenever averaging helped (it does for i.i.d. noise).
+        """
+        single = smoothness_index(self.replicas[0])
+        averaged = smoothness_index(self.mean_field())
+        if averaged == 0.0:
+            return float("inf") if single > 0 else 1.0
+        return single / averaged

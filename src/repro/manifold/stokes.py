@@ -1,0 +1,100 @@
+"""Discrete Stokes' theorem on the MEA lattice (paper §IV-B).
+
+The paper's manifold argument rests on ``∫_boundary U = ∬_patch D(U)``:
+the circulation of a field along a patch boundary equals the summed
+local "curl" inside — so each hole's Kirchhoff work only needs local
+data.  On the lattice this is *exact*, not approximate:
+
+    circulation(edge field, boundary of region) =
+        Σ_{cells in region} curl(edge field)[cell]
+
+for every axis-aligned rectangular region.  :func:`verify_stokes`
+checks the identity for a given field and region;
+:func:`exactness_defect` measures how far an edge field is from being
+a gradient (zero for voltage fields of any drive — precisely
+Kirchhoff's second law).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.manifold.vectorfield import circulation, curl, grad
+
+
+def rectangle_boundary(
+    top: int, left: int, height: int, width: int
+) -> list[tuple[int, int]]:
+    """Site loop around a rectangle of unit cells, in curl orientation.
+
+    The region covers cells ``[top, top+height) x [left, left+width)``;
+    the loop visits its ``2 (height + width)`` boundary sites starting
+    at ``(top, left)`` and proceeding along the top edge first
+    (column-increasing), matching the per-cell traversal used by
+    :func:`repro.manifold.vectorfield.curl`, so circulation equals the
+    patch sum with a *plus* sign.
+    """
+    if height < 1 or width < 1:
+        raise ValueError("rectangle must span at least one cell")
+    loop: list[tuple[int, int]] = []
+    for c in range(left, left + width):
+        loop.append((top, c))
+    for r in range(top, top + height):
+        loop.append((r, left + width))
+    for c in range(left + width, left, -1):
+        loop.append((top + height, c))
+    for r in range(top + height, top, -1):
+        loop.append((r, left))
+    return loop
+
+
+def patch_sum(
+    gx: np.ndarray, gy: np.ndarray, top: int, left: int, height: int, width: int
+) -> float:
+    """``Σ curl`` over the rectangular patch of cells."""
+    cells = curl(gx, gy)
+    if top < 0 or left < 0 or top + height > cells.shape[0] or left + width > cells.shape[1]:
+        raise ValueError("patch exceeds the cell grid")
+    return float(cells[top : top + height, left : left + width].sum())
+
+
+def stokes_gap(
+    gx: np.ndarray, gy: np.ndarray, top: int, left: int, height: int, width: int
+) -> float:
+    """|circulation - patch sum| for the rectangle (0 to round-off)."""
+    loop = rectangle_boundary(top, left, height, width)
+    circ = circulation(gx, gy, loop)
+    return abs(circ - patch_sum(gx, gy, top, left, height, width))
+
+
+def verify_stokes(
+    gx: np.ndarray,
+    gy: np.ndarray,
+    top: int,
+    left: int,
+    height: int,
+    width: int,
+    rtol: float = 1e-9,
+) -> bool:
+    """True iff the discrete Stokes identity holds for the rectangle."""
+    loop = rectangle_boundary(top, left, height, width)
+    circ = circulation(gx, gy, loop)
+    patch = patch_sum(gx, gy, top, left, height, width)
+    scale = max(abs(circ), abs(patch), 1e-30)
+    return abs(circ - patch) <= rtol * scale
+
+
+def exactness_defect(gx: np.ndarray, gy: np.ndarray) -> float:
+    """Max |curl| over all unit cells — 0 iff the field is a gradient.
+
+    For the voltage field of *any* drive of *any* resistance field this
+    is zero: voltages are a potential, so their differences around any
+    loop cancel — Kirchhoff's second law in homological clothing.
+    """
+    return float(np.max(np.abs(curl(gx, gy)), initial=0.0))
+
+
+def potential_circulations(field: np.ndarray) -> np.ndarray:
+    """All unit-cell circulations of ``grad(field)`` (≈ 0 everywhere)."""
+    gx, gy = grad(field)
+    return curl(gx, gy)

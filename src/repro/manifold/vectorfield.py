@@ -1,0 +1,120 @@
+"""Discrete scalar/vector fields on the MEA lattice (paper §IV-B).
+
+§IV-B views a dense MEA as a manifold carrying the voltage field
+``U`` and parallelizes calculus locally.  The discrete analogue used
+here: scalar fields live on lattice sites ``(n, n)``; the gradient is
+a staggered 1-form (values on edges); divergence and scalar curl are
+the adjoint difference operators.  These operators satisfy the exact
+discrete identities the smooth theory promises —
+
+* ``curl(grad f) = 0`` identically (mixed partials commute), and
+* circulation of ``grad f`` around every closed lattice loop is zero
+
+— which is what makes the per-hole decomposition of the Kirchhoff
+work legitimate.  :mod:`repro.manifold.stokes` builds the
+circulation/patch identity on top of these operators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def grad(field: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Forward-difference gradient of a site field.
+
+    Returns ``(gx, gy)``: ``gx[i, j] = f[i+1, j] - f[i, j]`` lives on
+    vertical edges (shape ``(n-1, n)``), ``gy`` on horizontal edges
+    (shape ``(n, n-1)``).
+    """
+    f = np.asarray(field, dtype=np.float64)
+    if f.ndim != 2:
+        raise ValueError("field must be 2-D")
+    return np.diff(f, axis=0), np.diff(f, axis=1)
+
+
+def div(gx: np.ndarray, gy: np.ndarray) -> np.ndarray:
+    """Adjoint divergence of an edge field back onto sites.
+
+    Zero-flux boundary convention (no current leaves the device edge),
+    matching the electrical model.
+    """
+    gx = np.asarray(gx, dtype=np.float64)
+    gy = np.asarray(gy, dtype=np.float64)
+    n0 = gx.shape[0] + 1
+    n1 = gy.shape[1] + 1
+    if gx.shape != (n0 - 1, n1) or gy.shape != (n0, n1 - 1):
+        raise ValueError("gx/gy shapes are inconsistent")
+    out = np.zeros((n0, n1), dtype=np.float64)
+    out[:-1, :] += gx
+    out[1:, :] -= gx
+    out[:, :-1] += gy
+    out[:, 1:] -= gy
+    return out
+
+
+def curl(gx: np.ndarray, gy: np.ndarray) -> np.ndarray:
+    """Discrete scalar curl on unit cells (shape ``(n-1, n-1)``).
+
+    Circulation of the edge field around each unit cell, traversed
+    counter-clockwise: bottom, right, top (reversed), left (reversed).
+    ``curl(grad f)`` is identically zero.
+    """
+    gx = np.asarray(gx, dtype=np.float64)
+    gy = np.asarray(gy, dtype=np.float64)
+    # Cell (a, b): edges gy[a, b] (bottom), gx[a, b+1] (right),
+    # gy[a+1, b] (top, reversed), gx[a, b] (left, reversed).
+    return gy[:-1, :] + gx[:, 1:] - gy[1:, :] - gx[:, :-1]
+
+
+def laplacian(field: np.ndarray) -> np.ndarray:
+    """``div(grad(field))`` — the 5-point Laplacian with Neumann edges."""
+    gx, gy = grad(field)
+    return -div(gx, gy)
+
+
+def circulation(
+    gx: np.ndarray, gy: np.ndarray, loop: list[tuple[int, int]]
+) -> float:
+    """Line integral of the edge field along a closed site loop.
+
+    ``loop`` is a list of lattice sites; consecutive sites must be
+    4-neighbours and the last must neighbour the first.
+    """
+    gx = np.asarray(gx, dtype=np.float64)
+    gy = np.asarray(gy, dtype=np.float64)
+    if len(loop) < 3:
+        raise ValueError("a loop needs at least 3 sites")
+    total = 0.0
+    closed = list(loop) + [loop[0]]
+    for (r0, c0), (r1, c1) in zip(closed, closed[1:]):
+        dr, dc = r1 - r0, c1 - c0
+        if (abs(dr), abs(dc)) not in ((1, 0), (0, 1)):
+            raise ValueError(
+                f"sites ({r0},{c0}) -> ({r1},{c1}) are not 4-neighbours"
+            )
+        if dr == 1:
+            total += gx[r0, c0]
+        elif dr == -1:
+            total -= gx[r1, c1]
+        elif dc == 1:
+            total += gy[r0, c0]
+        else:
+            total -= gy[r0, c1]
+    return float(total)
+
+
+def voltage_field_from_drive(resistance: np.ndarray, row: int, col: int,
+                             voltage: float = 5.0) -> np.ndarray:
+    """The §IV-B site field: voltage midway across each resistor.
+
+    Under drive ``(row, col)``, resistor ``(a, b)`` sees horizontal
+    wire voltage ``h_a`` on one side and vertical wire voltage ``v_b``
+    on the other; its site value is the average — a smooth proxy field
+    on the resistor lattice whose structure the manifold machinery
+    analyses.
+    """
+    from repro.kirchhoff.forward import solve_drive
+
+    sol = solve_drive(resistance, row, col, voltage=voltage)
+    return 0.5 * (sol.h_voltages[:, None] + sol.v_voltages[None, :])

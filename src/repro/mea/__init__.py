@@ -1,0 +1,99 @@
+"""MEA device models, graph abstractions, and (simulated) wet-lab data.
+
+* :mod:`repro.mea.device` — the physical ``m x n`` crossbar: wires,
+  joints, resistors, Figure-1 numbering.
+* :mod:`repro.mea.graph` — joint graph (Fig. 1), resistor graph
+  (Fig. 2), collapsed electrical wire graph, and simplicial-complex
+  views (Proposition 1).
+* :mod:`repro.mea.kdim` — k-dimensional equidistant generalization
+  and the ``(n-1)^k`` unit-cell counts of §IV-B.
+* :mod:`repro.mea.synthetic` — ground-truth resistance fields with
+  anomaly blobs in the paper's 2,000–11,000 kΩ band.
+* :mod:`repro.mea.wetlab` — the forward-simulated measurement campaign
+  standing in for the paper's wet-lab device (see DESIGN.md §2).
+* :mod:`repro.mea.dataset` — measurement containers.
+"""
+
+from repro.mea.dataset import Measurement, MeasurementCampaign
+from repro.mea.defects import (
+    DefectMap,
+    apply_defects,
+    classify_crossings,
+    random_defects,
+)
+from repro.mea.device import (
+    Joint,
+    MEAGrid,
+    Resistor,
+    horizontal_wire_name,
+    roman_numeral,
+    vertical_wire_name,
+)
+from repro.mea.graph import (
+    device_complex,
+    expected_betti,
+    joint_graph,
+    mesh_count,
+    resistor_complex,
+    resistor_graph,
+    wire_graph,
+)
+from repro.mea.kdim import KDimMEA
+from repro.mea.lattice import LatticeDevice, uniform_face_resistance_exact
+from repro.mea.synthetic import (
+    PAPER_R_MAX_KOHM,
+    PAPER_R_MIN_KOHM,
+    PAPER_VOLTAGE,
+    AnomalyBlob,
+    FieldSpec,
+    anomaly_mask,
+    generate_field,
+    paper_like_spec,
+    random_blobs,
+)
+from repro.mea.wetlab import (
+    WetLabConfig,
+    WetLabRun,
+    quick_device_data,
+    run_campaign,
+    simulate_measurement,
+)
+
+__all__ = [
+    "AnomalyBlob",
+    "DefectMap",
+    "apply_defects",
+    "classify_crossings",
+    "random_defects",
+    "FieldSpec",
+    "Joint",
+    "KDimMEA",
+    "LatticeDevice",
+    "uniform_face_resistance_exact",
+    "MEAGrid",
+    "Measurement",
+    "MeasurementCampaign",
+    "PAPER_R_MAX_KOHM",
+    "PAPER_R_MIN_KOHM",
+    "PAPER_VOLTAGE",
+    "Resistor",
+    "WetLabConfig",
+    "WetLabRun",
+    "anomaly_mask",
+    "device_complex",
+    "expected_betti",
+    "generate_field",
+    "horizontal_wire_name",
+    "joint_graph",
+    "mesh_count",
+    "paper_like_spec",
+    "quick_device_data",
+    "random_blobs",
+    "resistor_complex",
+    "resistor_graph",
+    "roman_numeral",
+    "run_campaign",
+    "simulate_measurement",
+    "vertical_wire_name",
+    "wire_graph",
+]

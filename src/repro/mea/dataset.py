@@ -1,0 +1,117 @@
+"""Measurement containers for MEA campaigns.
+
+The paper's data arrives as per-timepoint matrices of pairwise
+measured resistances ``Z`` (Excel sheets converted to text, measured
+at 0/6/12/24 h after device setup).  :class:`Measurement` is one
+snapshot; :class:`MeasurementCampaign` is the 4-a-day series.  Both
+carry enough metadata (voltage, units, provenance) for the pipeline to
+be self-describing, and round-trip through
+:mod:`repro.io.textformat`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.utils.validation import require_positive, require_positive_array
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One snapshot of a device's pairwise measurements.
+
+    Attributes
+    ----------
+    z_kohm:
+        ``(m, n)`` measured resistances in kΩ; ``z_kohm[i, j]`` is the
+        reading between horizontal wire i and vertical wire j.
+    voltage:
+        Drive voltage in volts (5 V in the paper).
+    hour:
+        Hours since device setup (0, 6, 12 or 24 in the paper).
+    meta:
+        Free-form provenance (seed, spec hash, instrument noise, ...).
+    """
+
+    z_kohm: np.ndarray
+    voltage: float = 5.0
+    hour: float = 0.0
+    meta: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        z = require_positive_array(self.z_kohm, "z_kohm")
+        if z.ndim != 2:
+            raise ValueError(f"z_kohm must be 2-D, got {z.ndim}-D")
+        object.__setattr__(self, "z_kohm", z)
+        require_positive(self.voltage, "voltage")
+        if self.hour < 0:
+            raise ValueError(f"hour must be non-negative, got {self.hour}")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.z_kohm.shape  # type: ignore[return-value]
+
+    @property
+    def n(self) -> int:
+        """Device side for square devices (raises otherwise)."""
+        m, n = self.shape
+        if m != n:
+            raise ValueError(f"device is {m}x{n}, not square")
+        return n
+
+    def with_meta(self, **extra: str) -> "Measurement":
+        merged = dict(self.meta)
+        merged.update(extra)
+        return Measurement(
+            z_kohm=self.z_kohm, voltage=self.voltage, hour=self.hour, meta=merged
+        )
+
+
+@dataclass(frozen=True)
+class MeasurementCampaign:
+    """A time series of measurements of one device (one wet-lab day)."""
+
+    measurements: tuple[Measurement, ...]
+
+    def __post_init__(self) -> None:
+        if not self.measurements:
+            raise ValueError("campaign needs at least one measurement")
+        shapes = {m.shape for m in self.measurements}
+        if len(shapes) > 1:
+            raise ValueError(f"mixed device shapes in campaign: {shapes}")
+        hours = [m.hour for m in self.measurements]
+        if hours != sorted(hours):
+            raise ValueError("measurements must be ordered by hour")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.measurements[0].shape
+
+    @property
+    def hours(self) -> tuple[float, ...]:
+        return tuple(m.hour for m in self.measurements)
+
+    def at_hour(self, hour: float) -> Measurement:
+        for m in self.measurements:
+            if m.hour == hour:
+                return m
+        raise KeyError(f"no measurement at hour {hour}; have {self.hours}")
+
+    def __iter__(self) -> Iterator[Measurement]:
+        return iter(self.measurements)
+
+    def __len__(self) -> int:
+        return len(self.measurements)
+
+    def drift(self) -> np.ndarray:
+        """Relative change of Z between first and last snapshot.
+
+        Large positive drift localizes growing anomalies over the day —
+        the real-time monitoring use case of §II-C.
+        """
+        first = self.measurements[0].z_kohm
+        last = self.measurements[-1].z_kohm
+        return (last - first) / first

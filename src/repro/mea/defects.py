@@ -1,0 +1,132 @@
+"""Manufacturing-defect models: open and shorted crossings.
+
+Real crossbar MEAs ship with fabrication defects — a crossing whose
+resistor never formed (an *open*: R → ∞, no current path) or whose
+insulation failed (a *short*: R → 0, wires welded).  Parametrizing a
+device is also how labs screen for them: an open reads as an extreme
+recovered R, a short as a near-zero one.
+
+Numerically, true 0/∞ would break the positive-resistance invariants
+(and the log parametrization), so defects are represented by clamped
+extreme values — ``OPEN_KOHM`` (10⁹ kΩ: ≥ 10⁵× any tissue value, so
+< 0.001 % of pair current crosses it) and ``SHORT_KOHM`` (10⁻³ kΩ).
+The forward model stays exact; :func:`classify_crossings` recovers the
+defect map from a recovered field with order-of-magnitude margins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mea.synthetic import PAPER_R_MAX_KOHM, PAPER_R_MIN_KOHM
+from repro.utils.rng import default_rng
+from repro.utils.validation import require_in_range, require_shape
+
+#: Clamped extreme values standing in for R = ∞ / R = 0.
+OPEN_KOHM = 1e9
+SHORT_KOHM = 1e-3
+
+#: Classification thresholds (geometric midpoints leave ~100x margin
+#: on each side of the healthy 2,000-11,000 kΩ band).
+OPEN_THRESHOLD_KOHM = 1e6
+SHORT_THRESHOLD_KOHM = 1.0
+
+CROSSING_OK = 0
+CROSSING_OPEN = 1
+CROSSING_SHORT = 2
+
+
+@dataclass(frozen=True)
+class DefectMap:
+    """Per-crossing defect codes (0 = ok, 1 = open, 2 = short)."""
+
+    codes: np.ndarray
+
+    def __post_init__(self) -> None:
+        codes = np.asarray(self.codes, dtype=np.int8)
+        require_shape(codes, (None, None), "codes")
+        if not np.isin(codes, (CROSSING_OK, CROSSING_OPEN, CROSSING_SHORT)).all():
+            raise ValueError("codes must be 0 (ok), 1 (open) or 2 (short)")
+        object.__setattr__(self, "codes", codes)
+
+    @property
+    def num_opens(self) -> int:
+        return int((self.codes == CROSSING_OPEN).sum())
+
+    @property
+    def num_shorts(self) -> int:
+        return int((self.codes == CROSSING_SHORT).sum())
+
+    @property
+    def num_defects(self) -> int:
+        return self.num_opens + self.num_shorts
+
+    def open_sites(self) -> list[tuple[int, int]]:
+        return [
+            (int(r), int(c))
+            for r, c in np.argwhere(self.codes == CROSSING_OPEN)
+        ]
+
+    def short_sites(self) -> list[tuple[int, int]]:
+        return [
+            (int(r), int(c))
+            for r, c in np.argwhere(self.codes == CROSSING_SHORT)
+        ]
+
+    def agreement(self, other: "DefectMap") -> float:
+        """Fraction of crossings classified identically."""
+        if self.codes.shape != other.codes.shape:
+            raise ValueError("defect maps have different shapes")
+        return float((self.codes == other.codes).mean())
+
+
+def random_defects(
+    shape: tuple[int, int],
+    open_rate: float = 0.02,
+    short_rate: float = 0.01,
+    seed: int | None = None,
+) -> DefectMap:
+    """Sample i.i.d. defects at the given per-crossing rates."""
+    require_in_range(open_rate, "open_rate", 0.0, 0.5)
+    require_in_range(short_rate, "short_rate", 0.0, 0.5)
+    if open_rate + short_rate > 0.5:
+        raise ValueError("combined defect rate above 50% is not a device")
+    rng = default_rng(seed)
+    u = rng.random(shape)
+    codes = np.zeros(shape, dtype=np.int8)
+    codes[u < open_rate] = CROSSING_OPEN
+    codes[(u >= open_rate) & (u < open_rate + short_rate)] = CROSSING_SHORT
+    return DefectMap(codes=codes)
+
+
+def apply_defects(resistance: np.ndarray, defects: DefectMap) -> np.ndarray:
+    """Overlay defects onto a healthy resistance field (returns copy)."""
+    r = np.array(resistance, dtype=np.float64, copy=True)
+    if r.shape != defects.codes.shape:
+        raise ValueError("field and defect map shapes differ")
+    r[defects.codes == CROSSING_OPEN] = OPEN_KOHM
+    r[defects.codes == CROSSING_SHORT] = SHORT_KOHM
+    return r
+
+
+def classify_crossings(recovered: np.ndarray) -> DefectMap:
+    """Screen a recovered field for defects by magnitude.
+
+    Healthy tissue lives in 2,000–11,000 kΩ; anything beyond
+    ``OPEN_THRESHOLD_KOHM`` (or below ``SHORT_THRESHOLD_KOHM``) is
+    physically impossible for tissue and flags the crossing.
+    """
+    r = np.asarray(recovered, dtype=np.float64)
+    codes = np.zeros(r.shape, dtype=np.int8)
+    codes[r > OPEN_THRESHOLD_KOHM] = CROSSING_OPEN
+    codes[r < SHORT_THRESHOLD_KOHM] = CROSSING_SHORT
+    return DefectMap(codes=codes)
+
+
+def healthy_band_violations(recovered: np.ndarray) -> np.ndarray:
+    """Boolean mask of crossings outside the paper's healthy band
+    (softer than defect classification: flags suspect calibration)."""
+    r = np.asarray(recovered, dtype=np.float64)
+    return (r < PAPER_R_MIN_KOHM / 2) | (r > 2 * PAPER_R_MAX_KOHM)

@@ -1,0 +1,223 @@
+"""Physical model of a microelectrode-array (MEA) device.
+
+An ``m x n`` MEA (paper Fig. 1; square ``n x n`` in practice) has:
+
+* ``m`` horizontal wires, named ``A, B, C, ...``;
+* ``n`` vertical wires, named with Roman numerals ``I, II, III, ...``;
+* one point resistor ``R_ij`` where horizontal wire ``i`` crosses
+  vertical wire ``j`` (1-based in the paper, 0-based internally);
+* two *joints* per resistor — the paper's ``2 n^2`` joints — one on the
+  horizontal wire and one on the vertical wire.  Figure 1's numbering
+  is reproduced exactly: resistor ``(i, j)`` owns joints
+  ``2*(i*n + j)`` (horizontal side) and ``2*(i*n + j) + 1``
+  (vertical side), so the 3x3 device has joints 0..17 with
+  ``R_11 -> (0, 1)``, ``R_22 -> (8, 9)``, ``R_33 -> (16, 17)``.
+
+The class is pure structure: names, joints, adjacency.  Electrical
+behaviour lives in :mod:`repro.kirchhoff`; graph/complex abstractions
+in :mod:`repro.mea.graph`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.utils.validation import require_positive_int
+
+#: Upper bound on wire counts for generated names; raise if you really
+#: build a wider device (names then switch to ``H26``/``V4000`` style).
+_ALPHABET = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+_ROMAN = (
+    (1000, "M"), (900, "CM"), (500, "D"), (400, "CD"),
+    (100, "C"), (90, "XC"), (50, "L"), (40, "XL"),
+    (10, "X"), (9, "IX"), (5, "V"), (4, "IV"), (1, "I"),
+)
+
+
+def roman_numeral(k: int) -> str:
+    """Roman numeral for ``k >= 1`` (vertical wire names, Fig. 1)."""
+    k = require_positive_int(k, "k")
+    out = []
+    for value, glyph in _ROMAN:
+        while k >= value:
+            out.append(glyph)
+            k -= value
+    return "".join(out)
+
+
+def horizontal_wire_name(i: int) -> str:
+    """Name of 0-based horizontal wire ``i``: A, B, ..., Z, H26, H27, ..."""
+    if i < 0:
+        raise ValueError("wire index must be non-negative")
+    if i < len(_ALPHABET):
+        return _ALPHABET[i]
+    return f"H{i}"
+
+
+def vertical_wire_name(j: int) -> str:
+    """Name of 0-based vertical wire ``j``: I, II, ... (Roman numerals)."""
+    if j < 0:
+        raise ValueError("wire index must be non-negative")
+    return roman_numeral(j + 1)
+
+
+@dataclass(frozen=True)
+class Joint:
+    """One of the ``2 m n`` wire/resistor junctions.
+
+    ``side`` is ``"h"`` if the joint sits on the horizontal wire and
+    ``"v"`` if on the vertical wire; ``(row, col)`` is the 0-based
+    resistor position the joint belongs to.
+    """
+
+    index: int
+    row: int
+    col: int
+    side: str
+
+    @property
+    def wire(self) -> str:
+        return (
+            horizontal_wire_name(self.row)
+            if self.side == "h"
+            else vertical_wire_name(self.col)
+        )
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """Resistor ``R_(row+1)(col+1)`` with its two joint indices."""
+
+    row: int
+    col: int
+    h_joint: int
+    v_joint: int
+
+    @property
+    def name(self) -> str:
+        """Paper-style 1-based name, e.g. ``R_11``."""
+        return f"R_{self.row + 1}{self.col + 1}"
+
+
+class MEAGrid:
+    """Structure of an ``m x n`` crossbar MEA.
+
+    Parameters
+    ----------
+    n_horizontal, n_vertical:
+        Wire counts ``m`` and ``n``.  ``MEAGrid(3)`` builds the square
+        3x3 device of the paper's Figure 1.
+    """
+
+    def __init__(self, n_horizontal: int, n_vertical: int | None = None) -> None:
+        self.m = require_positive_int(n_horizontal, "n_horizontal")
+        self.n = require_positive_int(
+            n_vertical if n_vertical is not None else n_horizontal, "n_vertical"
+        )
+
+    # -- scalar facts -----------------------------------------------------
+
+    @property
+    def is_square(self) -> bool:
+        return self.m == self.n
+
+    @property
+    def num_resistors(self) -> int:
+        """``n^2`` for square devices (paper §II-B)."""
+        return self.m * self.n
+
+    @property
+    def num_joints(self) -> int:
+        """``2 n^2`` for square devices (paper §II-B)."""
+        return 2 * self.m * self.n
+
+    @property
+    def num_endpoint_pairs(self) -> int:
+        """Measurable (horizontal, vertical) terminal pairs: ``m * n``."""
+        return self.m * self.n
+
+    def total_path_count(self) -> int:
+        """Paper §II-C closed form: ``n^(n+1)`` end-to-end paths (square).
+
+        For a square ``n x n`` device: ``n^(n-1)`` paths per endpoint
+        pair times ``n^2`` pairs.  Defined only for square devices,
+        matching the paper's derivation.
+        """
+        if not self.is_square:
+            raise ValueError("path closed form is stated for square devices")
+        return self.n ** (self.n + 1)
+
+    def paths_per_pair(self) -> int:
+        """``n^(n-1)`` paths between one endpoint pair (square devices)."""
+        if not self.is_square:
+            raise ValueError("path closed form is stated for square devices")
+        return self.n ** (self.n - 1)
+
+    # -- naming / indexing --------------------------------------------------
+
+    def horizontal_wires(self) -> list[str]:
+        return [horizontal_wire_name(i) for i in range(self.m)]
+
+    def vertical_wires(self) -> list[str]:
+        return [vertical_wire_name(j) for j in range(self.n)]
+
+    def joint_indices(self, row: int, col: int) -> tuple[int, int]:
+        """(horizontal-side, vertical-side) joint ids of resistor (row, col)."""
+        self._check_pos(row, col)
+        base = 2 * (row * self.n + col)
+        return base, base + 1
+
+    def resistor(self, row: int, col: int) -> Resistor:
+        h, v = self.joint_indices(row, col)
+        return Resistor(row=row, col=col, h_joint=h, v_joint=v)
+
+    def resistors(self) -> Iterator[Resistor]:
+        """All resistors in row-major order."""
+        for row in range(self.m):
+            for col in range(self.n):
+                yield self.resistor(row, col)
+
+    def joint(self, index: int) -> Joint:
+        if not 0 <= index < self.num_joints:
+            raise IndexError(
+                f"joint {index} out of range for {self.num_joints} joints"
+            )
+        pos, side_bit = divmod(index, 2)
+        row, col = divmod(pos, self.n)
+        return Joint(
+            index=index, row=row, col=col, side="h" if side_bit == 0 else "v"
+        )
+
+    def joints(self) -> Iterator[Joint]:
+        for index in range(self.num_joints):
+            yield self.joint(index)
+
+    def joints_on_horizontal(self, row: int) -> list[int]:
+        """Joint ids along horizontal wire ``row``, left to right."""
+        self._check_pos(row, 0)
+        return [2 * (row * self.n + col) for col in range(self.n)]
+
+    def joints_on_vertical(self, col: int) -> list[int]:
+        """Joint ids along vertical wire ``col``, top to bottom."""
+        self._check_pos(0, col)
+        return [2 * (row * self.n + col) + 1 for row in range(self.m)]
+
+    def _check_pos(self, row: int, col: int) -> None:
+        if not (0 <= row < self.m and 0 <= col < self.n):
+            raise IndexError(
+                f"resistor position ({row}, {col}) out of range for "
+                f"{self.m}x{self.n} device"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MEAGrid):
+            return NotImplemented
+        return (self.m, self.n) == (other.m, other.n)
+
+    def __hash__(self) -> int:
+        return hash((self.m, self.n))
+
+    def __repr__(self) -> str:
+        return f"MEAGrid({self.m}x{self.n})"

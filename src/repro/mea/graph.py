@@ -1,0 +1,144 @@
+"""Graph and simplicial-complex abstractions of an MEA device.
+
+Three views of the same device, each used by a different layer:
+
+* :func:`joint_graph` — the *physical* graph of Figure 1: every joint
+  is a vertex, wire segments between consecutive joints and the two
+  wire terminals are edges, and each resistor is an edge between its
+  two joints.  This is what Proposition 1 models as a 1-dimensional
+  simplicial complex.
+
+* :func:`resistor_graph` — the abstraction of Figure 2: one vertex per
+  resistor, edges between resistors adjacent along a shared wire.  Its
+  fundamental cycles are the ``(m-1)(n-1)`` unit meshes — the "holes"
+  that seed the fine-grained parallelism.
+
+* :func:`wire_graph` — the *electrical* reduction: wires are ideal
+  conductors, so every horizontal wire collapses to one node and every
+  vertical wire to another; resistor ``R_ij`` becomes the edge
+  ``(h_i, v_j)`` and the device is the complete bipartite multigraph
+  ``K_{m,n}`` with one conductance per crossing.  The forward solver
+  (:mod:`repro.kirchhoff.forward`) operates on this graph.
+
+All functions return ``networkx.Graph`` objects with deterministic
+node/edge attribute conventions documented per function.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.mea.device import MEAGrid, horizontal_wire_name, vertical_wire_name
+from repro.topology.complex import SimplicialComplex
+
+
+def joint_graph(grid: MEAGrid, include_terminals: bool = True) -> nx.Graph:
+    """The Figure-1 graph of joints, wire segments, and resistors.
+
+    Nodes: joint indices (ints) and, if ``include_terminals``, the wire
+    terminal nodes named ``("T", wire_name)``.  Edges carry
+    ``kind="wire"`` or ``kind="resistor"``; resistor edges also carry
+    ``row``/``col``.
+    """
+    g = nx.Graph()
+    g.add_nodes_from(range(grid.num_joints))
+    for res in grid.resistors():
+        g.add_edge(
+            res.h_joint, res.v_joint, kind="resistor", row=res.row, col=res.col
+        )
+    for row in range(grid.m):
+        chain = grid.joints_on_horizontal(row)
+        for a, b in zip(chain, chain[1:]):
+            g.add_edge(a, b, kind="wire", wire=horizontal_wire_name(row))
+        if include_terminals:
+            term = ("T", horizontal_wire_name(row))
+            g.add_node(term)
+            g.add_edge(term, chain[0], kind="wire", wire=horizontal_wire_name(row))
+    for col in range(grid.n):
+        chain = grid.joints_on_vertical(col)
+        for a, b in zip(chain, chain[1:]):
+            g.add_edge(a, b, kind="wire", wire=vertical_wire_name(col))
+        if include_terminals:
+            term = ("T", vertical_wire_name(col))
+            g.add_node(term)
+            g.add_edge(term, chain[0], kind="wire", wire=vertical_wire_name(col))
+    return g
+
+
+def resistor_graph(grid: MEAGrid) -> nx.Graph:
+    """The Figure-2 abstraction: vertices are resistors ``(row, col)``.
+
+    Resistors are adjacent iff they are consecutive on a shared wire,
+    giving the ``m x n`` grid graph.  Its cyclomatic number is
+    ``(m-1)(n-1)`` — for square devices the ``(n-1)^2`` holes of §IV-B.
+    """
+    g = nx.Graph()
+    for row in range(grid.m):
+        for col in range(grid.n):
+            g.add_node((row, col))
+    for row in range(grid.m):
+        for col in range(grid.n):
+            if col + 1 < grid.n:
+                g.add_edge((row, col), (row, col + 1), wire="h")
+            if row + 1 < grid.m:
+                g.add_edge((row, col), (row + 1, col), wire="v")
+    return g
+
+
+def wire_graph(grid: MEAGrid) -> nx.Graph:
+    """The collapsed electrical graph: one node per wire.
+
+    Nodes are ``("H", i)`` and ``("V", j)``; the edge ``(H_i, V_j)``
+    carries ``row``/``col`` identifying resistor ``R_ij``.  This is
+    ``K_{m,n}``; its cyclomatic number ``(m-1)(n-1)`` equals the
+    resistor-graph value, as the two views are homotopy-equivalent.
+    """
+    g = nx.Graph()
+    for i in range(grid.m):
+        g.add_node(("H", i))
+    for j in range(grid.n):
+        g.add_node(("V", j))
+    for i in range(grid.m):
+        for j in range(grid.n):
+            g.add_edge(("H", i), ("V", j), row=i, col=j)
+    return g
+
+
+def device_complex(grid: MEAGrid, include_terminals: bool = False) -> SimplicialComplex:
+    """The joint graph as an abstract simplicial complex (Prop. 1).
+
+    Dimension is exactly 1 (wires and joints, no triangles); the
+    homology of this complex gives the Betti numbers used throughout
+    §III/§IV and is cross-checked in the test suite against the
+    cyclomatic number of the graph.
+    """
+    g = joint_graph(grid, include_terminals=include_terminals)
+    return SimplicialComplex.from_graph(g.nodes, g.edges)
+
+
+def resistor_complex(grid: MEAGrid) -> SimplicialComplex:
+    """The Figure-2 grid graph as a 1-complex."""
+    g = resistor_graph(grid)
+    return SimplicialComplex.from_graph(g.nodes, g.edges)
+
+
+def mesh_count(grid: MEAGrid) -> int:
+    """Number of unit meshes ``(m-1)(n-1)`` — the §IV parallelism units."""
+    return (grid.m - 1) * (grid.n - 1)
+
+
+def expected_betti(grid: MEAGrid, include_terminals: bool = False) -> tuple[int, int]:
+    """Analytic ``(β0, β1)`` of the joint graph.
+
+    The joint graph is connected (β0 = 1) for any device with at least
+    one resistor; β1 = |E| - |V| + 1.  Terminals add one vertex and one
+    edge per wire, leaving β1 unchanged.
+    """
+    v = grid.num_joints + (grid.m + grid.n if include_terminals else 0)
+    e = (
+        grid.num_resistors  # resistor edges
+        + grid.m * (grid.n - 1)  # horizontal wire segments
+        + grid.n * (grid.m - 1)  # vertical wire segments
+        + (grid.m + grid.n if include_terminals else 0)
+    )
+    return 1, e - v + 1

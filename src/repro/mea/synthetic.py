@@ -1,0 +1,212 @@
+"""Synthetic ground-truth resistance fields.
+
+The wet-lab data behind the paper (cells on a medium; local resistance
+rising sharply over anomalous regions, §II-C) is not publicly
+available, so experiments here run on synthetic fields with the same
+statistics the paper reports: resistances in the **2,000–11,000 kΩ**
+band, a roughly uniform healthy baseline, and compact high-resistance
+anomaly blobs.
+
+All values are in kilohm to match the paper's reporting; the forward
+solver is unit-agnostic as long as R and Z use the same unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.rng import default_rng
+from repro.utils.validation import (
+    require_in_range,
+    require_positive,
+    require_positive_int,
+)
+
+#: The paper's reported wet-lab range (kΩ).
+PAPER_R_MIN_KOHM = 2_000.0
+PAPER_R_MAX_KOHM = 11_000.0
+#: The paper's drive voltage (volts).
+PAPER_VOLTAGE = 5.0
+
+
+@dataclass(frozen=True)
+class AnomalyBlob:
+    """A compact elevated-resistance region (e.g. a cancerous patch).
+
+    ``center`` is (row, col) in resistor coordinates, ``radius`` in
+    grid units; ``magnitude`` multiplies the baseline inside the blob
+    with a smooth (cosine) falloff to the edge.
+    """
+
+    center: tuple[float, float]
+    radius: float
+    magnitude: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.radius, "radius")
+        if self.magnitude < 1.0:
+            raise ValueError(
+                f"magnitude must be >= 1 (anomalies raise R), got {self.magnitude}"
+            )
+
+    def factor(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Multiplicative factor of the blob at each (row, col) pair."""
+        d = np.hypot(rows - self.center[0], cols - self.center[1])
+        inside = d < self.radius
+        fall = 0.5 * (1.0 + np.cos(np.pi * np.clip(d / self.radius, 0.0, 1.0)))
+        return np.where(inside, 1.0 + (self.magnitude - 1.0) * fall, 1.0)
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """Recipe for a synthetic R field.
+
+    Attributes
+    ----------
+    n:
+        Device side (square ``n x n``).
+    baseline_kohm:
+        Healthy-tissue resistance level.
+    noise_rel:
+        Relative i.i.d. lognormal spread of the baseline (cell-to-cell
+        variation), e.g. 0.05 = ~5 %.
+    blobs:
+        Anomalies to embed.
+    clip_to_paper_range:
+        If True (default), clip the final field into the paper's
+        2,000–11,000 kΩ band.
+    """
+
+    n: int
+    baseline_kohm: float = 3_000.0
+    noise_rel: float = 0.05
+    blobs: tuple[AnomalyBlob, ...] = field(default_factory=tuple)
+    clip_to_paper_range: bool = True
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.n, "n", minimum=2)
+        require_positive(self.baseline_kohm, "baseline_kohm")
+        require_in_range(self.noise_rel, "noise_rel", 0.0, 1.0)
+
+
+def generate_field(spec: FieldSpec, seed: int | None = None) -> np.ndarray:
+    """Materialise ``spec`` into an ``(n, n)`` float64 array of kΩ.
+
+    Deterministic in ``(spec, seed)``.
+    """
+    rng = default_rng(seed)
+    n = spec.n
+    rows, cols = np.mgrid[0:n, 0:n].astype(np.float64)
+    base = np.full((n, n), spec.baseline_kohm, dtype=np.float64)
+    if spec.noise_rel > 0:
+        sigma = np.log1p(spec.noise_rel)
+        base *= rng.lognormal(mean=0.0, sigma=sigma, size=(n, n))
+    for blob in spec.blobs:
+        base *= blob.factor(rows, cols)
+    if spec.clip_to_paper_range:
+        base = np.clip(base, PAPER_R_MIN_KOHM, PAPER_R_MAX_KOHM)
+        # Clipping can only pull anomalies *down*; the healthy baseline
+        # must already sit inside the band for the anomaly contrast to
+        # survive, which FieldSpec defaults guarantee.
+    return base
+
+
+def random_blobs(
+    n: int,
+    count: int,
+    seed: int | None = None,
+    radius_range: tuple[float, float] | None = None,
+    magnitude_range: tuple[float, float] = (2.0, 3.5),
+) -> tuple[AnomalyBlob, ...]:
+    """Sample ``count`` anomaly blobs on an ``n x n`` grid.
+
+    The default radius range scales with the device (~10–25 % of the
+    side), so the same call works from 4x4 toy grids to the paper's
+    100x100 devices.  Blobs prefer to be disjoint; if the grid is too
+    crowded to separate them, overlap is allowed rather than failing —
+    overlapping anomalies are physically plausible (merging lesions).
+    """
+    require_positive_int(n, "n", minimum=2)
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if radius_range is None:
+        radius_range = (max(0.8, 0.10 * n), max(1.2, 0.25 * n))
+    rng = default_rng(seed)
+    blobs: list[AnomalyBlob] = []
+    attempts = 0
+    while len(blobs) < count:
+        attempts += 1
+        require_separation = attempts <= 200 * (count + 1)
+        r = float(rng.uniform(*radius_range))
+        c = (
+            float(rng.uniform(r, n - 1 - r)) if n - 1 > 2 * r else (n - 1) / 2.0,
+            float(rng.uniform(r, n - 1 - r)) if n - 1 > 2 * r else (n - 1) / 2.0,
+        )
+        if require_separation and any(
+            np.hypot(c[0] - b.center[0], c[1] - b.center[1]) < r + b.radius
+            for b in blobs
+        ):
+            continue
+        blobs.append(
+            AnomalyBlob(
+                center=c,
+                radius=r,
+                magnitude=float(rng.uniform(*magnitude_range)),
+            )
+        )
+    return tuple(blobs)
+
+
+def anomaly_mask(spec: FieldSpec) -> np.ndarray:
+    """Boolean ground-truth mask: True where any blob covers the site."""
+    n = spec.n
+    rows, cols = np.mgrid[0:n, 0:n].astype(np.float64)
+    mask = np.zeros((n, n), dtype=bool)
+    for blob in spec.blobs:
+        d = np.hypot(rows - blob.center[0], cols - blob.center[1])
+        mask |= d < blob.radius
+    return mask
+
+
+def paper_like_spec(
+    n: int, num_anomalies: int = 2, seed: int | None = None
+) -> FieldSpec:
+    """A ready-made spec matching the paper's reported statistics."""
+    blobs = random_blobs(n, num_anomalies, seed=seed)
+    return FieldSpec(n=n, baseline_kohm=3_000.0, noise_rel=0.05, blobs=blobs)
+
+
+def growth_sequence(
+    spec: FieldSpec, hours: Sequence[float] = (0.0, 6.0, 12.0, 24.0),
+    growth_per_hour: float = 0.02,
+) -> list[FieldSpec]:
+    """Time-evolved specs for the wet-lab 0/6/12/24 h campaign.
+
+    Anomaly radius and magnitude grow exponentially at
+    ``growth_per_hour`` — the monotone "cells proliferate" model used
+    by :mod:`repro.mea.wetlab`.
+    """
+    out: list[FieldSpec] = []
+    for h in hours:
+        scale = float(np.exp(growth_per_hour * h))
+        blobs = tuple(
+            AnomalyBlob(
+                center=b.center,
+                radius=b.radius * scale,
+                magnitude=1.0 + (b.magnitude - 1.0) * scale,
+            )
+            for b in spec.blobs
+        )
+        out.append(
+            FieldSpec(
+                n=spec.n,
+                baseline_kohm=spec.baseline_kohm,
+                noise_rel=spec.noise_rel,
+                blobs=blobs,
+                clip_to_paper_range=spec.clip_to_paper_range,
+            )
+        )
+    return out

@@ -1,0 +1,69 @@
+"""Parallel-execution substrate.
+
+* :mod:`repro.parallel.pymp` — OpenMP-style fork/join regions (a
+  re-implementation of the PyMP API the paper uses).
+* :mod:`repro.parallel.sharedmem` — named shared-memory numpy arrays.
+* :mod:`repro.parallel.workstealing` — deterministic balanced
+  scheduling (§IV-C.1) plus a runtime-stealing simulator.
+* :mod:`repro.parallel.mpi` — an mpi4py-like message-passing runtime
+  over forked processes.
+* :mod:`repro.parallel.simcluster` — the deterministic LogGP-style
+  cluster clock behind the 1,024-core scaling figures (see DESIGN.md
+  §2 for why scaling is simulated on this machine).
+"""
+
+from repro.parallel.heterogeneous import (
+    HeterogeneousCluster,
+    lpt_schedule_speeds,
+)
+from repro.parallel.mpi import ANY_TAG, Comm, MPIError, run_mpi
+from repro.parallel.pymp import Parallel, ParallelError, shared_array
+from repro.parallel.sharedmem import SharedArray, shared_zeros
+from repro.parallel.simcluster import (
+    HPC_FDR,
+    Z820_SMP,
+    ClusterModel,
+    ScalingPoint,
+    amdahl_bound,
+    crossover_rank,
+    scaling_sweep,
+    simulate_strong_scaling,
+    speedup_curve,
+)
+from repro.parallel.workstealing import (
+    Assignment,
+    StealingTrace,
+    category_schedule,
+    contiguous_schedule,
+    lpt_schedule,
+    simulate_runtime_stealing,
+)
+
+__all__ = [
+    "ANY_TAG",
+    "HeterogeneousCluster",
+    "lpt_schedule_speeds",
+    "Assignment",
+    "ClusterModel",
+    "Comm",
+    "HPC_FDR",
+    "MPIError",
+    "Parallel",
+    "ParallelError",
+    "ScalingPoint",
+    "SharedArray",
+    "StealingTrace",
+    "Z820_SMP",
+    "amdahl_bound",
+    "category_schedule",
+    "contiguous_schedule",
+    "crossover_rank",
+    "lpt_schedule",
+    "run_mpi",
+    "scaling_sweep",
+    "shared_array",
+    "shared_zeros",
+    "simulate_runtime_stealing",
+    "simulate_strong_scaling",
+    "speedup_curve",
+]

@@ -1,0 +1,217 @@
+"""A from-scratch re-implementation of the PyMP fork/join model.
+
+The paper parallelizes equation formation with `PyMP
+<https://github.com/classner/pymp>`_, an OpenMP-flavoured library in
+which a ``with Parallel(k)`` block forks ``k - 1`` child processes
+that all execute the block body, share work via ``p.range`` (static
+chunking) / ``p.xrange`` (dynamic, shared-counter), and join at block
+exit.  PyMP is not installable here, so this module provides the same
+surface on plain ``os.fork``:
+
+* **fork at entry** — children inherit every numpy array that existed
+  before the block by copy-on-write, so read-mostly inputs cost
+  nothing;
+* **shared writes** — :func:`shared_array` returns an array backed by
+  an anonymous ``MAP_SHARED`` mapping, visible to all region members
+  (see also :mod:`repro.parallel.sharedmem` for named segments);
+* **join at exit** — children ``os._exit``; the parent reaps them and
+  re-raises if any child failed.
+
+Like OpenMP, the block body must be written to be executed by *every*
+member.  Nested regions raise (matching PyMP's default).  With
+``num_threads=1`` or in an environment that forbids fork, the region
+degrades to serial execution of the same code path.
+"""
+
+from __future__ import annotations
+
+import mmap
+import multiprocessing
+import os
+import sys
+import traceback
+from typing import Iterator, Sequence
+
+import numpy as np
+
+_ACTIVE_REGION: "Parallel | None" = None
+
+
+class ParallelError(RuntimeError):
+    """Raised in the parent when a region member fails."""
+
+
+class Parallel:
+    """An OpenMP-style parallel region over forked processes.
+
+    Usage::
+
+        out = shared_array((n,), dtype=np.float64)
+        with Parallel(4) as p:
+            for i in p.range(n):
+                out[i] = expensive(i)
+
+    Attributes inside the block: ``thread_num`` (0 = parent),
+    ``num_threads``, ``lock`` (a cross-process mutex).
+    """
+
+    def __init__(self, num_threads: int) -> None:
+        if num_threads < 1:
+            raise ValueError(f"num_threads must be >= 1, got {num_threads}")
+        self.num_threads = int(num_threads)
+        self.thread_num = 0
+        self.lock = multiprocessing.Lock()
+        self._counter = multiprocessing.Value("l", 0, lock=True)
+        self._children: list[int] = []
+        self._entered = False
+
+    # -- region lifecycle --------------------------------------------------
+
+    def __enter__(self) -> "Parallel":
+        global _ACTIVE_REGION
+        if _ACTIVE_REGION is not None:
+            raise ParallelError("nested parallel regions are not supported")
+        _ACTIVE_REGION = self
+        self._entered = True
+        self._counter.value = 0
+        for child_rank in range(1, self.num_threads):
+            pid = os.fork()
+            if pid == 0:
+                # Child: adopt rank, forget siblings, run the body.
+                self.thread_num = child_rank
+                self._children = []
+                return self
+            self._children.append(pid)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        global _ACTIVE_REGION
+        if self.thread_num != 0:
+            # Child: report failure via exit status, never unwind into
+            # the parent's stack (we share its code and fds).
+            code = 0
+            if exc_type is not None:
+                traceback.print_exception(exc_type, exc, tb, file=sys.stderr)
+                code = 1
+            sys.stderr.flush()
+            sys.stdout.flush()
+            os._exit(code)
+        # Parent: reap children, then clear the region.
+        failures = []
+        for pid in self._children:
+            _, status = os.waitpid(pid, 0)
+            if os.waitstatus_to_exitcode(status) != 0:
+                failures.append(pid)
+        self._children = []
+        _ACTIVE_REGION = None
+        self._entered = False
+        if exc_type is not None:
+            return False  # propagate the parent's own exception
+        if failures:
+            raise ParallelError(
+                f"{len(failures)} region member(s) failed; see stderr"
+            )
+        return False
+
+    # -- work sharing --------------------------------------------------------
+
+    def range(self, *args: int) -> Iterator[int]:
+        """Statically chunked indices, OpenMP ``schedule(static)``.
+
+        ``p.range(stop)`` or ``p.range(start, stop[, step])``.  Member
+        ``t`` gets indices ``start + (t + r*num_threads)*step`` —
+        round-robin striding, which balances cost gradients across
+        members better than contiguous blocks.
+        """
+        start, stop, step = _parse_range(args)
+        self._require_entered()
+        return iter(range(start + self.thread_num * step, stop, step * self.num_threads))
+
+    def block_range(self, *args: int) -> Iterator[int]:
+        """Statically chunked indices in contiguous blocks.
+
+        The chunking used by the paper's *Parallel* baseline: member
+        ``t`` owns one contiguous slice.  Exposes imbalance when costs
+        are skewed — which is the point of the Balanced/PyMP variants.
+        """
+        start, stop, step = _parse_range(args)
+        self._require_entered()
+        indices = range(start, stop, step)
+        n = len(indices)
+        per, extra = divmod(n, self.num_threads)
+        lo = self.thread_num * per + min(self.thread_num, extra)
+        hi = lo + per + (1 if self.thread_num < extra else 0)
+        return iter(indices[lo:hi])
+
+    def xrange(self, *args: int) -> Iterator[int]:
+        """Dynamically scheduled indices, OpenMP ``schedule(dynamic)``.
+
+        Members pull the next index from a shared atomic counter, so
+        fast members automatically take more work (PyMP's ``xrange``).
+        """
+        start, stop, step = _parse_range(args)
+        self._require_entered()
+        indices = range(start, stop, step)
+
+        def _gen() -> Iterator[int]:
+            while True:
+                with self._counter.get_lock():
+                    k = self._counter.value
+                    self._counter.value = k + 1
+                if k >= len(indices):
+                    return
+                yield indices[k]
+
+        return _gen()
+
+    def iterate(self, items: Sequence) -> Iterator:
+        """Static round-robin over an arbitrary sequence."""
+        for i in self.range(len(items)):
+            yield items[i]
+
+    def _require_entered(self) -> None:
+        if not self._entered:
+            raise ParallelError("work-sharing outside an active region")
+
+    def __repr__(self) -> str:
+        return (
+            f"Parallel(num_threads={self.num_threads}, "
+            f"thread_num={self.thread_num})"
+        )
+
+
+def _parse_range(args: tuple[int, ...]) -> tuple[int, int, int]:
+    if len(args) == 1:
+        return 0, int(args[0]), 1
+    if len(args) == 2:
+        return int(args[0]), int(args[1]), 1
+    if len(args) == 3:
+        start, stop, step = map(int, args)
+        if step <= 0:
+            raise ValueError("step must be positive")
+        return start, stop, step
+    raise TypeError(f"range expects 1-3 integer arguments, got {len(args)}")
+
+
+def shared_array(
+    shape: Sequence[int], dtype: np.dtype | str = np.float64
+) -> np.ndarray:
+    """A numpy array in anonymous shared memory (PyMP's ``shared.array``).
+
+    Backed by ``MAP_SHARED | MAP_ANONYMOUS``, so any process forked
+    *after* creation sees the same physical pages: writes by region
+    members are visible to the parent with zero copies.  The mapping
+    lives as long as the returned array does.
+    """
+    shape = tuple(int(s) for s in shape)
+    dtype = np.dtype(dtype)
+    nbytes = max(1, int(np.prod(shape)) * dtype.itemsize)
+    buf = mmap.mmap(-1, nbytes)
+    arr = np.frombuffer(buf, dtype=dtype, count=int(np.prod(shape))).reshape(shape)
+    arr.fill(0)
+    return arr
+
+
+def fork_available() -> bool:
+    """Whether os.fork is usable on this platform."""
+    return hasattr(os, "fork")

@@ -1,0 +1,109 @@
+"""Shared-memory NumPy arrays for fork-based parallel regions.
+
+The PyMP-style regions in :mod:`repro.parallel.pymp` fork the current
+process; children must write results somewhere the parent can see.
+:class:`SharedArray` wraps :class:`multiprocessing.shared_memory.
+SharedMemory` with numpy views and with the create/attach/unlink
+lifecycle handled: the creating process owns the segment and unlinks it
+on close, forked children inherit the mapping for free (fork keeps the
+file descriptor and mapping), and unrelated processes can attach by
+name.
+
+Following the HPC guides, views are used throughout — a
+:class:`SharedArray` hands out *the same* buffer to every process, so
+a worker writing its slice performs zero copies.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Sequence
+
+import numpy as np
+
+
+class SharedArray:
+    """A numpy array backed by a named shared-memory segment.
+
+    Create with :meth:`create` (owner) or :meth:`attach` (other
+    processes).  ``arr`` is the live numpy view.  The owner should call
+    :meth:`close` (or use the instance as a context manager) when done;
+    non-owners just drop their reference or call :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        shape: tuple[int, ...],
+        dtype: np.dtype,
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self._owner = owner
+        self.shape = shape
+        self.dtype = np.dtype(dtype)
+        self.arr: np.ndarray = np.ndarray(shape, dtype=self.dtype, buffer=shm.buf)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, shape: Sequence[int], dtype: np.dtype | str = np.float64
+    ) -> "SharedArray":
+        shape = tuple(int(s) for s in shape)
+        dtype = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(shape)) * dtype.itemsize)
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        out = cls(shm, shape, dtype, owner=True)
+        out.arr.fill(0)
+        return out
+
+    @classmethod
+    def attach(
+        cls, name: str, shape: Sequence[int], dtype: np.dtype | str
+    ) -> "SharedArray":
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, tuple(int(s) for s in shape), np.dtype(dtype), owner=False)
+
+    @classmethod
+    def from_array(cls, source: np.ndarray) -> "SharedArray":
+        """Create a segment initialised with a copy of ``source``."""
+        out = cls.create(source.shape, source.dtype)
+        out.arr[...] = source
+        return out
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def close(self) -> None:
+        """Release the mapping; the owner also unlinks the segment."""
+        # Drop the numpy view first: SharedMemory.close() invalidates
+        # the buffer, and an outstanding view would raise BufferError.
+        self.arr = None  # type: ignore[assignment]
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - platform dependent
+            pass
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedArray(name={self._shm.name!r}, shape={self.shape}, "
+            f"dtype={self.dtype}, owner={self._owner})"
+        )
+
+
+def shared_zeros(shape: Sequence[int], dtype: np.dtype | str = np.float64) -> SharedArray:
+    """Convenience alias for :meth:`SharedArray.create`."""
+    return SharedArray.create(shape, dtype)

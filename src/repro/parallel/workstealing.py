@@ -1,0 +1,204 @@
+"""Deterministic balanced scheduling (the paper's *Balanced Parallel*).
+
+§IV-C.1: the four constraint categories are heavily skewed — two hold
+O(n^3) constraints, two hold O(n^2) — so a thread-per-category split
+(*Parallel*) leaves threads idle.  The paper balances the load with
+*deterministic* work stealing: the assignment of work items to threads
+is computed ahead of time from known costs rather than decided
+stochastically at run time, trading flexibility for zero scheduling
+overhead and reproducibility.
+
+This module implements that planner plus an event-ordered simulation
+of a classic *runtime* work-stealing scheduler, so the deterministic
+vs. stochastic trade-off the paper discusses can be measured
+(benchmarks/bench_ablations.py).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """A static schedule: ``worker_of[i]`` is the worker of task ``i``.
+
+    ``loads`` is total assigned cost per worker; ``makespan`` its max —
+    the parallel completion time when per-task costs are exact.
+    """
+
+    worker_of: np.ndarray
+    loads: np.ndarray
+    makespan: float
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.loads)
+
+    def imbalance(self) -> float:
+        """makespan / mean-load — 1.0 is perfect balance."""
+        mean = float(self.loads.mean())
+        if mean == 0.0:
+            return 1.0
+        return self.makespan / mean
+
+    def tasks_of(self, worker: int) -> np.ndarray:
+        return np.flatnonzero(self.worker_of == worker)
+
+
+def lpt_schedule(costs: Sequence[float], num_workers: int) -> Assignment:
+    """Longest-Processing-Time-first static schedule.
+
+    Tasks are assigned in decreasing cost order to the currently
+    least-loaded worker (ties broken by worker index, then task index —
+    fully deterministic).  LPT is the standard 4/3-approximation for
+    makespan and is what "deterministic work stealing" amounts to when
+    costs are known ahead of time.
+    """
+    costs_arr = np.asarray(costs, dtype=np.float64)
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    if np.any(costs_arr < 0):
+        raise ValueError("task costs must be non-negative")
+    worker_of = np.empty(len(costs_arr), dtype=np.int64)
+    loads = np.zeros(num_workers, dtype=np.float64)
+    # Stable sort keeps equal-cost tasks in index order.
+    order = np.argsort(-costs_arr, kind="stable")
+    heap: list[tuple[float, int]] = [(0.0, w) for w in range(num_workers)]
+    heapq.heapify(heap)
+    for task in order:
+        load, w = heapq.heappop(heap)
+        worker_of[task] = w
+        load += costs_arr[task]
+        loads[w] = load
+        heapq.heappush(heap, (load, w))
+    return Assignment(
+        worker_of=worker_of,
+        loads=loads,
+        makespan=float(loads.max(initial=0.0)),
+    )
+
+
+def contiguous_schedule(costs: Sequence[float], num_workers: int) -> Assignment:
+    """Naive equal-count contiguous blocks (the unbalanced baseline)."""
+    costs_arr = np.asarray(costs, dtype=np.float64)
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    n = len(costs_arr)
+    worker_of = np.empty(n, dtype=np.int64)
+    loads = np.zeros(num_workers, dtype=np.float64)
+    per, extra = divmod(n, num_workers)
+    lo = 0
+    for w in range(num_workers):
+        hi = lo + per + (1 if w < extra else 0)
+        worker_of[lo:hi] = w
+        loads[w] = costs_arr[lo:hi].sum()
+        lo = hi
+    return Assignment(
+        worker_of=worker_of, loads=loads, makespan=float(loads.max(initial=0.0))
+    )
+
+
+def category_schedule(
+    costs: Sequence[float], categories: Sequence[int], num_workers: int | None = None
+) -> Assignment:
+    """One worker per category — the paper's *Parallel* baseline.
+
+    ``categories[i]`` in ``0..C-1``; worker count defaults to the
+    category count (4 for the MEA constraint system).  Extra workers,
+    if any, idle — exactly the limitation §IV-A points out.
+    """
+    costs_arr = np.asarray(costs, dtype=np.float64)
+    cats = np.asarray(categories, dtype=np.int64)
+    if cats.shape != costs_arr.shape:
+        raise ValueError("categories and costs must align")
+    ncat = int(cats.max(initial=-1)) + 1
+    workers = ncat if num_workers is None else num_workers
+    if workers < ncat:
+        raise ValueError(
+            f"category schedule needs >= {ncat} workers, got {workers}"
+        )
+    loads = np.zeros(workers, dtype=np.float64)
+    for c in range(ncat):
+        loads[c] = costs_arr[cats == c].sum()
+    return Assignment(
+        worker_of=cats.copy(),
+        loads=loads,
+        makespan=float(loads.max(initial=0.0)),
+    )
+
+
+@dataclass(frozen=True)
+class StealingTrace:
+    """Result of the runtime work-stealing simulation."""
+
+    makespan: float
+    steals: int
+    finish_times: np.ndarray
+
+
+def simulate_runtime_stealing(
+    costs: Sequence[float],
+    num_workers: int,
+    steal_overhead: float = 0.0,
+    initial: str = "contiguous",
+) -> StealingTrace:
+    """Event-ordered simulation of runtime (stochastic-style) stealing.
+
+    Workers start from a static split (``contiguous`` or ``strided``);
+    an idle worker steals the largest remaining task from the most
+    loaded victim, paying ``steal_overhead`` per steal.  Deterministic
+    given inputs (ties broken by index), but models the *runtime*
+    decision cost the paper's deterministic planner avoids.
+    """
+    costs_arr = np.asarray(costs, dtype=np.float64)
+    n = len(costs_arr)
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    queues: list[list[int]] = [[] for _ in range(num_workers)]
+    if initial == "contiguous":
+        base = contiguous_schedule(costs_arr, num_workers)
+    elif initial == "strided":
+        base = Assignment(
+            worker_of=np.arange(n) % num_workers,
+            loads=np.zeros(num_workers),
+            makespan=0.0,
+        )
+    else:
+        raise ValueError(f"unknown initial split {initial!r}")
+    for i in range(n):
+        queues[int(base.worker_of[i])].append(i)
+    for q in queues:
+        q.sort(key=lambda i: (-costs_arr[i], i))  # pop cheapest last
+
+    clock = np.zeros(num_workers, dtype=np.float64)
+    steals = 0
+    remaining = n
+    while remaining:
+        w = int(np.argmin(clock))
+        if queues[w]:
+            task = queues[w].pop()
+        else:
+            # Steal the largest task from the victim with most queued work.
+            victims = [
+                (sum(costs_arr[t] for t in q), v)
+                for v, q in enumerate(queues)
+                if q
+            ]
+            if not victims:  # pragma: no cover - remaining>0 implies victims
+                break
+            _, victim = max(victims, key=lambda lv: (lv[0], -lv[1]))
+            task = queues[victim].pop(0)  # largest (queues sorted desc)
+            clock[w] += steal_overhead
+            steals += 1
+        clock[w] += costs_arr[task]
+        remaining -= 1
+    return StealingTrace(
+        makespan=float(clock.max(initial=0.0)),
+        steals=steals,
+        finish_times=clock,
+    )

@@ -1,0 +1,66 @@
+"""Algebraic-topology substrate (paper §III).
+
+Layers, bottom-up:
+
+* :mod:`repro.topology.gf2` — bit-packed GF(2) linear algebra.
+* :mod:`repro.topology.simplex` / :mod:`repro.topology.complex` —
+  abstract simplices and simplicial complexes.
+* :mod:`repro.topology.chains` / :mod:`repro.topology.boundary` —
+  chain groups C_k and the boundary operator ∂.
+* :mod:`repro.topology.homology` — cycle group D^k, boundary group
+  B^k, homology H^k = D^k/B^k, Betti numbers β_k.
+* :mod:`repro.topology.cycles` — spanning-tree fundamental cycle
+  bases and the Maxwell cyclomatic number (the concrete "holes" that
+  seed the parallel decomposition of §IV).
+"""
+
+from repro.topology.boundary import BoundaryOperator, boundary_chain
+from repro.topology.chains import Chain, ChainSpace
+from repro.topology.complex import (
+    NotSimplicialError,
+    SimplicialComplex,
+    check_family_simplicial,
+)
+from repro.topology.cycles import (
+    CycleBasis,
+    cyclomatic_number,
+    fundamental_cycles,
+)
+from repro.topology.homology import (
+    HomologyCalculator,
+    HomologySummary,
+    betti_numbers,
+)
+from repro.topology.cochains import (
+    CochainSpace,
+    coboundary_matrix,
+    harmonic_dimension,
+    is_physical_voltage,
+    potential_to_voltage_drops,
+    recover_potentials,
+)
+from repro.topology.simplex import Simplex, simplex
+
+__all__ = [
+    "BoundaryOperator",
+    "CochainSpace",
+    "coboundary_matrix",
+    "harmonic_dimension",
+    "is_physical_voltage",
+    "potential_to_voltage_drops",
+    "recover_potentials",
+    "Chain",
+    "ChainSpace",
+    "CycleBasis",
+    "HomologyCalculator",
+    "HomologySummary",
+    "NotSimplicialError",
+    "Simplex",
+    "SimplicialComplex",
+    "betti_numbers",
+    "boundary_chain",
+    "check_family_simplicial",
+    "cyclomatic_number",
+    "fundamental_cycles",
+    "simplex",
+]

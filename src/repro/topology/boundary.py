@@ -1,0 +1,91 @@
+"""The boundary operator ``∂_k : C_k -> C_{k-1}`` over GF(2).
+
+``∂`` sends a k-simplex to the mod-2 sum of its (k-1)-faces.  The
+fundamental identity ``∂ ∘ ∂ = 0`` makes the chain spaces a chain
+complex and is property-tested in the suite; homology is then
+``ker ∂_k / im ∂_{k+1}``.
+
+Matrices are built bit-packed (:class:`~repro.topology.gf2.BitMatrix`)
+with rows indexed by (k-1)-simplices and columns by k-simplices, both
+in the :class:`~repro.topology.chains.ChainSpace` basis order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology import gf2
+from repro.topology.chains import Chain, ChainSpace
+from repro.topology.complex import SimplicialComplex
+
+
+def boundary_chain(chain: Chain) -> Chain:
+    """Apply ``∂`` to a chain directly (set-level, no matrices).
+
+    Each k-simplex contributes its (k-1)-faces mod 2; shared faces of
+    adjacent simplices cancel, which is exactly why the boundary of a
+    loop of edges is the zero chain.
+    """
+    if chain.is_zero() or chain.dimension == 0:
+        return Chain()
+    acc: set = set()
+    for simplex in chain.simplices:
+        for face in simplex.boundary_faces():
+            if face in acc:
+                acc.remove(face)
+            else:
+                acc.add(face)
+    return Chain(acc)
+
+
+class BoundaryOperator:
+    """The matrix of ``∂_k`` for one complex and one dimension ``k >= 1``.
+
+    Attributes
+    ----------
+    matrix:
+        ``BitMatrix`` of shape ``(f_{k-1}, f_k)``.
+    domain, codomain:
+        The :class:`ChainSpace` bases fixing column/row order.
+    """
+
+    def __init__(self, complex_: SimplicialComplex, k: int) -> None:
+        if k < 1:
+            raise ValueError("boundary operator is defined for k >= 1")
+        self.k = k
+        self.domain = ChainSpace(complex_, k)
+        self.codomain = ChainSpace(complex_, k - 1)
+        self.matrix = gf2.BitMatrix.zeros(self.codomain.rank, self.domain.rank)
+        for col, simplex in enumerate(self.domain.basis):
+            for face in simplex.boundary_faces():
+                self.matrix.set(self.codomain.index(face), col, 1)
+
+    def apply(self, chain: Chain) -> Chain:
+        """``∂(chain)`` via the matrix (agrees with :func:`boundary_chain`)."""
+        vec = self.domain.to_vector(chain)
+        out = gf2.matvec(self.matrix, vec)
+        return self.codomain.from_vector(out)
+
+    def rank(self) -> int:
+        """rank ∂_k = dim B_{k-1}, the (k-1)-boundary group."""
+        return gf2.rank(self.matrix)
+
+    def kernel_basis(self) -> list[Chain]:
+        """Basis of the k-cycle group D^k = ker ∂_k, as chains."""
+        null = gf2.nullspace(self.matrix)
+        return [self.domain.from_vector(null.to_dense_row(i)) for i in range(null.nrows)]
+
+    def nullity(self) -> int:
+        """dim ker ∂_k = f_k - rank ∂_k (rank-nullity)."""
+        return self.domain.rank - self.rank()
+
+    def __repr__(self) -> str:
+        return (
+            f"BoundaryOperator(k={self.k}, "
+            f"{self.codomain.rank}x{self.domain.rank})"
+        )
+
+
+def boundary_matrix_dense(complex_: SimplicialComplex, k: int) -> np.ndarray:
+    """Convenience: the ``∂_k`` matrix as a dense uint8 array."""
+    return BoundaryOperator(complex_, k).matrix.to_dense()

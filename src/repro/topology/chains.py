@@ -1,0 +1,142 @@
+"""Chain groups over GF(2).
+
+A *k-chain* is a formal mod-2 sum of k-simplices of a complex, i.e. a
+subset of the k-simplices; the group operation ``⋆`` is symmetric
+difference ("duplicate simplices cancel out", §III-B).  The k-chains
+form the vector space ``C_k`` over GF(2) with the k-simplices as basis.
+
+:class:`ChainSpace` fixes the basis ordering (sorted simplices) and
+converts between simplex subsets and 0/1 coefficient vectors;
+:class:`Chain` is the group element.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import Simplex
+
+
+class Chain:
+    """An element of a chain group: a frozen set of equal-dim simplices.
+
+    Supports the paper's ``⋆`` operation as ``+`` (and ``^``): mod-2
+    addition, i.e. symmetric difference.  The empty chain is the group
+    identity; every element is its own inverse.
+    """
+
+    __slots__ = ("_simplices", "_dim")
+
+    def __init__(self, simplices: Iterable[Simplex] = ()) -> None:
+        fs = frozenset(simplices)
+        dims = {s.dimension for s in fs}
+        if len(dims) > 1:
+            raise ValueError(f"chain mixes dimensions {sorted(dims)}")
+        self._simplices = fs
+        self._dim = dims.pop() if dims else -1
+
+    @property
+    def simplices(self) -> frozenset[Simplex]:
+        return self._simplices
+
+    @property
+    def dimension(self) -> int:
+        """Dimension of the member simplices; -1 for the zero chain."""
+        return self._dim
+
+    def is_zero(self) -> bool:
+        return not self._simplices
+
+    def __add__(self, other: "Chain") -> "Chain":
+        if not isinstance(other, Chain):
+            return NotImplemented
+        if not self._simplices:
+            return other
+        if not other._simplices:
+            return self
+        if self._dim != other._dim:
+            raise ValueError(
+                f"cannot add chains of dimension {self._dim} and {other._dim}"
+            )
+        return Chain(self._simplices ^ other._simplices)
+
+    __xor__ = __add__
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Chain):
+            return NotImplemented
+        return self._simplices == other._simplices
+
+    def __hash__(self) -> int:
+        return hash(self._simplices)
+
+    def __len__(self) -> int:
+        return len(self._simplices)
+
+    def __iter__(self) -> Iterator[Simplex]:
+        return iter(sorted(self._simplices))
+
+    def __repr__(self) -> str:
+        if not self._simplices:
+            return "Chain(0)"
+        inner = " + ".join(repr(s) for s in sorted(self._simplices))
+        return f"Chain({inner})"
+
+
+class ChainSpace:
+    """The vector space ``C_k`` of a complex with a fixed ordered basis.
+
+    Provides simplex-set <-> coefficient-vector conversion used by the
+    boundary-matrix and homology machinery.
+    """
+
+    def __init__(self, complex_: SimplicialComplex, dim: int) -> None:
+        if dim < 0:
+            raise ValueError("chain dimension must be non-negative")
+        self.complex = complex_
+        self.dim = dim
+        self.basis: list[Simplex] = complex_.simplices(dim)
+        self._index = {s: i for i, s in enumerate(self.basis)}
+
+    @property
+    def rank(self) -> int:
+        """dim C_k = number of k-simplices (each generator has order 2)."""
+        return len(self.basis)
+
+    def index(self, simplex: Simplex) -> int:
+        try:
+            return self._index[simplex]
+        except KeyError:
+            raise KeyError(
+                f"{simplex!r} is not a {self.dim}-simplex of the complex"
+            ) from None
+
+    def to_vector(self, chain: Chain | Iterable[Simplex]) -> np.ndarray:
+        """Coefficient vector (uint8 0/1, length = rank)."""
+        if isinstance(chain, Chain):
+            members: Iterable[Simplex] = chain.simplices
+        else:
+            members = chain
+        vec = np.zeros(self.rank, dtype=np.uint8)
+        for s in members:
+            vec[self.index(s)] ^= 1
+        return vec
+
+    def from_vector(self, vec: np.ndarray) -> Chain:
+        vec = np.asarray(vec)
+        if vec.shape != (self.rank,):
+            raise ValueError(
+                f"vector length {vec.shape} != chain-space rank {self.rank}"
+            )
+        return Chain(self.basis[i] for i in np.flatnonzero(vec & 1))
+
+    def random_chain(self, rng: np.random.Generator) -> Chain:
+        """A uniformly random element of C_k (for property tests)."""
+        bits = rng.integers(0, 2, size=self.rank, dtype=np.uint8)
+        return self.from_vector(bits)
+
+    def __repr__(self) -> str:
+        return f"ChainSpace(dim={self.dim}, rank={self.rank})"

@@ -1,0 +1,187 @@
+"""Cochains, the coboundary operator, and Kirchhoff via cohomology.
+
+§II-A of the paper notes that Kirchhoff's 1847 theorem generalizes
+beyond positive real resistances "using algebraic topology, i.e., the
+introduction of *cochain* and *coboundary*" (citing Giblin).  This
+module supplies that machinery over the reals:
+
+* a *k-cochain* assigns a number to every k-simplex — a 0-cochain is a
+  node potential assignment, a 1-cochain an (oriented) edge voltage or
+  current assignment;
+* the *coboundary* ``δ_k : C^k -> C^{k+1}`` is the transpose of the
+  boundary operator with orientation signs; ``δ ∘ δ = 0``;
+* Kirchhoff's laws become exactness statements:
+  - **L2**: a 1-cochain of voltage drops is physical iff it is a
+    *coboundary* ``δ(potential)`` — its loop sums vanish;
+  - **L1**: a 1-cochain of currents is physical iff it is a *cycle*
+    of the dual pairing — its vertex sums vanish.
+
+On a 1-dimensional complex with a fixed edge orientation (we orient
+each edge from its smaller to larger vertex, matching the ordering of
+:class:`~repro.topology.simplex.Simplex`), the matrices are small and
+dense; the point is conceptual completeness plus cross-checks with the
+circuit substrate, not scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.chains import ChainSpace
+from repro.topology.complex import SimplicialComplex
+
+
+class CochainSpace:
+    """Real-valued cochains ``C^k`` of a complex, with a fixed basis.
+
+    The basis order matches :class:`ChainSpace` so chain/cochain
+    pairings are plain dot products.
+    """
+
+    def __init__(self, complex_: SimplicialComplex, dim: int) -> None:
+        self.complex = complex_
+        self.dim = dim
+        self._chain_space = ChainSpace(complex_, dim)
+        self.basis = self._chain_space.basis
+
+    @property
+    def rank(self) -> int:
+        return len(self.basis)
+
+    def zero(self) -> np.ndarray:
+        return np.zeros(self.rank, dtype=np.float64)
+
+    def from_function(self, fn) -> np.ndarray:
+        """Evaluate ``fn(simplex) -> float`` on the basis."""
+        return np.array([float(fn(s)) for s in self.basis])
+
+    def index(self, simplex) -> int:
+        return self._chain_space.index(simplex)
+
+
+def coboundary_matrix(complex_: SimplicialComplex, k: int) -> np.ndarray:
+    """The signed matrix of ``δ_k : C^k -> C^{k+1}``.
+
+    Entry ``[τ, σ]`` is the incidence sign of the k-face σ in the
+    (k+1)-simplex τ: with vertices sorted, face ``i`` (dropping the
+    i-th vertex) gets sign ``(-1)^i`` — the standard simplicial
+    convention.  For ``k = 0`` this is the oriented node-edge
+    incidence transpose: ``(δ f)(u -> v) = f(v) - f(u)``.
+    """
+    if k < 0:
+        raise ValueError("cochain dimension must be non-negative")
+    lower = ChainSpace(complex_, k)
+    upper = ChainSpace(complex_, k + 1)
+    mat = np.zeros((upper.rank, lower.rank), dtype=np.float64)
+    for row, tau in enumerate(upper.basis):
+        verts = tau.vertices
+        for i in range(len(verts)):
+            face_verts = verts[:i] + verts[i + 1 :]
+            from repro.topology.simplex import Simplex
+
+            face = Simplex(face_verts)
+            mat[row, lower.index(face)] = (-1.0) ** i
+    return mat
+
+
+def apply_coboundary(
+    complex_: SimplicialComplex, k: int, cochain: np.ndarray
+) -> np.ndarray:
+    """``δ_k(cochain)`` as a (k+1)-cochain vector."""
+    mat = coboundary_matrix(complex_, k)
+    cochain = np.asarray(cochain, dtype=np.float64)
+    if cochain.shape != (mat.shape[1],):
+        raise ValueError(
+            f"cochain has length {cochain.shape}, expected {mat.shape[1]}"
+        )
+    return mat @ cochain
+
+
+def coboundary_squared_is_zero(complex_: SimplicialComplex, k: int) -> bool:
+    """Check ``δ_{k+1} ∘ δ_k = 0`` numerically."""
+    d1 = coboundary_matrix(complex_, k)
+    d2 = coboundary_matrix(complex_, k + 1)
+    return bool(np.allclose(d2 @ d1, 0.0, atol=1e-12))
+
+
+# -- Kirchhoff as exactness ---------------------------------------------------
+
+
+def potential_to_voltage_drops(
+    complex_: SimplicialComplex, potentials: np.ndarray
+) -> np.ndarray:
+    """Voltage 1-cochain of a node-potential 0-cochain: ``δ^0 p``.
+
+    Edge ``{u, v}`` (oriented u < v) carries ``p(v) - p(u)``.
+    """
+    return apply_coboundary(complex_, 0, potentials)
+
+
+def is_physical_voltage(
+    complex_: SimplicialComplex, drops: np.ndarray, atol: float = 1e-9
+) -> bool:
+    """Kirchhoff L2 as cohomology: drops ∈ image(δ^0)?
+
+    On a connected complex, H^1 measured against *real* coefficients
+    has dimension β1; a 1-cochain is a coboundary iff its pairing with
+    every cycle vanishes.  We test by least-squares projection onto
+    image(δ^0).
+    """
+    d0 = coboundary_matrix(complex_, 0)
+    drops = np.asarray(drops, dtype=np.float64)
+    if drops.shape != (d0.shape[0],):
+        raise ValueError("voltage cochain has wrong length")
+    p, *_ = np.linalg.lstsq(d0, drops, rcond=None)
+    return bool(np.allclose(d0 @ p, drops, atol=atol))
+
+
+def recover_potentials(
+    complex_: SimplicialComplex, drops: np.ndarray
+) -> np.ndarray:
+    """Integrate a physical voltage 1-cochain back to potentials.
+
+    Returns the minimum-norm potential (defined up to a constant per
+    component); raises if the cochain is not exact (violates L2).
+    """
+    d0 = coboundary_matrix(complex_, 0)
+    drops = np.asarray(drops, dtype=np.float64)
+    p, *_ = np.linalg.lstsq(d0, drops, rcond=None)
+    if not np.allclose(d0 @ p, drops, atol=1e-8 * max(1.0, np.abs(drops).max())):
+        raise ValueError("1-cochain is not exact: Kirchhoff L2 violated")
+    return p
+
+
+def current_conservation_residual(
+    complex_: SimplicialComplex, currents: np.ndarray
+) -> np.ndarray:
+    """Kirchhoff L1 residual of a current 1-cochain: ``(δ^0)^T i``.
+
+    The transpose of the coboundary sums oriented currents at each
+    vertex; a source-free physical current has zero residual — i.e.
+    currents lie in ker(∂_1), the cycle space.
+    """
+    d0 = coboundary_matrix(complex_, 0)
+    currents = np.asarray(currents, dtype=np.float64)
+    if currents.shape != (d0.shape[0],):
+        raise ValueError("current cochain has wrong length")
+    return d0.T @ currents
+
+
+def harmonic_dimension(complex_: SimplicialComplex) -> int:
+    """dim of harmonic 1-cochains — the real first Betti number.
+
+    Hodge-style count: ``H^1 ≅ ker δ^1 / im δ^0``, and since
+    ``im δ^0 ⊆ ker δ^1`` always, the dimension is
+    ``dim ker δ^1 - rank δ^0``.  For a 1-dimensional complex (every
+    MEA) ``δ^1 = 0``, so this is ``|E| - rank δ^0 = |E| - |V| + c``:
+    real and mod-2 β1 coincide for graphs, cross-checked in tests
+    against :mod:`repro.topology.homology`.
+    """
+    d0 = coboundary_matrix(complex_, 0)
+    edges = d0.shape[0]
+    rank0 = int(np.linalg.matrix_rank(d0)) if d0.size else 0
+    if complex_.dimension >= 2:
+        d1 = coboundary_matrix(complex_, 1)
+        rank1 = int(np.linalg.matrix_rank(d1)) if d1.size else 0
+        return (edges - rank1) - rank0
+    return edges - rank0

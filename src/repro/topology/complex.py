@@ -1,0 +1,221 @@
+"""Abstract simplicial complexes.
+
+A complex is a downward-closed family of simplices: every face of a
+member is a member, and the intersection of any two members is a face
+of both (§III-A; Figure 3 of the paper shows a polyhedron violating
+this).  :class:`SimplicialComplex` enforces closure on insertion, so
+any constructed instance *is* simplicial by construction; the explicit
+checker :meth:`verify_simplicial` exists to validate externally
+supplied simplex families (and to property-test Proposition 1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.topology.simplex import Simplex, Vertex
+
+
+class SimplicialComplex:
+    """A finite abstract simplicial complex.
+
+    Simplices are stored per dimension in insertion-independent sorted
+    order, which fixes the column/row ordering of every boundary matrix
+    derived from the complex — important for reproducible parallel
+    decompositions.
+    """
+
+    def __init__(self, simplices: Iterable[Simplex | Sequence[Vertex]] = ()) -> None:
+        self._by_dim: dict[int, set[Simplex]] = defaultdict(set)
+        for s in simplices:
+            self.add(s)
+
+    # -- construction ---------------------------------------------------
+
+    def add(self, simplex: Simplex | Sequence[Vertex]) -> None:
+        """Insert ``simplex`` and all of its faces (downward closure)."""
+        if not isinstance(simplex, Simplex):
+            simplex = Simplex(simplex)
+        for face in simplex.faces():
+            self._by_dim[face.dimension].add(face)
+
+    @classmethod
+    def from_maximal(
+        cls, maximal: Iterable[Sequence[Vertex]]
+    ) -> "SimplicialComplex":
+        """Build from a list of maximal simplices (facets)."""
+        return cls(Simplex(m) for m in maximal)
+
+    @classmethod
+    def from_graph(cls, nodes: Iterable[Vertex], edges: Iterable[tuple[Vertex, Vertex]]) -> "SimplicialComplex":
+        """The 1-dimensional complex of a simple graph."""
+        out = cls()
+        for v in nodes:
+            out.add(Simplex([v]))
+        for u, v in edges:
+            if u == v:
+                raise ValueError(f"self-loop at {u!r} is not a simplex")
+            out.add(Simplex([u, v]))
+        return out
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def dimension(self) -> int:
+        """``max(dim σ)`` over the complex; -1 for the empty complex."""
+        dims = [d for d, group in self._by_dim.items() if group]
+        return max(dims) if dims else -1
+
+    def simplices(self, dim: int | None = None) -> list[Simplex]:
+        """Sorted list of simplices (of one dimension, or all)."""
+        if dim is not None:
+            return sorted(self._by_dim.get(dim, ()))
+        out: list[Simplex] = []
+        for d in sorted(self._by_dim):
+            out.extend(sorted(self._by_dim[d]))
+        return out
+
+    def count(self, dim: int) -> int:
+        """Number of ``dim``-simplices (the f-vector entry f_dim)."""
+        return len(self._by_dim.get(dim, ()))
+
+    def f_vector(self) -> tuple[int, ...]:
+        """``(f_0, f_1, ..., f_dim)``."""
+        top = self.dimension
+        return tuple(self.count(d) for d in range(top + 1))
+
+    def euler_characteristic(self) -> int:
+        """``Σ (-1)^k f_k`` — equals ``Σ (-1)^k β_k`` (checked in tests)."""
+        return sum((-1) ** d * f for d, f in enumerate(self.f_vector()))
+
+    def __contains__(self, simplex: Simplex | Sequence[Vertex]) -> bool:
+        if not isinstance(simplex, Simplex):
+            simplex = Simplex(simplex)
+        return simplex in self._by_dim.get(simplex.dimension, ())
+
+    def __iter__(self) -> Iterator[Simplex]:
+        return iter(self.simplices())
+
+    def __len__(self) -> int:
+        return sum(len(g) for g in self._by_dim.values())
+
+    def vertices(self) -> list[Vertex]:
+        return [s.vertices[0] for s in self.simplices(0)]
+
+    def skeleton(self, k: int) -> "SimplicialComplex":
+        """The k-skeleton: all simplices of dimension <= k."""
+        out = SimplicialComplex()
+        for d in range(min(k, self.dimension) + 1):
+            for s in self._by_dim.get(d, ()):
+                out._by_dim[d].add(s)
+        return out
+
+    def star(self, vertex: Vertex) -> list[Simplex]:
+        """All simplices containing ``vertex``."""
+        return [s for s in self.simplices() if vertex in s]
+
+    def link_edges(self, vertex: Vertex) -> list[Vertex]:
+        """Neighbours of ``vertex`` through 1-simplices."""
+        out = []
+        for s in self._by_dim.get(1, ()):
+            if vertex in s:
+                a, b = s.vertices
+                out.append(b if a == vertex else a)
+        return sorted(out, key=repr)
+
+    # -- validation ---------------------------------------------------------
+
+    def verify_simplicial(self) -> None:
+        """Raise :class:`NotSimplicialError` if the family is invalid.
+
+        Checks the two defining properties on the stored family:
+        (1) downward closure — every face of a member is a member;
+        (2) the intersection of any two members is a member (possibly
+        empty).  (2) follows from (1) for *abstract* complexes, but we
+        check both so this method can diagnose hand-built families
+        mirroring the paper's Figure 3 discussion.
+        """
+        for s in self.simplices():
+            for face in s.faces():
+                if face not in self:
+                    raise NotSimplicialError(
+                        f"face {face!r} of {s!r} is missing from the complex"
+                    )
+        sims = self.simplices()
+        for i, a in enumerate(sims):
+            for b in sims[i + 1 :]:
+                shared = a.intersection(b)
+                if shared is not None and shared not in self:
+                    raise NotSimplicialError(
+                        f"intersection {shared!r} of {a!r} and {b!r} is not "
+                        "a simplex of the complex"
+                    )
+
+    def is_simplicial(self) -> bool:
+        try:
+            self.verify_simplicial()
+        except NotSimplicialError:
+            return False
+        return True
+
+    def adjacency(self) -> Mapping[Vertex, list[Vertex]]:
+        """Vertex adjacency through 1-simplices (for graph algorithms)."""
+        adj: dict[Vertex, list[Vertex]] = {v: [] for v in self.vertices()}
+        for s in self._by_dim.get(1, ()):
+            a, b = s.vertices
+            adj[a].append(b)
+            adj[b].append(a)
+        for v in adj:
+            adj[v].sort(key=repr)
+        return adj
+
+    def connected_components(self) -> list[set[Vertex]]:
+        """Vertex sets of the connected components (via 1-skeleton)."""
+        adj = self.adjacency()
+        seen: set[Vertex] = set()
+        comps: list[set[Vertex]] = []
+        for v in adj:
+            if v in seen:
+                continue
+            stack = [v]
+            comp: set[Vertex] = set()
+            while stack:
+                u = stack.pop()
+                if u in comp:
+                    continue
+                comp.add(u)
+                stack.extend(w for w in adj[u] if w not in comp)
+            seen |= comp
+            comps.append(comp)
+        return comps
+
+    def __repr__(self) -> str:
+        return (
+            f"SimplicialComplex(dim={self.dimension}, "
+            f"f_vector={self.f_vector()})"
+        )
+
+
+class NotSimplicialError(ValueError):
+    """Raised when a simplex family violates the simplicial property."""
+
+
+def check_family_simplicial(
+    family: Iterable[Sequence[Vertex]],
+) -> tuple[bool, str | None]:
+    """Check an arbitrary family of vertex sets *without* closure repair.
+
+    Unlike :class:`SimplicialComplex` (which closes downward on
+    insertion), this inspects the family as given — e.g. the paper's
+    Figure 3 family, where triangles {a,b,c} and {d,e,f} are present
+    but their geometric overlap segment {b,f} is not.  Returns
+    ``(ok, reason)``.
+    """
+    sims = [Simplex(f) for f in family]
+    present = set(sims)
+    for s in sims:
+        for face in s.faces():
+            if face not in present:
+                return False, f"face {face!r} of {s!r} missing"
+    return True, None

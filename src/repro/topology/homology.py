@@ -1,0 +1,168 @@
+"""Mod-2 simplicial homology and Betti numbers.
+
+For a complex ``K`` and dimension ``k``:
+
+* the *k-cycle group*  ``D^k = ker ∂_k``          (paper's notation),
+* the *k-boundary group* ``B^k = im ∂_{k+1}``,
+* the *k-th homology group* ``H^k = D^k / B^k``, and
+* the Betti number ``β_k = rank D^k - rank B^k``
+  (= log₂|H^k| since every group here is a GF(2) vector space —
+  the paper's Lagrange-law derivation).
+
+Edge cases: ``D^0 = C_0`` (``∂_0 = 0``) and ``B^k = 0`` above the top
+dimension.  β₀ counts connected components; for a 1-dimensional
+complex (every MEA, by Proposition 1) β₁ equals the Maxwell cyclomatic
+number ``|E| - |V| + β₀`` — both facts are cross-checked in tests
+against :mod:`repro.topology.cycles` and ``networkx``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.topology import gf2
+from repro.topology.boundary import BoundaryOperator
+from repro.topology.chains import Chain, ChainSpace
+from repro.topology.complex import SimplicialComplex
+
+
+@dataclass(frozen=True)
+class HomologySummary:
+    """Ranks of the chain/cycle/boundary/homology groups at one dim."""
+
+    dim: int
+    chain_rank: int  # dim C_k
+    cycle_rank: int  # dim D^k
+    boundary_rank: int  # dim B^k
+    betti: int  # dim H^k
+
+    @property
+    def group_order(self) -> int:
+        """|H^k| = 2^betti (every mod-2 homology group is (Z/2)^betti)."""
+        return 1 << self.betti
+
+
+class HomologyCalculator:
+    """Computes homology of one complex, caching boundary operators."""
+
+    def __init__(self, complex_: SimplicialComplex) -> None:
+        self.complex = complex_
+        self._ops: dict[int, BoundaryOperator] = {}
+
+    def boundary(self, k: int) -> BoundaryOperator:
+        op = self._ops.get(k)
+        if op is None:
+            op = self._ops[k] = BoundaryOperator(self.complex, k)
+        return op
+
+    def cycle_rank(self, k: int) -> int:
+        """dim D^k = dim ker ∂_k (all of C_0 when k = 0)."""
+        space = ChainSpace(self.complex, k)
+        if k == 0:
+            return space.rank
+        if space.rank == 0:
+            return 0
+        return self.boundary(k).nullity()
+
+    def boundary_rank(self, k: int) -> int:
+        """dim B^k = rank ∂_{k+1} (zero above the top dimension)."""
+        if k >= self.complex.dimension:
+            return 0
+        upper = ChainSpace(self.complex, k + 1)
+        if upper.rank == 0:
+            return 0
+        return self.boundary(k + 1).rank()
+
+    def betti(self, k: int) -> int:
+        """β_k = rank D^k - rank B^k."""
+        if k < 0:
+            raise ValueError("dimension must be non-negative")
+        if k > self.complex.dimension:
+            return 0
+        return self.cycle_rank(k) - self.boundary_rank(k)
+
+    def betti_numbers(self) -> tuple[int, ...]:
+        """``(β_0, ..., β_dim)``."""
+        top = self.complex.dimension
+        if top < 0:
+            return ()
+        return tuple(self.betti(k) for k in range(top + 1))
+
+    def summary(self, k: int) -> HomologySummary:
+        space = ChainSpace(self.complex, k)
+        cyc = self.cycle_rank(k)
+        bnd = self.boundary_rank(k)
+        return HomologySummary(
+            dim=k,
+            chain_rank=space.rank,
+            cycle_rank=cyc,
+            boundary_rank=bnd,
+            betti=cyc - bnd,
+        )
+
+    def cycle_basis(self, k: int) -> list[Chain]:
+        """A basis of D^k as chains (k >= 1)."""
+        if k < 1:
+            raise ValueError("cycle basis is computed for k >= 1")
+        return self.boundary(k).kernel_basis()
+
+    def homology_representatives(self, k: int) -> list[Chain]:
+        """Chains whose classes form a basis of ``H^k``.
+
+        Computed by extending a basis of B^k to a basis of D^k: cycle
+        basis vectors are added greedily while they increase the rank
+        of the stacked (boundary + chosen) matrix.
+        """
+        space = ChainSpace(self.complex, k)
+        if space.rank == 0:
+            return []
+        want = self.betti(k)
+        if want == 0:
+            return []
+        cycles = self.cycle_basis(k) if k >= 1 else [
+            Chain([s]) for s in space.basis
+        ]
+        # Rows of the boundary image (im ∂_{k+1}) expressed in C_k.
+        rows = []
+        if k < self.complex.dimension:
+            upper = self.boundary(k + 1)
+            for col in range(upper.domain.rank):
+                image = upper.apply(Chain([upper.domain.basis[col]]))
+                rows.append(space.to_vector(image))
+        import numpy as np
+
+        stack = (
+            np.array(rows, dtype=np.uint8)
+            if rows
+            else np.zeros((0, space.rank), dtype=np.uint8)
+        )
+        base_rank = gf2.rank(stack) if stack.size else 0
+        reps: list[Chain] = []
+        current = stack
+        current_rank = base_rank
+        for cyc in cycles:
+            if len(reps) == want:
+                break
+            vec = space.to_vector(cyc)
+            trial = np.concatenate([current, vec[None, :]], axis=0)
+            r = gf2.rank(trial)
+            if r > current_rank:
+                reps.append(cyc)
+                current = trial
+                current_rank = r
+        if len(reps) != want:  # pragma: no cover - internal invariant
+            raise RuntimeError("failed to extend boundary basis to cycles")
+        return reps
+
+
+def betti_numbers(complex_: SimplicialComplex) -> tuple[int, ...]:
+    """Betti numbers of ``complex_`` (module-level convenience)."""
+    return HomologyCalculator(complex_).betti_numbers()
+
+
+def euler_characteristic_check(complex_: SimplicialComplex) -> bool:
+    """Verify ``Σ(-1)^k f_k == Σ(-1)^k β_k`` (Euler–Poincaré)."""
+    chi_f = complex_.euler_characteristic()
+    betti = betti_numbers(complex_)
+    chi_b = sum((-1) ** k * b for k, b in enumerate(betti))
+    return chi_f == chi_b

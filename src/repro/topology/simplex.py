@@ -1,0 +1,112 @@
+"""Abstract simplices.
+
+Following §III-A of the paper, a *simplex* here is an abstract one: a
+finite set of vertices.  Any subset is a *face* and the dimension is
+``|vertices| - 1``.  Vertices may be any hashable, orderable labels
+(the MEA model uses integer joint ids and string wire names).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Hashable, Iterable, Iterator
+
+Vertex = Hashable
+
+
+class Simplex:
+    """An immutable abstract simplex (a frozen, sorted vertex tuple).
+
+    Two simplices are equal iff their vertex sets are equal; ordering
+    is lexicographic on the sorted vertex tuple so simplices sort
+    deterministically inside a complex.
+    """
+
+    __slots__ = ("_vertices",)
+
+    def __init__(self, vertices: Iterable[Vertex]) -> None:
+        vs = tuple(sorted(set(vertices), key=_sort_key))
+        if not vs:
+            raise ValueError(
+                "empty simplex is not constructible; the empty face is "
+                "represented implicitly"
+            )
+        self._vertices = vs
+
+    @property
+    def vertices(self) -> tuple[Vertex, ...]:
+        return self._vertices
+
+    @property
+    def dimension(self) -> int:
+        """``|σ| - 1`` per the paper's definition."""
+        return len(self._vertices) - 1
+
+    def faces(self, dim: int | None = None) -> Iterator["Simplex"]:
+        """Yield proper and improper nonempty faces.
+
+        With ``dim`` given, only faces of that dimension are yielded;
+        otherwise all faces from dimension 0 up to ``self.dimension``.
+        """
+        sizes = (
+            range(1, len(self._vertices) + 1)
+            if dim is None
+            else [dim + 1]
+        )
+        for size in sizes:
+            if size < 1 or size > len(self._vertices):
+                continue
+            for combo in combinations(self._vertices, size):
+                yield Simplex(combo)
+
+    def boundary_faces(self) -> Iterator["Simplex"]:
+        """The codimension-1 faces (the terms of the boundary operator)."""
+        if self.dimension == 0:
+            return iter(())
+        return self.faces(self.dimension - 1)
+
+    def is_face_of(self, other: "Simplex") -> bool:
+        return set(self._vertices) <= set(other._vertices)
+
+    def intersection(self, other: "Simplex") -> "Simplex | None":
+        """The common face, or ``None`` for the empty intersection."""
+        shared = set(self._vertices) & set(other._vertices)
+        return Simplex(shared) if shared else None
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._vertices
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter(self._vertices)
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Simplex):
+            return NotImplemented
+        return self._vertices == other._vertices
+
+    def __lt__(self, other: "Simplex") -> bool:
+        if not isinstance(other, Simplex):
+            return NotImplemented
+        key_self = (len(self._vertices), tuple(map(_sort_key, self._vertices)))
+        key_other = (len(other._vertices), tuple(map(_sort_key, other._vertices)))
+        return key_self < key_other
+
+    def __hash__(self) -> int:
+        return hash(self._vertices)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(map(repr, self._vertices))
+        return f"Simplex({{{inner}}})"
+
+
+def _sort_key(v: Vertex) -> tuple[str, str]:
+    """Total order over mixed vertex label types (ints, strings, ...)."""
+    return (type(v).__name__, repr(v))
+
+
+def simplex(*vertices: Vertex) -> Simplex:
+    """Convenience constructor: ``simplex(0, 1)`` == ``Simplex([0, 1])``."""
+    return Simplex(vertices)

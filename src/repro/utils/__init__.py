@@ -1,0 +1,28 @@
+"""Shared utilities: deterministic RNG policy, timers, validation, logging.
+
+These helpers are deliberately small and dependency-free so every other
+subpackage (topology, mea, kirchhoff, core, parallel, ...) can rely on
+them without import cycles.
+"""
+
+from repro.utils.rng import default_rng, derive_seed, spawn_rngs
+from repro.utils.timing import Stopwatch, Timer, VirtualClock
+from repro.utils.validation import (
+    require_in_range,
+    require_positive,
+    require_positive_int,
+    require_shape,
+)
+
+__all__ = [
+    "Stopwatch",
+    "Timer",
+    "VirtualClock",
+    "default_rng",
+    "derive_seed",
+    "require_in_range",
+    "require_positive",
+    "require_positive_int",
+    "require_shape",
+    "spawn_rngs",
+]

@@ -1,0 +1,111 @@
+"""Structured, low-overhead logging for library internals.
+
+Design constraints (from the HPC guides and the fork-based runtime):
+
+* **cheap when off** — hot loops may hold a logger call; the level
+  check is one integer compare and no string formatting happens unless
+  the record is emitted;
+* **fork-safe** — forked PyMP workers inherit the logger; each record
+  carries the PID so interleaved worker output stays attributable;
+* **machine-greppable** — records are single ``key=value`` lines
+  (``ts=.. pid=.. level=.. event=.. k1=v1 ...``), not prose.
+
+The library logs nothing by default; enable with
+``configure(level="info")`` or the ``REPRO_LOG`` environment variable
+(``off`` | ``info`` | ``debug``), which the CLI reads at startup.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Any, TextIO
+
+_LEVELS = {"off": 0, "info": 1, "debug": 2}
+
+_state = {
+    "level": _LEVELS.get(os.environ.get("REPRO_LOG", "off").lower(), 0),
+    "stream": sys.stderr,
+}
+
+
+def configure(level: str = "info", stream: TextIO | None = None) -> None:
+    """Set the global log level (and optionally the output stream)."""
+    try:
+        _state["level"] = _LEVELS[level.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; use off/info/debug"
+        ) from None
+    if stream is not None:
+        _state["stream"] = stream
+
+
+def level_name() -> str:
+    for name, value in _LEVELS.items():
+        if value == _state["level"]:
+            return name
+    return "off"  # pragma: no cover
+
+
+def enabled(level: str = "info") -> bool:
+    """Cheap guard for call sites that build expensive fields."""
+    return _state["level"] >= _LEVELS.get(level, 1)
+
+
+def _emit(level: str, event: str, fields: dict[str, Any]) -> None:
+    parts = [
+        f"ts={time.time():.6f}",
+        f"pid={os.getpid()}",
+        f"level={level}",
+        f"event={event}",
+    ]
+    for key, value in fields.items():
+        text = str(value)
+        if " " in text or "=" in text:
+            text = repr(text)
+        parts.append(f"{key}={text}")
+    print(" ".join(parts), file=_state["stream"], flush=True)
+
+
+def info(event: str, **fields: Any) -> None:
+    """Emit an info record (no-op below level info)."""
+    if _state["level"] >= 1:
+        _emit("info", event, fields)
+
+
+def debug(event: str, **fields: Any) -> None:
+    """Emit a debug record (no-op below level debug)."""
+    if _state["level"] >= 2:
+        _emit("debug", event, fields)
+
+
+class log_span:
+    """Context manager emitting begin/end records with elapsed time.
+
+    ``with log_span("formation", n=40): ...`` — emits nothing when
+    logging is off; otherwise an ``event=formation.begin`` and an
+    ``event=formation.end elapsed=..`` pair.
+    """
+
+    __slots__ = ("_event", "_fields", "_start")
+
+    def __init__(self, event: str, **fields: Any) -> None:
+        self._event = event
+        self._fields = fields
+        self._start = 0.0
+
+    def __enter__(self) -> "log_span":
+        if _state["level"] >= 1:
+            _emit("info", f"{self._event}.begin", self._fields)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if _state["level"] >= 1:
+            fields = dict(self._fields)
+            fields["elapsed"] = f"{time.perf_counter() - self._start:.6f}"
+            if exc_type is not None:
+                fields["error"] = exc_type.__name__
+            _emit("info", f"{self._event}.end", fields)

@@ -1,0 +1,134 @@
+"""Wall-clock and virtual-clock timing primitives.
+
+Two clocks coexist in this library:
+
+* real timers (:class:`Timer`, :class:`Stopwatch`) wrap
+  :func:`time.perf_counter` and back the measured benchmarks, and
+
+* :class:`VirtualClock` is a deterministic simulated clock used by
+  :mod:`repro.parallel.simcluster` to replay measured per-task costs on
+  a simulated machine with an arbitrary rank count.  The simulated
+  scalability experiments (paper Fig. 7/9/10) advance this clock
+  instead of sleeping, so they are exact and instantaneous.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class Timer:
+    """Context-manager stopwatch: ``with Timer() as t: ...; t.elapsed``."""
+
+    __slots__ = ("_start", "elapsed")
+
+    def __init__(self) -> None:
+        self._start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    Useful for phase breakdowns (formation vs I/O vs solve) inside a
+    single pipeline run; the lap dict is what
+    :mod:`repro.instrument.report` tabulates.
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+    _running: dict[str, float] = field(default_factory=dict)
+
+    def start(self, name: str) -> None:
+        if name in self._running:
+            raise RuntimeError(f"lap {name!r} already running")
+        self._running[name] = time.perf_counter()
+
+    def stop(self, name: str) -> float:
+        try:
+            begin = self._running.pop(name)
+        except KeyError:
+            raise RuntimeError(f"lap {name!r} was never started") from None
+        delta = time.perf_counter() - begin
+        self.laps[name] = self.laps.get(name, 0.0) + delta
+        return delta
+
+    def lap(self, name: str):
+        """Context manager form: ``with sw.lap("formation"): ...``."""
+        return _Lap(self, name)
+
+    def total(self) -> float:
+        return sum(self.laps.values())
+
+
+class _Lap:
+    __slots__ = ("_sw", "_name")
+
+    def __init__(self, sw: Stopwatch, name: str) -> None:
+        self._sw = sw
+        self._name = name
+
+    def __enter__(self) -> None:
+        self._sw.start(self._name)
+
+    def __exit__(self, *exc) -> None:
+        self._sw.stop(self._name)
+
+
+class VirtualClock:
+    """A deterministic clock that only moves when told to.
+
+    The simulated-cluster runtime gives each rank one of these; `advance`
+    models compute, and synchronisation primitives take the max across
+    ranks.  Times are plain floats in seconds.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds} s")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move forward to absolute time ``t`` (no-op if already past)."""
+        if t > self._now:
+            self._now = t
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VirtualClock(now={self._now:.6f})"
+
+
+def measure(fn: Callable[[], object], repeats: int = 3) -> float:
+    """Return the best-of-``repeats`` wall time of ``fn()`` in seconds.
+
+    Best-of (not mean) follows the standard timeit rationale: external
+    jitter only ever adds time, so the minimum is the least-noisy
+    estimate of intrinsic cost.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best

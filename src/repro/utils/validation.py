@@ -1,0 +1,72 @@
+"""Argument-validation helpers shared across the library.
+
+All raise ``ValueError``/``TypeError`` with messages that name the
+offending parameter, so call sites stay one-liners.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def require_positive_int(value: int, name: str, minimum: int = 1) -> int:
+    """Return ``value`` as int after checking ``value >= minimum``."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def require_positive(value: float, name: str) -> float:
+    """Return ``value`` as float after checking strict positivity."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise ValueError(f"{name} must be a finite positive number, got {value}")
+    return value
+
+
+def require_in_range(
+    value: float, name: str, low: float, high: float, inclusive: bool = True
+) -> float:
+    """Check ``low <= value <= high`` (or strict if ``inclusive=False``)."""
+    value = float(value)
+    ok = (low <= value <= high) if inclusive else (low < value < high)
+    if not ok:
+        bracket = "[]" if inclusive else "()"
+        raise ValueError(
+            f"{name} must lie in {bracket[0]}{low}, {high}{bracket[1]}, got {value}"
+        )
+    return value
+
+
+def require_shape(arr: np.ndarray, shape: Sequence[int | None], name: str) -> np.ndarray:
+    """Check ``arr.shape`` against ``shape`` (``None`` = any size).
+
+    Returns ``arr`` unchanged so the call can be used inline.
+    """
+    arr = np.asarray(arr)
+    if arr.ndim != len(shape):
+        raise ValueError(
+            f"{name} must have {len(shape)} dimensions, got {arr.ndim} "
+            f"(shape {arr.shape})"
+        )
+    for axis, (got, want) in enumerate(zip(arr.shape, shape)):
+        if want is not None and got != want:
+            raise ValueError(
+                f"{name} has shape {arr.shape}; expected size {want} on axis {axis}"
+            )
+    return arr
+
+
+def require_positive_array(arr: np.ndarray, name: str) -> np.ndarray:
+    """Check every entry of ``arr`` is finite and > 0."""
+    arr = np.asarray(arr, dtype=np.float64)
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite entries")
+    if np.any(arr <= 0.0):
+        raise ValueError(f"{name} must be strictly positive everywhere")
+    return arr

@@ -1,0 +1,119 @@
+"""Tests for anomaly detection on resistance fields."""
+
+import numpy as np
+import pytest
+
+from repro.anomaly.detect import (
+    detect_anomalies,
+    detect_drift_anomalies,
+)
+
+
+def field_with_blob(n=12, baseline=3000.0, peak=9000.0, center=(5, 5), size=2):
+    rng = np.random.default_rng(0)
+    field = baseline * (1 + 0.02 * rng.standard_normal((n, n)))
+    r0, c0 = center
+    field[r0 - size // 2 : r0 + size // 2 + 1,
+          c0 - size // 2 : c0 + size // 2 + 1] = peak
+    return field
+
+
+class TestDetectAnomalies:
+    def test_finds_planted_blob(self):
+        field = field_with_blob()
+        result = detect_anomalies(field)
+        assert result.num_regions == 1
+        region = result.regions[0]
+        assert region.peak_resistance == pytest.approx(9000.0)
+        assert abs(region.centroid[0] - 5) < 1.0
+        assert abs(region.centroid[1] - 5) < 1.0
+
+    def test_clean_field_has_no_regions(self):
+        rng = np.random.default_rng(1)
+        field = 3000.0 * (1 + 0.02 * rng.standard_normal((10, 10)))
+        assert detect_anomalies(field).num_regions == 0
+
+    def test_two_separate_blobs(self):
+        field = field_with_blob(n=16, center=(3, 3))
+        field[11:14, 11:14] = 9500.0
+        result = detect_anomalies(field)
+        assert result.num_regions == 2
+
+    def test_touching_blobs_merge(self):
+        field = field_with_blob(n=12, center=(5, 5), size=2)
+        field[5:8, 6:9] = 9000.0  # 4-connected to the first
+        result = detect_anomalies(field)
+        assert result.num_regions == 1
+
+    def test_min_size_filters_specks(self):
+        field = field_with_blob(n=12, size=0)  # single pixel
+        kept = detect_anomalies(field, min_size=1)
+        dropped = detect_anomalies(field, min_size=2)
+        assert kept.num_regions == 1
+        assert dropped.num_regions == 0
+        assert not dropped.mask.any()
+
+    def test_mask_matches_regions(self):
+        field = field_with_blob()
+        result = detect_anomalies(field)
+        covered = set()
+        for region in result.regions:
+            covered.update(region.sites)
+        assert covered == set(map(tuple, np.argwhere(result.mask)))
+
+    def test_threshold_monotonic(self):
+        field = field_with_blob()
+        loose = detect_anomalies(field, threshold_sigmas=2.0)
+        tight = detect_anomalies(field, threshold_sigmas=8.0)
+        assert loose.mask.sum() >= tight.mask.sum()
+
+    def test_constant_field_degenerate_spread(self):
+        field = np.full((6, 6), 3000.0)
+        result = detect_anomalies(field)
+        assert result.num_regions == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            detect_anomalies(np.ones(5))
+        with pytest.raises(ValueError):
+            detect_anomalies(np.ones((4, 4)), threshold_sigmas=0.0)
+        with pytest.raises(ValueError):
+            detect_anomalies(np.ones((4, 4)), min_size=0)
+
+    def test_region_statistics(self):
+        field = field_with_blob()
+        region = detect_anomalies(field).regions[0]
+        assert region.size == len(region.sites)
+        assert region.mean_resistance <= region.peak_resistance
+        assert region.label == 1
+
+
+class TestDriftDetection:
+    def test_growth_detected(self):
+        early = np.full((8, 8), 3000.0)
+        late = early.copy()
+        late[2:4, 2:4] *= 1.8
+        result = detect_drift_anomalies(early, late, growth_threshold=0.25)
+        assert result.num_regions == 1
+        assert result.mask[2, 2]
+
+    def test_static_field_no_drift(self):
+        field = np.full((6, 6), 3000.0)
+        result = detect_drift_anomalies(field, field * 1.01)
+        assert result.num_regions == 0
+
+    def test_shrinkage_not_flagged(self):
+        early = np.full((6, 6), 3000.0)
+        late = early.copy()
+        late[1, 1] *= 0.3  # resistance drop, not an anomaly here
+        assert detect_drift_anomalies(early, late).num_regions == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            detect_drift_anomalies(np.ones((4, 4)), np.ones((5, 5)))
+
+    def test_min_size(self):
+        early = np.full((6, 6), 3000.0)
+        late = early.copy()
+        late[1, 1] *= 2.0
+        assert detect_drift_anomalies(early, late, min_size=2).num_regions == 0

@@ -1,0 +1,102 @@
+"""Tests for detection scoring metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.anomaly.metrics import (
+    field_relative_error,
+    localization_errors,
+    score_mask,
+)
+
+bool_masks = arrays(np.bool_, (6, 6))
+
+
+class TestScoreMask:
+    def test_perfect_prediction(self):
+        truth = np.zeros((5, 5), dtype=bool)
+        truth[1:3, 1:3] = True
+        s = score_mask(truth, truth)
+        assert s.precision == 1.0 and s.recall == 1.0
+        assert s.f1 == 1.0 and s.iou == 1.0
+
+    def test_empty_both(self):
+        empty = np.zeros((4, 4), dtype=bool)
+        s = score_mask(empty, empty)
+        assert s.precision == 1.0 and s.recall == 1.0
+
+    def test_all_false_positive(self):
+        pred = np.ones((3, 3), dtype=bool)
+        truth = np.zeros((3, 3), dtype=bool)
+        s = score_mask(pred, truth)
+        assert s.precision == 0.0
+        assert s.recall == 1.0  # nothing to miss
+        assert s.f1 == pytest.approx(0.0)
+
+    def test_half_overlap(self):
+        pred = np.zeros((4, 4), dtype=bool)
+        truth = np.zeros((4, 4), dtype=bool)
+        pred[0, :2] = True
+        truth[0, 1:3] = True
+        s = score_mask(pred, truth)
+        assert s.precision == 0.5 and s.recall == 0.5
+        assert s.iou == pytest.approx(1 / 3)
+
+    @given(bool_masks, bool_masks)
+    @settings(max_examples=40, deadline=None)
+    def test_counts_partition_the_grid(self, pred, truth):
+        s = score_mask(pred, truth)
+        total = (
+            s.true_positives + s.false_positives
+            + s.false_negatives + s.true_negatives
+        )
+        assert total == pred.size
+        assert 0.0 <= s.precision <= 1.0
+        assert 0.0 <= s.recall <= 1.0
+        assert 0.0 <= s.iou <= 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            score_mask(np.zeros((2, 2), bool), np.zeros((3, 3), bool))
+
+
+class TestLocalization:
+    def test_exact_match(self):
+        errors = localization_errors([(2.0, 3.0)], [(2.0, 3.0)])
+        assert errors == [0.0]
+
+    def test_greedy_nearest(self):
+        errors = localization_errors(
+            [(0.0, 0.0), (10.0, 10.0)], [(9.0, 10.0), (1.0, 0.0)]
+        )
+        assert errors[0] == pytest.approx(1.0)
+        assert errors[1] == pytest.approx(1.0)
+
+    def test_missing_prediction_is_inf(self):
+        errors = localization_errors([], [(1.0, 1.0)])
+        assert errors == [float("inf")]
+
+    def test_each_prediction_used_once(self):
+        errors = localization_errors([(0.0, 0.0)], [(0.0, 0.0), (0.1, 0.0)])
+        assert errors[0] == 0.0
+        assert errors[1] == float("inf")
+
+
+class TestFieldError:
+    def test_zero_error(self):
+        f = np.full((3, 3), 5.0)
+        stats = field_relative_error(f, f)
+        assert stats["mean"] == 0.0 and stats["max"] == 0.0
+
+    def test_uniform_bias(self):
+        truth = np.full((4, 4), 100.0)
+        stats = field_relative_error(truth * 1.1, truth)
+        assert stats["mean"] == pytest.approx(0.1)
+        assert stats["p95"] == pytest.approx(0.1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            field_relative_error(np.ones((2, 2)), np.ones((3, 3)))

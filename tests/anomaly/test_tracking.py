@@ -1,0 +1,107 @@
+"""Tests for longitudinal anomaly tracking."""
+
+import numpy as np
+import pytest
+
+from repro.anomaly.detect import detect_anomalies
+from repro.anomaly.tracking import Track, TrackingResult, track_regions
+
+
+def field(n=12, blobs=()):
+    """blobs: list of (row, col, value)."""
+    rng = np.random.default_rng(0)
+    f = 3000.0 * (1 + 0.01 * rng.standard_normal((n, n)))
+    for r, c, v in blobs:
+        f[r : r + 2, c : c + 2] = v
+    return f
+
+
+def detect(f):
+    return detect_anomalies(f, threshold_sigmas=4.0)
+
+
+class TestTracking:
+    def test_single_stationary_anomaly(self):
+        dets = [detect(field(blobs=[(4, 4, 8000 + 500 * t)])) for t in range(4)]
+        out = track_regions(dets, [0.0, 6.0, 12.0, 24.0])
+        assert out.num_tracks == 1
+        track = out.tracks[0]
+        assert track.observations == 4
+        assert track.first_seen == 0.0 and track.last_seen == 24.0
+        assert track.growth_rate_per_hour() > 0
+
+    def test_two_separate_anomalies_two_tracks(self):
+        blobs_t = [
+            [(2, 2, 8000), (9, 9, 9000)],
+            [(2, 2, 8200), (9, 9, 9200)],
+        ]
+        dets = [detect(field(blobs=b)) for b in blobs_t]
+        out = track_regions(dets, [0.0, 6.0])
+        assert out.num_tracks == 2
+        assert all(t.observations == 2 for t in out.tracks)
+
+    def test_new_anomaly_starts_new_track(self):
+        dets = [
+            detect(field(blobs=[(2, 2, 8000)])),
+            detect(field(blobs=[(2, 2, 8000), (9, 9, 9000)])),
+        ]
+        out = track_regions(dets, [0.0, 6.0])
+        assert out.num_tracks == 2
+        persistent = out.persistent_tracks()
+        transient = out.transient_tracks()
+        assert len(persistent) == 1 and len(transient) == 1
+        assert transient[0].first_seen == 6.0
+
+    def test_disappearing_anomaly_goes_dormant(self):
+        dets = [
+            detect(field(blobs=[(2, 2, 8000)])),
+            detect(field(blobs=[])),
+            detect(field(blobs=[(2, 2, 8000)])),  # re-appears
+        ]
+        out = track_regions(dets, [0.0, 6.0, 12.0])
+        # Conservative policy: re-appearance is a NEW track.
+        assert out.num_tracks == 2
+        assert out.tracks[0].last_seen == 0.0
+        assert out.tracks[1].first_seen == 12.0
+
+    def test_max_jump_gate(self):
+        dets = [
+            detect(field(blobs=[(1, 1, 8000)])),
+            detect(field(blobs=[(9, 9, 8000)])),  # far away
+        ]
+        out = track_regions(dets, [0.0, 6.0], max_jump=2.0)
+        assert out.num_tracks == 2  # too far to be the same lesion
+
+    def test_slow_drift_followed(self):
+        dets = [
+            detect(field(blobs=[(3 + t, 3, 8000)])) for t in range(3)
+        ]
+        out = track_regions(dets, [0.0, 6.0, 12.0], max_jump=2.5)
+        assert out.num_tracks == 1
+        assert out.tracks[0].drift_velocity() > 0
+
+    def test_fastest_growing(self):
+        dets = [
+            detect(field(blobs=[(2, 2, 7000), (9, 9, 7000)])),
+            detect(field(blobs=[(2, 2, 7100), (9, 9, 10500)])),
+        ]
+        out = track_regions(dets, [0.0, 6.0])
+        fastest = out.fastest_growing()
+        assert fastest is not None
+        # The (9, 9) lesion grew much faster.
+        assert fastest.centroids()[0][0] > 5
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            track_regions([detect(field())], [0.0, 6.0])
+        with pytest.raises(ValueError):
+            track_regions(
+                [detect(field()), detect(field())], [6.0, 0.0]
+            )
+
+    def test_single_observation_rates_are_zero(self):
+        dets = [detect(field(blobs=[(2, 2, 8000)]))]
+        out = track_regions(dets, [0.0])
+        t = out.tracks[0]
+        assert t.growth_rate_per_hour() == 0.0
+        assert t.drift_velocity() == 0.0

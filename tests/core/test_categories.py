@@ -1,0 +1,80 @@
+"""Tests for constraint-category accounting (§IV-A counts)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.categories import (
+    Category,
+    category_costs,
+    equations_per_device,
+    equations_per_pair,
+    terms_per_pair,
+    total_equations,
+    total_terms,
+    total_unknowns,
+)
+
+
+class TestPerPair:
+    @given(st.integers(2, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_sums_to_2n(self, n):
+        per = equations_per_pair(n)
+        assert sum(per.values()) == 2 * n
+
+    def test_structure(self):
+        per = equations_per_pair(5)
+        assert per[Category.SOURCE] == 1
+        assert per[Category.DEST] == 1
+        assert per[Category.UA] == 4
+        assert per[Category.UB] == 4
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            equations_per_pair(1)
+
+
+class TestPerDevice:
+    @given(st.integers(2, 60))
+    @settings(max_examples=25, deadline=None)
+    def test_total_is_2n_cubed(self, n):
+        """§IV-A: 'The total number of nonlinear equations for the
+        entire n x n array is 2n^3'."""
+        assert sum(equations_per_device(n).values()) == total_equations(n)
+        assert total_equations(n) == 2 * n**3
+
+    @given(st.integers(2, 60))
+    @settings(max_examples=25, deadline=None)
+    def test_unknowns_formula(self, n):
+        """§IV-A: '(2n - 1) n^2 unknowns'."""
+        assert total_unknowns(n) == (2 * n - 1) * n**2
+        # Decomposition: n^2 R's + 2 (n-1) n^2 voltages.
+        assert total_unknowns(n) == n**2 + 2 * (n - 1) * n**2
+
+    @given(st.integers(2, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_equations_exceed_unknowns_by_n_squared(self, n):
+        """One redundant KCL equation per pair (flow conservation)."""
+        assert total_equations(n) - total_unknowns(n) == n**2
+
+    def test_category_skew(self):
+        """§IV-C.1: intermediates carry ~n-1 times the source/dest
+        load — 'roughly the cubic order of the former'."""
+        per = equations_per_device(10)
+        assert per[Category.UA] == 9 * per[Category.SOURCE]
+        assert per[Category.UB] == per[Category.UA]
+
+
+class TestTerms:
+    @given(st.integers(2, 60))
+    @settings(max_examples=20, deadline=None)
+    def test_terms_per_pair_and_total(self, n):
+        assert terms_per_pair(n) == 2 * n * n
+        assert total_terms(n) == n * n * terms_per_pair(n) == 2 * n**4
+
+    def test_costs_proportional_to_terms(self):
+        costs = category_costs(8)
+        total = sum(costs.values())
+        assert total == total_terms(8)
+        assert costs[Category.UA] == costs[Category.UB]

@@ -1,0 +1,69 @@
+"""Tests for the ill-posedness diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.conditioning import (
+    analyze_conditioning,
+    conditioning_vs_size,
+    empirical_noise_amplification,
+)
+
+
+class TestAnalyze:
+    def test_report_fields(self):
+        rep = analyze_conditioning(np.full((4, 4), 3000.0))
+        assert rep.sigma_max >= rep.sigma_min > 0
+        assert rep.condition_number == pytest.approx(
+            rep.sigma_max / rep.sigma_min
+        )
+        assert rep.worst_direction.shape == (4, 4)
+        assert rep.noise_amplification == pytest.approx(1 / rep.sigma_min)
+
+    def test_condition_grows_with_size(self):
+        """The design curve: κ increases with n (more parallel paths
+        washing out each resistor's signature)."""
+        reports = conditioning_vs_size([3, 5, 8])
+        kappas = [r.condition_number for r in reports]
+        assert kappas[0] < kappas[1] < kappas[2]
+
+    def test_worst_direction_is_oscillatory(self):
+        """The hardest-to-see perturbation is high-frequency: its
+        lattice-Laplacian energy exceeds that of the easiest one."""
+        r = np.full((5, 5), 3000.0)
+        rep = analyze_conditioning(r)
+        from repro.core.regularized import log_laplacian_operator
+
+        lop = log_laplacian_operator(5, 5)
+        worst_rough = np.linalg.norm(lop @ rep.worst_direction.ravel())
+        # Compare against a smooth pattern of the same norm.
+        smooth = np.ones(25) / 5.0
+        smooth_rough = np.linalg.norm(lop @ smooth)
+        assert worst_rough > 10 * smooth_rough
+
+    def test_scale_invariance(self):
+        """κ depends on the field's shape, not its scale (log/relative
+        normalizations cancel a global factor)."""
+        a = analyze_conditioning(np.full((4, 4), 1000.0))
+        b = analyze_conditioning(np.full((4, 4), 9000.0))
+        assert a.condition_number == pytest.approx(
+            b.condition_number, rel=1e-9
+        )
+
+
+class TestEmpirical:
+    def test_amplification_within_spectral_bounds(self):
+        r = np.full((5, 5), 3000.0)
+        rep = analyze_conditioning(r)
+        amp = empirical_noise_amplification(r, trials=4)
+        # RMS amplification lies between the best and worst case.
+        assert 1.0 / rep.sigma_max <= amp <= rep.noise_amplification * 1.1
+
+    def test_amplification_grows_with_size(self):
+        small = empirical_noise_amplification(
+            np.full((3, 3), 3000.0), trials=4
+        )
+        large = empirical_noise_amplification(
+            np.full((7, 7), 3000.0), trials=4
+        )
+        assert large > small

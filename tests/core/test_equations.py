@@ -1,0 +1,178 @@
+"""Tests for joint-constraint equation formation.
+
+The central invariant (the whole reproduction hangs on it): plugging
+the *ground-truth* resistances and the *exact forward-solved* internal
+voltages into every generated equation must give ~0 residual.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.categories import Category
+from repro.core.equations import (
+    ALL_CATEGORIES,
+    SystemStats,
+    form_all_blocks,
+    form_pair_block,
+    iter_pair_blocks,
+)
+from repro.kirchhoff.forward import solve_drive
+from repro.mea.wetlab import quick_device_data
+
+
+class TestStructure:
+    def test_full_block_counts(self):
+        blk = form_pair_block(6, 2, 3, z=800.0)
+        assert blk.num_equations == 12  # 2n
+        assert blk.num_terms == 72  # 2n^2
+        assert blk.pair_index == 15
+
+    def test_every_equation_has_n_terms(self):
+        blk = form_pair_block(5, 1, 1, z=500.0)
+        counts = np.bincount(blk.eq_id, minlength=blk.num_equations)
+        assert (counts == 5).all()
+
+    def test_category_layout(self):
+        n = 4
+        blk = form_pair_block(n, 0, 0, z=700.0)
+        cats = blk.category
+        assert cats[0] == Category.SOURCE
+        assert cats[1] == Category.DEST
+        assert (cats[2 : 2 + n - 1] == Category.UA).all()
+        assert (cats[n + 1 :] == Category.UB).all()
+
+    def test_rhs_only_on_source_dest(self):
+        blk = form_pair_block(4, 1, 2, z=700.0, voltage=5.0)
+        assert blk.rhs[0] == pytest.approx(5.0 / 700.0)
+        assert blk.rhs[1] == pytest.approx(5.0 / 700.0)
+        assert (blk.rhs[2:] == 0.0).all()
+
+    def test_source_terms_reference_row_i(self):
+        blk = form_pair_block(5, 3, 1, z=700.0)
+        src_terms = blk.eq_id == 0
+        assert (blk.r_row[src_terms] == 3).all()
+
+    def test_dest_terms_reference_col_j(self):
+        blk = form_pair_block(5, 3, 1, z=700.0)
+        dst_terms = blk.eq_id == 1
+        assert (blk.r_col[dst_terms] == 1).all()
+
+    def test_bounds_validation(self):
+        with pytest.raises(IndexError):
+            form_pair_block(4, 4, 0, z=100.0)
+        with pytest.raises(ValueError):
+            form_pair_block(4, 0, 0, z=-1.0)
+        with pytest.raises(ValueError):
+            form_pair_block(1, 0, 0, z=100.0)
+
+    def test_duplicate_categories_rejected(self):
+        with pytest.raises(ValueError):
+            form_pair_block(
+                4, 0, 0, z=100.0,
+                categories=[Category.UA, Category.UA],
+            )
+
+    def test_nbytes_positive_and_scales(self):
+        small = form_pair_block(4, 0, 0, z=100.0).nbytes()
+        large = form_pair_block(8, 0, 0, z=100.0).nbytes()
+        assert 0 < small < large
+
+
+class TestCategorySubsets:
+    def test_single_category_counts(self):
+        n = 6
+        assert form_pair_block(n, 0, 0, z=1.0, categories=[Category.SOURCE]).num_terms == n
+        assert form_pair_block(n, 0, 0, z=1.0, categories=[Category.UA]).num_terms == n * (n - 1)
+
+    def test_subsets_partition_full_block(self):
+        full = form_pair_block(5, 2, 3, z=900.0)
+        parts = [
+            form_pair_block(5, 2, 3, z=900.0, categories=[c])
+            for c in ALL_CATEGORIES
+        ]
+        assert sum(p.num_terms for p in parts) == full.num_terms
+        assert sum(p.num_equations for p in parts) == full.num_equations
+        assert sum(p.checksum() for p in parts) == pytest.approx(full.checksum())
+
+    def test_subset_residuals_match_full(self):
+        n = 5
+        r, z = quick_device_data(n, seed=11)
+        sol = solve_drive(r, 1, 3, voltage=5.0)
+        full = form_pair_block(n, 1, 3, z=sol.z, voltage=5.0)
+        res_full = full.residuals(r, sol.ua(), sol.ub())
+        offset = 0
+        for cat in ALL_CATEGORIES:
+            part = form_pair_block(
+                n, 1, 3, z=sol.z, voltage=5.0, categories=[cat]
+            )
+            res_part = part.residuals(r, sol.ua(), sol.ub())
+            np.testing.assert_allclose(
+                res_part, res_full[offset : offset + part.num_equations]
+            )
+            offset += part.num_equations
+
+
+class TestGroundTruthResiduals:
+    """Ground truth + forward voltages must satisfy every equation."""
+
+    @given(st.integers(2, 7), st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_residual_is_machine_zero(self, n, seed):
+        r, z = quick_device_data(n, seed=seed)
+        rng = np.random.default_rng(seed)
+        i = int(rng.integers(n))
+        j = int(rng.integers(n))
+        sol = solve_drive(r, i, j, voltage=5.0)
+        blk = form_pair_block(n, i, j, z=sol.z, voltage=5.0)
+        assert blk.max_relative_residual(r, sol.ua(), sol.ub()) < 1e-10
+
+    def test_wrong_resistance_breaks_residual(self):
+        n = 4
+        r, z = quick_device_data(n, seed=2)
+        sol = solve_drive(r, 0, 0, voltage=5.0)
+        blk = form_pair_block(n, 0, 0, z=sol.z, voltage=5.0)
+        assert blk.max_relative_residual(2 * r, sol.ua(), sol.ub()) > 0.01
+
+    def test_wrong_voltages_break_residual(self):
+        n = 4
+        r, z = quick_device_data(n, seed=2)
+        sol = solve_drive(r, 0, 0, voltage=5.0)
+        blk = form_pair_block(n, 0, 0, z=sol.z, voltage=5.0)
+        bad_ua = sol.ua() * 1.2
+        assert blk.max_relative_residual(r, bad_ua, sol.ub()) > 0.01
+
+    def test_residual_shape_checks(self):
+        blk = form_pair_block(4, 0, 0, z=100.0)
+        with pytest.raises(ValueError):
+            blk.residuals(np.ones((3, 3)), np.ones(3), np.ones(3))
+        with pytest.raises(ValueError):
+            blk.residuals(np.ones((4, 4)), np.ones(2), np.ones(3))
+
+
+class TestIterationAndStats:
+    def test_iter_covers_all_pairs(self):
+        _, z = quick_device_data(3, seed=1)
+        blocks = list(iter_pair_blocks(z))
+        assert [(b.row, b.col) for b in blocks] == [
+            (i, j) for i in range(3) for j in range(3)
+        ]
+
+    def test_iter_requires_square(self):
+        with pytest.raises(ValueError):
+            list(iter_pair_blocks(np.ones((2, 3))))
+
+    def test_form_all_blocks_matches_stats(self):
+        _, z = quick_device_data(4, seed=1)
+        blocks = form_all_blocks(z)
+        stats = SystemStats.for_device(4)
+        assert sum(b.num_terms for b in blocks) == stats.num_terms
+        assert sum(b.num_equations for b in blocks) == stats.num_equations
+
+    def test_stats_paper_formulas(self):
+        stats = SystemStats.for_device(10)
+        assert stats.num_equations == 2000
+        assert stats.num_unknowns == 1900
+        assert stats.num_terms == 20000
+        assert stats.bytes_estimate > stats.num_terms  # > 1 byte/term

@@ -1,0 +1,127 @@
+"""Hypothesis property tests on equation-formation invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.categories import Category
+from repro.core.equations import (
+    ALL_CATEGORIES,
+    NODE_DRIVE,
+    NODE_FIRST_UA,
+    NODE_GROUND,
+    form_pair_block,
+)
+from repro.io.equations_io import read_blocks_binary, write_block_binary
+
+pair_params = st.integers(2, 12).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.integers(0, n - 1),
+        st.integers(0, n - 1),
+        st.floats(1.0, 1e5),
+    )
+)
+
+
+class TestStructuralInvariants:
+    @given(pair_params)
+    @settings(max_examples=60, deadline=None)
+    def test_indices_in_range(self, params):
+        n, i, j, z = params
+        blk = form_pair_block(n, i, j, z=z)
+        assert blk.r_row.min() >= 0 and blk.r_row.max() < n
+        assert blk.r_col.min() >= 0 and blk.r_col.max() < n
+        max_code = NODE_FIRST_UA + 2 * (n - 1) - 1
+        assert blk.v_plus.min() >= 0 and blk.v_plus.max() <= max_code
+        assert blk.v_minus.min() >= 0 and blk.v_minus.max() <= max_code
+        assert set(np.unique(blk.sign)) <= {-1, 1}
+
+    @given(pair_params)
+    @settings(max_examples=60, deadline=None)
+    def test_every_equation_has_n_terms(self, params):
+        n, i, j, z = params
+        blk = form_pair_block(n, i, j, z=z)
+        counts = np.bincount(blk.eq_id, minlength=2 * n)
+        assert (counts == n).all()
+
+    @given(pair_params)
+    @settings(max_examples=60, deadline=None)
+    def test_every_resistor_row_or_col_touches_pair(self, params):
+        """Each term's resistor lies on the driven row, the driven
+        column, or an intermediate crossing — never fully unrelated
+        to the pair's current flow (all current enters at H_i and
+        leaves at V_j)."""
+        n, i, j, z = params
+        blk = form_pair_block(n, i, j, z=z)
+        # SOURCE terms: resistor on row i; DEST: on column j.
+        src = blk.category[blk.eq_id] == Category.SOURCE
+        # eq_id indexes equations; map term -> its category:
+        term_cat = blk.category[blk.eq_id]
+        assert (blk.r_row[term_cat == Category.SOURCE] == i).all()
+        assert (blk.r_col[term_cat == Category.DEST] == j).all()
+
+    @given(pair_params)
+    @settings(max_examples=40, deadline=None)
+    def test_drive_node_only_on_driven_side(self, params):
+        """The drive voltage U appears only in terms whose resistor
+        touches the driven horizontal wire."""
+        n, i, j, z = params
+        blk = form_pair_block(n, i, j, z=z)
+        drives = blk.v_plus == NODE_DRIVE
+        assert (blk.r_row[drives] == i).all()
+
+    @given(pair_params)
+    @settings(max_examples=40, deadline=None)
+    def test_ground_only_on_driven_column(self, params):
+        n, i, j, z = params
+        blk = form_pair_block(n, i, j, z=z)
+        grounds = blk.v_minus == NODE_GROUND
+        assert (blk.r_col[grounds] == j).all()
+
+    @given(pair_params)
+    @settings(max_examples=40, deadline=None)
+    def test_each_resistor_used_bounded_times(self, params):
+        """No resistor appears in more than 4 terms of a pair block
+        (once per category at most — each current crosses a resistor
+        from at most both of its endpoints' balance equations)."""
+        n, i, j, z = params
+        blk = form_pair_block(n, i, j, z=z)
+        flat = blk.r_row.astype(np.int64) * n + blk.r_col
+        counts = np.bincount(flat, minlength=n * n)
+        assert counts.max() <= 4
+
+    @given(pair_params, st.sampled_from(list(Category)))
+    @settings(max_examples=40, deadline=None)
+    def test_category_subset_is_slice_of_full(self, params, cat):
+        n, i, j, z = params
+        sub = form_pair_block(n, i, j, z=z, categories=[cat])
+        assert (sub.category == cat).all()
+        full = form_pair_block(n, i, j, z=z)
+        assert sub.num_terms == int((full.category[full.eq_id] == cat).sum())
+
+
+class TestSerializationProperties:
+    @given(pair_params, st.sets(st.sampled_from(list(Category)), min_size=1))
+    @settings(max_examples=40, deadline=None)
+    def test_binary_roundtrip_arbitrary_blocks(self, params, cats):
+        import io
+
+        n, i, j, z = params
+        cats_sorted = [c for c in ALL_CATEGORIES if c in cats]
+        blk = form_pair_block(n, i, j, z=z, categories=cats_sorted)
+        buf = io.BytesIO()
+        write_block_binary(blk, buf)
+        buf.seek(0)
+        (back,) = read_blocks_binary(buf)
+        np.testing.assert_array_equal(back.eq_id, blk.eq_id)
+        np.testing.assert_array_equal(back.sign, blk.sign)
+        np.testing.assert_array_equal(back.r_row, blk.r_row)
+        np.testing.assert_array_equal(back.r_col, blk.r_col)
+        np.testing.assert_array_equal(back.v_plus, blk.v_plus)
+        np.testing.assert_array_equal(back.v_minus, blk.v_minus)
+        np.testing.assert_array_equal(back.rhs, blk.rhs)
+        np.testing.assert_array_equal(back.category, blk.category)
+        assert back.z == blk.z and back.voltage == blk.voltage
+        assert back.checksum() == pytest.approx(blk.checksum())

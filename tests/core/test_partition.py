@@ -1,0 +1,140 @@
+"""Tests for the three work decompositions of §IV."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.categories import Category
+from repro.core.partition import (
+    effective_parallelism,
+    hole_of_pair,
+    make_items,
+    partition,
+    partition_balanced,
+    partition_betti,
+    partition_by_category,
+)
+from repro.core.categories import total_terms
+
+
+class TestItems:
+    @given(st.integers(2, 20))
+    @settings(max_examples=15, deadline=None)
+    def test_item_costs_sum_to_total_terms(self, n):
+        items = make_items(n)
+        assert len(items) == 4 * n * n
+        assert sum(it.cost for it in items) == total_terms(n)
+
+    def test_item_cost_values(self):
+        items = make_items(5)
+        light = [it for it in items if it.category == Category.SOURCE]
+        heavy = [it for it in items if it.category == Category.UA]
+        assert all(it.cost == 5 for it in light)
+        assert all(it.cost == 20 for it in heavy)
+
+
+class TestCategoryPartition:
+    def test_always_four_workers(self):
+        p = partition_by_category(6)
+        assert p.num_workers == 4
+
+    def test_worker_equals_category(self):
+        p = partition_by_category(4)
+        for item, w in zip(p.items, p.worker_of):
+            assert w == int(item.category)
+
+    def test_skew_grows_with_n(self):
+        """The category split's imbalance approaches 2x as n grows
+        (heavy categories dominate)."""
+        imb_small = partition_by_category(3).imbalance()
+        imb_large = partition_by_category(30).imbalance()
+        assert imb_large > imb_small
+        assert imb_large > 1.8
+
+
+class TestBalancedPartition:
+    @given(st.integers(2, 15), st.integers(1, 16))
+    @settings(max_examples=25, deadline=None)
+    def test_every_item_assigned(self, n, k):
+        p = partition_balanced(n, k)
+        assert len(p.worker_of) == len(p.items)
+        assert p.worker_of.max() < k
+
+    @given(st.integers(3, 15), st.integers(2, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_balanced_beats_category_makespan(self, n, k):
+        """LPT with >= 4 workers is never worse than the 4-category
+        split (the whole point of Balanced Parallel)."""
+        if k < 4:
+            k = 4
+        balanced = partition_balanced(n, k)
+        category = partition_by_category(n)
+        assert balanced.makespan() <= category.makespan() + 1e-9
+
+    def test_near_perfect_balance(self):
+        p = partition_balanced(10, 8)
+        assert p.imbalance() < 1.05
+
+    def test_deterministic(self):
+        a = partition_balanced(8, 5)
+        b = partition_balanced(8, 5)
+        np.testing.assert_array_equal(a.worker_of, b.worker_of)
+
+
+class TestBettiPartition:
+    def test_holes_bound_useful_workers(self):
+        """With more workers than holes, extra workers get nothing."""
+        n = 3  # 4 holes
+        p = partition_betti(n, 10)
+        used = np.unique(p.worker_of)
+        assert len(used) == (n - 1) ** 2 == 4
+        assert effective_parallelism(n, 10) == 4
+
+    def test_hole_of_pair_mapping(self):
+        n = 4
+        assert hole_of_pair(0, 0, n) == 0
+        assert hole_of_pair(3, 3, n) == 8  # folded to last cell
+        assert hole_of_pair(1, 2, n) == 1 * 3 + 2
+
+    @given(st.integers(3, 12), st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_all_items_of_a_hole_share_a_worker(self, n, k):
+        p = partition_betti(n, k)
+        hole_worker: dict[int, int] = {}
+        for item, w in zip(p.items, p.worker_of):
+            hole = hole_of_pair(item.row, item.col, n)
+            assert hole_worker.setdefault(hole, int(w)) == int(w)
+
+    @given(st.integers(4, 14), st.integers(2, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_reasonable_balance(self, n, k):
+        """Round-robin over holes stays within ~2x of perfect balance
+        when holes per worker >= 2."""
+        if (n - 1) ** 2 < 2 * k:
+            return
+        p = partition_betti(n, k)
+        assert p.imbalance() < 2.0
+
+
+class TestDispatch:
+    def test_partition_by_name(self):
+        assert partition(5, 3, "balanced").scheme == "balanced"
+        assert partition(5, 3, "betti").scheme == "betti"
+        assert partition(5, 3, "category").scheme == "category"
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            partition(5, 3, "magic")
+
+    def test_loads_sum_to_total(self):
+        for scheme in ("category", "balanced", "betti"):
+            p = partition(6, 4, scheme)
+            assert p.loads().sum() == pytest.approx(p.total_cost())
+
+    def test_tasks_of_worker(self):
+        p = partition_balanced(4, 3)
+        all_items = sorted(
+            idx for w in range(3) for idx in np.flatnonzero(p.worker_of == w)
+        )
+        assert all_items == list(range(len(p.items)))

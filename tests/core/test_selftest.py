@@ -1,0 +1,56 @@
+"""Tests for the installation self-test."""
+
+import numpy as np
+import pytest
+
+from repro.core.selftest import CheckResult, SelfTestReport, run_selftest
+
+
+class TestRunSelftest:
+    def test_all_checks_pass(self):
+        report = run_selftest(n=4)
+        assert report.passed
+        assert report.num_failed == 0
+        assert len(report.checks) == 5
+
+    def test_check_names_stable(self):
+        report = run_selftest(n=4)
+        names = [c.name for c in report.checks]
+        assert names == [
+            "forward/inverse round-trip",
+            "joint-constraint consistency",
+            "topology/physics agreement",
+            "parallel strategy equivalence",
+            "equation serialization round-trip",
+        ]
+
+    def test_render_mentions_every_check(self):
+        report = run_selftest(n=4)
+        text = report.render()
+        assert text.count("[PASS]") == 5
+        assert "all invariants hold" in text
+
+    def test_timings_recorded(self):
+        report = run_selftest(n=4)
+        assert all(c.elapsed_seconds >= 0 for c in report.checks)
+
+    def test_failure_reported_not_raised(self):
+        """A failing check lands in the report; others still run."""
+        failing = CheckResult(
+            name="synthetic", passed=False, detail="boom",
+            elapsed_seconds=0.0,
+        )
+        report = SelfTestReport(checks=(failing,))
+        assert not report.passed
+        assert report.num_failed == 1
+        assert "FAILED" in report.render()
+        assert "boom" in report.render()
+
+
+class TestCLIIntegration:
+    def test_cli_selftest_exit_zero(self, capsys):
+        from repro.cli import main
+
+        assert main(["selftest", "--n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "all invariants hold" in out

@@ -1,0 +1,88 @@
+"""Tests for ASCII heatmap rendering."""
+
+import numpy as np
+import pytest
+
+from repro.instrument.heatmap import (
+    render_comparison,
+    render_field,
+    render_mask,
+)
+
+
+class TestRenderField:
+    def test_shape_of_output(self):
+        out = render_field(np.zeros((3, 5)))
+        lines = out.splitlines()
+        assert len(lines) == 3 + 2 + 1  # rows + borders + legend
+        assert all(len(l) == 7 for l in lines[:5])  # 5 cols + 2 borders
+
+    def test_extremes_use_ramp_ends(self):
+        field = np.array([[0.0, 10.0]])
+        out = render_field(field, ramp=" @", legend=False)
+        assert "| @|" in out or "|_@|".replace("_", " ") in out
+
+    def test_constant_field(self):
+        out = render_field(np.full((2, 2), 5.0), ramp=" @")
+        assert "@" not in out.splitlines()[1]  # all at minimum glyph
+
+    def test_mask_overlay(self):
+        field = np.zeros((2, 2))
+        mask = np.array([[True, False], [False, False]])
+        out = render_field(field, mask=mask, mask_glyph="X", legend=False)
+        assert out.splitlines()[1][1] == "X"
+
+    def test_pinned_scale(self):
+        field = np.array([[5.0]])
+        out = render_field(field, ramp=" @", vmin=0.0, vmax=10.0,
+                           legend=False)
+        # 5 on a 0-10 scale with 2 glyphs lands on the top glyph.
+        assert out.splitlines()[1] == "|@|"
+
+    def test_legend_contains_range(self):
+        out = render_field(np.array([[1.0, 3.0]]))
+        assert "1" in out.splitlines()[-1] and "3" in out.splitlines()[-1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_field(np.zeros(4))
+        with pytest.raises(ValueError):
+            render_field(np.zeros((2, 2)), ramp="x")
+        with pytest.raises(ValueError):
+            render_field(np.zeros((2, 2)), mask=np.zeros((3, 3), bool))
+
+
+class TestRenderMask:
+    def test_glyphs(self):
+        mask = np.array([[True, False], [False, True]])
+        assert render_mask(mask) == "#.\n.#"
+
+    def test_custom_glyphs(self):
+        mask = np.array([[True]])
+        assert render_mask(mask, on="O") == "O"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_mask(np.zeros(3, dtype=bool))
+
+
+class TestComparison:
+    def test_side_by_side_layout(self):
+        a = np.zeros((2, 3))
+        b = np.ones((2, 3))
+        out = render_comparison(a, b)
+        lines = out.splitlines()
+        assert "truth" in lines[0] and "recovered" in lines[0]
+        assert "shared scale" in lines[-1]
+        # Body rows contain both panels.
+        assert lines[2].count("|") == 4
+
+    def test_shared_scale(self):
+        a = np.full((1, 1), 0.0)
+        b = np.full((1, 1), 10.0)
+        out = render_comparison(a, b, labels=("a", "b"))
+        assert "0" in out and "10" in out
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            render_comparison(np.zeros((2, 2)), np.zeros((3, 3)))

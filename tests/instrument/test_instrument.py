@@ -1,0 +1,112 @@
+"""Tests for memory sampling and result tables."""
+
+import numpy as np
+import pytest
+
+from repro.instrument.memory import (
+    MemorySampler,
+    fraction_below,
+    peak_and_quantiles,
+    rss_bytes,
+    usage_cdf,
+)
+from repro.instrument.report import ResultTable, human_bytes, human_seconds
+
+
+class TestRss:
+    def test_rss_positive_on_linux(self):
+        assert rss_bytes() > 1024 * 1024  # a Python process is > 1 MiB
+
+    def test_rss_grows_with_allocation(self):
+        sampler = MemorySampler()
+        sampler.sample()
+        ballast = np.ones(30_000_000)  # ~240 MB
+        sampler.sample()
+        assert sampler.samples[1] > sampler.samples[0] + 100_000_000
+        del ballast
+
+
+class TestSampler:
+    def test_collects_and_peaks(self):
+        s = MemorySampler()
+        for _ in range(5):
+            s.sample()
+        assert len(s.samples) == 5
+        assert s.peak == max(s.samples)
+
+    def test_reset(self):
+        s = MemorySampler()
+        s.sample()
+        s.reset()
+        assert s.samples == []
+        assert s.peak == 0
+
+    def test_as_array(self):
+        s = MemorySampler()
+        s.sample()
+        arr = s.as_array()
+        assert arr.dtype == np.float64 and arr.shape == (1,)
+
+
+class TestCdf:
+    def test_cdf_shape_and_monotonicity(self):
+        samples = np.array([5.0, 1.0, 3.0, 2.0, 4.0])
+        levels, frac = usage_cdf(samples)
+        assert (np.diff(levels) >= 0).all()
+        assert (np.diff(frac) > 0).all()
+        assert frac[-1] == 1.0
+
+    def test_empty_samples(self):
+        levels, frac = usage_cdf(np.array([]))
+        assert levels.size == 0 and frac.size == 0
+
+    def test_fraction_below(self):
+        samples = np.array([1.0, 2.0, 3.0, 4.0])
+        assert fraction_below(samples, 2.5) == 0.5
+        assert fraction_below(samples, 0.5) == 0.0
+        assert fraction_below(samples, 10.0) == 1.0
+        assert fraction_below(np.array([]), 1.0) == 0.0
+
+    def test_quantiles(self):
+        stats = peak_and_quantiles(np.arange(1, 101, dtype=float))
+        assert stats["peak"] == 100.0
+        assert stats["p50"] == pytest.approx(50.5)
+        assert peak_and_quantiles(np.array([]))["peak"] == 0.0
+
+
+class TestResultTable:
+    def test_render_alignment(self):
+        t = ResultTable("demo", ["n", "time"])
+        t.add_row(10, 0.123)
+        t.add_row(100, 45.6)
+        text = t.render()
+        assert "demo" in text
+        lines = text.splitlines()
+        assert len(lines) == 5  # title, header, rule, 2 rows
+
+    def test_row_arity_checked(self):
+        t = ResultTable("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_float_formatting(self):
+        t = ResultTable("demo", ["v"])
+        t.add_row(1.23456e-9)
+        assert "e-09" in t.render()
+
+    def test_empty_table_renders(self):
+        t = ResultTable("empty", ["col"])
+        assert "empty" in t.render()
+
+
+class TestHumanUnits:
+    def test_bytes(self):
+        assert human_bytes(512) == "512 B"
+        assert human_bytes(1536) == "1.5 KiB"
+        assert human_bytes(20 * 2**30) == "20.0 GiB"
+
+    def test_seconds(self):
+        assert "µs" in human_seconds(5e-6)
+        assert "ms" in human_seconds(0.005)
+        assert human_seconds(2.0) == "2.00 s"
+        assert "min" in human_seconds(300.0)

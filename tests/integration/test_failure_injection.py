@@ -1,0 +1,124 @@
+"""Failure-injection tests: the system must fail loudly, not wrongly."""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import PyMPStrategy
+from repro.io.equations_io import load_blocks_binary, save_blocks_binary
+from repro.io.textformat import FormatError, load_campaign
+from repro.core.equations import form_all_blocks
+from repro.mea.wetlab import quick_device_data
+from repro.parallel.mpi import MPIError, run_mpi
+from repro.parallel.pymp import Parallel, ParallelError
+
+
+class TestForkedWorkerFailures:
+    def test_worker_exception_surfaces(self):
+        with pytest.raises(ParallelError):
+            with Parallel(3) as p:
+                if p.thread_num == 2:
+                    raise ValueError("injected")
+
+    def test_worker_hard_exit_detected(self):
+        """A worker dying via os._exit (no Python unwind) must still
+        fail the region."""
+        with pytest.raises(ParallelError):
+            with Parallel(2) as p:
+                if p.thread_num == 1:
+                    os._exit(17)
+
+    def test_worker_killed_by_signal_detected(self):
+        with pytest.raises(ParallelError):
+            with Parallel(2) as p:
+                if p.thread_num == 1:
+                    os.kill(os.getpid(), signal.SIGKILL)
+
+    def test_parent_exception_propagates_and_reaps(self):
+        """If the parent's body raises, its own exception wins and the
+        children are still reaped (no zombie accumulation)."""
+        with pytest.raises(ZeroDivisionError):
+            with Parallel(2) as p:
+                if p.thread_num == 0:
+                    _ = 1 / 0
+
+    def test_region_usable_after_failure(self):
+        with pytest.raises(ParallelError):
+            with Parallel(2) as p:
+                if p.thread_num == 1:
+                    raise RuntimeError("boom")
+        # A fresh region still works.
+        from repro.parallel.pymp import shared_array
+
+        out = shared_array((4,), dtype=np.int64)
+        with Parallel(2) as p:
+            for i in p.range(4):
+                out[i] = 1
+        assert (out == 1).all()
+
+
+class TestMPIRankFailures:
+    def test_crashed_rank_fails_run(self):
+        def prog(comm):
+            if comm.Get_rank() == 0:
+                os._exit(3)
+            return "ok"
+
+        with pytest.raises(MPIError):
+            run_mpi(prog, 2)
+
+    def test_peer_disconnect_detected_mid_recv(self):
+        def prog(comm):
+            if comm.Get_rank() == 0:
+                os._exit(1)  # dies before sending
+            try:
+                comm.recv(source=0)
+            except MPIError:
+                return "peer gone"
+            return "unexpected"
+
+        with pytest.raises(MPIError):
+            # Rank 0 failing makes the whole run raise, even though
+            # rank 1 handled its side gracefully.
+            run_mpi(prog, 2)
+
+
+class TestCorruptArtifacts:
+    def test_truncated_equation_file(self, tmp_path):
+        _, z = quick_device_data(4, seed=41)
+        path = tmp_path / "eq.bin"
+        save_blocks_binary(form_all_blocks(z), path)
+        data = path.read_bytes()
+        # Cut strictly inside a block (len//2 is a block boundary for
+        # this device, which a reader must treat as clean EOF).
+        (tmp_path / "trunc.bin").write_bytes(data[: len(data) // 2 + 13])
+        with pytest.raises(ValueError, match="truncated|corrupt"):
+            load_blocks_binary(tmp_path / "trunc.bin")
+
+    def test_bitflipped_magic(self, tmp_path):
+        _, z = quick_device_data(3, seed=42)
+        path = tmp_path / "eq.bin"
+        save_blocks_binary(form_all_blocks(z), path)
+        data = bytearray(path.read_bytes())
+        data[0] ^= 0xFF
+        (tmp_path / "flip.bin").write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="magic"):
+            load_blocks_binary(tmp_path / "flip.bin")
+
+    def test_garbage_campaign_file(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("this is not a measurement file\n1 2 3\n")
+        with pytest.raises(FormatError):
+            load_campaign(path)
+
+    def test_strategy_output_dir_is_a_file(self, tmp_path):
+        """Pointing output_dir at an existing regular file must fail
+        loudly.  (A chmod-based unwritable-dir test is useless here:
+        the suite runs as root, which bypasses permission bits.)"""
+        _, z = quick_device_data(4, seed=43)
+        blocked = tmp_path / "blocked"
+        blocked.write_text("i am a file, not a directory")
+        with pytest.raises((OSError, ParallelError)):
+            PyMPStrategy(2).run(z, output_dir=blocked)

@@ -1,0 +1,161 @@
+"""Each test pins one quantitative claim from the paper's text."""
+
+import numpy as np
+import pytest
+
+from repro.core.categories import total_equations, total_unknowns
+from repro.core.partition import (
+    partition_balanced,
+    partition_by_category,
+    partition_betti,
+)
+from repro.kirchhoff.paths import count_paths_exact, total_paths_paper
+from repro.mea.device import MEAGrid
+from repro.mea.graph import device_complex, mesh_count
+from repro.mea.kdim import KDimMEA
+from repro.topology.homology import betti_numbers
+
+
+class TestSectionII:
+    def test_device_composition(self):
+        """§II-B: 'a n x n array comprises 2n^2 joints/junctions and
+        n^2 resistors'."""
+        for n in (3, 15, 20):
+            grid = MEAGrid(n)
+            assert grid.num_joints == 2 * n * n
+            assert grid.num_resistors == n * n
+
+    def test_figure1_structure(self):
+        """§II-B: 3 horizontal + 3 vertical wires, 9 resistors,
+        18 joints 0..17."""
+        grid = MEAGrid(3)
+        assert grid.horizontal_wires() == ["A", "B", "C"]
+        assert grid.vertical_wires() == ["I", "II", "III"]
+        assert [j.index for j in grid.joints()] == list(range(18))
+
+    def test_path_explosion_claim(self):
+        """§II-C: 'For a n x n array, there are overall n^(n+1)
+        possible paths' — exact at n = 3 (the worked example), an
+        estimate elsewhere."""
+        assert total_paths_paper(3) == 81
+        assert 9 * count_paths_exact(3, 3) == 81
+
+    def test_infeasible_beyond_n6(self):
+        """§II-C/[15]: 'the path-based approach is unfeasible on
+        mainstream computer hardware and systems when n > 6'."""
+        from repro.kirchhoff.paths import storage_estimate_bytes
+
+        assert storage_estimate_bytes(7) > 2**30  # > 1 GiB at n = 7
+
+
+class TestSectionIII:
+    def test_proposition_1(self):
+        """'Every microelectrode array is an abstract simplicial
+        complex' of dimension 1."""
+        for n in (2, 4):
+            c = device_complex(MEAGrid(n))
+            assert c.dimension == 1
+            assert c.is_simplicial()
+
+    def test_betti_counts_holes(self):
+        """β1 = number of basic holes = (n-1)^2 for the 2-D device."""
+        for n in (2, 3, 5):
+            c = device_complex(MEAGrid(n))
+            assert betti_numbers(c) == (1, (n - 1) ** 2)
+
+
+class TestSectionIV:
+    def test_equation_count_reduction(self):
+        """§IV-A: O(n^n) paths -> 2n^3 equations with (2n-1) n^2
+        unknowns — 'the saving is significant'."""
+        n = 10
+        assert total_equations(n) == 2_000
+        assert total_unknowns(n) == 1_900
+        assert total_paths_paper(n) > 10**10  # vs 10^11 paths
+
+    def test_joint_count_accounting(self):
+        """§IV-A: 'for each pair of endpoints, there are 2n joints...
+        or for the entire system a polynomial number 2n * n^2'."""
+        n = 7
+        per_pair_eqs = total_equations(n) // (n * n)
+        assert per_pair_eqs == 2 * n
+
+    def test_four_constraint_types(self):
+        """§IV-A: four categories, each independent of the others."""
+        p = partition_by_category(6)
+        assert p.num_workers == 4
+        assert len(set(int(c) for c in p.worker_of)) == 4
+
+    def test_parallel_limited_to_four_threads(self):
+        """§IV-A: 'we are restricted from having more than four threads
+        ... to parallelize the entire set of equations'."""
+        p = partition_by_category(12)
+        assert p.num_workers == 4  # regardless of available cores
+
+    def test_category_skew_claim(self):
+        """§IV-C.1: 'the number of sources and destination joints is
+        [O(n^2)], while two intermediate types are n^2 (n-1) — roughly
+        the cubic order of the former'."""
+        from repro.core.categories import Category, equations_per_device
+
+        n = 20
+        per = equations_per_device(n)
+        assert per[Category.UA] == n * n * (n - 1)
+        assert per[Category.UA] / per[Category.SOURCE] == n - 1
+
+    def test_balanced_reduces_makespan(self):
+        """§IV-C.1: work balancing 'could help reduce the end-to-end
+        execution time'."""
+        n = 16
+        assert (
+            partition_balanced(n, 4).makespan()
+            < partition_by_category(n).makespan()
+        )
+
+    def test_betti_aware_parallelism_budget(self):
+        """§IV-B: '(n-1)^k-fold' parallelism for the k-dim device."""
+        assert mesh_count(MEAGrid(9)) == 64
+        assert KDimMEA(9, 3).num_unit_cells == 8**3
+
+    def test_linear_time_argument(self):
+        """§IV-B: O(n^{k+1}) / (n-1)^k = O(n) per-hole share."""
+        mea = KDimMEA(50, 2)
+        share = mea.theoretical_parallel_time_units()
+        assert share <= 2 * 50 * (50 / 49) ** 2 + 1
+
+    def test_pymp_exceeds_four_workers(self):
+        """§IV-C.2: fine-grained decomposition uses any worker count."""
+        p = partition_betti(10, 16)
+        assert len(np.unique(p.worker_of)) == 16
+
+
+class TestSectionV:
+    def test_measured_value_ranges(self):
+        """§V-B: 'resistance values of cells range between 2,000 and
+        11,000 Kilohm, while the electrical voltage is 5 volts'."""
+        from repro.mea.synthetic import (
+            PAPER_R_MAX_KOHM,
+            PAPER_R_MIN_KOHM,
+            PAPER_VOLTAGE,
+            generate_field,
+            paper_like_spec,
+        )
+
+        assert (PAPER_R_MIN_KOHM, PAPER_R_MAX_KOHM) == (2000.0, 11000.0)
+        assert PAPER_VOLTAGE == 5.0
+        field = generate_field(paper_like_spec(20, seed=1), seed=1)
+        assert field.min() >= 2000.0 and field.max() <= 11000.0
+
+    def test_four_daily_measurements(self):
+        """§V-B: 'measured four times a day: 0, 6, 12, and 24 hour'."""
+        from repro.mea.wetlab import WetLabConfig
+
+        assert WetLabConfig().hours == (0.0, 6.0, 12.0, 24.0)
+
+    def test_scales_up_to_100(self):
+        """§V-A: 'evaluated ... on up to 100 x 100 arrays': the
+        equation generator handles n = 100 blocks."""
+        from repro.core.equations import form_pair_block
+
+        blk = form_pair_block(100, 57, 42, z=50.0)
+        assert blk.num_terms == 2 * 100 * 100

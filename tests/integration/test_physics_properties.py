@@ -1,0 +1,134 @@
+"""Deeper physics property tests across the stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.solver import solve_nested
+from repro.kirchhoff.forward import (
+    effective_resistance_matrix,
+    measure,
+    solve_drive,
+)
+
+fields = arrays(
+    np.float64,
+    st.tuples(st.integers(2, 5), st.integers(2, 5)),
+    elements=st.floats(500.0, 9000.0),
+)
+
+square_fields = arrays(
+    np.float64,
+    st.integers(2, 5).map(lambda n: (n, n)),
+    elements=st.floats(500.0, 9000.0),
+)
+
+
+class TestReciprocityAndSymmetry:
+    @given(fields)
+    @settings(max_examples=25, deadline=None)
+    def test_transpose_reciprocity(self, r):
+        """Z(R^T) = Z(R)^T — swapping rows/columns of the device swaps
+        the measurement matrix (a reciprocity consequence)."""
+        np.testing.assert_allclose(
+            measure(r.T), measure(r).T, rtol=1e-9
+        )
+
+    @given(square_fields, st.integers(0, 10), st.integers(0, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_drive_reciprocity(self, r, i, j):
+        """Effective resistance is symmetric in the driven pair: the
+        current response of pair (i, j) equals that of the transposed
+        device driven at (j, i)."""
+        n = r.shape[0]
+        i, j = i % n, j % n
+        a = solve_drive(r, i, j).z
+        b = solve_drive(r.T, j, i).z
+        assert a == pytest.approx(b, rel=1e-9)
+
+    @given(square_fields)
+    @settings(max_examples=20, deadline=None)
+    def test_row_permutation_equivariance(self, r):
+        """Permuting device rows permutes measurement rows."""
+        n = r.shape[0]
+        perm = np.roll(np.arange(n), 1)
+        np.testing.assert_allclose(
+            measure(r[perm]), measure(r)[perm], rtol=1e-9
+        )
+
+
+class TestEnergyAndBounds:
+    @given(square_fields, st.integers(0, 10), st.integers(0, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_power_balance(self, r, i, j):
+        """Σ (ΔV)²/R over resistors equals U · I_total."""
+        n = r.shape[0]
+        i, j = i % n, j % n
+        sol = solve_drive(r, i, j, voltage=5.0)
+        dv = sol.h_voltages[:, None] - sol.v_voltages[None, :]
+        dissipated = float((dv**2 / r).sum())
+        supplied = 5.0 * sol.total_current
+        assert dissipated == pytest.approx(supplied, rel=1e-9)
+
+    @given(square_fields)
+    @settings(max_examples=20, deadline=None)
+    def test_z_bounded_by_extreme_uniform_devices(self, r):
+        """Rayleigh monotonicity sandwich: the uniform device at
+        min(R) and max(R) bound every Z entrywise."""
+        n = r.shape[0]
+        lo = effective_resistance_matrix(np.full((n, n), r.min()))
+        hi = effective_resistance_matrix(np.full((n, n), r.max()))
+        z = effective_resistance_matrix(r)
+        assert np.all(z >= lo - 1e-9 * lo)
+        assert np.all(z <= hi + 1e-9 * hi)
+
+    @given(square_fields)
+    @settings(max_examples=15, deadline=None)
+    def test_parallel_conductance_bound(self, r):
+        """1/Z_ij >= 1/R_ij (direct path) and
+        1/Z_ij <= sum of all conductances touching wires i or j."""
+        z = measure(r)
+        assert np.all(1.0 / z >= 1.0 / r - 1e-12)
+
+
+class TestInverseProblem:
+    @given(st.integers(0, 50))
+    @settings(max_examples=8, deadline=None)
+    def test_recovery_is_inverse_of_measurement(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 7))
+        r_true = rng.uniform(2000, 11000, size=(n, n))
+        result = solve_nested(measure(r_true))
+        assert result.max_relative_error(r_true) < 1e-7
+
+    def test_rectangular_recovery(self):
+        """m != n devices: the nested solver inverts them too."""
+        rng = np.random.default_rng(3)
+        r_true = rng.uniform(2000, 9000, size=(3, 5))
+        result = solve_nested(measure(r_true))
+        assert result.r_estimate.shape == (3, 5)
+        assert result.max_relative_error(r_true) < 1e-7
+
+    def test_recovery_scale_equivariance(self):
+        """Scaling Z by c scales the recovered R by c."""
+        rng = np.random.default_rng(4)
+        r_true = rng.uniform(2000, 9000, size=(4, 4))
+        z = measure(r_true)
+        a = solve_nested(z).r_estimate
+        b = solve_nested(3.0 * z).r_estimate
+        np.testing.assert_allclose(b, 3.0 * a, rtol=1e-7)
+
+    def test_measurement_determines_field_uniquely(self):
+        """Two distinct fields produce distinct measurements (checked
+        on a perturbation family): the inverse problem is well-posed
+        in the noise-free limit for these sizes."""
+        rng = np.random.default_rng(5)
+        r = rng.uniform(2000, 9000, size=(4, 4))
+        z = measure(r)
+        for _ in range(5):
+            r2 = r * (1 + 0.05 * rng.standard_normal(r.shape))
+            if np.allclose(r2, r):
+                continue
+            assert not np.allclose(measure(r2), z, rtol=1e-6)

@@ -1,0 +1,121 @@
+"""Tests for equation-block serialization (Fig. 9's write path)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.categories import Category
+from repro.core.equations import form_all_blocks, form_pair_block
+from repro.io.equations_io import (
+    load_blocks_binary,
+    read_blocks_binary,
+    save_blocks_binary,
+    save_blocks_text,
+    write_block_binary,
+    write_block_text,
+)
+from repro.mea.wetlab import quick_device_data
+
+
+def blocks_for(n=4, seed=1):
+    _, z = quick_device_data(n, seed=seed)
+    return form_all_blocks(z)
+
+
+class TestBinaryFormat:
+    def test_roundtrip_exact(self, tmp_path):
+        blocks = blocks_for(4)
+        path = tmp_path / "eq.bin"
+        written = save_blocks_binary(blocks, path)
+        assert written == path.stat().st_size
+        back = load_blocks_binary(path)
+        assert len(back) == len(blocks)
+        for a, b in zip(blocks, back):
+            assert (a.n, a.row, a.col) == (b.n, b.row, b.col)
+            assert a.z == b.z and a.voltage == b.voltage
+            np.testing.assert_array_equal(a.eq_id, b.eq_id)
+            np.testing.assert_array_equal(a.sign, b.sign)
+            np.testing.assert_array_equal(a.r_row, b.r_row)
+            np.testing.assert_array_equal(a.r_col, b.r_col)
+            np.testing.assert_array_equal(a.v_plus, b.v_plus)
+            np.testing.assert_array_equal(a.v_minus, b.v_minus)
+            np.testing.assert_array_equal(a.rhs, b.rhs)
+            np.testing.assert_array_equal(a.category, b.category)
+
+    def test_reloaded_blocks_evaluate_identically(self, tmp_path):
+        from repro.kirchhoff.forward import solve_drive
+
+        r, z = quick_device_data(3, seed=7)
+        block = form_pair_block(3, 1, 2, z=z[1, 2])
+        path = tmp_path / "one.bin"
+        save_blocks_binary([block], path)
+        back = load_blocks_binary(path)[0]
+        sol = solve_drive(r, 1, 2)
+        ref = block.residuals(r, sol.ua(), sol.ub())
+        got = back.residuals(r, sol.ua(), sol.ub())
+        np.testing.assert_array_equal(ref, got)
+
+    def test_category_subset_blocks_roundtrip(self, tmp_path):
+        block = form_pair_block(5, 0, 0, z=700.0, categories=[Category.UA])
+        path = tmp_path / "ua.bin"
+        save_blocks_binary([block], path)
+        back = load_blocks_binary(path)[0]
+        assert back.num_equations == 4
+        assert (back.category == Category.UA).all()
+
+    def test_corrupt_magic_rejected(self):
+        buf = io.BytesIO(b"NOTMAGIC" + b"\x00" * 50)
+        with pytest.raises(ValueError, match="magic"):
+            list(read_blocks_binary(buf))
+
+    def test_empty_file_yields_nothing(self):
+        assert list(read_blocks_binary(io.BytesIO(b""))) == []
+
+    def test_streaming_read(self, tmp_path):
+        blocks = blocks_for(3)
+        path = tmp_path / "s.bin"
+        save_blocks_binary(iter(blocks), path)
+        count = 0
+        with open(path, "rb") as fh:
+            for _ in read_blocks_binary(fh):
+                count += 1
+        assert count == 9
+
+
+class TestTextFormat:
+    def test_output_is_readable(self, tmp_path):
+        block = form_pair_block(3, 1, 2, z=800.0, voltage=5.0)
+        path = tmp_path / "eq.txt"
+        save_blocks_text([block], path)
+        content = path.read_text()
+        assert "pair i=2 j=3" in content
+        assert "SOURCE:" in content and "DEST:" in content
+        assert "UA:" in content and "UB:" in content
+        assert "(U - Ua_1)/R[2,1]" in content
+
+    def test_equation_count_in_text(self, tmp_path):
+        blocks = blocks_for(3)
+        path = tmp_path / "all.txt"
+        save_blocks_text(blocks, path)
+        lines = path.read_text().splitlines()
+        eq_lines = [l for l in lines if not l.startswith("##")]
+        assert len(eq_lines) == 2 * 3**3  # 2n^3
+
+    def test_rhs_appears(self):
+        block = form_pair_block(3, 0, 0, z=500.0, voltage=5.0)
+        buf = io.StringIO()
+        write_block_text(block, buf)
+        assert f"{5.0 / 500.0:.10g}" in buf.getvalue()
+
+    def test_write_returns_char_count(self):
+        block = form_pair_block(3, 0, 0, z=500.0)
+        buf = io.StringIO()
+        n = write_block_text(block, buf)
+        assert n == len(buf.getvalue())
+
+    def test_binary_write_returns_byte_count(self):
+        block = form_pair_block(3, 0, 0, z=500.0)
+        buf = io.BytesIO()
+        n = write_block_binary(block, buf)
+        assert n == len(buf.getvalue())

@@ -1,0 +1,120 @@
+"""Tests for the wet-lab measurement text format."""
+
+import numpy as np
+import pytest
+
+from repro.io.textformat import (
+    FormatError,
+    dumps_measurement,
+    load_campaign,
+    load_measurement,
+    loads_measurement,
+    save_campaign,
+    save_measurement,
+)
+from repro.mea.dataset import Measurement, MeasurementCampaign
+from repro.mea.wetlab import quick_device_data
+
+
+def sample_measurement(n=4, hour=6.0):
+    _, z = quick_device_data(n, seed=1)
+    return Measurement(
+        z_kohm=z, voltage=5.0, hour=hour, meta={"source": "wetlab-sim"}
+    )
+
+
+class TestRoundTrip:
+    def test_string_roundtrip(self):
+        meas = sample_measurement()
+        text = dumps_measurement(meas)
+        back = loads_measurement(text)
+        np.testing.assert_allclose(back.z_kohm, meas.z_kohm, rtol=1e-9)
+        assert back.voltage == meas.voltage
+        assert back.hour == meas.hour
+        assert back.meta["source"] == "wetlab-sim"
+
+    def test_file_roundtrip(self, tmp_path):
+        meas = sample_measurement()
+        path = tmp_path / "m.txt"
+        save_measurement(meas, path)
+        back = load_measurement(path)
+        np.testing.assert_allclose(back.z_kohm, meas.z_kohm, rtol=1e-9)
+
+    def test_campaign_roundtrip(self, tmp_path):
+        campaign = MeasurementCampaign(
+            measurements=tuple(
+                sample_measurement(hour=h) for h in (0.0, 6.0, 12.0, 24.0)
+            )
+        )
+        path = tmp_path / "day.txt"
+        save_campaign(campaign, path)
+        back = load_campaign(path)
+        assert back.hours == (0.0, 6.0, 12.0, 24.0)
+        for a, b in zip(campaign, back):
+            np.testing.assert_allclose(a.z_kohm, b.z_kohm, rtol=1e-9)
+
+    def test_rectangular_device(self):
+        z = np.full((2, 5), 777.0)
+        meas = Measurement(z_kohm=z)
+        back = loads_measurement(dumps_measurement(meas))
+        assert back.shape == (2, 5)
+
+    def test_precision_survives(self):
+        z = np.array([[1234.56789012, 2.00000001], [3.5, 9999.99999]])
+        meas = Measurement(z_kohm=z)
+        back = loads_measurement(dumps_measurement(meas))
+        np.testing.assert_allclose(back.z_kohm, z, rtol=1e-9)
+
+
+class TestStrictParsing:
+    def test_missing_magic(self):
+        with pytest.raises(FormatError, match="magic"):
+            loads_measurement("# rows: 2\n1 2\n3 4\n")
+
+    def test_wrong_row_count(self):
+        text = dumps_measurement(sample_measurement(3))
+        truncated = "\n".join(text.splitlines()[:-1]) + "\n"
+        with pytest.raises(FormatError, match="data rows"):
+            loads_measurement(truncated)
+
+    def test_ragged_row(self):
+        text = dumps_measurement(sample_measurement(3))
+        lines = text.splitlines()
+        lines[-1] = "1.0 2.0"  # too few values
+        with pytest.raises(FormatError, match="values"):
+            loads_measurement("\n".join(lines) + "\n")
+
+    def test_non_numeric_value(self):
+        text = dumps_measurement(sample_measurement(2))
+        bad = text.replace(text.splitlines()[-1], "1.0 banana")
+        with pytest.raises(FormatError):
+            loads_measurement(bad)
+
+    def test_missing_header_field(self):
+        text = dumps_measurement(sample_measurement(2))
+        bad = "\n".join(
+            line for line in text.splitlines() if "voltage" not in line
+        )
+        with pytest.raises(FormatError, match="voltage"):
+            loads_measurement(bad)
+
+    def test_two_sections_rejected_by_single_loader(self):
+        text = dumps_measurement(sample_measurement(2))
+        with pytest.raises(FormatError, match="one measurement"):
+            loads_measurement(text + "\n" + text)
+
+    def test_empty_file_campaign(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("")
+        with pytest.raises(FormatError):
+            load_campaign(path)
+
+    def test_newline_in_meta_rejected(self):
+        meas = sample_measurement().with_meta(evil="a\nb")
+        with pytest.raises(FormatError):
+            dumps_measurement(meas)
+
+    def test_malformed_header_line(self):
+        text = "# parma-measurement v1\n# nonsense without colon\n1.0\n"
+        with pytest.raises(FormatError, match="malformed"):
+            loads_measurement(text)

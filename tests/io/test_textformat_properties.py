@@ -1,0 +1,62 @@
+"""Hypothesis round-trip properties for the measurement text format."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.io.textformat import dumps_measurement, loads_measurement
+from repro.mea.dataset import Measurement
+
+z_matrices = arrays(
+    np.float64,
+    st.tuples(st.integers(1, 8), st.integers(1, 8)),
+    elements=st.floats(1e-3, 1e9, allow_nan=False, allow_infinity=False),
+)
+
+meta_dicts = st.dictionaries(
+    st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+        min_size=1,
+        max_size=10,
+    ),
+    st.text(
+        alphabet=st.characters(
+            whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters=" .-_"
+        ),
+        max_size=30,
+    ).map(str.strip),
+    max_size=4,
+)
+
+
+class TestRoundTripProperties:
+    @given(z_matrices, st.floats(0.1, 100.0), st.floats(0.0, 1000.0))
+    @settings(max_examples=60, deadline=None)
+    def test_values_survive(self, z, voltage, hour):
+        meas = Measurement(z_kohm=z, voltage=voltage, hour=hour)
+        back = loads_measurement(dumps_measurement(meas))
+        np.testing.assert_allclose(back.z_kohm, z, rtol=1e-9)
+        assert back.voltage == float(repr(voltage)) or np.isclose(
+            back.voltage, voltage
+        )
+        assert np.isclose(back.hour, hour)
+
+    @given(z_matrices, meta_dicts)
+    @settings(max_examples=40, deadline=None)
+    def test_meta_survives(self, z, meta):
+        meas = Measurement(z_kohm=z, meta=meta)
+        back = loads_measurement(dumps_measurement(meas))
+        for key, value in meta.items():
+            assert back.meta[key] == value
+
+    @given(z_matrices)
+    @settings(max_examples=30, deadline=None)
+    def test_double_roundtrip_fixed_point(self, z):
+        """Serialize-parse-serialize is a fixed point (canonical form)."""
+        meas = Measurement(z_kohm=z)
+        once = dumps_measurement(loads_measurement(dumps_measurement(meas)))
+        twice = dumps_measurement(
+            loads_measurement(once)
+        )
+        assert once == twice

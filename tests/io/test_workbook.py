@@ -1,0 +1,129 @@
+"""Tests for the Excel-workbook ingestion step (paper §V-B)."""
+
+import numpy as np
+import pytest
+
+from repro.io.textformat import load_campaign
+from repro.io.workbook import (
+    WorkbookError,
+    convert_workbook,
+    export_workbook,
+    load_workbook,
+)
+from repro.mea.synthetic import paper_like_spec
+from repro.mea.wetlab import WetLabConfig, run_campaign
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    spec = paper_like_spec(6, seed=61)
+    return run_campaign(spec, WetLabConfig(noise_rel=0.0), seed=61).campaign
+
+
+class TestRoundTrip:
+    def test_export_load(self, campaign, tmp_path):
+        root = export_workbook(campaign, tmp_path / "device")
+        assert root.name == "device.workbook"
+        assert (root / "meta.csv").exists()
+        assert (root / "sheet-0h.csv").exists()
+        assert (root / "sheet-24h.csv").exists()
+        back = load_workbook(root)
+        assert back.hours == campaign.hours
+        for a, b in zip(campaign, back):
+            np.testing.assert_allclose(a.z_kohm, b.z_kohm, rtol=1e-9)
+            assert a.voltage == b.voltage
+
+    def test_meta_preserved(self, campaign, tmp_path):
+        root = export_workbook(campaign, tmp_path / "d2")
+        back = load_workbook(root)
+        assert back.measurements[0].meta["source"] == "wetlab-sim"
+
+    def test_convert_to_text(self, campaign, tmp_path):
+        root = export_workbook(campaign, tmp_path / "d3")
+        text = tmp_path / "converted.txt"
+        converted = convert_workbook(root, text)
+        assert text.exists()
+        reloaded = load_campaign(text)
+        assert reloaded.hours == converted.hours
+        np.testing.assert_allclose(
+            reloaded.measurements[0].z_kohm,
+            campaign.measurements[0].z_kohm,
+            rtol=1e-9,
+        )
+
+    def test_converted_campaign_is_solvable(self, campaign, tmp_path):
+        """Workbook -> text -> Parma, end to end."""
+        from repro.core.engine import ParmaEngine
+
+        root = export_workbook(campaign, tmp_path / "d4")
+        text = tmp_path / "c.txt"
+        convert_workbook(root, text)
+        reloaded = load_campaign(text)
+        result = ParmaEngine(strategy="single").parametrize(
+            reloaded.measurements[0]
+        )
+        assert result.solve.converged
+
+
+class TestStrictness:
+    def test_missing_dir(self, tmp_path):
+        with pytest.raises(WorkbookError, match="not a workbook"):
+            load_workbook(tmp_path / "nope")
+
+    def test_missing_meta(self, tmp_path):
+        root = tmp_path / "x.workbook"
+        root.mkdir()
+        (root / "sheet-0h.csv").write_text("1,2\n3,4\n")
+        with pytest.raises(WorkbookError, match="meta.csv"):
+            load_workbook(root)
+
+    def test_no_sheets(self, tmp_path):
+        root = tmp_path / "y.workbook"
+        root.mkdir()
+        (root / "meta.csv").write_text(
+            "key,value\nvoltage_volts,5.0\nrows,2\ncols,2\n"
+        )
+        with pytest.raises(WorkbookError, match="no sheet"):
+            load_workbook(root)
+
+    def test_ragged_sheet(self, tmp_path):
+        root = tmp_path / "z.workbook"
+        root.mkdir()
+        (root / "meta.csv").write_text(
+            "key,value\nvoltage_volts,5.0\nrows,2\ncols,2\n"
+        )
+        (root / "sheet-0h.csv").write_text("1,2\n3\n")
+        with pytest.raises(WorkbookError, match="cells"):
+            load_workbook(root)
+
+    def test_wrong_row_count(self, tmp_path):
+        root = tmp_path / "w.workbook"
+        root.mkdir()
+        (root / "meta.csv").write_text(
+            "key,value\nvoltage_volts,5.0\nrows,3\ncols,2\n"
+        )
+        (root / "sheet-0h.csv").write_text("1,2\n3,4\n")
+        with pytest.raises(WorkbookError, match="rows"):
+            load_workbook(root)
+
+    def test_bad_meta_header(self, tmp_path):
+        root = tmp_path / "v.workbook"
+        root.mkdir()
+        (root / "meta.csv").write_text("not,a,header\n")
+        with pytest.raises(WorkbookError, match="header"):
+            load_workbook(root)
+
+    def test_non_numeric_cell(self, tmp_path):
+        root = tmp_path / "u.workbook"
+        root.mkdir()
+        (root / "meta.csv").write_text(
+            "key,value\nvoltage_volts,5.0\nrows,1\ncols,2\n"
+        )
+        (root / "sheet-0h.csv").write_text("1,banana\n")
+        with pytest.raises(WorkbookError):
+            load_workbook(root)
+
+    def test_sheets_sorted_by_hour(self, campaign, tmp_path):
+        root = export_workbook(campaign, tmp_path / "s")
+        back = load_workbook(root)
+        assert list(back.hours) == sorted(back.hours)

@@ -1,0 +1,164 @@
+"""Tests for the exact crossbar forward solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.kirchhoff.forward import (
+    crossbar_laplacian,
+    effective_resistance_matrix,
+    measure,
+    residual_current_at_wires,
+    solve_all_drives,
+    solve_drive,
+)
+
+resistance_fields = arrays(
+    np.float64,
+    st.tuples(st.integers(2, 5), st.integers(2, 5)),
+    elements=st.floats(100.0, 10000.0),
+)
+
+
+class TestLaplacian:
+    def test_shape_and_symmetry(self):
+        r = np.full((3, 4), 1000.0)
+        lap = crossbar_laplacian(r)
+        assert lap.shape == (7, 7)
+        np.testing.assert_allclose(lap, lap.T)
+
+    def test_rows_sum_to_zero(self):
+        r = np.array([[100.0, 200.0], [300.0, 400.0]])
+        lap = crossbar_laplacian(r)
+        np.testing.assert_allclose(lap.sum(axis=1), 0.0, atol=1e-15)
+
+    def test_off_diagonal_is_minus_conductance(self):
+        r = np.array([[100.0, 200.0], [300.0, 400.0]])
+        lap = crossbar_laplacian(r)
+        assert lap[0, 2] == pytest.approx(-1 / 100.0)  # H0-V0
+        assert lap[1, 3] == pytest.approx(-1 / 400.0)  # H1-V1
+
+    def test_rejects_nonpositive_resistance(self):
+        with pytest.raises(ValueError):
+            crossbar_laplacian(np.array([[1.0, 0.0], [1.0, 1.0]]))
+
+
+class TestKnownNetworks:
+    def test_1x1_trivial(self):
+        z = effective_resistance_matrix(np.array([[470.0]]))
+        assert z[0, 0] == pytest.approx(470.0)
+
+    def test_2x2_series_parallel(self):
+        """For 2x2, Z_00 = R00 || (R01 + R11 + R10) analytically."""
+        r = np.array([[100.0, 200.0], [300.0, 400.0]])
+        z = effective_resistance_matrix(r)
+        expected = 1.0 / (1.0 / 100.0 + 1.0 / (200.0 + 400.0 + 300.0))
+        assert z[0, 0] == pytest.approx(expected)
+
+    def test_uniform_field_closed_form(self):
+        """Uniform R on n x n: Z = R (2n - 1) / n^2 by symmetry."""
+        for n in (2, 3, 5, 8):
+            r = np.full((n, n), 1000.0)
+            z = effective_resistance_matrix(r)
+            expected = 1000.0 * (2 * n - 1) / n**2
+            np.testing.assert_allclose(z, expected)
+
+    def test_measure_is_alias(self):
+        r = np.array([[100.0, 200.0], [300.0, 400.0]])
+        np.testing.assert_allclose(measure(r), effective_resistance_matrix(r))
+
+
+class TestDriveSolution:
+    def test_z_matches_matrix(self):
+        rng = np.random.default_rng(0)
+        r = rng.uniform(500, 5000, size=(4, 4))
+        zmat = effective_resistance_matrix(r)
+        for i in range(4):
+            for j in range(4):
+                sol = solve_drive(r, i, j)
+                assert sol.z == pytest.approx(zmat[i, j], rel=1e-10)
+
+    def test_boundary_conditions(self):
+        r = np.full((3, 3), 1000.0)
+        sol = solve_drive(r, 1, 2, voltage=5.0)
+        assert sol.h_voltages[1] == pytest.approx(5.0)
+        assert sol.v_voltages[2] == pytest.approx(0.0)
+
+    def test_intermediate_voltages_inside_range(self):
+        rng = np.random.default_rng(1)
+        r = rng.uniform(500, 5000, size=(4, 4))
+        sol = solve_drive(r, 0, 0, voltage=5.0)
+        assert np.all(sol.ua() > 0.0) and np.all(sol.ua() < 5.0)
+        assert np.all(sol.ub() > 0.0) and np.all(sol.ub() < 5.0)
+
+    def test_ua_ub_shapes(self):
+        r = np.full((4, 4), 1000.0)
+        sol = solve_drive(r, 2, 1)
+        assert sol.ua().shape == (3,)
+        assert sol.ub().shape == (3,)
+
+    def test_ua_excludes_driven_column(self):
+        r = np.full((3, 3), 1000.0)
+        sol = solve_drive(r, 0, 1)
+        expected = np.delete(sol.v_voltages, 1)
+        np.testing.assert_array_equal(sol.ua(), expected)
+
+    @given(resistance_fields, st.integers(0, 4), st.integers(0, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_kirchhoff_l1_holds_everywhere(self, r, i, j):
+        """Net current is zero at all undriven wires, ±I at driven."""
+        m, n = r.shape
+        i, j = i % m, j % n
+        sol = solve_drive(r, i, j)
+        res = residual_current_at_wires(r, sol)
+        scale = abs(sol.total_current)
+        assert abs(res[i] - sol.total_current) < 1e-9 * scale
+        assert abs(res[m + j] + sol.total_current) < 1e-9 * scale
+        mask = np.ones(m + n, dtype=bool)
+        mask[i] = mask[m + j] = False
+        assert np.max(np.abs(res[mask])) < 1e-9 * scale
+
+    def test_out_of_range_pair(self):
+        with pytest.raises(IndexError):
+            solve_drive(np.full((2, 2), 100.0), 2, 0)
+
+    def test_voltage_must_be_positive(self):
+        with pytest.raises(ValueError):
+            solve_drive(np.full((2, 2), 100.0), 0, 0, voltage=0.0)
+
+
+class TestPhysicalInvariants:
+    @given(resistance_fields)
+    @settings(max_examples=30, deadline=None)
+    def test_z_positive_and_below_direct_resistor(self, r):
+        """0 < Z_ij <= R_ij: parallel paths only reduce resistance."""
+        z = effective_resistance_matrix(r)
+        assert np.all(z > 0)
+        assert np.all(z <= r + 1e-9 * r)
+
+    @given(resistance_fields)
+    @settings(max_examples=20, deadline=None)
+    def test_scaling_invariance(self, r):
+        """Z(c R) = c Z(R) — the network is linear in R."""
+        z1 = effective_resistance_matrix(r)
+        z2 = effective_resistance_matrix(2.5 * r)
+        np.testing.assert_allclose(z2, 2.5 * z1, rtol=1e-9)
+
+    def test_monotonicity_in_single_resistor(self):
+        """Raising any R_ab cannot lower any Z (Rayleigh monotonicity)."""
+        rng = np.random.default_rng(2)
+        r = rng.uniform(500, 5000, size=(3, 3))
+        z_before = effective_resistance_matrix(r)
+        r2 = r.copy()
+        r2[1, 1] *= 3.0
+        z_after = effective_resistance_matrix(r2)
+        assert np.all(z_after >= z_before - 1e-9)
+
+    def test_solve_all_drives_cover_all_pairs(self):
+        r = np.full((3, 2), 1000.0)
+        sols = solve_all_drives(r)
+        assert [(s.row, s.col) for s in sols] == [
+            (i, j) for i in range(3) for j in range(2)
+        ]

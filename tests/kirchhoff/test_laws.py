@@ -1,0 +1,120 @@
+"""Tests for Kirchhoff L1/L2 systems on general circuits (§II-A)."""
+
+import numpy as np
+import pytest
+
+from repro.kirchhoff.laws import Circuit, ResistorEdge
+
+
+def bridge_circuit():
+    """Wheatstone bridge: 4 nodes, 5 resistors."""
+    return Circuit([
+        ResistorEdge("a", "b", 100.0),
+        ResistorEdge("a", "c", 200.0),
+        ResistorEdge("b", "c", 300.0),
+        ResistorEdge("b", "d", 400.0),
+        ResistorEdge("c", "d", 500.0),
+    ])
+
+
+class TestStructure:
+    def test_counts(self):
+        c = bridge_circuit()
+        assert c.num_nodes == 4
+        assert c.num_edges == 5
+
+    def test_paper_independence_counts(self):
+        """§II-A: |V|-1 independent L1 equations, |E|-|V|+1 L2."""
+        c = bridge_circuit()
+        assert c.num_independent_l1() == 3
+        assert c.num_independent_l2() == 2
+
+    def test_l1_plus_l2_determine_currents(self):
+        """Together they give |E| equations for |E| unknowns."""
+        c = bridge_circuit()
+        assert c.num_independent_l1() + c.num_independent_l2() == c.num_edges
+
+    def test_incidence_matrix_rank_is_v_minus_1(self):
+        c = bridge_circuit()
+        a = c.incidence_matrix()
+        assert np.linalg.matrix_rank(a) == c.num_nodes - 1
+
+    def test_cycle_matrix_rank_is_cyclomatic(self):
+        c = bridge_circuit()
+        b = c.cycle_matrix()
+        assert np.linalg.matrix_rank(b) == c.num_independent_l2()
+
+    def test_l1_l2_rows_mutually_independent(self):
+        """A B^T = 0: cycle space is the kernel of the incidence map."""
+        c = bridge_circuit()
+        prod = c.incidence_matrix() @ c.cycle_matrix().T
+        np.testing.assert_allclose(prod, 0.0, atol=1e-12)
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit([])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            ResistorEdge("a", "a", 100.0)
+
+    def test_nonpositive_resistance_rejected(self):
+        with pytest.raises(ValueError):
+            ResistorEdge("a", "b", -5.0)
+
+
+class TestNodalSolve:
+    def test_series_resistors(self):
+        c = Circuit([
+            ResistorEdge("a", "b", 100.0),
+            ResistorEdge("b", "c", 200.0),
+        ])
+        sol = c.solve_nodal("a", "c", 6.0)
+        assert sol.effective_resistance() == pytest.approx(300.0)
+        assert sol.total_current == pytest.approx(6.0 / 300.0)
+
+    def test_parallel_resistors_via_two_paths(self):
+        c = Circuit([
+            ResistorEdge("a", "b", 100.0),
+            ResistorEdge("a", "m", 150.0),
+            ResistorEdge("m", "b", 150.0),
+        ])
+        sol = c.solve_nodal("a", "b", 5.0)
+        assert sol.effective_resistance() == pytest.approx(75.0)
+
+    def test_wheatstone_balanced(self):
+        """Balanced bridge: no current through the bridge arm."""
+        c = Circuit([
+            ResistorEdge("a", "b", 100.0),
+            ResistorEdge("a", "c", 200.0),
+            ResistorEdge("b", "d", 200.0),
+            ResistorEdge("c", "d", 400.0),
+            ResistorEdge("b", "c", 555.0),  # bridge arm
+        ])
+        sol = c.solve_nodal("a", "d", 5.0)
+        bridge_idx = 4
+        assert abs(sol.currents[bridge_idx]) < 1e-12
+
+    def test_l1_residual_zero(self):
+        sol = bridge_circuit().solve_nodal("a", "d", 5.0)
+        np.testing.assert_allclose(sol.l1_residual(), 0.0, atol=1e-12)
+
+    def test_l2_residual_zero(self):
+        sol = bridge_circuit().solve_nodal("a", "d", 5.0)
+        np.testing.assert_allclose(sol.l2_residual(), 0.0, atol=1e-10)
+
+    def test_unknown_terminal(self):
+        with pytest.raises(KeyError):
+            bridge_circuit().solve_nodal("a", "zz", 5.0)
+
+    def test_same_terminal_rejected(self):
+        with pytest.raises(ValueError):
+            bridge_circuit().solve_nodal("a", "a", 5.0)
+
+    def test_power_conservation(self):
+        """Σ I²R over edges = V · I_total."""
+        sol = bridge_circuit().solve_nodal("a", "d", 5.0)
+        ohms = np.array([e.ohms for e in sol.circuit.edges])
+        dissipated = float(np.sum(sol.currents**2 * ohms))
+        supplied = 5.0 * sol.total_current
+        assert dissipated == pytest.approx(supplied, rel=1e-10)

@@ -1,0 +1,83 @@
+"""Tests for mesh (loop-current) analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kirchhoff.laws import Circuit, ResistorEdge
+from repro.kirchhoff.mesh import mesh_vs_nodal_gap, solve_mesh
+from repro.mea.device import MEAGrid
+from repro.mea.graph import wire_graph
+
+
+def random_circuit(seed, nodes=6, extra=5):
+    rng = np.random.default_rng(seed)
+    edges = []
+    labels = [f"n{i}" for i in range(nodes)]
+    for a, b in zip(labels, labels[1:]):
+        edges.append(ResistorEdge(a, b, float(rng.uniform(50, 500))))
+    for _ in range(extra):
+        a, b = rng.choice(nodes, 2, replace=False)
+        edges.append(
+            ResistorEdge(labels[a], labels[b], float(rng.uniform(50, 500)))
+        )
+    return Circuit(edges)
+
+
+class TestSolveMesh:
+    def test_series_chain(self):
+        c = Circuit([
+            ResistorEdge("a", "b", 120.0),
+            ResistorEdge("b", "c", 80.0),
+        ])
+        sol = solve_mesh(c, "a", "c", 10.0)
+        assert sol.effective_resistance == pytest.approx(200.0, rel=1e-6)
+        assert sol.num_loops == 1  # the source loop
+
+    def test_loop_count_is_cyclomatic_plus_source(self):
+        c = random_circuit(0)
+        sol = solve_mesh(c, "n0", "n3", 5.0)
+        assert sol.num_loops == c.num_independent_l2() + 1
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_nodal_analysis(self, seed):
+        c = random_circuit(seed)
+        gap = mesh_vs_nodal_gap(c, "n0", "n3")
+        assert gap < 1e-6
+
+    def test_crossbar_agreement(self):
+        """Mesh analysis on the collapsed MEA wire graph matches the
+        forward solver's effective resistance."""
+        from repro.kirchhoff.forward import effective_resistance_matrix
+
+        rng = np.random.default_rng(7)
+        r = rng.uniform(500, 5000, size=(3, 3))
+        g = wire_graph(MEAGrid(3))
+        edges = [
+            ResistorEdge(u, v, float(r[d["row"], d["col"]]))
+            for u, v, d in g.edges(data=True)
+        ]
+        circuit = Circuit(edges)
+        z = effective_resistance_matrix(r)
+        sol = solve_mesh(circuit, ("H", 1), ("V", 2), 5.0)
+        assert sol.effective_resistance == pytest.approx(z[1, 2], rel=1e-6)
+
+    def test_same_terminals_rejected(self):
+        c = random_circuit(1)
+        with pytest.raises(ValueError):
+            solve_mesh(c, "n0", "n0", 5.0)
+
+    def test_loop_currents_reproduce_edge_currents(self):
+        c = random_circuit(3)
+        sol = solve_mesh(c, "n0", "n4", 5.0)
+        # Edge currents are B^T x by construction; check conservation
+        # at a node instead: net flow at an internal node is zero.
+        # (Equivalent to L1, derived purely from the loop space.)
+        from repro.kirchhoff.laws import Circuit as C2, ResistorEdge as RE
+
+        aug = C2(list(c.edges) + [RE("n4", "n0", 1e-9 * 50)])
+        incidence = aug.incidence_matrix()
+        net = incidence @ sol.edge_currents
+        np.testing.assert_allclose(net, 0.0, atol=1e-9)

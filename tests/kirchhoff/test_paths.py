@@ -1,0 +1,143 @@
+"""Tests for exponential path enumeration (§II-C baseline)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kirchhoff.paths import (
+    count_paths_exact,
+    count_paths_paper,
+    enumerate_paths,
+    iter_all_pairs_paths,
+    path_length_histogram,
+    storage_estimate_bytes,
+    total_paths_exact,
+    total_paths_paper,
+)
+from repro.mea.device import MEAGrid
+
+
+class TestEnumeration:
+    def test_2x2_paths(self):
+        grid = MEAGrid(2)
+        paths = enumerate_paths(grid, 0, 0)
+        assert len(paths) == 2
+        lengths = sorted(p.length for p in paths)
+        assert lengths == [1, 3]  # direct + around
+
+    def test_paper_3x3_count(self):
+        """The paper identifies exactly nine paths from C to I."""
+        grid = MEAGrid(3)
+        paths = enumerate_paths(grid, 2, 0)  # C = row 2, I = col 0
+        assert len(paths) == 9
+
+    def test_paper_path_i_direct(self):
+        """(i) C -> R_13 -> I is the single-hop path (wire C = row 2;
+        note R_13 in the paper's figure labels the resistor joining C
+        and I in its path list, which is R_31 in row-column order)."""
+        grid = MEAGrid(3)
+        paths = enumerate_paths(grid, 2, 0)
+        direct = [p for p in paths if p.length == 1]
+        assert len(direct) == 1
+        assert direct[0].resistors == ((2, 0),)
+
+    def test_paths_are_simple(self):
+        """No wire revisited within one path."""
+        grid = MEAGrid(3)
+        for p in enumerate_paths(grid, 1, 1):
+            assert len(set(p.wires)) == len(p.wires)
+
+    def test_paths_alternate_wires(self):
+        grid = MEAGrid(3)
+        for p in enumerate_paths(grid, 0, 2):
+            kinds = [w[0] for w in p.wires]
+            assert all(a != b for a, b in zip(kinds, kinds[1:]))
+
+    def test_endpoints_correct(self):
+        grid = MEAGrid(4)
+        for p in enumerate_paths(grid, 2, 3):
+            assert p.wires[0] == ("H", 2)
+            assert p.wires[-1] == ("V", 3)
+
+    def test_max_paths_truncation(self):
+        grid = MEAGrid(4)
+        paths = enumerate_paths(grid, 0, 0, max_paths=5)
+        assert len(paths) == 5
+
+    def test_deterministic_order(self):
+        grid = MEAGrid(3)
+        a = enumerate_paths(grid, 0, 0)
+        b = enumerate_paths(grid, 0, 0)
+        assert [p.resistors for p in a] == [p.resistors for p in b]
+
+    def test_path_resistance(self):
+        grid = MEAGrid(2)
+        r = np.array([[100.0, 200.0], [300.0, 400.0]])
+        paths = enumerate_paths(grid, 0, 0)
+        values = sorted(p.resistance(r) for p in paths)
+        assert values == [100.0, 200.0 + 400.0 + 300.0]
+
+
+class TestCounting:
+    @given(st.integers(2, 5))
+    @settings(max_examples=4, deadline=None)
+    def test_exact_count_matches_enumeration(self, n):
+        grid = MEAGrid(n)
+        enumerated = len(enumerate_paths(grid, 0, 0))
+        assert enumerated == count_paths_exact(n, n)
+
+    def test_rectangular_count(self):
+        grid = MEAGrid(2, 3)
+        assert len(enumerate_paths(grid, 0, 0)) == count_paths_exact(2, 3)
+
+    def test_paper_estimate_matches_exact_at_n3(self):
+        assert count_paths_paper(3) == count_paths_exact(3, 3) == 9
+
+    def test_paper_estimate_diverges_above_n3(self):
+        """n = 4: exact 82 vs paper's n^(n-1) = 64 — documented gap."""
+        assert count_paths_exact(4, 4) == 82
+        assert count_paths_paper(4) == 64
+
+    def test_total_counts(self):
+        assert total_paths_exact(3, 3) == 9 * 9
+        assert total_paths_paper(3) == 81
+
+    @given(st.integers(2, 12))
+    @settings(max_examples=10, deadline=None)
+    def test_counts_grow_superexponentially(self, n):
+        assert count_paths_exact(n + 1, n + 1) > count_paths_exact(n, n)
+
+    def test_infeasibility_threshold(self):
+        """[15]: path storage becomes infeasible for n > 6.
+
+        At n = 7 the estimated storage already exceeds 1 GiB; at n = 10
+        it exceeds 10 TiB.
+        """
+        assert storage_estimate_bytes(6) < 2**30
+        assert storage_estimate_bytes(7) > 2**30
+        assert storage_estimate_bytes(10) > 10 * 2**40
+
+
+class TestHelpers:
+    def test_histogram(self):
+        grid = MEAGrid(3)
+        hist = path_length_histogram(enumerate_paths(grid, 2, 0))
+        assert hist == {1: 1, 3: 4, 5: 4}
+
+    def test_iter_all_pairs(self):
+        grid = MEAGrid(2)
+        items = list(iter_all_pairs_paths(grid))
+        assert len(items) == total_paths_exact(2, 2)
+        pairs = {(i, j) for i, j, _ in items}
+        assert pairs == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+    def test_iter_all_pairs_truncates(self):
+        grid = MEAGrid(3)
+        items = list(iter_all_pairs_paths(grid, max_total=7))
+        assert len(items) == 7
+
+    def test_storage_bytes_positive(self):
+        grid = MEAGrid(3)
+        for p in enumerate_paths(grid, 0, 0):
+            assert p.storage_bytes() > 0

@@ -1,0 +1,95 @@
+"""Tests for the path-based nonlinear system (baseline [15])."""
+
+import numpy as np
+import pytest
+
+from repro.kirchhoff.forward import measure
+from repro.kirchhoff.pathsystem import (
+    build_path_system,
+    model_error_vs_exact,
+    solve_path_system,
+)
+from repro.mea.device import MEAGrid
+
+
+class TestBuild:
+    def test_equation_and_term_counts(self):
+        system = build_path_system(MEAGrid(3))
+        assert system.num_equations == 9
+        assert system.num_terms == 81  # 9 paths per pair
+
+    def test_term_count_is_exponential_part(self):
+        s2 = build_path_system(MEAGrid(2))
+        s3 = build_path_system(MEAGrid(3))
+        s4 = build_path_system(MEAGrid(4))
+        per_pair = [
+            s.num_terms / s.num_equations for s in (s2, s3, s4)
+        ]
+        assert per_pair == [2, 9, 82]
+
+
+class TestModelAccuracy:
+    def test_exact_for_2x2(self):
+        """At n = 2 no two paths share a resistor: model is exact."""
+        r = np.array([[100.0, 220.0], [330.0, 470.0]])
+        assert model_error_vs_exact(MEAGrid(2), r) < 1e-12
+
+    def test_approximate_for_3x3(self):
+        """At n = 3 paths share resistors; the parallel-paths formula
+        systematically over-estimates conductance."""
+        r = np.full((3, 3), 1000.0)
+        err = model_error_vs_exact(MEAGrid(3), r)
+        assert err > 0.01  # clearly not exact
+
+    def test_predicted_z_underestimates_exact(self):
+        """Treating shared paths as independent adds phantom parallel
+        conductance, so predicted Z <= exact Z."""
+        grid = MEAGrid(3)
+        r = np.full((3, 3), 1000.0)
+        system = build_path_system(grid)
+        pred = system.predicted_z(r)
+        exact = measure(r)
+        assert np.all(pred <= exact + 1e-12)
+
+    def test_residual_zero_at_model_consistent_z(self):
+        grid = MEAGrid(3)
+        r = np.full((3, 3), 2000.0)
+        system = build_path_system(grid)
+        z_model = system.predicted_z(r)
+        res = system.residual(r.ravel(), z_model)
+        np.testing.assert_allclose(res, 0.0, atol=1e-15)
+
+
+class TestSolve:
+    def test_recovers_r_exactly_at_2x2(self):
+        grid = MEAGrid(2)
+        rng = np.random.default_rng(0)
+        r_true = rng.uniform(2000, 8000, size=(2, 2))
+        z = measure(r_true)  # exact physics = exact model at n=2
+        system = build_path_system(grid)
+        r_est = solve_path_system(system, z)
+        np.testing.assert_allclose(r_est, r_true, rtol=1e-6)
+
+    def test_3x3_solves_model_consistent_data(self):
+        """Against model-generated Z the solve must close the loop even
+        though the model itself is approximate physics."""
+        grid = MEAGrid(3)
+        rng = np.random.default_rng(1)
+        r_true = rng.uniform(2000, 8000, size=(3, 3))
+        system = build_path_system(grid)
+        z_model = system.predicted_z(r_true)
+        r_est = solve_path_system(system, z_model, max_nfev=400)
+        pred = system.predicted_z(r_est)
+        np.testing.assert_allclose(pred, z_model, rtol=1e-6)
+
+    def test_shape_validation(self):
+        system = build_path_system(MEAGrid(2))
+        with pytest.raises(ValueError):
+            solve_path_system(system, np.ones((3, 3)))
+
+    def test_positive_estimates(self):
+        grid = MEAGrid(2)
+        r_true = np.array([[3000.0, 4000.0], [5000.0, 6000.0]])
+        system = build_path_system(grid)
+        r_est = solve_path_system(system, measure(r_true))
+        assert np.all(r_est > 0)

@@ -1,0 +1,89 @@
+"""Tests for measurement sensitivity maps."""
+
+import numpy as np
+import pytest
+
+from repro.kirchhoff.forward import measure
+from repro.kirchhoff.sensitivity import (
+    aggregate_sensitivity,
+    locality_profile,
+    normalized_sensitivity,
+    self_sensitivity_fraction,
+    sensitivity_map,
+)
+
+
+@pytest.fixture(scope="module")
+def uniform_field():
+    return np.full((6, 6), 3000.0)
+
+
+class TestSensitivityMap:
+    def test_nonnegative(self, uniform_field):
+        s = sensitivity_map(uniform_field, 2, 3)
+        assert np.all(s >= -1e-15)
+
+    def test_own_resistor_dominates(self, uniform_field):
+        s = sensitivity_map(uniform_field, 2, 3)
+        assert s.argmax() == 2 * 6 + 3
+
+    def test_matches_finite_difference(self, uniform_field):
+        r = uniform_field.copy()
+        s = sensitivity_map(r, 1, 4)
+        eps = 1e-3
+        for a, b in ((1, 4), (0, 0), (3, 2)):
+            r2 = r.copy()
+            r2[a, b] += eps
+            fd = (measure(r2)[1, 4] - measure(r)[1, 4]) / eps
+            assert s[a, b] == pytest.approx(fd, rel=1e-4, abs=1e-9)
+
+    def test_out_of_range_pair(self, uniform_field):
+        with pytest.raises(IndexError):
+            sensitivity_map(uniform_field, 6, 0)
+
+    def test_normalized_sums_to_one(self, uniform_field):
+        s = normalized_sensitivity(uniform_field, 0, 0)
+        assert s.sum() == pytest.approx(1.0)
+
+
+class TestLocality:
+    def test_profile_decreases(self, uniform_field):
+        """Sensitivity decays with distance from the driven pair —
+        the §IV-B locality premise, measured."""
+        prof = locality_profile(uniform_field, 3, 3)
+        assert prof[0] > prof[1] > prof[-1]
+
+    def test_profile_length(self, uniform_field):
+        prof = locality_profile(uniform_field, 0, 0)
+        assert len(prof) == 6  # Chebyshev distances 0..5
+
+    def test_heterogeneous_field_still_local(self):
+        rng = np.random.default_rng(7)
+        r = rng.uniform(2000, 9000, size=(7, 7))
+        prof = locality_profile(r, 3, 3)
+        assert prof[0] == max(prof)
+
+
+class TestAggregates:
+    def test_aggregate_positive_everywhere(self, uniform_field):
+        agg = aggregate_sensitivity(uniform_field)
+        assert np.all(agg > 0)
+
+    def test_uniform_device_symmetry(self, uniform_field):
+        """On a uniform device the coverage map has the grid's
+        symmetry: invariant under horizontal/vertical flips."""
+        agg = aggregate_sensitivity(uniform_field)
+        np.testing.assert_allclose(agg, agg[::-1, :], rtol=1e-9)
+        np.testing.assert_allclose(agg, agg[:, ::-1], rtol=1e-9)
+
+    def test_self_fraction_dominant(self, uniform_field):
+        """Each pair's own resistor is by far the single most-seen
+        resistor (~0.31 at n = 6 vs a uniform share of 1/36 ≈ 0.028),
+        though parallel paths keep it below an absolute majority."""
+        frac = self_sensitivity_fraction(uniform_field)
+        uniform_share = 1.0 / 36.0
+        assert np.all(frac > 10 * uniform_share)
+        assert np.all(frac < 1.0)
+        # And it shrinks as the device grows (more parallel paths).
+        frac_big = self_sensitivity_fraction(np.full((10, 10), 3000.0))
+        assert frac_big.mean() < frac.mean()

@@ -1,0 +1,125 @@
+"""Tests for chart maps, Jacobians, and frame changes."""
+
+import numpy as np
+import pytest
+
+from repro.manifold.frames import (
+    ChartMap,
+    degenerate_cells,
+    jacobian_determinants,
+    local_jacobians,
+    orthogonality_defect,
+    pullback_gradient,
+    pushforward_gradient,
+)
+
+
+def sheared_chart(n, shear=0.3):
+    return ChartMap.from_function(
+        n, lambda r, c: (r + shear * c, c)
+    )
+
+
+class TestChartMap:
+    def test_identity(self):
+        chart = ChartMap.identity(4)
+        assert chart.shape == (4, 4)
+        assert chart.x[2, 1] == 2.0 and chart.y[2, 1] == 1.0
+
+    def test_from_function(self):
+        chart = ChartMap.from_function(3, lambda r, c: (2 * r, 3 * c))
+        assert chart.x[1, 0] == 2.0 and chart.y[0, 1] == 3.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ChartMap(x=np.zeros((2, 2)), y=np.zeros((3, 3)))
+
+
+class TestJacobians:
+    def test_identity_jacobian(self):
+        jac = local_jacobians(ChartMap.identity(5))
+        assert jac.shape == (4, 4, 2, 2)
+        np.testing.assert_allclose(
+            jac, np.broadcast_to(np.eye(2), jac.shape)
+        )
+
+    def test_uniform_scaling(self):
+        chart = ChartMap.from_function(4, lambda r, c: (2 * r, 2 * c))
+        np.testing.assert_allclose(jacobian_determinants(chart), 4.0)
+
+    def test_shear_preserves_area(self):
+        chart = sheared_chart(5)
+        np.testing.assert_allclose(jacobian_determinants(chart), 1.0)
+
+    def test_fold_detected_as_negative_det(self):
+        # Mirror half the device: determinant flips sign.
+        def fold(r, c):
+            x = np.where(r <= 2, r, 4 - r)
+            return x, c
+
+        chart = ChartMap.from_function(6, fold)
+        dets = jacobian_determinants(chart)
+        assert (dets < 0).any() or (np.abs(dets) < 1e-12).any()
+
+    def test_degenerate_cells_mask(self):
+        chart = ChartMap.from_function(4, lambda r, c: (r, 0 * c))
+        assert degenerate_cells(chart).all()
+
+
+class TestFrameChanges:
+    def test_pullback_identity_is_noop(self):
+        chart = ChartMap.identity(4)
+        g = np.random.default_rng(0).standard_normal((3, 3, 2))
+        np.testing.assert_allclose(pullback_gradient(chart, g), g)
+
+    def test_pullback_pushforward_roundtrip(self):
+        chart = sheared_chart(5)
+        g = np.random.default_rng(1).standard_normal((4, 4, 2))
+        lat = pullback_gradient(chart, g)
+        back = pushforward_gradient(chart, lat)
+        np.testing.assert_allclose(back, g, atol=1e-12)
+
+    def test_pushforward_degenerate_rejected(self):
+        chart = ChartMap.from_function(4, lambda r, c: (r, 0 * c))
+        g = np.zeros((3, 3, 2))
+        with pytest.raises(ValueError):
+            pushforward_gradient(chart, g)
+
+    def test_shape_validation(self):
+        chart = ChartMap.identity(4)
+        with pytest.raises(ValueError):
+            pullback_gradient(chart, np.zeros((2, 2, 2)))
+
+    def test_chain_rule_on_scalar_field(self):
+        """Pullback of the physical gradient reproduces lattice
+        differences for a linear potential under shear."""
+        shear = 0.4
+        chart = sheared_chart(6, shear=shear)
+        # U(x, y) = 3x + 5y evaluated at the deformed sensor sites.
+        u = 3.0 * chart.x + 5.0 * chart.y
+        # Physical gradient is (3, 5) per cell.
+        g_phys = np.empty((5, 5, 2))
+        g_phys[..., 0] = 3.0
+        g_phys[..., 1] = 5.0
+        g_lat = pullback_gradient(chart, g_phys)
+        # Lattice differences of u along rows/cols (cell-averaged).
+        du_dr = np.diff(u, axis=0)[:, :-1]
+        du_dc = np.diff(u, axis=1)[:-1, :]
+        np.testing.assert_allclose(g_lat[..., 0], du_dr, atol=1e-9)
+        np.testing.assert_allclose(g_lat[..., 1], du_dc, atol=1e-9)
+
+
+class TestOrthogonality:
+    def test_identity_is_orthogonal(self):
+        np.testing.assert_allclose(
+            orthogonality_defect(ChartMap.identity(5)), 0.0, atol=1e-15
+        )
+
+    def test_shear_increases_defect(self):
+        mild = orthogonality_defect(sheared_chart(5, 0.1)).mean()
+        strong = orthogonality_defect(sheared_chart(5, 0.8)).mean()
+        assert strong > mild > 0.0
+
+    def test_defect_bounded_by_one(self):
+        d = orthogonality_defect(sheared_chart(5, 5.0))
+        assert np.all(d <= 1.0 + 1e-12)

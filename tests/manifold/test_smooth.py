@@ -1,0 +1,101 @@
+"""Tests for smoothness checks and repeated-measurement manifolds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.manifold.smooth import (
+    RepeatedMeasurement,
+    is_smooth,
+    mixed_partial_gap,
+    second_differences,
+    smoothness_index,
+)
+
+site_fields = arrays(
+    np.float64,
+    st.tuples(st.integers(3, 8), st.integers(3, 8)),
+    elements=st.floats(-50.0, 50.0, allow_nan=False),
+)
+
+
+class TestMixedPartials:
+    @given(site_fields)
+    @settings(max_examples=30, deadline=None)
+    def test_gap_is_exactly_zero(self, field):
+        """The paper's ∂²U/∂x∂y = ∂²U/∂y∂x — exact up to float
+        non-associativity of the two difference orders."""
+        scale = max(1.0, float(np.max(np.abs(field))))
+        assert mixed_partial_gap(field) <= 1e-12 * scale
+
+
+class TestSmoothnessIndex:
+    def test_affine_field_is_perfectly_smooth(self):
+        rows, cols = np.mgrid[0:6, 0:6].astype(float)
+        assert smoothness_index(3 * rows - 2 * cols + 1) < 1e-12
+
+    def test_constant_field(self):
+        assert smoothness_index(np.full((4, 4), 7.0)) == 0.0
+
+    def test_spike_is_rough(self):
+        field = np.zeros((6, 6))
+        field[3, 3] = 10.0
+        assert smoothness_index(field) > 0.5
+        assert not is_smooth(field)
+
+    def test_smooth_sinusoid(self):
+        rows, cols = np.mgrid[0:20, 0:20].astype(float)
+        field = np.sin(rows / 6.0) + np.cos(cols / 6.0)
+        assert is_smooth(field, threshold=0.1)
+
+    def test_second_differences_shapes(self):
+        d2x, d2y = second_differences(np.zeros((5, 7)))
+        assert d2x.shape == (3, 7) and d2y.shape == (5, 5)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            smoothness_index(np.zeros(5))
+
+
+class TestRepeatedMeasurement:
+    def _stack(self, k, seed=0, noise=0.5):
+        rng = np.random.default_rng(seed)
+        rows, cols = np.mgrid[0:10, 0:10].astype(float)
+        truth = np.sin(rows / 4.0) * 10.0 + cols
+        return truth, np.stack(
+            [truth + noise * rng.standard_normal(truth.shape) for _ in range(k)]
+        )
+
+    def test_mean_field_approaches_truth(self):
+        truth, reps = self._stack(64)
+        rm = RepeatedMeasurement(replicas=reps)
+        err = np.abs(rm.mean_field() - truth).mean()
+        single_err = np.abs(reps[0] - truth).mean()
+        assert err < single_err / 4  # ~1/sqrt(64) shrinkage
+
+    def test_noise_scale_shrinks_with_replicas(self):
+        _, reps8 = self._stack(8)
+        _, reps64 = self._stack(64)
+        s8 = RepeatedMeasurement(replicas=reps8).noise_scale()
+        s64 = RepeatedMeasurement(replicas=reps64).noise_scale()
+        assert s64 < s8
+
+    def test_single_replica_noise_zero(self):
+        _, reps = self._stack(1)
+        assert RepeatedMeasurement(replicas=reps).noise_scale() == 0.0
+
+    def test_smoothness_gain_exceeds_one(self):
+        """Averaging recovers differentiability — the §IV-B trick."""
+        _, reps = self._stack(32, noise=2.0)
+        rm = RepeatedMeasurement(replicas=reps)
+        assert rm.smoothness_gain() > 1.5
+
+    def test_count_property(self):
+        _, reps = self._stack(5)
+        assert RepeatedMeasurement(replicas=reps).count == 5
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            RepeatedMeasurement(replicas=np.zeros((4, 4)))

@@ -1,0 +1,89 @@
+"""Tests for the discrete Stokes identity (§IV-B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.manifold.stokes import (
+    exactness_defect,
+    patch_sum,
+    potential_circulations,
+    rectangle_boundary,
+    stokes_gap,
+    verify_stokes,
+)
+from repro.manifold.vectorfield import grad, voltage_field_from_drive
+from repro.mea.wetlab import quick_device_data
+
+edge_fields = st.integers(0, 2**32 - 1).map(
+    lambda seed: (
+        np.random.default_rng(seed).standard_normal((5, 6)),
+        np.random.default_rng(seed + 1).standard_normal((6, 5)),
+    )
+)
+
+
+class TestRectangleBoundary:
+    def test_unit_cell_loop_length(self):
+        loop = rectangle_boundary(0, 0, 1, 1)
+        assert len(loop) == 4
+
+    def test_general_rectangle_length(self):
+        loop = rectangle_boundary(1, 2, 2, 3)
+        assert len(loop) == 2 * (2 + 3)
+
+    def test_sites_are_4_connected(self):
+        loop = rectangle_boundary(0, 1, 3, 2)
+        closed = loop + [loop[0]]
+        for (r0, c0), (r1, c1) in zip(closed, closed[1:]):
+            assert abs(r0 - r1) + abs(c0 - c1) == 1
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            rectangle_boundary(0, 0, 0, 1)
+
+
+class TestStokesIdentity:
+    @given(edge_fields, st.integers(0, 3), st.integers(0, 3),
+           st.integers(1, 2), st.integers(1, 2))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_for_arbitrary_edge_fields(self, gxgy, top, left, h, w):
+        """Circulation = patch sum for ANY edge field — the identity is
+        combinatorial, not analytic."""
+        gx, gy = gxgy
+        if top + h > 5 or left + w > 5:
+            return
+        assert stokes_gap(gx, gy, top, left, h, w) < 1e-9
+        assert verify_stokes(gx, gy, top, left, h, w)
+
+    def test_patch_bounds_checked(self):
+        gx, gy = np.zeros((4, 5)), np.zeros((5, 4))
+        with pytest.raises(ValueError):
+            patch_sum(gx, gy, 3, 3, 3, 3)
+
+
+class TestVoltageFieldsAreExact:
+    """Kirchhoff L2 in homological clothing: voltage fields of any
+    drive have zero curl, so every circulation vanishes."""
+
+    def test_exactness_of_drive_field(self):
+        r, _ = quick_device_data(6, seed=3)
+        field = voltage_field_from_drive(r, 2, 4)
+        gx, gy = grad(field)
+        # Gradient fields are exact by construction; the physical
+        # content is that the *voltage* is single-valued at all.
+        assert exactness_defect(gx, gy) < 1e-12
+
+    def test_potential_circulations_all_zero(self):
+        r, _ = quick_device_data(5, seed=8)
+        field = voltage_field_from_drive(r, 0, 0)
+        circ = potential_circulations(field)
+        np.testing.assert_allclose(circ, 0.0, atol=1e-12)
+
+    def test_nonexact_field_has_defect(self):
+        gx = np.zeros((3, 4))
+        gy = np.zeros((4, 3))
+        gy[0, 0] = 1.0
+        assert exactness_defect(gx, gy) == pytest.approx(1.0)

@@ -1,0 +1,116 @@
+"""Tests for discrete fields, gradient/div/curl, circulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.manifold.vectorfield import (
+    circulation,
+    curl,
+    div,
+    grad,
+    laplacian,
+    voltage_field_from_drive,
+)
+
+site_fields = arrays(
+    np.float64,
+    st.tuples(st.integers(3, 8), st.integers(3, 8)),
+    elements=st.floats(-100.0, 100.0, allow_nan=False),
+)
+
+
+class TestOperators:
+    def test_grad_shapes(self):
+        gx, gy = grad(np.zeros((5, 7)))
+        assert gx.shape == (4, 7) and gy.shape == (5, 6)
+
+    def test_grad_of_constant_is_zero(self):
+        gx, gy = grad(np.full((4, 4), 3.5))
+        assert not gx.any() and not gy.any()
+
+    def test_grad_of_linear_field(self):
+        rows, cols = np.mgrid[0:5, 0:5].astype(float)
+        gx, gy = grad(2.0 * rows + 3.0 * cols)
+        np.testing.assert_allclose(gx, 2.0)
+        np.testing.assert_allclose(gy, 3.0)
+
+    @given(site_fields)
+    @settings(max_examples=30, deadline=None)
+    def test_curl_of_gradient_is_zero(self, field):
+        """Mixed partials commute — the §IV-B identity, exactly."""
+        gx, gy = grad(field)
+        np.testing.assert_allclose(curl(gx, gy), 0.0, atol=1e-9)
+
+    def test_curl_detects_rotational_field(self):
+        # A pure rotation: gx = const on right edges only.
+        gx = np.zeros((2, 3))
+        gy = np.zeros((3, 2))
+        gy[0, 0] = 1.0  # bottom edge of cell (0,0)
+        c = curl(gx, gy)
+        assert c[0, 0] == pytest.approx(1.0)
+
+    @given(site_fields)
+    @settings(max_examples=20, deadline=None)
+    def test_divergence_theorem_total_flux(self, field):
+        """Σ div(grad f) over all sites telescopes to zero with the
+        zero-flux boundary convention."""
+        gx, gy = grad(field)
+        assert div(gx, gy).sum() == pytest.approx(0.0, abs=1e-8)
+
+    def test_laplacian_of_linear_field_is_zero_inside(self):
+        rows, cols = np.mgrid[0:6, 0:6].astype(float)
+        lap = laplacian(1.5 * rows - 2.0 * cols)
+        np.testing.assert_allclose(lap[1:-1, 1:-1], 0.0, atol=1e-12)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            grad(np.zeros(5))
+        with pytest.raises(ValueError):
+            div(np.zeros((2, 3)), np.zeros((5, 5)))
+
+
+class TestCirculation:
+    def test_unit_cell_loop(self):
+        field = np.arange(16.0).reshape(4, 4)
+        gx, gy = grad(field)
+        loop = [(1, 1), (2, 1), (2, 2), (1, 2)]
+        assert circulation(gx, gy, loop) == pytest.approx(0.0)
+
+    def test_orientation_antisymmetry(self):
+        rng = np.random.default_rng(0)
+        gx = rng.standard_normal((3, 4))
+        gy = rng.standard_normal((4, 3))
+        loop = [(0, 0), (1, 0), (1, 1), (0, 1)]
+        fwd = circulation(gx, gy, loop)
+        bwd = circulation(gx, gy, loop[::-1])
+        assert fwd == pytest.approx(-bwd)
+
+    def test_non_neighbour_rejected(self):
+        gx, gy = grad(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            circulation(gx, gy, [(0, 0), (2, 0), (2, 2)])
+
+    def test_short_loop_rejected(self):
+        gx, gy = grad(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            circulation(gx, gy, [(0, 0), (0, 1)])
+
+
+class TestVoltageField:
+    def test_field_shape_and_range(self):
+        r = np.full((4, 4), 1000.0)
+        field = voltage_field_from_drive(r, 0, 0, voltage=5.0)
+        assert field.shape == (4, 4)
+        assert field.min() >= 0.0 and field.max() <= 5.0
+
+    def test_extrema_on_driven_wires(self):
+        """The hottest sites sit on the driven horizontal wire (row 2)
+        and the coldest on the grounded vertical wire (col 3); the
+        driven crossing itself averages the two and is neither."""
+        r = np.full((5, 5), 1000.0)
+        field = voltage_field_from_drive(r, 2, 3, voltage=5.0)
+        assert field.argmax() // 5 == 2
+        assert field.argmin() % 5 == 3

@@ -1,0 +1,75 @@
+"""Tests for measurement containers."""
+
+import numpy as np
+import pytest
+
+from repro.mea.dataset import Measurement, MeasurementCampaign
+
+
+def meas(hour=0.0, scale=1.0, n=3):
+    return Measurement(z_kohm=np.full((n, n), 1000.0 * scale), hour=hour)
+
+
+class TestMeasurement:
+    def test_basic_fields(self):
+        m = meas()
+        assert m.shape == (3, 3)
+        assert m.n == 3
+        assert m.voltage == 5.0
+
+    def test_rejects_nonpositive_z(self):
+        with pytest.raises(ValueError):
+            Measurement(z_kohm=np.array([[1.0, -2.0], [3.0, 4.0]]))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            Measurement(z_kohm=np.ones(5))
+
+    def test_rejects_negative_hour(self):
+        with pytest.raises(ValueError):
+            Measurement(z_kohm=np.ones((2, 2)), hour=-1.0)
+
+    def test_rejects_nonpositive_voltage(self):
+        with pytest.raises(ValueError):
+            Measurement(z_kohm=np.ones((2, 2)), voltage=0.0)
+
+    def test_n_raises_for_rectangular(self):
+        m = Measurement(z_kohm=np.ones((2, 3)))
+        with pytest.raises(ValueError):
+            _ = m.n
+
+    def test_with_meta_merges(self):
+        m = meas().with_meta(run="a")
+        m2 = m.with_meta(extra="b")
+        assert m2.meta == {"run": "a", "extra": "b"}
+
+
+class TestCampaign:
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            MeasurementCampaign(measurements=(meas(hour=6.0), meas(hour=0.0)))
+
+    def test_mixed_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            MeasurementCampaign(measurements=(meas(n=3), meas(n=4)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MeasurementCampaign(measurements=())
+
+    def test_at_hour(self):
+        c = MeasurementCampaign(measurements=(meas(0.0), meas(6.0)))
+        assert c.at_hour(6.0).hour == 6.0
+        with pytest.raises(KeyError):
+            c.at_hour(12.0)
+
+    def test_iteration_and_len(self):
+        c = MeasurementCampaign(measurements=(meas(0.0), meas(6.0), meas(12.0)))
+        assert len(c) == 3
+        assert [m.hour for m in c] == [0.0, 6.0, 12.0]
+
+    def test_drift(self):
+        c = MeasurementCampaign(
+            measurements=(meas(0.0, scale=1.0), meas(24.0, scale=1.5))
+        )
+        np.testing.assert_allclose(c.drift(), 0.5)

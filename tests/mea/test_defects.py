@@ -1,0 +1,131 @@
+"""Tests for defect modeling and screening."""
+
+import numpy as np
+import pytest
+
+from repro.core.solver import solve_nested
+from repro.kirchhoff.forward import measure
+from repro.mea.defects import (
+    CROSSING_OK,
+    CROSSING_OPEN,
+    CROSSING_SHORT,
+    OPEN_KOHM,
+    SHORT_KOHM,
+    DefectMap,
+    apply_defects,
+    classify_crossings,
+    healthy_band_violations,
+    random_defects,
+)
+from repro.mea.synthetic import FieldSpec, generate_field
+
+
+class TestDefectMap:
+    def test_counts(self):
+        codes = np.array([[0, 1], [2, 0]], dtype=np.int8)
+        dm = DefectMap(codes=codes)
+        assert dm.num_opens == 1 and dm.num_shorts == 1
+        assert dm.num_defects == 2
+        assert dm.open_sites() == [(0, 1)]
+        assert dm.short_sites() == [(1, 0)]
+
+    def test_invalid_codes_rejected(self):
+        with pytest.raises(ValueError):
+            DefectMap(codes=np.array([[3]]))
+
+    def test_agreement(self):
+        a = DefectMap(codes=np.zeros((2, 2), dtype=np.int8))
+        b = DefectMap(codes=np.array([[0, 1], [0, 0]], dtype=np.int8))
+        assert a.agreement(b) == pytest.approx(0.75)
+
+    def test_agreement_shape_mismatch(self):
+        a = DefectMap(codes=np.zeros((2, 2), dtype=np.int8))
+        b = DefectMap(codes=np.zeros((3, 3), dtype=np.int8))
+        with pytest.raises(ValueError):
+            a.agreement(b)
+
+
+class TestRandomDefects:
+    def test_rates_respected_statistically(self):
+        dm = random_defects((50, 50), open_rate=0.05, short_rate=0.02, seed=1)
+        assert 0.02 < dm.num_opens / 2500 < 0.09
+        assert 0.005 < dm.num_shorts / 2500 < 0.04
+
+    def test_deterministic(self):
+        a = random_defects((10, 10), seed=2)
+        b = random_defects((10, 10), seed=2)
+        assert a.agreement(b) == 1.0
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            random_defects((5, 5), open_rate=0.4, short_rate=0.2)
+        with pytest.raises(ValueError):
+            random_defects((5, 5), open_rate=-0.1)
+
+
+class TestApplyAndClassify:
+    def test_apply_sets_extremes(self):
+        field = np.full((3, 3), 3000.0)
+        codes = np.zeros((3, 3), dtype=np.int8)
+        codes[0, 0] = CROSSING_OPEN
+        codes[2, 2] = CROSSING_SHORT
+        defective = apply_defects(field, DefectMap(codes=codes))
+        assert defective[0, 0] == OPEN_KOHM
+        assert defective[2, 2] == SHORT_KOHM
+        assert defective[1, 1] == 3000.0
+        assert field[0, 0] == 3000.0  # original untouched
+
+    def test_classify_roundtrip_on_truth(self):
+        field = np.full((4, 4), 5000.0)
+        dm = random_defects((4, 4), open_rate=0.2, short_rate=0.1, seed=3)
+        defective = apply_defects(field, dm)
+        recovered_map = classify_crossings(defective)
+        assert recovered_map.agreement(dm) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            apply_defects(np.ones((2, 2)), DefectMap(np.zeros((3, 3), np.int8)))
+
+
+class TestEndToEndScreening:
+    def test_open_detected_through_full_inversion(self):
+        """Forward-measure a device with one open crossing, invert,
+        and screen: the open must be flagged at its true site."""
+        spec = FieldSpec(n=6, noise_rel=0.02)
+        field = generate_field(spec, seed=4)
+        codes = np.zeros((6, 6), dtype=np.int8)
+        codes[2, 3] = CROSSING_OPEN
+        defective = apply_defects(field, DefectMap(codes=codes))
+        z = measure(defective)
+        result = solve_nested(z, tol=1e-10, max_iter=200)
+        screened = classify_crossings(result.r_estimate)
+        assert screened.codes[2, 3] == CROSSING_OPEN
+        # No false opens elsewhere.
+        assert screened.num_opens == 1
+
+    def test_short_detected_through_full_inversion(self):
+        spec = FieldSpec(n=6, noise_rel=0.02)
+        field = generate_field(spec, seed=5)
+        codes = np.zeros((6, 6), dtype=np.int8)
+        codes[4, 1] = CROSSING_SHORT
+        defective = apply_defects(field, DefectMap(codes=codes))
+        z = measure(defective)
+        result = solve_nested(z, tol=1e-10, max_iter=200)
+        screened = classify_crossings(result.r_estimate)
+        assert screened.codes[4, 1] == CROSSING_SHORT
+        assert screened.num_shorts == 1
+
+    def test_healthy_device_screens_clean(self):
+        field = generate_field(FieldSpec(n=5, noise_rel=0.05), seed=6)
+        z = measure(field)
+        result = solve_nested(z)
+        screened = classify_crossings(result.r_estimate)
+        assert screened.num_defects == 0
+        assert not healthy_band_violations(result.r_estimate).any()
+
+    def test_band_violations_softer_than_defects(self):
+        field = np.full((3, 3), 3000.0)
+        field[1, 1] = 50_000.0  # suspicious but not an open
+        mask = healthy_band_violations(field)
+        assert mask[1, 1] and mask.sum() == 1
+        assert classify_crossings(field).num_defects == 0

@@ -1,0 +1,127 @@
+"""Tests for the MEA device model and Figure-1 numbering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mea.device import (
+    MEAGrid,
+    horizontal_wire_name,
+    roman_numeral,
+    vertical_wire_name,
+)
+
+
+class TestNaming:
+    def test_roman_numerals(self):
+        assert [roman_numeral(k) for k in (1, 2, 3, 4, 9, 40)] == [
+            "I", "II", "III", "IV", "IX", "XL"
+        ]
+
+    def test_roman_requires_positive(self):
+        with pytest.raises(ValueError):
+            roman_numeral(0)
+
+    def test_horizontal_names(self):
+        assert horizontal_wire_name(0) == "A"
+        assert horizontal_wire_name(2) == "C"
+        assert horizontal_wire_name(26) == "H26"
+
+    def test_vertical_names(self):
+        assert vertical_wire_name(0) == "I"
+        assert vertical_wire_name(2) == "III"
+
+    def test_negative_wire_rejected(self):
+        with pytest.raises(ValueError):
+            horizontal_wire_name(-1)
+        with pytest.raises(ValueError):
+            vertical_wire_name(-1)
+
+    def test_figure1_wire_sets(self):
+        g = MEAGrid(3)
+        assert g.horizontal_wires() == ["A", "B", "C"]
+        assert g.vertical_wires() == ["I", "II", "III"]
+
+
+class TestCounts:
+    def test_paper_counts_square(self):
+        g = MEAGrid(3)
+        assert g.num_resistors == 9
+        assert g.num_joints == 18  # "18 joints {0, ..., 17}"
+        assert g.num_endpoint_pairs == 9
+
+    def test_rectangular_counts(self):
+        g = MEAGrid(2, 5)
+        assert g.num_resistors == 10
+        assert g.num_joints == 20
+        assert not g.is_square
+
+    def test_path_formula_square_only(self):
+        assert MEAGrid(3).total_path_count() == 3**4 == 81
+        assert MEAGrid(3).paths_per_pair() == 9
+        with pytest.raises(ValueError):
+            MEAGrid(2, 3).total_path_count()
+
+    @given(st.integers(2, 12))
+    @settings(max_examples=12, deadline=None)
+    def test_path_count_closed_form(self, n):
+        g = MEAGrid(n)
+        assert g.total_path_count() == n ** (n + 1)
+        assert g.total_path_count() == g.paths_per_pair() * g.num_endpoint_pairs
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            MEAGrid(0)
+
+
+class TestJointNumbering:
+    """The exact Figure-1 joint ids the paper's worked paths use."""
+
+    def test_figure1_examples(self):
+        g = MEAGrid(3)
+        assert g.joint_indices(0, 0) == (0, 1)  # R_11
+        assert g.joint_indices(0, 1) == (2, 3)  # R_12
+        assert g.joint_indices(1, 1) == (8, 9)  # R_22 (path B->8->9)
+        assert g.joint_indices(2, 1) == (14, 15)  # R_32 (14 -R32- 15)
+        assert g.joint_indices(2, 2) == (16, 17)  # R_33
+
+    def test_joint_inverse_mapping(self):
+        g = MEAGrid(4)
+        for res in g.resistors():
+            jh = g.joint(res.h_joint)
+            jv = g.joint(res.v_joint)
+            assert (jh.row, jh.col, jh.side) == (res.row, res.col, "h")
+            assert (jv.row, jv.col, jv.side) == (res.row, res.col, "v")
+
+    def test_joint_wire_names(self):
+        g = MEAGrid(3)
+        assert g.joint(8).wire == "B"  # horizontal side of R_22
+        assert g.joint(9).wire == "II"  # vertical side of R_22
+
+    def test_joint_out_of_range(self):
+        with pytest.raises(IndexError):
+            MEAGrid(3).joint(18)
+
+    def test_joints_on_wires(self):
+        g = MEAGrid(3)
+        assert g.joints_on_horizontal(1) == [6, 8, 10]  # wire B
+        assert g.joints_on_vertical(1) == [3, 9, 15]  # wire II
+
+    def test_resistor_names(self):
+        g = MEAGrid(3)
+        assert g.resistor(0, 0).name == "R_11"
+        assert g.resistor(2, 1).name == "R_32"
+
+    def test_resistors_row_major(self):
+        g = MEAGrid(2)
+        order = [(r.row, r.col) for r in g.resistors()]
+        assert order == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_position_bounds(self):
+        with pytest.raises(IndexError):
+            MEAGrid(3).joint_indices(3, 0)
+
+    def test_equality_and_hash(self):
+        assert MEAGrid(3) == MEAGrid(3, 3)
+        assert MEAGrid(3) != MEAGrid(3, 4)
+        assert hash(MEAGrid(3)) == hash(MEAGrid(3, 3))

@@ -1,0 +1,119 @@
+"""Tests for the MEA graph/complex abstractions and Proposition 1."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mea.device import MEAGrid
+from repro.mea.graph import (
+    device_complex,
+    expected_betti,
+    joint_graph,
+    mesh_count,
+    resistor_complex,
+    resistor_graph,
+    wire_graph,
+)
+from repro.topology.homology import betti_numbers
+
+
+class TestJointGraph:
+    def test_node_count_with_terminals(self):
+        g = joint_graph(MEAGrid(3))
+        # 18 joints + 6 terminals.
+        assert g.number_of_nodes() == 24
+
+    def test_node_count_without_terminals(self):
+        g = joint_graph(MEAGrid(3), include_terminals=False)
+        assert g.number_of_nodes() == 18
+
+    def test_edge_kinds(self):
+        g = joint_graph(MEAGrid(3), include_terminals=False)
+        kinds = nx.get_edge_attributes(g, "kind")
+        resistors = [e for e, k in kinds.items() if k == "resistor"]
+        wires = [e for e, k in kinds.items() if k == "wire"]
+        assert len(resistors) == 9
+        assert len(wires) == 12  # 3*2 horizontal + 3*2 vertical segments
+
+    def test_connected(self):
+        assert nx.is_connected(joint_graph(MEAGrid(4)))
+
+    def test_resistor_edges_link_correct_joints(self):
+        grid = MEAGrid(3)
+        g = joint_graph(grid, include_terminals=False)
+        for res in grid.resistors():
+            assert g.has_edge(res.h_joint, res.v_joint)
+
+
+class TestProposition1:
+    """An MEA is a 1-dimensional abstract simplicial complex."""
+
+    @given(st.integers(2, 5))
+    @settings(max_examples=4, deadline=None)
+    def test_device_complex_has_dimension_one(self, n):
+        c = device_complex(MEAGrid(n))
+        assert c.dimension == 1
+
+    def test_device_complex_is_simplicial(self):
+        assert device_complex(MEAGrid(3)).is_simplicial()
+
+    @given(st.integers(2, 5))
+    @settings(max_examples=4, deadline=None)
+    def test_betti_matches_analytic(self, n):
+        grid = MEAGrid(n)
+        c = device_complex(grid)
+        assert betti_numbers(c) == expected_betti(grid)
+
+    def test_betti1_is_mesh_count(self):
+        """β1 of the joint complex = (n-1)^2 — the §IV-B hole count."""
+        for n in (2, 3, 4):
+            grid = MEAGrid(n)
+            assert expected_betti(grid)[1] == (n - 1) ** 2 == mesh_count(grid)
+
+    def test_terminals_do_not_change_beta1(self):
+        grid = MEAGrid(3)
+        assert expected_betti(grid, include_terminals=True)[1] == \
+            expected_betti(grid, include_terminals=False)[1]
+
+    def test_betti_with_terminals_matches_homology(self):
+        grid = MEAGrid(3)
+        c = device_complex(grid, include_terminals=True)
+        assert betti_numbers(c) == expected_betti(grid, include_terminals=True)
+
+
+class TestResistorGraph:
+    def test_is_grid_graph(self):
+        g = resistor_graph(MEAGrid(3, 4))
+        assert g.number_of_nodes() == 12
+        assert g.number_of_edges() == 3 * 3 + 2 * 4  # h + v links
+
+    def test_cyclomatic_equals_mesh_count(self):
+        for m, n in ((2, 2), (3, 3), (3, 5)):
+            grid = MEAGrid(m, n)
+            g = resistor_graph(grid)
+            cyclo = g.number_of_edges() - g.number_of_nodes() + 1
+            assert cyclo == mesh_count(grid)
+
+    def test_resistor_complex_homology(self):
+        grid = MEAGrid(4)
+        assert betti_numbers(resistor_complex(grid)) == (1, 9)
+
+
+class TestWireGraph:
+    def test_is_complete_bipartite(self):
+        g = wire_graph(MEAGrid(3, 4))
+        assert g.number_of_nodes() == 7
+        assert g.number_of_edges() == 12
+
+    def test_edge_attributes_identify_resistors(self):
+        g = wire_graph(MEAGrid(2))
+        attrs = g.get_edge_data(("H", 1), ("V", 0))
+        assert (attrs["row"], attrs["col"]) == (1, 0)
+
+    def test_same_cyclomatic_number_as_resistor_graph(self):
+        """The two abstractions are homotopy-equivalent."""
+        grid = MEAGrid(4)
+        wg = wire_graph(grid)
+        cyclo = wg.number_of_edges() - wg.number_of_nodes() + 1
+        assert cyclo == mesh_count(grid)

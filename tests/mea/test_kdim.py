@@ -1,0 +1,100 @@
+"""Tests for the k-dimensional MEA generalization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mea.kdim import KDimMEA
+
+
+class TestClosedFormsMatchConstruction:
+    @given(st.integers(2, 5), st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_site_and_edge_counts(self, n, k):
+        mea = KDimMEA(n, k)
+        assert len(list(mea.sites())) == mea.num_sites
+        assert len(list(mea.edges())) == mea.num_edges
+
+    @given(st.integers(2, 5), st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_unit_cell_count(self, n, k):
+        mea = KDimMEA(n, k)
+        assert len(list(mea.unit_cells())) == mea.num_unit_cells
+        assert mea.num_unit_cells == (n - 1) ** k
+
+    def test_k2_matches_2d_mesh_count(self):
+        mea = KDimMEA(5, 2)
+        assert mea.num_unit_cells == 16
+        assert mea.cyclomatic_number() == 16  # grid graph beta1
+
+    def test_k2_unit_squares_equal_cells(self):
+        mea = KDimMEA(4, 2)
+        assert mea.num_unit_squares == mea.num_unit_cells
+
+    def test_k3_square_cell_cyclomatic_ordering(self):
+        mea = KDimMEA(3, 3)
+        # Squares over-count beta1 (cube relations), cells under-count:
+        # squares (36) > cyclomatic (28) > cells (8) at n = k = 3.
+        assert mea.num_unit_squares == 36
+        assert mea.cyclomatic_number() == 28
+        assert mea.num_unit_cells == 8
+        assert (
+            mea.num_unit_squares
+            > mea.cyclomatic_number()
+            > mea.num_unit_cells
+        )
+
+    @given(st.integers(2, 4), st.integers(1, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_cyclomatic_from_networkx(self, n, k):
+        mea = KDimMEA(n, k)
+        g = mea.to_networkx()
+        assert mea.cyclomatic_number() == (
+            g.number_of_edges() - g.number_of_nodes() + 1
+        )
+
+    def test_k1_is_a_path(self):
+        mea = KDimMEA(5, 1)
+        assert mea.cyclomatic_number() == 0
+        assert mea.num_unit_squares == 0
+
+
+class TestSectionIVBComplexity:
+    """§IV-B: O(n^{k+1}) constraints / (n-1)^k holes ≈ O(n)."""
+
+    @given(st.integers(4, 20), st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_per_hole_share_is_near_linear(self, n, k):
+        mea = KDimMEA(n, k)
+        share = mea.theoretical_parallel_time_units()
+        # share = 2 n^{k+1} / (n-1)^k -> 2n asymptotically; allow the
+        # finite-size factor (n/(n-1))^k.
+        upper = 2 * n * (n / (n - 1)) ** k + 1
+        assert 2 * n <= share <= upper + 1
+
+    def test_constraint_count_k2(self):
+        assert KDimMEA(10, 2).joint_constraint_count() == 2 * 10**3
+
+
+class TestUnitCells:
+    def test_cell_vertex_count(self):
+        mea = KDimMEA(3, 3)
+        assert len(mea.unit_cell_vertices((0, 0, 0))) == 8
+
+    def test_cell_vertices_are_corners(self):
+        mea = KDimMEA(4, 2)
+        corners = mea.unit_cell_vertices((1, 2))
+        assert set(corners) == {(1, 2), (1, 3), (2, 2), (2, 3)}
+
+    def test_anchor_out_of_range(self):
+        mea = KDimMEA(3, 2)
+        with pytest.raises(ValueError):
+            mea.unit_cell_vertices((2, 0))  # anchor must be < n-1
+
+    def test_anchor_wrong_arity(self):
+        with pytest.raises(ValueError):
+            KDimMEA(3, 2).unit_cell_vertices((0, 0, 0))
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            KDimMEA(1, 2)

@@ -1,0 +1,93 @@
+"""Tests for k-dimensional lattice physics."""
+
+import numpy as np
+import pytest
+
+from repro.mea.lattice import (
+    LatticeDevice,
+    uniform_face_resistance_exact,
+)
+
+
+class TestConstruction:
+    def test_uniform_edge_count(self):
+        dev = LatticeDevice.uniform(3, 2)
+        assert len(dev.resistances) == dev.mea.num_edges == 12
+
+    def test_random_deterministic(self):
+        a = LatticeDevice.random(3, 2, seed=1)
+        b = LatticeDevice.random(3, 2, seed=1)
+        assert a.resistances == b.resistances
+
+    def test_circuit_counts(self):
+        dev = LatticeDevice.uniform(3, 3)
+        c = dev.circuit()
+        assert c.num_nodes == 27
+        assert c.num_edges == dev.mea.num_edges
+
+
+class TestKnownValues:
+    def test_1d_chain_is_series(self):
+        dev = LatticeDevice.uniform(5, 1, ohms=100.0)
+        z = dev.corner_to_corner()
+        assert z == pytest.approx(400.0)
+
+    def test_2x2_square_known(self):
+        """Unit square, opposite corners: R = 1.0 * R_edge (two
+        2-resistor paths in parallel)."""
+        dev = LatticeDevice.uniform(2, 2, ohms=100.0)
+        assert dev.corner_to_corner() == pytest.approx(100.0)
+
+    def test_unit_cube_known(self):
+        """Classic: opposite corners of a resistor cube = 5/6 R."""
+        dev = LatticeDevice.uniform(2, 3, ohms=600.0)
+        assert dev.corner_to_corner() == pytest.approx(500.0)
+
+    @pytest.mark.parametrize("n,k", [(3, 2), (4, 2), (3, 3)])
+    def test_face_to_face_closed_form(self, n, k):
+        ohms = 1200.0
+        dev = LatticeDevice.uniform(n, k, ohms=ohms)
+        expected = uniform_face_resistance_exact(n, k, ohms)
+        assert dev.face_to_face_resistance(0) == pytest.approx(
+            expected, rel=1e-6
+        )
+
+    def test_face_axes_symmetric_for_uniform(self):
+        dev = LatticeDevice.uniform(3, 3, ohms=900.0)
+        z0 = dev.face_to_face_resistance(0)
+        z2 = dev.face_to_face_resistance(2)
+        # Tolerance bounded by the 1e-9 face-tie resistors.
+        assert z0 == pytest.approx(z2, rel=1e-5)
+
+    def test_axis_out_of_range(self):
+        with pytest.raises(ValueError):
+            LatticeDevice.uniform(3, 2).face_sites(2, 0)
+
+
+class TestPhysicsStructureAgreement:
+    @pytest.mark.parametrize("n,k", [(3, 2), (4, 2), (3, 3)])
+    def test_mesh_count_equals_cyclomatic(self, n, k):
+        dev = LatticeDevice.random(n, k, seed=2)
+        assert dev.mesh_loop_count() == dev.mea.cyclomatic_number()
+
+    def test_kirchhoff_laws_hold_on_random_3d(self):
+        dev = LatticeDevice.random(3, 3, seed=3)
+        assert dev.verify_laws((0, 0, 0), (2, 2, 2))
+
+    def test_random_device_monotone_under_scaling(self):
+        dev = LatticeDevice.random(3, 2, seed=4)
+        z1 = dev.corner_to_corner()
+        scaled = LatticeDevice(
+            mea=dev.mea,
+            resistances={e: 2 * v for e, v in dev.resistances.items()},
+        )
+        assert scaled.corner_to_corner() == pytest.approx(2 * z1, rel=1e-9)
+
+    def test_effective_resistance_triangle_inequality(self):
+        """Effective resistance is a metric on the lattice sites."""
+        dev = LatticeDevice.random(3, 2, seed=5)
+        a, b, c = (0, 0), (1, 1), (2, 2)
+        zab = dev.effective_resistance(a, b)
+        zbc = dev.effective_resistance(b, c)
+        zac = dev.effective_resistance(a, c)
+        assert zac <= zab + zbc + 1e-9

@@ -1,0 +1,134 @@
+"""Tests for synthetic ground-truth field generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mea.synthetic import (
+    PAPER_R_MAX_KOHM,
+    PAPER_R_MIN_KOHM,
+    AnomalyBlob,
+    FieldSpec,
+    anomaly_mask,
+    generate_field,
+    growth_sequence,
+    paper_like_spec,
+    random_blobs,
+)
+
+
+class TestAnomalyBlob:
+    def test_magnitude_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            AnomalyBlob(center=(1, 1), radius=1.0, magnitude=0.5)
+
+    def test_radius_positive(self):
+        with pytest.raises(ValueError):
+            AnomalyBlob(center=(1, 1), radius=0.0, magnitude=2.0)
+
+    def test_factor_peaks_at_center(self):
+        blob = AnomalyBlob(center=(2.0, 2.0), radius=2.0, magnitude=3.0)
+        rows, cols = np.mgrid[0:5, 0:5].astype(float)
+        f = blob.factor(rows, cols)
+        assert f[2, 2] == pytest.approx(3.0)
+        assert f[0, 0] == pytest.approx(1.0)  # outside radius
+
+    def test_factor_monotone_falloff(self):
+        blob = AnomalyBlob(center=(0.0, 0.0), radius=3.0, magnitude=4.0)
+        d = np.array([[0.0, 1.0, 2.0, 2.9]])
+        f = blob.factor(np.zeros_like(d), d)
+        assert np.all(np.diff(f[0]) < 0)
+
+
+class TestGenerateField:
+    def test_deterministic_in_seed(self):
+        spec = paper_like_spec(10, seed=1)
+        a = generate_field(spec, seed=5)
+        b = generate_field(spec, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        spec = paper_like_spec(10, seed=1)
+        assert not np.array_equal(
+            generate_field(spec, seed=5), generate_field(spec, seed=6)
+        )
+
+    @given(st.integers(4, 30), st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_values_in_paper_band(self, n, seed):
+        spec = paper_like_spec(n, seed=seed)
+        field = generate_field(spec, seed=seed)
+        assert field.shape == (n, n)
+        assert field.min() >= PAPER_R_MIN_KOHM
+        assert field.max() <= PAPER_R_MAX_KOHM
+
+    def test_anomaly_raises_resistance(self):
+        blob = AnomalyBlob(center=(5.0, 5.0), radius=2.5, magnitude=3.0)
+        spec = FieldSpec(n=11, noise_rel=0.0, blobs=(blob,))
+        field = generate_field(spec)
+        assert field[5, 5] > 2.5 * field[0, 0]
+
+    def test_no_noise_no_blobs_is_constant(self):
+        spec = FieldSpec(n=6, noise_rel=0.0)
+        field = generate_field(spec)
+        assert np.allclose(field, spec.baseline_kohm)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FieldSpec(n=1)
+        with pytest.raises(ValueError):
+            FieldSpec(n=5, baseline_kohm=-1.0)
+        with pytest.raises(ValueError):
+            FieldSpec(n=5, noise_rel=2.0)
+
+
+class TestRandomBlobs:
+    def test_count_respected(self):
+        blobs = random_blobs(20, 3, seed=2)
+        assert len(blobs) == 3
+
+    def test_zero_count(self):
+        assert random_blobs(10, 0) == ()
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            random_blobs(10, -1)
+
+    def test_small_grid_still_places(self):
+        assert len(random_blobs(4, 2, seed=0)) == 2
+
+    def test_deterministic(self):
+        assert random_blobs(15, 2, seed=9) == random_blobs(15, 2, seed=9)
+
+
+class TestMaskAndGrowth:
+    def test_anomaly_mask_covers_blob_centers(self):
+        spec = paper_like_spec(12, num_anomalies=2, seed=4)
+        mask = anomaly_mask(spec)
+        for blob in spec.blobs:
+            r, c = int(round(blob.center[0])), int(round(blob.center[1]))
+            assert mask[r, c]
+
+    def test_mask_empty_without_blobs(self):
+        assert not anomaly_mask(FieldSpec(n=6)).any()
+
+    def test_growth_sequence_monotone(self):
+        spec = paper_like_spec(12, num_anomalies=1, seed=4)
+        seq = growth_sequence(spec, hours=(0.0, 6.0, 12.0, 24.0))
+        radii = [s.blobs[0].radius for s in seq]
+        mags = [s.blobs[0].magnitude for s in seq]
+        assert radii == sorted(radii) and radii[0] < radii[-1]
+        assert mags == sorted(mags) and mags[0] < mags[-1]
+
+    def test_growth_preserves_centers(self):
+        spec = paper_like_spec(12, num_anomalies=2, seed=4)
+        seq = growth_sequence(spec)
+        for later in seq:
+            for b0, b1 in zip(spec.blobs, later.blobs):
+                assert b0.center == b1.center
+
+    def test_hour_zero_is_identity(self):
+        spec = paper_like_spec(12, num_anomalies=1, seed=4)
+        seq = growth_sequence(spec, hours=(0.0,))
+        assert seq[0].blobs[0].radius == pytest.approx(spec.blobs[0].radius)

@@ -1,0 +1,108 @@
+"""Tests for the simulated wet-lab measurement campaign."""
+
+import numpy as np
+import pytest
+
+from repro.kirchhoff.forward import measure
+from repro.mea.synthetic import FieldSpec, paper_like_spec
+from repro.mea.wetlab import (
+    WetLabConfig,
+    quick_device_data,
+    run_campaign,
+    simulate_measurement,
+)
+
+
+class TestSimulateMeasurement:
+    def test_noise_free_matches_forward_solver(self):
+        r = np.full((4, 4), 3000.0)
+        meas = simulate_measurement(r, WetLabConfig(noise_rel=0.0))
+        np.testing.assert_allclose(meas.z_kohm, measure(r))
+
+    def test_noise_perturbs_multiplicatively(self):
+        r = np.full((4, 4), 3000.0)
+        cfg = WetLabConfig(noise_rel=0.02)
+        meas = simulate_measurement(r, cfg, seed=1)
+        ratio = meas.z_kohm / measure(r)
+        assert not np.allclose(ratio, 1.0)
+        assert np.all(np.abs(np.log(ratio)) < 5 * np.log1p(0.02))
+
+    def test_deterministic_in_seed(self):
+        r = np.full((4, 4), 3000.0)
+        cfg = WetLabConfig(noise_rel=0.01)
+        a = simulate_measurement(r, cfg, seed=3)
+        b = simulate_measurement(r, cfg, seed=3)
+        np.testing.assert_array_equal(a.z_kohm, b.z_kohm)
+
+    def test_different_hours_get_different_noise(self):
+        r = np.full((4, 4), 3000.0)
+        cfg = WetLabConfig(noise_rel=0.01)
+        a = simulate_measurement(r, cfg, hour=0.0, seed=3)
+        b = simulate_measurement(r, cfg, hour=6.0, seed=3)
+        assert not np.array_equal(a.z_kohm, b.z_kohm)
+
+    def test_metadata_present(self):
+        r = np.full((3, 3), 3000.0)
+        meas = simulate_measurement(r)
+        assert meas.meta["source"] == "wetlab-sim"
+
+
+class TestWetLabConfig:
+    def test_hours_must_be_sorted(self):
+        with pytest.raises(ValueError):
+            WetLabConfig(hours=(6.0, 0.0))
+
+    def test_noise_bounds(self):
+        with pytest.raises(ValueError):
+            WetLabConfig(noise_rel=0.9)
+
+
+class TestRunCampaign:
+    def test_four_timepoints(self):
+        run = run_campaign(paper_like_spec(6, seed=1), seed=1)
+        assert run.campaign.hours == (0.0, 6.0, 12.0, 24.0)
+        assert len(run.ground_truth) == 4
+        assert run.n == 6
+
+    def test_anomalies_grow_over_time(self):
+        spec = paper_like_spec(10, num_anomalies=1, seed=2)
+        run = run_campaign(spec, WetLabConfig(noise_rel=0.0), seed=2)
+        # Peak resistance rises across timepoints (growth model).
+        peaks = [float(f.max()) for f in run.ground_truth]
+        assert peaks[0] <= peaks[-1]
+        # Measured Z at the anomaly's pair rises too.
+        blob = spec.blobs[0]
+        r, c = int(round(blob.center[0])), int(round(blob.center[1]))
+        z0 = run.campaign.measurements[0].z_kohm[r, c]
+        z3 = run.campaign.measurements[-1].z_kohm[r, c]
+        assert z3 > z0
+
+    def test_baseline_shared_across_timepoints(self):
+        spec = FieldSpec(n=8, noise_rel=0.05)  # no blobs
+        run = run_campaign(spec, WetLabConfig(noise_rel=0.0), seed=5)
+        # Without anomalies and without instrument noise, ground truth
+        # is identical across timepoints (same field seed).
+        for f in run.ground_truth[1:]:
+            np.testing.assert_array_equal(f, run.ground_truth[0])
+
+    def test_campaign_is_deterministic(self):
+        spec = paper_like_spec(6, seed=3)
+        a = run_campaign(spec, seed=3)
+        b = run_campaign(spec, seed=3)
+        for ma, mb in zip(a.campaign, b.campaign):
+            np.testing.assert_array_equal(ma.z_kohm, mb.z_kohm)
+
+
+class TestQuickDeviceData:
+    def test_shapes(self):
+        r, z = quick_device_data(7, seed=1)
+        assert r.shape == (7, 7) and z.shape == (7, 7)
+
+    def test_noise_free_by_default(self):
+        r, z = quick_device_data(5, seed=1)
+        np.testing.assert_allclose(z, measure(r))
+
+    def test_z_below_r_scale(self):
+        # Many parallel paths: measured Z is far below the R values.
+        r, z = quick_device_data(10, seed=1)
+        assert z.max() < r.min()

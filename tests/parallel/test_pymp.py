@@ -1,0 +1,140 @@
+"""Tests for the PyMP-style fork/join regions (real forked processes)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.parallel.pymp import (
+    Parallel,
+    ParallelError,
+    fork_available,
+    shared_array,
+)
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="requires os.fork"
+)
+
+
+class TestSharedArray:
+    def test_initialised_to_zero(self):
+        arr = shared_array((4, 3))
+        assert arr.shape == (4, 3)
+        assert (arr == 0).all()
+
+    def test_dtype_respected(self):
+        arr = shared_array((5,), dtype=np.int64)
+        assert arr.dtype == np.int64
+
+    def test_visible_across_fork(self):
+        arr = shared_array((2,))
+        pid = os.fork()
+        if pid == 0:
+            arr[1] = 42.0
+            os._exit(0)
+        os.waitpid(pid, 0)
+        assert arr[1] == 42.0
+
+
+class TestParallelRegion:
+    def test_single_member_runs_inline(self):
+        out = shared_array((5,))
+        with Parallel(1) as p:
+            assert p.thread_num == 0
+            for i in p.range(5):
+                out[i] = i
+        np.testing.assert_array_equal(out, np.arange(5.0))
+
+    def test_static_range_covers_all_indices(self):
+        out = shared_array((50,), dtype=np.int64)
+        with Parallel(4) as p:
+            for i in p.range(50):
+                out[i] += 1
+        assert (out == 1).all()
+
+    def test_static_range_with_start_step(self):
+        out = shared_array((30,), dtype=np.int64)
+        with Parallel(3) as p:
+            for i in p.range(6, 30, 2):
+                out[i] += 1
+        expected = np.zeros(30, dtype=np.int64)
+        expected[6:30:2] = 1
+        np.testing.assert_array_equal(out, expected)
+
+    def test_block_range_is_contiguous_cover(self):
+        out = shared_array((23,), dtype=np.int64)
+        marks = shared_array((23,), dtype=np.int64)
+        with Parallel(4) as p:
+            for i in p.block_range(23):
+                out[i] += 1
+                marks[i] = p.thread_num
+        assert (out == 1).all()
+        # Each worker's indices form one contiguous run.
+        for w in range(4):
+            idx = np.flatnonzero(marks == w)
+            if idx.size:
+                assert (np.diff(idx) == 1).all()
+
+    def test_dynamic_range_covers_all_indices(self):
+        out = shared_array((40,), dtype=np.int64)
+        with Parallel(3) as p:
+            for i in p.xrange(40):
+                out[i] += 1
+        assert (out == 1).all()
+
+    def test_iterate_sequence(self):
+        items = [10, 20, 30, 40, 50]
+        out = shared_array((5,), dtype=np.int64)
+        with Parallel(2) as p:
+            for val in p.iterate(items):
+                out[items.index(val)] = val
+        np.testing.assert_array_equal(out, items)
+
+    def test_thread_numbers_distinct(self):
+        seen = shared_array((3,), dtype=np.int64)
+        with Parallel(3) as p:
+            seen[p.thread_num] += 1
+        assert (seen == 1).all()
+
+    def test_lock_protects_counter(self):
+        counter = shared_array((1,), dtype=np.int64)
+        with Parallel(4) as p:
+            for _ in p.range(200):
+                with p.lock:
+                    counter[0] += 1
+        assert counter[0] == 200
+
+    def test_child_failure_raises_in_parent(self):
+        with pytest.raises(ParallelError):
+            with Parallel(2) as p:
+                if p.thread_num == 1:
+                    raise RuntimeError("worker exploded")
+
+    def test_nested_region_rejected(self):
+        with pytest.raises(ParallelError):
+            with Parallel(1):
+                with Parallel(1):
+                    pass
+
+    def test_worksharing_outside_region_rejected(self):
+        p = Parallel(2)
+        with pytest.raises(ParallelError):
+            list(p.range(5))
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            Parallel(0)
+
+    def test_range_bad_step(self):
+        with Parallel(1) as p:
+            with pytest.raises(ValueError):
+                list(p.range(0, 10, -1))
+
+    def test_region_reusable_after_exit(self):
+        out = shared_array((10,), dtype=np.int64)
+        for _ in range(2):
+            with Parallel(2) as p:
+                for i in p.xrange(10):
+                    out[i] += 1
+        assert (out == 2).all()

@@ -1,0 +1,75 @@
+"""Tests for named shared-memory arrays."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.parallel.sharedmem import SharedArray, shared_zeros
+
+
+class TestLifecycle:
+    def test_create_and_close(self):
+        arr = SharedArray.create((4, 4))
+        assert (arr.arr == 0).all()
+        arr.close()
+
+    def test_context_manager(self):
+        with SharedArray.create((3,)) as arr:
+            arr.arr[:] = 7.0
+            assert (arr.arr == 7.0).all()
+
+    def test_from_array_copies(self):
+        src = np.arange(6.0).reshape(2, 3)
+        with SharedArray.from_array(src) as arr:
+            np.testing.assert_array_equal(arr.arr, src)
+            src[0, 0] = 99.0  # source mutation must not propagate
+            assert arr.arr[0, 0] == 0.0
+
+    def test_dtype_preserved(self):
+        with SharedArray.create((5,), dtype=np.int32) as arr:
+            assert arr.arr.dtype == np.int32
+
+    def test_attach_by_name(self):
+        owner = SharedArray.create((4,))
+        owner.arr[:] = [1.0, 2.0, 3.0, 4.0]
+        try:
+            other = SharedArray.attach(owner.name, (4,), np.float64)
+            np.testing.assert_array_equal(other.arr, owner.arr)
+            other.arr[0] = 9.0
+            assert owner.arr[0] == 9.0  # same physical pages
+            other.close()
+        finally:
+            owner.close()
+
+    def test_shared_zeros_alias(self):
+        with shared_zeros((2, 2)) as arr:
+            assert arr.shape == (2, 2)
+
+    def test_empty_shape(self):
+        with SharedArray.create((0,)) as arr:
+            assert arr.arr.size == 0
+
+
+class TestForkVisibility:
+    def test_child_writes_visible_to_parent(self):
+        with SharedArray.create((3,)) as arr:
+            pid = os.fork()
+            if pid == 0:
+                arr.arr[2] = 123.0
+                os._exit(0)
+            os.waitpid(pid, 0)
+            assert arr.arr[2] == 123.0
+
+    def test_two_children_write_disjoint_slices(self):
+        with SharedArray.create((10,), dtype=np.int64) as arr:
+            pids = []
+            for w in range(2):
+                pid = os.fork()
+                if pid == 0:
+                    arr.arr[w * 5 : (w + 1) * 5] = w + 1
+                    os._exit(0)
+                pids.append(pid)
+            for pid in pids:
+                os.waitpid(pid, 0)
+            assert (arr.arr[:5] == 1).all() and (arr.arr[5:] == 2).all()

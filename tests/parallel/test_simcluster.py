@@ -1,0 +1,116 @@
+"""Tests for the deterministic simulated-cluster clock."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.simcluster import (
+    HPC_FDR,
+    Z820_SMP,
+    ClusterModel,
+    amdahl_bound,
+    crossover_rank,
+    parallel_efficiency,
+    scaling_sweep,
+    simulate_strong_scaling,
+    speedup_curve,
+)
+
+
+def uniform_costs(count, each=1e-3):
+    return np.full(count, each)
+
+
+class TestSinglePoint:
+    def test_one_rank_is_pure_compute(self):
+        pt = simulate_strong_scaling(uniform_costs(100), 1, Z820_SMP)
+        assert pt.startup_time == 0.0 and pt.comm_time == 0.0
+        assert pt.total == pytest.approx(0.1)
+
+    def test_compute_shrinks_with_ranks(self):
+        costs = uniform_costs(1024)
+        t4 = simulate_strong_scaling(costs, 4, Z820_SMP).compute_time
+        t16 = simulate_strong_scaling(costs, 16, Z820_SMP).compute_time
+        assert t16 == pytest.approx(t4 / 4, rel=0.01)
+
+    def test_overhead_grows_with_ranks(self):
+        costs = uniform_costs(64)
+        p2 = simulate_strong_scaling(costs, 2, HPC_FDR)
+        p64 = simulate_strong_scaling(costs, 64, HPC_FDR)
+        assert p64.startup_time > p2.startup_time
+
+    def test_serial_fraction_respected(self):
+        model = Z820_SMP.with_overrides(serial_fraction=0.5)
+        pt = simulate_strong_scaling(uniform_costs(100), 1000, model)
+        assert pt.serial_time == pytest.approx(0.05)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            simulate_strong_scaling(uniform_costs(4), 0, Z820_SMP)
+        with pytest.raises(ValueError):
+            simulate_strong_scaling([-1.0], 2, Z820_SMP)
+
+
+class TestPaperShapes:
+    """The qualitative shapes of Fig. 7/10 must emerge from the model."""
+
+    def test_large_workload_scales_linearly(self):
+        """50x50-sized formation work (prototype-scale per-item costs,
+        ~20 s serial): near-linear to hundreds of ranks on FDR."""
+        costs = uniform_costs(4 * 50 * 50, each=2e-3)
+        points = scaling_sweep(costs, [1, 4, 16, 64, 256], HPC_FDR)
+        eff = parallel_efficiency(points)
+        assert eff[2] > 0.9  # 16 ranks
+        assert eff[4] > 0.5  # 256 ranks
+
+    def test_small_workload_stops_scaling(self):
+        """10x10-sized work: inter-node parallelism is not effective
+        (paper §V-F recommends intra-node for small n)."""
+        costs = uniform_costs(4 * 10 * 10, each=2e-5)  # ~8 ms serial
+        cross = crossover_rank(costs, HPC_FDR)
+        assert cross <= 16
+
+    def test_large_workload_crossover_beyond_512(self):
+        costs = uniform_costs(4 * 100 * 100, each=2e-3)  # ~80 s serial
+        cross = crossover_rank(costs, HPC_FDR, max_ranks=1024)
+        assert cross >= 512
+
+    def test_speedup_monotone_until_crossover(self):
+        costs = uniform_costs(2000, each=1e-3)
+        points = scaling_sweep(costs, [1, 2, 4, 8, 16, 32], Z820_SMP)
+        sp = speedup_curve(points)
+        assert (np.diff(sp) > 0).all()
+
+    @given(st.integers(1, 1024))
+    @settings(max_examples=30, deadline=None)
+    def test_speedup_never_exceeds_amdahl(self, ranks):
+        model = Z820_SMP.with_overrides(serial_fraction=0.02)
+        costs = uniform_costs(4096, each=1e-3)
+        base = simulate_strong_scaling(costs, 1, model).total
+        t = simulate_strong_scaling(costs, ranks, model).total
+        assert base / t <= amdahl_bound(0.02, ranks) + 1e-9
+
+
+class TestHelpers:
+    def test_amdahl_limits(self):
+        assert amdahl_bound(0.0, 8) == pytest.approx(8.0)
+        assert amdahl_bound(1.0, 8) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            amdahl_bound(1.5, 4)
+        with pytest.raises(ValueError):
+            amdahl_bound(0.5, 0)
+
+    def test_speedup_empty(self):
+        assert speedup_curve([]).size == 0
+
+    def test_model_overrides(self):
+        model = Z820_SMP.with_overrides(alpha=1.0)
+        assert model.alpha == 1.0
+        assert model.beta == Z820_SMP.beta
+
+    def test_deterministic(self):
+        costs = uniform_costs(100)
+        a = simulate_strong_scaling(costs, 16, HPC_FDR)
+        b = simulate_strong_scaling(costs, 16, HPC_FDR)
+        assert a == b

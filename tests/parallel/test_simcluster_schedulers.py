@@ -1,0 +1,59 @@
+"""Additional simulated-cluster coverage: scheduler choice effects."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.simcluster import (
+    HPC_FDR,
+    Z820_SMP,
+    contiguous_schedule,
+    simulate_strong_scaling,
+)
+from repro.parallel.workstealing import lpt_schedule
+
+
+def skewed_costs(seed=0, count=256):
+    rng = np.random.default_rng(seed)
+    costs = rng.uniform(1e-4, 1e-3, size=count)
+    costs[:4] *= 50  # a few hefty tasks (the category skew shape)
+    return costs
+
+
+class TestSchedulerChoice:
+    def test_lpt_beats_contiguous_on_skewed_work(self):
+        costs = skewed_costs()
+        lpt = simulate_strong_scaling(costs, 16, HPC_FDR, lpt_schedule)
+        naive = simulate_strong_scaling(
+            costs, 16, HPC_FDR, contiguous_schedule
+        )
+        assert lpt.compute_time < naive.compute_time
+
+    def test_scheduler_irrelevant_for_uniform_work(self):
+        costs = np.full(256, 5e-4)
+        lpt = simulate_strong_scaling(costs, 16, HPC_FDR, lpt_schedule)
+        naive = simulate_strong_scaling(
+            costs, 16, HPC_FDR, contiguous_schedule
+        )
+        assert lpt.compute_time == pytest.approx(naive.compute_time)
+
+    def test_overheads_identical_across_schedulers(self):
+        costs = skewed_costs(1)
+        a = simulate_strong_scaling(costs, 32, Z820_SMP, lpt_schedule)
+        b = simulate_strong_scaling(costs, 32, Z820_SMP, contiguous_schedule)
+        assert a.startup_time == b.startup_time
+        assert a.comm_time == b.comm_time
+        assert a.serial_time == b.serial_time
+
+    def test_single_heavy_task_caps_scaling(self):
+        """One indivisible task bounds the makespan at any p (the
+        reason the §IV-C fine-grained decomposition matters)."""
+        costs = np.concatenate([[1.0], np.full(100, 1e-3)])
+        pt = simulate_strong_scaling(costs, 1024, HPC_FDR)
+        assert pt.compute_time >= 1.0 * (1 - HPC_FDR.serial_fraction) - 1e-9
+
+    def test_total_is_sum_of_parts(self):
+        costs = skewed_costs(2)
+        pt = simulate_strong_scaling(costs, 8, HPC_FDR)
+        assert pt.total == pytest.approx(
+            pt.compute_time + pt.startup_time + pt.comm_time + pt.serial_time
+        )

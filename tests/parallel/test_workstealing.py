@@ -1,0 +1,139 @@
+"""Tests for deterministic balanced scheduling and the stealing sim."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.workstealing import (
+    category_schedule,
+    contiguous_schedule,
+    lpt_schedule,
+    simulate_runtime_stealing,
+)
+
+cost_lists = st.lists(
+    st.floats(0.0, 100.0, allow_nan=False), min_size=1, max_size=60
+)
+
+
+class TestLPT:
+    def test_empty_tasks(self):
+        a = lpt_schedule([], 3)
+        assert a.makespan == 0.0
+        assert a.loads.tolist() == [0.0, 0.0, 0.0]
+
+    def test_known_optimal(self):
+        a = lpt_schedule([5, 3, 3, 2, 2, 1], 2)
+        assert a.makespan == 8.0  # perfectly balanced
+
+    @given(cost_lists, st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_all_tasks_assigned_and_loads_consistent(self, costs, k):
+        a = lpt_schedule(costs, k)
+        assert len(a.worker_of) == len(costs)
+        for w in range(k):
+            expected = sum(costs[i] for i in a.tasks_of(w))
+            assert a.loads[w] == pytest.approx(expected)
+
+    @given(cost_lists, st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_lpt_within_list_scheduling_bound(self, costs, k):
+        """Graham's list-scheduling bound against the LP lower bound:
+        makespan <= total/k + (1 - 1/k) * max_cost."""
+        a = lpt_schedule(costs, k)
+        total = sum(costs)
+        biggest = max(costs, default=0.0)
+        assert a.makespan <= total / k + (1 - 1 / k) * biggest + 1e-9
+        # And never below the true lower bound.
+        assert a.makespan >= max(total / k, biggest) - 1e-9
+
+    @given(cost_lists, st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_never_worse_than_contiguous(self, costs, k):
+        assert (
+            lpt_schedule(costs, k).makespan
+            <= contiguous_schedule(costs, k).makespan + 1e-9
+        )
+
+    def test_deterministic(self):
+        costs = [3.0, 3.0, 1.0, 7.0, 2.0]
+        a = lpt_schedule(costs, 3)
+        b = lpt_schedule(costs, 3)
+        np.testing.assert_array_equal(a.worker_of, b.worker_of)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            lpt_schedule([-1.0], 2)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError):
+            lpt_schedule([1.0], 0)
+
+    def test_imbalance_metric(self):
+        perfect = lpt_schedule([1.0] * 8, 4)
+        assert perfect.imbalance() == pytest.approx(1.0)
+
+
+class TestContiguous:
+    def test_blocks_are_contiguous(self):
+        a = contiguous_schedule([1.0] * 10, 3)
+        blocks = [a.tasks_of(w) for w in range(3)]
+        assert [len(b) for b in blocks] == [4, 3, 3]
+        for b in blocks:
+            assert (np.diff(b) == 1).all()
+
+    def test_skewed_costs_imbalance(self):
+        costs = [10.0, 10.0, 1.0, 1.0]
+        assert contiguous_schedule(costs, 2).imbalance() > 1.5
+
+
+class TestCategorySchedule:
+    def test_one_worker_per_category(self):
+        costs = [5.0, 1.0, 5.0, 1.0]
+        cats = [0, 1, 0, 1]
+        a = category_schedule(costs, cats)
+        assert a.num_workers == 2
+        assert a.loads.tolist() == [10.0, 2.0]
+
+    def test_extra_workers_idle(self):
+        a = category_schedule([1.0, 2.0], [0, 1], num_workers=4)
+        assert a.loads[2] == 0.0 and a.loads[3] == 0.0
+
+    def test_too_few_workers_rejected(self):
+        with pytest.raises(ValueError):
+            category_schedule([1.0, 2.0, 3.0], [0, 1, 2], num_workers=2)
+
+    def test_misaligned_inputs(self):
+        with pytest.raises(ValueError):
+            category_schedule([1.0], [0, 1])
+
+
+class TestRuntimeStealing:
+    @given(cost_lists, st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_completes_all_work(self, costs, k):
+        trace = simulate_runtime_stealing(costs, k)
+        assert trace.makespan >= max(costs, default=0.0) - 1e-9
+        assert trace.finish_times.sum() == pytest.approx(sum(costs))
+
+    def test_stealing_fixes_contiguous_skew(self):
+        costs = [10.0] * 2 + [1.0] * 20
+        static = contiguous_schedule(costs, 4).makespan
+        stolen = simulate_runtime_stealing(costs, 4).makespan
+        assert stolen < static
+
+    def test_steal_overhead_counts(self):
+        costs = [10.0, 1.0, 1.0, 1.0]
+        free = simulate_runtime_stealing(costs, 2, steal_overhead=0.0)
+        paid = simulate_runtime_stealing(costs, 2, steal_overhead=5.0)
+        if paid.steals:
+            assert paid.makespan >= free.makespan
+
+    def test_strided_initial_split(self):
+        trace = simulate_runtime_stealing([1.0] * 10, 3, initial="strided")
+        assert trace.makespan == pytest.approx(4.0)
+
+    def test_unknown_split_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_runtime_stealing([1.0], 2, initial="random")

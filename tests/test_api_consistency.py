@@ -1,0 +1,79 @@
+"""Repository-quality meta-tests: the public API stays consistent."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro",
+    "repro.anomaly",
+    "repro.core",
+    "repro.instrument",
+    "repro.io",
+    "repro.kirchhoff",
+    "repro.manifold",
+    "repro.mea",
+    "repro.parallel",
+    "repro.topology",
+    "repro.utils",
+]
+
+
+def all_modules():
+    names = set(SUBPACKAGES)
+    for pkg_name in SUBPACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        if hasattr(pkg, "__path__"):
+            for info in pkgutil.iter_modules(pkg.__path__):
+                names.add(f"{pkg_name}.{info.name}")
+    return sorted(names)
+
+
+class TestImports:
+    @pytest.mark.parametrize("name", all_modules())
+    def test_every_module_imports(self, name):
+        importlib.import_module(name)
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_all_names_resolve(self, name):
+        """Every name in __all__ is actually exported."""
+        mod = importlib.import_module(name)
+        exported = getattr(mod, "__all__", [])
+        for symbol in exported:
+            assert hasattr(mod, symbol), f"{name}.__all__ lists missing {symbol}"
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_all_is_sorted_unique(self, name):
+        mod = importlib.import_module(name)
+        exported = list(getattr(mod, "__all__", []))
+        assert len(exported) == len(set(exported)), f"{name} duplicates"
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("name", all_modules())
+    def test_every_module_has_docstring(self, name):
+        mod = importlib.import_module(name)
+        assert mod.__doc__ and len(mod.__doc__.strip()) > 20, (
+            f"{name} lacks a real module docstring"
+        )
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_public_callables_documented(self, name):
+        """Every function/class exported via __all__ has a docstring."""
+        mod = importlib.import_module(name)
+        for symbol in getattr(mod, "__all__", []):
+            obj = getattr(mod, symbol)
+            if callable(obj) or isinstance(obj, type):
+                assert getattr(obj, "__doc__", None), (
+                    f"{name}.{symbol} has no docstring"
+                )
+
+
+class TestVersion:
+    def test_version_is_pep440ish(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) >= 2
+        assert all(p.isdigit() for p in parts[:2])

@@ -1,0 +1,50 @@
+"""End-to-end CLI invocation through real subprocesses."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_cli(*args, timeout=240):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestModuleEntryPoint:
+    def test_help_exits_zero(self):
+        proc = run_cli("--help")
+        assert proc.returncode == 0
+        assert "simulate" in proc.stdout and "selftest" in proc.stdout
+
+    def test_info_runs(self):
+        proc = run_cli("info", "--n", "6")
+        assert proc.returncode == 0
+        assert "beta_1 = 25" in proc.stdout
+
+    def test_selftest_runs(self):
+        proc = run_cli("selftest", "--n", "4")
+        assert proc.returncode == 0
+        assert "all invariants hold" in proc.stdout
+
+    def test_full_workflow_via_subprocess(self, tmp_path):
+        campaign = tmp_path / "day.txt"
+        sim = run_cli(
+            "simulate", "--n", "6", "--seed", "5", "--noise", "0.0",
+            "--out", str(campaign),
+        )
+        assert sim.returncode == 0
+        solve = run_cli("solve", str(campaign), "--strategy", "single")
+        assert solve.returncode == 0
+        assert "converged=True" in solve.stdout
+        screen = run_cli("screen", str(campaign))
+        assert screen.returncode == 0
+
+    def test_unknown_subcommand_fails(self):
+        proc = run_cli("teleport")
+        assert proc.returncode != 0
+        assert "invalid choice" in proc.stderr

@@ -1,0 +1,106 @@
+"""Tests for the boundary operator, including ∂∘∂ = 0."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import gf2
+from repro.topology.boundary import (
+    BoundaryOperator,
+    boundary_chain,
+    boundary_matrix_dense,
+)
+from repro.topology.chains import Chain, ChainSpace
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import simplex
+
+
+def cycle_complex(n=4):
+    """An n-cycle graph complex."""
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return SimplicialComplex.from_graph(range(n), edges)
+
+
+def two_triangles():
+    return SimplicialComplex.from_maximal([[0, 1, 2], [1, 2, 3]])
+
+
+class TestBoundaryChain:
+    def test_boundary_of_edge(self):
+        out = boundary_chain(Chain([simplex(0, 1)]))
+        assert out == Chain([simplex(0), simplex(1)])
+
+    def test_boundary_of_path_telescopes(self):
+        # ∂({0,1} + {1,2}) = {0} + {2}: inner vertex cancels.
+        c = Chain([simplex(0, 1), simplex(1, 2)])
+        assert boundary_chain(c) == Chain([simplex(0), simplex(2)])
+
+    def test_boundary_of_cycle_is_zero(self):
+        c = Chain([simplex(0, 1), simplex(1, 2), simplex(0, 2)])
+        assert boundary_chain(c).is_zero()
+
+    def test_boundary_of_zero_chain(self):
+        assert boundary_chain(Chain()).is_zero()
+
+    def test_boundary_of_vertices_is_zero(self):
+        assert boundary_chain(Chain([simplex(0)])).is_zero()
+
+    def test_paper_figure1_cycle(self):
+        """The §III-B example loop 0-1-3-2-8-9-7-6-0 (through R11, R12,
+        R22, R21) is a cycle: its boundary is empty."""
+        loop_edges = [
+            (0, 1), (1, 3), (3, 2), (2, 8), (8, 9), (9, 7), (7, 6), (6, 0)
+        ]
+        c = Chain([simplex(a, b) for a, b in loop_edges])
+        assert boundary_chain(c).is_zero()
+
+
+class TestBoundaryOperator:
+    def test_matrix_shape(self):
+        op = BoundaryOperator(two_triangles(), 1)
+        assert op.matrix.nrows == 4  # vertices
+        assert op.matrix.ncols == 5  # edges
+
+    def test_matrix_column_has_two_ones_for_edges(self):
+        dense = boundary_matrix_dense(cycle_complex(5), 1)
+        assert (dense.sum(axis=0) == 2).all()
+
+    def test_apply_matches_direct_boundary(self):
+        c = two_triangles()
+        op = BoundaryOperator(c, 1)
+        space = ChainSpace(c, 1)
+        chain = Chain(space.basis[:3])
+        assert op.apply(chain) == boundary_chain(chain)
+
+    def test_k0_rejected(self):
+        with pytest.raises(ValueError):
+            BoundaryOperator(cycle_complex(), 0)
+
+    def test_boundary_of_boundary_is_zero_matrixwise(self):
+        """∂_1 ∘ ∂_2 = 0 on a 2-dimensional complex."""
+        c = two_triangles()
+        d1 = BoundaryOperator(c, 1).matrix
+        d2 = BoundaryOperator(c, 2).matrix
+        product = gf2.matmul(d1, d2)
+        assert not product.to_dense().any()
+
+    @given(st.integers(3, 8), st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_boundary_of_random_cycle_graph_chain(self, n, seed):
+        """∂ applied twice to any chain is zero (via chains API)."""
+        c = cycle_complex(n)
+        space = ChainSpace(c, 1)
+        rng = np.random.default_rng(seed)
+        chain = space.random_chain(rng)
+        assert boundary_chain(boundary_chain(chain)).is_zero()
+
+    def test_kernel_basis_are_cycles(self):
+        op = BoundaryOperator(cycle_complex(6), 1)
+        basis = op.kernel_basis()
+        assert len(basis) == 1  # one independent cycle
+        assert boundary_chain(basis[0]).is_zero()
+
+    def test_rank_nullity(self):
+        op = BoundaryOperator(two_triangles(), 1)
+        assert op.rank() + op.nullity() == op.domain.rank

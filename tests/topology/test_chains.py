@@ -1,0 +1,115 @@
+"""Tests for chain groups over GF(2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.chains import Chain, ChainSpace
+from repro.topology.complex import SimplicialComplex
+from repro.topology.simplex import simplex
+
+
+def path_complex(n=5):
+    """0-1-2-...-n path graph."""
+    return SimplicialComplex.from_graph(
+        range(n + 1), [(i, i + 1) for i in range(n)]
+    )
+
+
+class TestChainGroupAxioms:
+    """The paper's 'complex chain group' is a group: verify the axioms."""
+
+    def test_identity_element(self):
+        zero = Chain()
+        c = Chain([simplex(0, 1)])
+        assert c + zero == c
+        assert zero + c == c
+        assert zero.is_zero()
+
+    def test_every_element_self_inverse(self):
+        c = Chain([simplex(0, 1), simplex(1, 2)])
+        assert (c + c).is_zero()
+
+    def test_associativity(self):
+        a = Chain([simplex(0, 1)])
+        b = Chain([simplex(1, 2)])
+        c = Chain([simplex(0, 1), simplex(2, 3)])
+        assert (a + b) + c == a + (b + c)
+
+    def test_commutativity(self):
+        a = Chain([simplex(0, 1)])
+        b = Chain([simplex(1, 2)])
+        assert a + b == b + a
+
+    def test_paper_example(self):
+        """σ1 = {a,b}, σ2 = {b,c}: σ1 ⋆ σ2 keeps both edges (no dup)."""
+        s1 = Chain([simplex("a", "b")])
+        s2 = Chain([simplex("b", "c")])
+        combined = s1 + s2
+        assert len(combined) == 2
+
+    def test_duplicates_cancel(self):
+        s1 = Chain([simplex("a", "b"), simplex("b", "c")])
+        s2 = Chain([simplex("b", "c"), simplex("c", "d")])
+        out = s1 + s2
+        assert out == Chain([simplex("a", "b"), simplex("c", "d")])
+
+    def test_mixed_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            Chain([simplex(0), simplex(0, 1)])
+
+    def test_add_mixed_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            Chain([simplex(0)]) + Chain([simplex(0, 1)])
+
+    def test_xor_alias(self):
+        a = Chain([simplex(0, 1)])
+        b = Chain([simplex(0, 1)])
+        assert (a ^ b).is_zero()
+
+
+class TestChainSpace:
+    def test_rank_equals_simplex_count(self):
+        c = path_complex(4)
+        assert ChainSpace(c, 0).rank == 5
+        assert ChainSpace(c, 1).rank == 4
+
+    def test_vector_roundtrip(self):
+        c = path_complex(4)
+        space = ChainSpace(c, 1)
+        chain = Chain([space.basis[0], space.basis[2]])
+        vec = space.to_vector(chain)
+        assert vec.sum() == 2
+        assert space.from_vector(vec) == chain
+
+    def test_to_vector_accepts_iterables(self):
+        c = path_complex(3)
+        space = ChainSpace(c, 1)
+        vec = space.to_vector([space.basis[1]])
+        assert vec[1] == 1 and vec.sum() == 1
+
+    def test_index_unknown_simplex(self):
+        space = ChainSpace(path_complex(2), 1)
+        with pytest.raises(KeyError):
+            space.index(simplex(10, 11))
+
+    def test_from_vector_wrong_length(self):
+        space = ChainSpace(path_complex(2), 1)
+        with pytest.raises(ValueError):
+            space.from_vector(np.zeros(99))
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            ChainSpace(path_complex(2), -1)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_vector_addition_matches_chain_addition(self, seed):
+        rng = np.random.default_rng(seed)
+        space = ChainSpace(path_complex(6), 1)
+        a = space.random_chain(rng)
+        b = space.random_chain(rng)
+        lhs = space.to_vector(a + b)
+        rhs = (space.to_vector(a) ^ space.to_vector(b))
+        np.testing.assert_array_equal(lhs, rhs)

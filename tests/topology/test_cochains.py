@@ -1,0 +1,162 @@
+"""Tests for cochains/coboundary and Kirchhoff-as-cohomology (§II-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kirchhoff.forward import solve_drive
+from repro.mea.device import MEAGrid
+from repro.mea.graph import wire_graph
+from repro.topology.cochains import (
+    CochainSpace,
+    apply_coboundary,
+    coboundary_matrix,
+    coboundary_squared_is_zero,
+    current_conservation_residual,
+    harmonic_dimension,
+    is_physical_voltage,
+    potential_to_voltage_drops,
+    recover_potentials,
+)
+from repro.topology.complex import SimplicialComplex
+from repro.topology.homology import betti_numbers
+
+
+def cycle_complex(n=5):
+    return SimplicialComplex.from_graph(
+        range(n), [(i, (i + 1) % n) for i in range(n)]
+    )
+
+
+def mea_wire_complex(n=3):
+    g = wire_graph(MEAGrid(n))
+    return SimplicialComplex.from_graph(g.nodes, g.edges)
+
+
+class TestCoboundary:
+    def test_delta0_is_oriented_incidence(self):
+        c = SimplicialComplex.from_graph([0, 1, 2], [(0, 1), (1, 2)])
+        d0 = coboundary_matrix(c, 0)
+        # Edge {0,1} oriented 0 -> 1: (δf)(e) = f(1) - f(0).
+        f = np.array([10.0, 25.0, 5.0])
+        drops = d0 @ f
+        assert drops.tolist() == [15.0, -20.0]
+
+    def test_delta_squared_zero_on_2_complex(self):
+        c = SimplicialComplex.from_maximal([[0, 1, 2], [1, 2, 3]])
+        assert coboundary_squared_is_zero(c, 0)
+
+    @given(st.integers(3, 7))
+    @settings(max_examples=5, deadline=None)
+    def test_delta_squared_zero_on_cones(self, n):
+        # Cone over an n-cycle: a genuine 2-complex.
+        faces = [[i, (i + 1) % n, n] for i in range(n)]
+        c = SimplicialComplex.from_maximal(faces)
+        assert coboundary_squared_is_zero(c, 0)
+
+    def test_apply_coboundary_length_check(self):
+        c = cycle_complex()
+        with pytest.raises(ValueError):
+            apply_coboundary(c, 0, np.zeros(99))
+
+    def test_cochain_space_basics(self):
+        space = CochainSpace(cycle_complex(4), 1)
+        assert space.rank == 4
+        ones = space.from_function(lambda s: 1.0)
+        assert ones.sum() == 4.0
+
+
+class TestKirchhoffAsCohomology:
+    def test_coboundaries_are_physical_voltages(self):
+        c = mea_wire_complex(3)
+        rng = np.random.default_rng(0)
+        potentials = rng.standard_normal(len(c.vertices()))
+        drops = potential_to_voltage_drops(c, potentials)
+        assert is_physical_voltage(c, drops)
+
+    def test_nonexact_cochain_rejected(self):
+        """On a cycle, a uniform 'drop' around the loop sums to
+        nonzero: it violates L2 and is not a coboundary."""
+        c = cycle_complex(5)
+        drops = np.ones(5)
+        assert not is_physical_voltage(c, drops)
+        with pytest.raises(ValueError):
+            recover_potentials(c, drops)
+
+    def test_recover_potentials_roundtrip(self):
+        c = mea_wire_complex(3)
+        rng = np.random.default_rng(1)
+        potentials = rng.standard_normal(len(c.vertices()))
+        drops = potential_to_voltage_drops(c, potentials)
+        recovered = recover_potentials(c, drops)
+        # Defined up to a constant: compare differences.
+        np.testing.assert_allclose(
+            potential_to_voltage_drops(c, recovered), drops, atol=1e-9
+        )
+
+    def test_real_drive_voltages_are_exact_cochain(self):
+        """The forward solver's wire voltages, read as a 0-cochain,
+        produce voltage drops that cohomology certifies as physical."""
+        n = 4
+        rng = np.random.default_rng(2)
+        r = rng.uniform(1000, 8000, size=(n, n))
+        sol = solve_drive(r, 1, 2)
+        c = mea_wire_complex(n)
+        # 0-cochain over the wire nodes, in complex basis order.
+        space = CochainSpace(c, 0)
+        values = {}
+        for i, v in enumerate(sol.h_voltages):
+            values[("H", i)] = v
+        for j, v in enumerate(sol.v_voltages):
+            values[("V", j)] = v
+        potentials = np.array(
+            [values[s.vertices[0]] for s in space.basis]
+        )
+        drops = potential_to_voltage_drops(c, potentials)
+        assert is_physical_voltage(c, drops)
+
+    def test_current_conservation_residual(self):
+        """Branch currents of a solved drive conserve at every node
+        except the driven pair (L1 as the dual condition)."""
+        n = 3
+        rng = np.random.default_rng(3)
+        r = rng.uniform(1000, 8000, size=(n, n))
+        sol = solve_drive(r, 0, 0)
+        c = mea_wire_complex(n)
+        edge_space = CochainSpace(c, 1)
+        node_space = CochainSpace(c, 0)
+        currents = np.zeros(edge_space.rank)
+        for idx, s in enumerate(edge_space.basis):
+            a, b = s.vertices  # oriented a -> b (sorted order)
+            va = sol.h_voltages[a[1]] if a[0] == "H" else sol.v_voltages[a[1]]
+            vb = sol.h_voltages[b[1]] if b[0] == "H" else sol.v_voltages[b[1]]
+            row = a[1] if a[0] == "H" else b[1]
+            col = b[1] if b[0] == "V" else a[1]
+            currents[idx] = (va - vb) / r[row, col]
+        residual = current_conservation_residual(c, currents)
+        for idx, s in enumerate(node_space.basis):
+            node = s.vertices[0]
+            if node in (("H", 0), ("V", 0)):
+                assert abs(residual[idx]) == pytest.approx(
+                    abs(sol.total_current), rel=1e-9
+                )
+            else:
+                assert abs(residual[idx]) < 1e-12
+
+
+class TestHarmonics:
+    @given(st.integers(3, 8))
+    @settings(max_examples=6, deadline=None)
+    def test_harmonic_dimension_matches_gf2_betti_on_cycles(self, n):
+        c = cycle_complex(n)
+        assert harmonic_dimension(c) == betti_numbers(c)[1] == 1
+
+    def test_mea_harmonics(self):
+        for n in (2, 3, 4):
+            c = mea_wire_complex(n)
+            assert harmonic_dimension(c) == (n - 1) ** 2
+
+    def test_filled_triangle_has_no_harmonics(self):
+        c = SimplicialComplex.from_maximal([[0, 1, 2]])
+        assert harmonic_dimension(c) == 0

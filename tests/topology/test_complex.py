@@ -1,0 +1,116 @@
+"""Tests for simplicial complexes, including the paper's Figure 3."""
+
+import pytest
+
+from repro.topology.complex import (
+    NotSimplicialError,
+    SimplicialComplex,
+    check_family_simplicial,
+)
+from repro.topology.simplex import Simplex, simplex
+
+
+def triangle() -> SimplicialComplex:
+    return SimplicialComplex.from_maximal([[0, 1, 2]])
+
+
+class TestConstruction:
+    def test_add_closes_downward(self):
+        c = SimplicialComplex()
+        c.add([1, 2, 3])
+        assert simplex(1) in c
+        assert simplex(1, 2) in c
+        assert simplex(1, 2, 3) in c
+
+    def test_from_graph(self):
+        c = SimplicialComplex.from_graph([0, 1, 2], [(0, 1), (1, 2)])
+        assert c.dimension == 1
+        assert c.count(0) == 3 and c.count(1) == 2
+
+    def test_from_graph_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            SimplicialComplex.from_graph([0], [(0, 0)])
+
+    def test_empty_complex_dimension(self):
+        assert SimplicialComplex().dimension == -1
+        assert SimplicialComplex().f_vector() == ()
+
+
+class TestQueries:
+    def test_f_vector_triangle(self):
+        assert triangle().f_vector() == (3, 3, 1)
+
+    def test_euler_characteristic_triangle(self):
+        # Filled triangle is contractible: chi = 1.
+        assert triangle().euler_characteristic() == 1
+
+    def test_euler_characteristic_hollow_triangle(self):
+        c = SimplicialComplex.from_graph([0, 1, 2], [(0, 1), (1, 2), (0, 2)])
+        assert c.euler_characteristic() == 0  # a circle
+
+    def test_skeleton(self):
+        sk = triangle().skeleton(1)
+        assert sk.dimension == 1
+        assert sk.count(1) == 3 and sk.count(2) == 0
+
+    def test_star(self):
+        c = SimplicialComplex.from_graph([0, 1, 2], [(0, 1), (1, 2)])
+        star = c.star(1)
+        assert simplex(0, 1) in star and simplex(1, 2) in star
+
+    def test_link_edges(self):
+        c = SimplicialComplex.from_graph([0, 1, 2], [(0, 1), (1, 2)])
+        assert c.link_edges(1) == [0, 2]
+
+    def test_len_counts_all_simplices(self):
+        assert len(triangle()) == 7
+
+    def test_simplices_sorted_deterministically(self):
+        c = SimplicialComplex.from_graph([2, 0, 1], [(1, 2), (0, 1)])
+        assert c.simplices(0) == [simplex(0), simplex(1), simplex(2)]
+
+
+class TestConnectivity:
+    def test_single_component(self):
+        c = SimplicialComplex.from_graph([0, 1, 2], [(0, 1), (1, 2)])
+        assert len(c.connected_components()) == 1
+
+    def test_two_components(self):
+        c = SimplicialComplex.from_graph([0, 1, 2, 3], [(0, 1), (2, 3)])
+        comps = c.connected_components()
+        assert sorted(map(sorted, comps)) == [[0, 1], [2, 3]]
+
+    def test_isolated_vertices(self):
+        c = SimplicialComplex([[0], [1]])
+        assert len(c.connected_components()) == 2
+
+
+class TestSimplicialProperty:
+    def test_closed_complex_verifies(self):
+        triangle().verify_simplicial()  # should not raise
+        assert triangle().is_simplicial()
+
+    def test_figure3_family_is_not_simplicial(self):
+        """The paper's Figure 3: two triangles whose geometric overlap
+        segment {b, f} is not in the family."""
+        family = [
+            ["a"], ["b"], ["c"], ["d"], ["e"], ["f"],
+            ["a", "b"], ["b", "c"], ["a", "c"],
+            ["d", "e"], ["d", "f"], ["e", "f"],
+            ["a", "b", "c"], ["d", "e", "f"],
+        ]
+        ok, _ = check_family_simplicial(family)
+        assert ok  # abstractly closed...
+        # ...but adding the overlap edge without its containing faces
+        # breaks closure if the triangles are absent:
+        broken = [["a", "b", "c"], ["b"], ["f"]]
+        ok, reason = check_family_simplicial(broken)
+        assert not ok and "missing" in reason
+
+    def test_verify_detects_tampered_complex(self):
+        c = triangle()
+        # Reach inside and delete a face to simulate a corrupt family.
+        c._by_dim[1].discard(simplex(0, 1))
+        with pytest.raises(NotSimplicialError):
+            c.verify_simplicial()
+        assert not c.is_simplicial()

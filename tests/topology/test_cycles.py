@@ -1,0 +1,102 @@
+"""Tests for fundamental cycle bases and the cyclomatic number."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.boundary import boundary_chain
+from repro.topology.cycles import (
+    cycle_is_closed,
+    cycles_as_chains,
+    cyclomatic_number,
+    fundamental_cycles,
+    graph_to_complex,
+)
+from repro.topology.homology import betti_numbers
+
+
+def random_connected_graph(n, extra_edges, seed):
+    g = nx.gnm_random_graph(n, extra_edges, seed=seed)
+    nodes = list(g.nodes)
+    for a, b in zip(nodes, nodes[1:]):
+        g.add_edge(a, b)
+    return list(g.nodes), [tuple(e) for e in g.edges]
+
+
+class TestCyclomaticNumber:
+    def test_tree_has_zero(self):
+        verts = [0, 1, 2, 3]
+        edges = [(0, 1), (1, 2), (1, 3)]
+        assert cyclomatic_number(verts, edges) == 0
+
+    def test_single_cycle(self):
+        verts = [0, 1, 2]
+        edges = [(0, 1), (1, 2), (2, 0)]
+        assert cyclomatic_number(verts, edges) == 1
+
+    def test_disconnected_counts_components(self):
+        verts = [0, 1, 2, 3, 4, 5]
+        edges = [(0, 1), (1, 2), (2, 0), (3, 4)]
+        # |E| - |V| + c = 4 - 6 + 3 = 1 (isolated 5 is a component).
+        assert cyclomatic_number(verts, edges) == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            cyclomatic_number([0], [(0, 0)])
+
+    def test_unknown_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            cyclomatic_number([0, 1], [(0, 2)])
+
+    def test_duplicate_edges_collapse(self):
+        assert cyclomatic_number([0, 1], [(0, 1), (1, 0)]) == 0
+
+
+class TestFundamentalCycles:
+    def test_count_matches_cyclomatic(self):
+        verts, edges = random_connected_graph(8, 14, seed=1)
+        basis = fundamental_cycles(verts, edges)
+        assert len(basis) == cyclomatic_number(verts, edges)
+
+    def test_each_cycle_contains_its_chord(self):
+        verts, edges = random_connected_graph(7, 12, seed=2)
+        basis = fundamental_cycles(verts, edges)
+        for chord, cycle in zip(basis.chord_edges, basis.cycles):
+            assert chord in cycle
+
+    @given(st.integers(4, 12), st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_every_basis_cycle_is_closed(self, n, seed):
+        verts, edges = random_connected_graph(n, 2 * n, seed=seed)
+        basis = fundamental_cycles(verts, edges)
+        for cycle in basis.cycles:
+            assert cycle_is_closed(cycle)
+
+    def test_deterministic(self):
+        verts, edges = random_connected_graph(9, 16, seed=5)
+        b1 = fundamental_cycles(verts, edges)
+        b2 = fundamental_cycles(verts, edges)
+        assert b1.cycles == b2.cycles
+
+    def test_tree_and_chords_partition_edges(self):
+        verts, edges = random_connected_graph(8, 13, seed=3)
+        basis = fundamental_cycles(verts, edges)
+        total = set(basis.tree_edges) | set(basis.chord_edges)
+        assert len(total) == len(basis.tree_edges) + len(basis.chord_edges)
+
+    def test_cycles_as_chains_have_zero_boundary(self):
+        verts, edges = random_connected_graph(7, 12, seed=4)
+        basis = fundamental_cycles(verts, edges)
+        complex_ = graph_to_complex(verts, edges)
+        for chain in cycles_as_chains(basis, complex_):
+            assert boundary_chain(chain).is_zero()
+
+    @given(st.integers(4, 10), st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_basis_size_equals_beta1(self, n, seed):
+        """The fundamental basis realizes the homology rank."""
+        verts, edges = random_connected_graph(n, 2 * n, seed=seed)
+        basis = fundamental_cycles(verts, edges)
+        complex_ = graph_to_complex(verts, edges)
+        assert len(basis) == betti_numbers(complex_)[1]

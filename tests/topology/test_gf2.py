@@ -1,0 +1,226 @@
+"""Tests for bit-packed GF(2) linear algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import gf2
+from repro.topology.gf2 import BitMatrix
+
+
+def random_dense(rng, rows, cols):
+    return rng.integers(0, 2, size=(rows, cols), dtype=np.uint8)
+
+
+class TestBitMatrixBasics:
+    def test_zeros_shape(self):
+        m = BitMatrix.zeros(3, 130)
+        assert m.nrows == 3 and m.ncols == 130
+        assert m.words.shape == (3, 3)  # ceil(130/64) = 3 words
+
+    def test_zero_dimensions_allowed(self):
+        m = BitMatrix.zeros(0, 0)
+        assert m.to_dense().shape == (0, 0)
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            BitMatrix.zeros(-1, 2)
+
+    def test_set_get_roundtrip(self):
+        m = BitMatrix.zeros(2, 70)
+        m.set(1, 69, 1)
+        assert m.get(1, 69) == 1
+        m.set(1, 69, 0)
+        assert m.get(1, 69) == 0
+
+    def test_get_out_of_bounds(self):
+        m = BitMatrix.zeros(2, 2)
+        with pytest.raises(IndexError):
+            m.get(2, 0)
+        with pytest.raises(IndexError):
+            m.get(0, 2)
+
+    def test_from_dense_roundtrip_various_widths(self):
+        rng = np.random.default_rng(0)
+        for cols in (1, 7, 63, 64, 65, 128, 130):
+            dense = random_dense(rng, 5, cols)
+            m = BitMatrix.from_dense(dense)
+            np.testing.assert_array_equal(m.to_dense(), dense)
+
+    def test_from_dense_reduces_mod_2(self):
+        m = BitMatrix.from_dense(np.array([[2, 3], [4, 5]]))
+        np.testing.assert_array_equal(m.to_dense(), [[0, 1], [0, 1]])
+
+    def test_from_rows(self):
+        m = BitMatrix.from_rows([[0, 2], [1]], ncols=3)
+        np.testing.assert_array_equal(m.to_dense(), [[1, 0, 1], [0, 1, 0]])
+
+    def test_identity(self):
+        m = BitMatrix.identity(5)
+        np.testing.assert_array_equal(m.to_dense(), np.eye(5, dtype=np.uint8))
+
+    def test_equality(self):
+        a = BitMatrix.from_dense([[1, 0], [0, 1]])
+        b = BitMatrix.identity(2)
+        assert a == b
+        b.set(0, 1, 1)
+        assert a != b
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(BitMatrix.zeros(1, 1))
+
+    def test_xor_row_into(self):
+        m = BitMatrix.from_dense([[1, 1, 0], [0, 1, 1]])
+        m.xor_row_into(0, 1)
+        np.testing.assert_array_equal(m.to_dense()[1], [1, 0, 1])
+
+    def test_row_nonzero(self):
+        m = BitMatrix.from_dense([[0, 1, 0, 1]])
+        np.testing.assert_array_equal(m.row_nonzero(0), [1, 3])
+
+
+class TestRank:
+    def test_rank_identity(self):
+        assert gf2.rank(np.eye(6)) == 6
+
+    def test_rank_zero_matrix(self):
+        assert gf2.rank(np.zeros((4, 4))) == 0
+
+    def test_rank_duplicate_rows(self):
+        m = np.array([[1, 0, 1], [1, 0, 1], [0, 1, 0]])
+        assert gf2.rank(m) == 2
+
+    def test_rank_mod2_differs_from_real(self):
+        # Over R this matrix has rank 2; over GF(2) rows sum to zero.
+        m = np.array([[1, 1, 0], [0, 1, 1], [1, 0, 1]])
+        assert gf2.rank(m) == 2
+        assert np.linalg.matrix_rank(m.astype(float)) == 3
+
+    @given(
+        st.integers(1, 12),
+        st.integers(1, 100),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rank_matches_row_reduce_pivots(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        dense = random_dense(rng, rows, cols)
+        rref, pivots = gf2.row_reduce(dense)
+        assert gf2.rank(dense) == len(pivots)
+        # Every pivot column has exactly one 1 in the RREF.
+        rd = rref.to_dense()
+        for r, c in enumerate(pivots):
+            assert rd[:, c].sum() == 1 and rd[r, c] == 1
+
+
+class TestNullspace:
+    @given(st.integers(1, 10), st.integers(1, 40), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_nullspace_vectors_are_in_kernel(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        dense = random_dense(rng, rows, cols)
+        null = gf2.nullspace(dense)
+        assert null.nrows == cols - gf2.rank(dense)
+        for i in range(null.nrows):
+            v = null.to_dense_row(i)
+            assert not gf2.matvec(dense, v).any()
+
+    def test_nullspace_basis_is_independent(self):
+        rng = np.random.default_rng(3)
+        dense = random_dense(rng, 6, 14)
+        null = gf2.nullspace(dense)
+        assert gf2.rank(null) == null.nrows
+
+    def test_full_rank_square_has_trivial_kernel(self):
+        assert gf2.nullspace(np.eye(5)).nrows == 0
+
+
+class TestMatmulAndSolve:
+    @given(st.integers(1, 8), st.integers(1, 8), st.integers(1, 8),
+           st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_matmul_matches_dense_mod2(self, a, b, c, seed):
+        rng = np.random.default_rng(seed)
+        x = random_dense(rng, a, b)
+        y = random_dense(rng, b, c)
+        got = gf2.matmul(x, y).to_dense()
+        want = (x.astype(int) @ y.astype(int)) % 2
+        np.testing.assert_array_equal(got, want)
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            gf2.matmul(np.eye(2), np.eye(3))
+
+    def test_matvec(self):
+        m = np.array([[1, 1, 0], [0, 1, 1]])
+        v = np.array([1, 1, 1])
+        np.testing.assert_array_equal(gf2.matvec(m, v), [0, 0])
+
+    @given(st.integers(1, 8), st.integers(1, 10), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_solve_consistent_systems(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        m = random_dense(rng, rows, cols)
+        x_true = rng.integers(0, 2, size=cols, dtype=np.uint8)
+        rhs = gf2.matvec(m, x_true)
+        x = gf2.solve(m, rhs)
+        assert x is not None
+        np.testing.assert_array_equal(gf2.matvec(m, x), rhs)
+
+    def test_solve_inconsistent_returns_none(self):
+        m = np.array([[1, 0], [1, 0]])
+        rhs = np.array([1, 0])
+        assert gf2.solve(m, rhs) is None
+
+    def test_is_in_rowspace(self):
+        m = np.array([[1, 1, 0], [0, 0, 1]])
+        assert gf2.is_in_rowspace(m, np.array([1, 1, 1]))
+        assert not gf2.is_in_rowspace(m, np.array([1, 0, 0]))
+
+
+class TestRowReduceInvariants:
+    @given(st.integers(1, 10), st.integers(1, 30), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_rref_preserves_rowspace(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        dense = random_dense(rng, rows, cols)
+        rref, _ = gf2.row_reduce(dense)
+        stacked = np.concatenate([dense, rref.to_dense()], axis=0)
+        assert gf2.rank(stacked) == gf2.rank(dense)
+
+    def test_row_reduce_does_not_mutate_input(self):
+        m = BitMatrix.from_dense([[1, 1], [1, 0]])
+        before = m.to_dense().copy()
+        gf2.row_reduce(m)
+        np.testing.assert_array_equal(m.to_dense(), before)
+
+
+class TestEdgeCases:
+    def test_from_rows_out_of_range_column(self):
+        with pytest.raises(IndexError):
+            BitMatrix.from_rows([[5]], ncols=3)
+
+    def test_empty_matrix_operations(self):
+        empty = BitMatrix.zeros(0, 5)
+        assert gf2.rank(empty) == 0
+        null = gf2.nullspace(empty)
+        assert null.nrows == 5  # whole space is the kernel
+
+    def test_single_column_matrix(self):
+        m = BitMatrix.from_dense([[1], [0], [1]])
+        assert gf2.rank(m) == 1
+        assert gf2.nullspace(m).nrows == 0
+
+    def test_word_boundary_columns(self):
+        """Operations across the 64-bit word boundary are seamless."""
+        rng = np.random.default_rng(9)
+        dense = rng.integers(0, 2, size=(4, 64), dtype=np.uint8)
+        wide = np.concatenate([dense, dense], axis=1)  # 128 cols
+        m = BitMatrix.from_dense(wide)
+        # Column j and column j+64 are identical => rank equals the
+        # rank of the 64-column half.
+        assert gf2.rank(m) == gf2.rank(dense)
+        null = gf2.nullspace(m)
+        assert null.nrows == 128 - gf2.rank(dense)

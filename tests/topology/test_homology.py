@@ -1,0 +1,128 @@
+"""Tests for homology groups and Betti numbers."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.boundary import boundary_chain
+from repro.topology.complex import SimplicialComplex
+from repro.topology.homology import (
+    HomologyCalculator,
+    betti_numbers,
+    euler_characteristic_check,
+)
+
+
+def cycle_graph_complex(n):
+    return SimplicialComplex.from_graph(
+        range(n), [(i, (i + 1) % n) for i in range(n)]
+    )
+
+
+class TestKnownSpaces:
+    def test_point(self):
+        assert betti_numbers(SimplicialComplex([[0]])) == (1,)
+
+    def test_two_points(self):
+        assert betti_numbers(SimplicialComplex([[0], [1]])) == (2,)
+
+    def test_interval(self):
+        c = SimplicialComplex.from_graph([0, 1], [(0, 1)])
+        assert betti_numbers(c) == (1, 0)
+
+    def test_circle(self):
+        assert betti_numbers(cycle_graph_complex(5)) == (1, 1)
+
+    def test_filled_triangle_is_contractible(self):
+        c = SimplicialComplex.from_maximal([[0, 1, 2]])
+        assert betti_numbers(c) == (1, 0, 0)
+
+    def test_hollow_tetrahedron_is_a_sphere(self):
+        # Boundary of a 3-simplex: beta = (1, 0, 1).
+        faces = [[0, 1, 2], [0, 1, 3], [0, 2, 3], [1, 2, 3]]
+        c = SimplicialComplex.from_maximal(faces)
+        assert betti_numbers(c) == (1, 0, 1)
+
+    def test_wedge_of_two_circles(self):
+        c = SimplicialComplex.from_graph(
+            [0, 1, 2, 3, 4],
+            [(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)],
+        )
+        assert betti_numbers(c) == (1, 2)
+
+    def test_disjoint_circles(self):
+        edges = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]
+        c = SimplicialComplex.from_graph(range(6), edges)
+        assert betti_numbers(c) == (2, 2)
+
+    def test_beta0_counts_components(self):
+        c = SimplicialComplex.from_graph(
+            range(7), [(0, 1), (2, 3), (4, 5)]
+        )
+        assert betti_numbers(c)[0] == 4  # 3 edges-components + isolated 6
+
+
+class TestCalculatorInternals:
+    def test_cycle_rank_at_zero_is_all_vertices(self):
+        calc = HomologyCalculator(cycle_graph_complex(4))
+        assert calc.cycle_rank(0) == 4
+
+    def test_boundary_rank_above_top_dim_is_zero(self):
+        calc = HomologyCalculator(cycle_graph_complex(4))
+        assert calc.boundary_rank(1) == 0
+
+    def test_betti_above_dimension_is_zero(self):
+        calc = HomologyCalculator(cycle_graph_complex(4))
+        assert calc.betti(5) == 0
+
+    def test_negative_dimension_rejected(self):
+        calc = HomologyCalculator(cycle_graph_complex(4))
+        with pytest.raises(ValueError):
+            calc.betti(-1)
+
+    def test_summary_consistency(self):
+        calc = HomologyCalculator(cycle_graph_complex(6))
+        s = calc.summary(1)
+        assert s.betti == s.cycle_rank - s.boundary_rank
+        assert s.group_order == 2**s.betti
+
+    def test_homology_representatives_are_cycles_not_boundaries(self):
+        c = SimplicialComplex.from_maximal([[0, 1, 2], [1, 2, 3]])
+        # Add an outer square to give beta1 = 1.
+        c.add([0, 4])
+        c.add([4, 3])
+        calc = HomologyCalculator(c)
+        reps = calc.homology_representatives(1)
+        assert len(reps) == calc.betti(1)
+        for rep in reps:
+            assert boundary_chain(rep).is_zero()
+
+    def test_cycle_basis_dimension_guard(self):
+        calc = HomologyCalculator(cycle_graph_complex(4))
+        with pytest.raises(ValueError):
+            calc.cycle_basis(0)
+
+
+class TestCrossChecks:
+    @given(st.integers(4, 12), st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_beta1_matches_networkx_cyclomatic(self, n, seed):
+        """β1 of a random connected graph complex = |E| - |V| + 1."""
+        g = nx.gnm_random_graph(n, min(2 * n, n * (n - 1) // 2), seed=seed)
+        # Make sure it's connected by chaining the nodes.
+        nodes = list(g.nodes)
+        for a, b in zip(nodes, nodes[1:]):
+            g.add_edge(a, b)
+        c = SimplicialComplex.from_graph(g.nodes, g.edges)
+        expected = g.number_of_edges() - g.number_of_nodes() + 1
+        assert betti_numbers(c) == (1, expected)
+
+    @given(st.integers(3, 10))
+    @settings(max_examples=10, deadline=None)
+    def test_euler_poincare_on_cycles(self, n):
+        assert euler_characteristic_check(cycle_graph_complex(n))
+
+    def test_euler_poincare_on_2_complex(self):
+        c = SimplicialComplex.from_maximal([[0, 1, 2], [1, 2, 3], [2, 3, 4]])
+        assert euler_characteristic_check(c)

@@ -1,0 +1,94 @@
+"""Tests for abstract simplices."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.simplex import Simplex, simplex
+
+
+class TestConstruction:
+    def test_vertices_sorted_and_deduplicated(self):
+        s = Simplex([3, 1, 2, 1])
+        assert s.vertices == (1, 2, 3)
+
+    def test_empty_simplex_rejected(self):
+        with pytest.raises(ValueError):
+            Simplex([])
+
+    def test_dimension_definition(self):
+        assert simplex(5).dimension == 0
+        assert simplex(1, 2).dimension == 1
+        assert simplex(1, 2, 3).dimension == 2
+
+    def test_mixed_label_types(self):
+        s = Simplex(["a", 1])
+        assert len(s) == 2
+
+    def test_convenience_constructor(self):
+        assert simplex(1, 2) == Simplex([1, 2])
+
+
+class TestFaces:
+    def test_edge_faces(self):
+        faces = set(simplex(1, 2).faces())
+        assert faces == {simplex(1), simplex(2), simplex(1, 2)}
+
+    def test_triangle_face_count(self):
+        # 3 vertices + 3 edges + 1 triangle = 7 nonempty faces.
+        assert len(list(simplex(1, 2, 3).faces())) == 7
+
+    def test_faces_of_given_dimension(self):
+        edges = list(simplex(1, 2, 3).faces(dim=1))
+        assert len(edges) == 3
+        assert all(f.dimension == 1 for f in edges)
+
+    def test_boundary_faces_of_vertex_empty(self):
+        assert list(simplex(1).boundary_faces()) == []
+
+    def test_boundary_faces_of_edge(self):
+        assert set(simplex(1, 2).boundary_faces()) == {simplex(1), simplex(2)}
+
+    @given(st.sets(st.integers(0, 20), min_size=1, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_face_count_is_2n_minus_1(self, verts):
+        s = Simplex(verts)
+        assert len(list(s.faces())) == 2 ** len(verts) - 1
+
+    @given(st.sets(st.integers(0, 20), min_size=1, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_every_face_is_face_of_parent(self, verts):
+        s = Simplex(verts)
+        assert all(f.is_face_of(s) for f in s.faces())
+
+
+class TestRelations:
+    def test_is_face_of(self):
+        assert simplex(1).is_face_of(simplex(1, 2))
+        assert not simplex(3).is_face_of(simplex(1, 2))
+        assert simplex(1, 2).is_face_of(simplex(1, 2))
+
+    def test_intersection_shared_vertex(self):
+        assert simplex(1, 2).intersection(simplex(2, 3)) == simplex(2)
+
+    def test_intersection_disjoint_is_none(self):
+        assert simplex(1, 2).intersection(simplex(3, 4)) is None
+
+    def test_contains(self):
+        assert 1 in simplex(1, 2)
+        assert 3 not in simplex(1, 2)
+
+    def test_equality_and_hash(self):
+        assert simplex(2, 1) == simplex(1, 2)
+        assert hash(simplex(2, 1)) == hash(simplex(1, 2))
+        assert simplex(1) != simplex(2)
+
+    def test_ordering_by_dimension_then_labels(self):
+        items = sorted([simplex(1, 2), simplex(3), simplex(1)])
+        assert items == [simplex(1), simplex(3), simplex(1, 2)]
+
+    def test_iteration(self):
+        assert list(simplex(2, 1)) == [1, 2]
+
+    def test_repr_contains_vertices(self):
+        assert "1" in repr(simplex(1, 2)) and "2" in repr(simplex(1, 2))

@@ -1,0 +1,98 @@
+"""Tests for the structured logging utility."""
+
+import io
+import os
+
+import pytest
+
+from repro.utils import logging as rlog
+
+
+@pytest.fixture(autouse=True)
+def reset_logging():
+    yield
+    rlog.configure("info")
+    rlog._state["level"] = 0  # back to off
+    rlog._state["stream"] = __import__("sys").stderr
+
+
+def capture():
+    buf = io.StringIO()
+    rlog.configure("info", stream=buf)
+    return buf
+
+
+class TestLevels:
+    def test_off_by_default_emits_nothing(self):
+        buf = io.StringIO()
+        rlog._state["level"] = 0
+        rlog._state["stream"] = buf
+        rlog.info("event")
+        rlog.debug("event")
+        assert buf.getvalue() == ""
+
+    def test_info_level(self):
+        buf = capture()
+        rlog.info("formation", n=40)
+        rlog.debug("hidden")
+        out = buf.getvalue()
+        assert "event=formation" in out and "n=40" in out
+        assert "hidden" not in out
+
+    def test_debug_level(self):
+        buf = io.StringIO()
+        rlog.configure("debug", stream=buf)
+        rlog.debug("detail", k=2)
+        assert "event=detail" in buf.getvalue()
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            rlog.configure("verbose")
+
+    def test_enabled_guard(self):
+        rlog.configure("info", stream=io.StringIO())
+        assert rlog.enabled("info")
+        assert not rlog.enabled("debug")
+        assert rlog.level_name() == "info"
+
+
+class TestRecordFormat:
+    def test_record_fields(self):
+        buf = capture()
+        rlog.info("solve", n=10, method="nested")
+        line = buf.getvalue().strip()
+        assert line.startswith("ts=")
+        assert f"pid={os.getpid()}" in line
+        assert "level=info" in line
+        assert "method=nested" in line
+
+    def test_values_with_spaces_are_quoted(self):
+        buf = capture()
+        rlog.info("note", msg="two words")
+        assert "msg='two words'" in buf.getvalue()
+
+
+class TestLogSpan:
+    def test_span_emits_begin_end(self):
+        buf = capture()
+        with rlog.log_span("formation", n=8):
+            pass
+        out = buf.getvalue()
+        assert "event=formation.begin" in out
+        assert "event=formation.end" in out
+        assert "elapsed=" in out
+
+    def test_span_records_error(self):
+        buf = capture()
+        with pytest.raises(RuntimeError):
+            with rlog.log_span("bad"):
+                raise RuntimeError("x")
+        assert "error=RuntimeError" in buf.getvalue()
+
+    def test_span_silent_when_off(self):
+        buf = io.StringIO()
+        rlog._state["level"] = 0
+        rlog._state["stream"] = buf
+        with rlog.log_span("quiet"):
+            pass
+        assert buf.getvalue() == ""

@@ -1,0 +1,168 @@
+"""Tests for repro.utils: rng policy, timers, validation."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    DEFAULT_SEED,
+    check_seed_vector,
+    default_rng,
+    derive_seed,
+    permutation_streams,
+    spawn_rngs,
+)
+from repro.utils.timing import Stopwatch, Timer, VirtualClock, measure
+from repro.utils.validation import (
+    require_in_range,
+    require_positive,
+    require_positive_array,
+    require_positive_int,
+    require_shape,
+)
+
+
+class TestRng:
+    def test_none_uses_default_seed(self):
+        a = default_rng(None).random(5)
+        b = default_rng(DEFAULT_SEED).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seeds_reproduce(self):
+        assert default_rng(42).random() == default_rng(42).random()
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(1, "field") == derive_seed(1, "field")
+        assert derive_seed(1, "field") != derive_seed(1, "noise")
+        assert derive_seed(1, "a", 2) != derive_seed(1, "a", 3)
+
+    def test_derive_seed_none_parent(self):
+        assert derive_seed(None, "x") == derive_seed(DEFAULT_SEED, "x")
+
+    def test_spawn_rngs_independent(self):
+        streams = spawn_rngs(7, 3)
+        values = [s.random() for s in streams]
+        assert len(set(values)) == 3
+
+    def test_spawn_rngs_deterministic(self):
+        a = [g.random() for g in spawn_rngs(7, 4)]
+        b = [g.random() for g in spawn_rngs(7, 4)]
+        assert a == b
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+    def test_permutation_streams(self):
+        streams = permutation_streams(3, ["a", "b"])
+        assert set(streams) == {"a", "b"}
+        assert streams["a"].random() != streams["b"].random()
+
+    def test_check_seed_vector(self):
+        check_seed_vector([1, 2, 3])
+        with pytest.raises(ValueError):
+            check_seed_vector([1, 1])
+
+
+class TestTimers:
+    def test_timer_context(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_stopwatch_laps(self):
+        sw = Stopwatch()
+        with sw.lap("a"):
+            time.sleep(0.005)
+        with sw.lap("b"):
+            pass
+        assert sw.laps["a"] >= 0.004
+        assert sw.total() == pytest.approx(sum(sw.laps.values()))
+
+    def test_stopwatch_accumulates(self):
+        sw = Stopwatch()
+        for _ in range(3):
+            with sw.lap("x"):
+                pass
+        assert sw.laps["x"] >= 0.0
+        assert len(sw.laps) == 1
+
+    def test_stopwatch_double_start_rejected(self):
+        sw = Stopwatch()
+        sw.start("a")
+        with pytest.raises(RuntimeError):
+            sw.start("a")
+
+    def test_stopwatch_stop_unstarted_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop("never")
+
+    def test_measure_returns_minimum(self):
+        assert measure(lambda: None, repeats=3) < 0.01
+        with pytest.raises(ValueError):
+            measure(lambda: None, repeats=0)
+
+
+class TestVirtualClock:
+    def test_advance(self):
+        clock = VirtualClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.now == 1.5
+
+    def test_advance_to_never_goes_back(self):
+        clock = VirtualClock(10.0)
+        clock.advance_to(5.0)
+        assert clock.now == 10.0
+        clock.advance_to(12.0)
+        assert clock.now == 12.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+
+class TestValidation:
+    def test_positive_int(self):
+        assert require_positive_int(5, "x") == 5
+        with pytest.raises(ValueError):
+            require_positive_int(0, "x")
+        with pytest.raises(TypeError):
+            require_positive_int(2.5, "x")
+        with pytest.raises(TypeError):
+            require_positive_int(True, "x")
+
+    def test_positive_int_minimum(self):
+        assert require_positive_int(2, "x", minimum=2) == 2
+        with pytest.raises(ValueError):
+            require_positive_int(1, "x", minimum=2)
+
+    def test_positive_float(self):
+        assert require_positive(1.5, "x") == 1.5
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                require_positive(bad, "x")
+
+    def test_in_range(self):
+        assert require_in_range(0.5, "x", 0.0, 1.0) == 0.5
+        assert require_in_range(0.0, "x", 0.0, 1.0) == 0.0
+        with pytest.raises(ValueError):
+            require_in_range(0.0, "x", 0.0, 1.0, inclusive=False)
+        with pytest.raises(ValueError):
+            require_in_range(2.0, "x", 0.0, 1.0)
+
+    def test_shape(self):
+        arr = np.zeros((3, 4))
+        require_shape(arr, (3, 4), "x")
+        require_shape(arr, (None, 4), "x")
+        with pytest.raises(ValueError):
+            require_shape(arr, (4, 3), "x")
+        with pytest.raises(ValueError):
+            require_shape(arr, (3, 4, 1), "x")
+
+    def test_positive_array(self):
+        require_positive_array(np.ones((2, 2)), "x")
+        with pytest.raises(ValueError):
+            require_positive_array(np.array([1.0, 0.0]), "x")
+        with pytest.raises(ValueError):
+            require_positive_array(np.array([1.0, np.nan]), "x")
