@@ -70,6 +70,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         num_workers=args.workers,
         solver=args.solver,
         threshold_sigmas=args.threshold,
+        formation=args.formation,
     )
     solver_kwargs = (
         {"lam": args.lam} if args.solver == "regularized" else None
@@ -104,6 +105,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         num_workers=args.workers,
         threshold_sigmas=args.threshold,
+        formation=args.formation,
     )
     out = run_pipeline(
         campaign,
@@ -204,6 +206,19 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"  flow terms: {total_terms(n)}  (2 n^4)")
     stats = SystemStats.for_device(n)
     print(f"  memory estimate: {human_bytes(stats.bytes_estimate)}")
+    from repro.core.residual import jacobian_cache_stats
+    from repro.core.templates import cache_stats, get_template
+    from repro.instrument.report import cache_stats_table
+    from repro.kirchhoff.forward import laplacian_cache_stats
+
+    # Exercise the formation template once (second call is the hit).
+    get_template(n)
+    get_template(n)
+    print(
+        cache_stats_table(
+            [cache_stats(), jacobian_cache_stats(), laplacian_cache_stats()]
+        ).render()
+    )
     return 0
 
 
@@ -239,6 +254,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="Tikhonov weight for --solver regularized")
     p_solve.add_argument("--threshold", type=float, default=3.0,
                          help="anomaly threshold in robust sigmas")
+    p_solve.add_argument("--formation", default="cached",
+                         choices=["cached", "legacy"],
+                         help="equation-formation path (template cache "
+                              "or per-pair reference)")
     p_solve.add_argument("--equations-dir", type=Path, default=None,
                          help="persist formed equations here")
     p_solve.add_argument("--field-out", type=Path, default=None,
@@ -253,6 +272,10 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["single", "parallel", "balanced",
                                 "pymp", "pymp-dynamic"])
     p_mon.add_argument("--workers", type=int, default=4)
+    p_mon.add_argument("--formation", default="cached",
+                       choices=["cached", "legacy"],
+                       help="equation-formation path (template cache "
+                            "or per-pair reference)")
     p_mon.add_argument("--threshold", type=float, default=3.0)
     p_mon.add_argument("--growth", type=float, default=0.25,
                        help="relative growth flag level")

@@ -55,7 +55,11 @@ from repro.core.regularized import (
     pick_lambda_by_discrepancy,
     solve_regularized,
 )
-from repro.core.residual import JointSystem
+from repro.core.residual import (
+    JointSystem,
+    clear_jacobian_cache,
+    jacobian_cache_stats,
+)
 from repro.core.selftest import SelfTestReport, run_selftest
 from repro.core.streaming import (
     BinaryFileSink,
@@ -65,6 +69,18 @@ from repro.core.streaming import (
     stream_to_file,
 )
 from repro.core.solver import SolveResult, solve, solve_full, solve_nested
+from repro.core.templates import (
+    PairBlockBatch,
+    PairTemplate,
+    cache_stats,
+    clear_template_cache,
+    form_all_pairs,
+    form_worker_share,
+    get_template,
+    iter_pair_blocks_cached,
+    stamp_pair_block,
+    warm_template_cache,
+)
 from repro.core.strategies import (
     BalancedParallel,
     FormationReport,
@@ -92,6 +108,18 @@ __all__ = [
     "FormationReport",
     "JointSystem",
     "PairBlock",
+    "PairBlockBatch",
+    "PairTemplate",
+    "cache_stats",
+    "clear_jacobian_cache",
+    "clear_template_cache",
+    "form_all_pairs",
+    "form_worker_share",
+    "get_template",
+    "iter_pair_blocks_cached",
+    "jacobian_cache_stats",
+    "stamp_pair_block",
+    "warm_template_cache",
     "ParallelStrategy",
     "ParmaEngine",
     "ParmaResult",

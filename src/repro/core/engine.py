@@ -73,6 +73,9 @@ class ParmaEngine:
         ``"nested"`` (recommended) or ``"full"``.
     threshold_sigmas / min_region_size:
         Anomaly-detection knobs (see :mod:`repro.anomaly.detect`).
+    formation:
+        ``"cached"`` (default) forms equations from the per-n template
+        cache; ``"legacy"`` uses the original per-pair reference path.
     """
 
     def __init__(
@@ -82,8 +85,10 @@ class ParmaEngine:
         solver: str = "nested",
         threshold_sigmas: float = 4.0,
         min_region_size: int = 1,
+        formation: str = "cached",
     ) -> None:
-        self._strategy = make_strategy(strategy, num_workers)
+        self._strategy = make_strategy(strategy, num_workers, formation=formation)
+        self.formation = self._strategy.formation
         self.solver = solver
         self.threshold_sigmas = threshold_sigmas
         self.min_region_size = min_region_size

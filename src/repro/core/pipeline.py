@@ -54,6 +54,7 @@ def run_pipeline(
     output_dir: str | Path | None = None,
     growth_threshold: float = 0.25,
     warm_start: bool = True,
+    formation: str = "cached",
 ) -> CampaignResult:
     """Parametrize every timepoint and analyse anomaly drift.
 
@@ -64,9 +65,18 @@ def run_pipeline(
     recovered field: consecutive readings differ only by anomaly
     growth and noise, so the solver converges in fewer iterations —
     the natural optimization for the §II-C "(almost) real-time"
-    monitoring loop.
+    monitoring loop.  Warm starting also reuses the forward solver's
+    Laplacian factorisation across timepoints: each solve begins at
+    the field where the previous solve's last evaluation ended, so the
+    first inner-circuit solve is served from the pseudo-inverse cache
+    (:func:`repro.kirchhoff.forward.laplacian_pinv_cached`) instead of
+    being refactorised.
+
+    ``formation`` selects the equation-formation path for the default
+    engine ("cached" template fast path or the "legacy" per-pair
+    reference); it is ignored when an ``engine`` is supplied.
     """
-    engine = engine or ParmaEngine()
+    engine = engine or ParmaEngine(formation=formation)
     results: list[ParmaResult] = []
     previous_field = None
     for meas in campaign:

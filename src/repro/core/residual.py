@@ -15,7 +15,12 @@ The Jacobian is assembled analytically in COO form.  Per pair there
 are at most ``6 n^2`` nonzeros, so the full matrix has O(n^4) nonzeros
 — sparse at density ``~3/n^2`` — and ``scipy.optimize.least_squares``
 with ``tr_solver="lsmr"`` scales to the sizes the solver benchmarks
-use.  Derivatives (G = e^{-θ}, so ∂/∂θ = -G ∂/∂G):
+use.  The COO sparsity pattern depends only on ``n``, never on ``x``,
+so it is computed once and cached (:func:`jacobian_cache_stats`
+observes the cache): each solver iteration only recomputes values into
+the preallocated ``data`` buffer and converts through a precomputed
+COO→CSR mapping.  :meth:`JointSystem.jacobian_reference` keeps the
+from-scratch assembly as the reference implementation.
 
 All rows use the LHS - RHS convention of
 :meth:`repro.core.equations.PairBlock.residuals`, so the global vector
@@ -37,7 +42,10 @@ UB_m       θ_mk: -(Ua_k - Ub_m) G_mk;  θ_mj: +Ub_m G_mj;
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 import scipy.sparse
@@ -165,8 +173,75 @@ class JointSystem:
 
     # -- Jacobian --------------------------------------------------------------
 
+    @cached_property
+    def _row_scale(self) -> np.ndarray:
+        """Per-pair row normalisation ``z/U`` (x-independent)."""
+        pairs = np.arange(self.num_pairs)
+        return (self.z[pairs // self.n, pairs % self.n] / self.voltage).ravel()
+
     def jacobian(self, x: np.ndarray) -> scipy.sparse.csr_matrix:
-        """Analytic sparse Jacobian at ``x`` (CSR, rows = residuals)."""
+        """Analytic sparse Jacobian at ``x`` (CSR, rows = residuals).
+
+        Fast path: the sparsity structure is fetched from the
+        process-wide per-``n`` cache (built once), so each call only
+        evaluates the nonzero *values* and scatters them through the
+        precomputed COO→CSR mapping.  Output matches
+        :meth:`jacobian_reference` to machine precision.
+        """
+        struct = _get_jac_structure(self.n)
+        vals = self._jacobian_values(x, struct)
+        data = np.add.reduceat(vals[struct.perm], struct.starts)
+        return scipy.sparse.csr_matrix(
+            (data, struct.indices, struct.indptr),
+            shape=(self.num_residuals, self.num_unknowns),
+        )
+
+    def _jacobian_values(
+        self, x: np.ndarray, struct: "_JacobianStructure"
+    ) -> np.ndarray:
+        """Nonzero values in the canonical COO emission order.
+
+        Mirrors block-for-block the ``add(...)`` sequence of
+        :meth:`jacobian_reference`; the block order here and the
+        row/col order of :func:`_build_jac_structure` must stay in
+        lockstep (property-tested).
+        """
+        r, ua, ub = self.unpack(x)
+        g = 1.0 / r
+        u = self.voltage
+        i_of, j_of, ks, ms = struct.i_of, struct.j_of, struct.ks, struct.ms
+        g_ik = g[i_of[:, None], ks]  # (p, n-1)
+        g_mj = g[ms, j_of[:, None]]  # (p, n-1)
+        g_mk = g[ms[:, :, None], ks[:, None, :]]  # (p, m', k')
+        g_ij = g[i_of, j_of]  # (p,)
+        scale = self._row_scale
+        cross = ua[:, None, :] - ub[:, :, None]  # (p, m', k')
+        blocks = (
+            # SOURCE row: θ_ij, θ_ik, Ua_k.
+            -scale * u * g_ij,
+            (-scale[:, None] * (u - ua) * g_ik),
+            (-scale[:, None] * g_ik),
+            # DEST row: θ_ij, θ_mj, Ub_m.
+            -scale * u * g_ij,
+            (-scale[:, None] * ub * g_mj),
+            (scale[:, None] * g_mj),
+            # UA rows: θ_ik, θ_mk, Ua_k, Ub_m.
+            -scale[:, None] * (u - ua) * g_ik,
+            scale[:, None, None] * cross * g_mk,
+            -scale[:, None] * (g_ik + g_mk.sum(axis=1)),
+            scale[:, None, None] * g_mk,
+            # UB rows: θ_mk, θ_mj, Ua_k, Ub_m.
+            -scale[:, None, None] * cross * g_mk,
+            scale[:, None] * ub * g_mj,
+            scale[:, None, None] * g_mk,
+            -scale[:, None] * (g_mk.sum(axis=2) + g_mj),
+        )
+        return np.concatenate(
+            [np.asarray(b, dtype=np.float64).ravel() for b in blocks]
+        )
+
+    def jacobian_reference(self, x: np.ndarray) -> scipy.sparse.csr_matrix:
+        """Reference Jacobian: full from-scratch COO assembly."""
         n = self.n
         r, ua_flat, ub_flat = self.unpack(x)
         g = 1.0 / r
@@ -301,9 +376,10 @@ class JointSystem:
         Defaults to ``R0 = n * Z`` scaled so the uniform-field forward
         model roughly reproduces Z, with Ua/Ub from the exact forward
         solve under ``R0`` — so the initial residual only reflects the
-        R-error, not arbitrary voltages.
+        R-error, not arbitrary voltages.  All ``n^2`` drive solutions
+        come from one shared (and cached) Laplacian factorisation.
         """
-        from repro.kirchhoff.forward import solve_all_drives
+        from repro.kirchhoff.forward import solve_all_drives_shared
 
         n = self.n
         if r0 is None:
@@ -314,45 +390,254 @@ class JointSystem:
         r0 = np.asarray(r0, dtype=np.float64)
         ua = np.empty((self.num_pairs, n - 1))
         ub = np.empty((self.num_pairs, n - 1))
-        for sol in solve_all_drives(r0, voltage=self.voltage):
+        for sol in solve_all_drives_shared(r0, voltage=self.voltage):
             p = sol.row * n + sol.col
             ua[p] = sol.ua()
             ub[p] = sol.ub()
         return self.pack(r0, ua, ub)
 
 
+def _others_table(n: int) -> np.ndarray:
+    """Cached ``(n, n-1)`` table: row ``d`` = sorted indices != d.
+
+    The single index structure behind every "delete row/column d"
+    gather below — computed once per ``n`` for the whole process.
+    """
+    with _JAC_LOCK:
+        table = _OTHERS_TABLES.get(n)
+        if table is None:
+            grid = np.broadcast_to(np.arange(n), (n, n))
+            table = grid[grid != np.arange(n)[:, None]].reshape(n, n - 1)
+            table.setflags(write=False)
+            _OTHERS_TABLES[n] = table
+    return table
+
+
 def _others(idx: np.ndarray, n: int) -> np.ndarray:
     """For each entry of ``idx``, the sorted other indices in [0, n)."""
-    p = len(idx)
-    grid = np.broadcast_to(np.arange(n), (p, n))
-    mask = grid != idx[:, None]
-    return grid[mask].reshape(p, n - 1)
+    return _others_table(n)[np.asarray(idx)]
 
 
 def _delete_cols_per_j(g: np.ndarray) -> np.ndarray:
     """[i, j, k'] = G[i, k] with column j removed, k ascending."""
-    n = g.shape[0]
-    out = np.empty((n, n, n - 1), dtype=np.float64)
-    for j in range(n):
-        out[:, j, :] = np.delete(g, j, axis=1)
-    return out
+    return np.ascontiguousarray(g[:, _others_table(g.shape[0])])
 
 
 def _delete_rows_per_i(g: np.ndarray) -> np.ndarray:
     """[i, j, m'] = G[m, j] with row i removed, m ascending."""
-    n = g.shape[0]
-    out = np.empty((n, n, n - 1), dtype=np.float64)
-    for i in range(n):
-        out[i, :, :] = np.delete(g, i, axis=0).T
-    return out
+    return np.ascontiguousarray(
+        g[_others_table(g.shape[0])].transpose(0, 2, 1)
+    )
 
 
 def _delete_both(g: np.ndarray) -> np.ndarray:
     """[i, j, m', k'] = G[m, k], row i and column j removed."""
-    n = g.shape[0]
-    out = np.empty((n, n, n - 1, n - 1), dtype=np.float64)
-    for i in range(n):
-        sub = np.delete(g, i, axis=0)
-        for j in range(n):
-            out[i, j] = np.delete(sub, j, axis=1)
-    return out
+    table = _others_table(g.shape[0])
+    return g[table[:, None, :, None], table[None, :, None, :]]
+
+
+# -- persistent Jacobian-structure cache -------------------------------------
+
+
+@dataclass
+class JacobianCacheStats:
+    """Observable counters of the Jacobian-structure cache."""
+
+    name: str = "jacobian-structure"
+    entries: int = 0
+    hits: int = 0
+    misses: int = 0
+    bytes_resident: int = 0
+    build_seconds: float = 0.0
+
+    def snapshot(self) -> "JacobianCacheStats":
+        return JacobianCacheStats(
+            name=self.name,
+            entries=self.entries,
+            hits=self.hits,
+            misses=self.misses,
+            bytes_resident=self.bytes_resident,
+            build_seconds=self.build_seconds,
+        )
+
+
+@dataclass(frozen=True)
+class _JacobianStructure:
+    """x-independent COO pattern + COO→CSR mapping for one ``n``.
+
+    ``perm`` sorts the canonical COO emission order into CSR order;
+    ``starts`` are the ``np.add.reduceat`` segment heads that fold
+    duplicate coordinates; ``indices``/``indptr`` are the final CSR
+    structure, shared (read-only) by every value update.
+    """
+
+    n: int
+    i_of: np.ndarray
+    j_of: np.ndarray
+    ks: np.ndarray
+    ms: np.ndarray
+    perm: np.ndarray
+    starts: np.ndarray
+    indices: np.ndarray
+    indptr: np.ndarray
+    nnz_coo: int
+
+    def nbytes(self) -> int:
+        return sum(
+            a.nbytes
+            for a in (
+                self.i_of,
+                self.j_of,
+                self.ks,
+                self.ms,
+                self.perm,
+                self.starts,
+                self.indices,
+                self.indptr,
+            )
+        )
+
+
+_JAC_LOCK = threading.Lock()
+_JAC_STRUCTURES: dict[int, _JacobianStructure] = {}
+_OTHERS_TABLES: dict[int, np.ndarray] = {}
+_JAC_STATS = JacobianCacheStats()
+
+
+def _build_jac_structure(n: int) -> _JacobianStructure:
+    """Emit the canonical COO rows/cols and derive the CSR mapping.
+
+    Block order mirrors :meth:`JointSystem.jacobian_reference` (and
+    must stay in lockstep with
+    :meth:`JointSystem._jacobian_values`).
+    """
+    system = JointSystem(n=n, z=np.ones((n, n)), voltage=1.0)
+    num_pairs = n * n
+    nm1 = n - 1
+    pairs = np.arange(num_pairs)
+    i_of = pairs // n
+    j_of = pairs % n
+    ks = _others(j_of, n)
+    ms = _others(i_of, n)
+    base = 2 * n * pairs
+    kp = np.arange(nm1)
+    tile_kp = np.tile(kp, num_pairs)
+    shape3 = (num_pairs, nm1, nm1)
+
+    r_src = base
+    r_dst = base + 1
+    r_ua = base[:, None] + 2 + kp[None, :]  # (p, k')
+    r_ub = base[:, None] + n + 1 + kp[None, :]  # (p, m')
+
+    def bc(arr, shape):
+        return np.broadcast_to(arr, shape)
+
+    blocks: list[tuple[np.ndarray, np.ndarray]] = [
+        # SOURCE row: θ_ij, θ_ik, Ua_k.
+        (r_src, system.theta_index(i_of, j_of)),
+        (
+            np.repeat(r_src, nm1),
+            system.theta_index(np.repeat(i_of, nm1), ks.ravel()),
+        ),
+        (np.repeat(r_src, nm1), system.ua_index(np.repeat(pairs, nm1), tile_kp)),
+        # DEST row: θ_ij, θ_mj, Ub_m.
+        (r_dst, system.theta_index(i_of, j_of)),
+        (
+            np.repeat(r_dst, nm1),
+            system.theta_index(ms.ravel(), np.repeat(j_of, nm1)),
+        ),
+        (np.repeat(r_dst, nm1), system.ub_index(np.repeat(pairs, nm1), tile_kp)),
+        # UA rows: θ_ik, θ_mk, Ua_k, Ub_m.
+        (r_ua, system.theta_index(i_of[:, None], ks)),
+        (
+            bc(r_ua[:, None, :], shape3),
+            system.theta_index(
+                bc(ms[:, :, None], shape3), bc(ks[:, None, :], shape3)
+            ),
+        ),
+        (r_ua, system.ua_index(pairs[:, None], kp[None, :])),
+        (
+            bc(r_ua[:, None, :], shape3),
+            bc(system.ub_index(pairs[:, None, None], kp[None, :, None]), shape3),
+        ),
+        # UB rows: θ_mk, θ_mj, Ua_k, Ub_m.
+        (
+            bc(r_ub[:, :, None], shape3),
+            system.theta_index(
+                bc(ms[:, :, None], shape3), bc(ks[:, None, :], shape3)
+            ),
+        ),
+        (r_ub, system.theta_index(ms, j_of[:, None])),
+        (
+            bc(r_ub[:, :, None], shape3),
+            bc(system.ua_index(pairs[:, None, None], kp[None, None, :]), shape3),
+        ),
+        (r_ub, system.ub_index(pairs[:, None], kp[None, :])),
+    ]
+    rows = np.concatenate([np.asarray(r).ravel() for r, _ in blocks])
+    cols = np.concatenate([np.asarray(c).ravel() for _, c in blocks])
+
+    perm = np.lexsort((cols, rows))
+    rs = rows[perm]
+    cs = cols[perm]
+    fresh = np.empty(len(rs), dtype=bool)
+    fresh[0] = True
+    fresh[1:] = (rs[1:] != rs[:-1]) | (cs[1:] != cs[:-1])
+    starts = np.flatnonzero(fresh)
+    indices = np.ascontiguousarray(cs[starts])
+    counts = np.bincount(rs[starts], minlength=system.num_residuals)
+    indptr = np.concatenate(([0], np.cumsum(counts)))
+    return _JacobianStructure(
+        n=n,
+        i_of=i_of,
+        j_of=j_of,
+        ks=ks,
+        ms=ms,
+        perm=perm,
+        starts=starts,
+        indices=indices,
+        indptr=indptr,
+        nnz_coo=len(rows),
+    )
+
+
+def _get_jac_structure(n: int) -> _JacobianStructure:
+    """Cached structure for ``n`` (persistent across solver iterations,
+    systems and measurements — the pattern depends on nothing else)."""
+    with _JAC_LOCK:
+        struct = _JAC_STRUCTURES.get(n)
+        if struct is not None:
+            _JAC_STATS.hits += 1
+            return struct
+    start = time.perf_counter()
+    struct = _build_jac_structure(n)
+    elapsed = time.perf_counter() - start
+    with _JAC_LOCK:
+        raced = _JAC_STRUCTURES.get(n)
+        if raced is not None:  # pragma: no cover - build race
+            _JAC_STATS.hits += 1
+            return raced
+        _JAC_STRUCTURES[n] = struct
+        _JAC_STATS.misses += 1
+        _JAC_STATS.entries = len(_JAC_STRUCTURES)
+        _JAC_STATS.bytes_resident += struct.nbytes()
+        _JAC_STATS.build_seconds += elapsed
+    return struct
+
+
+def jacobian_cache_stats() -> JacobianCacheStats:
+    """Snapshot of the structure-cache counters for this process."""
+    with _JAC_LOCK:
+        return _JAC_STATS.snapshot()
+
+
+def clear_jacobian_cache() -> None:
+    """Drop cached structures and reset the counters (tests)."""
+    with _JAC_LOCK:
+        _JAC_STRUCTURES.clear()
+        _OTHERS_TABLES.clear()
+        _JAC_STATS.entries = 0
+        _JAC_STATS.hits = 0
+        _JAC_STATS.misses = 0
+        _JAC_STATS.bytes_resident = 0
+        _JAC_STATS.build_seconds = 0.0

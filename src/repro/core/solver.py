@@ -34,9 +34,8 @@ import scipy.optimize
 
 from repro.core.residual import JointSystem
 from repro.kirchhoff.forward import (
-    _laplacian_pinv,
-    crossbar_laplacian,
     effective_resistance_matrix,
+    laplacian_pinv_cached,
 )
 from repro.utils.validation import require_positive, require_positive_array
 
@@ -76,7 +75,9 @@ def nested_jacobian(r: np.ndarray) -> np.ndarray:
     """
     r = require_positive_array(r, "r")
     m, n = r.shape
-    pinv = _laplacian_pinv(crossbar_laplacian(r))
+    # Cached: within one Gauss-Newton iteration the residual already
+    # factorised this same field, so this is usually a cache hit.
+    pinv = laplacian_pinv_cached(r)
     hh = pinv[:m, :m]  # P[H_s, H_a]
     hv = pinv[:m, m:]  # P[H_s, V_b]
     vv = pinv[m:, m:]  # P[V_t, V_b]

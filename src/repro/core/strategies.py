@@ -39,6 +39,13 @@ from repro.core.partition import (
     partition_betti,
     partition_by_category,
 )
+from repro.core.templates import (
+    check_formation_mode,
+    form_worker_share,
+    iter_pair_batches,
+    stamp_pair_block,
+    warm_template_cache,
+)
 from repro.io.equations_io import write_block_binary, write_block_text
 from repro.parallel import pymp
 from repro.utils.validation import require_positive, require_positive_int
@@ -74,10 +81,18 @@ def _validate_z(z: np.ndarray) -> np.ndarray:
 
 
 class SingleThread:
-    """Serial formation of every pair block (baseline [15])."""
+    """Serial formation of every pair block (baseline [15]).
+
+    ``formation="cached"`` (default) stamps blocks from the per-n
+    template cache; ``"legacy"`` is the original from-scratch per-pair
+    path, kept as the reference implementation.
+    """
 
     name = "single-thread"
     num_workers = 1
+
+    def __init__(self, formation: str = "cached") -> None:
+        self.formation = check_formation_mode(formation)
 
     def run(
         self,
@@ -96,11 +111,19 @@ class SingleThread:
         parts: tuple[str, ...] = ()
         writer, fh = _open_writer(output_dir, fmt, worker=0)
         try:
-            for block in iter_pair_blocks(z, voltage=voltage):
-                terms += block.num_terms
-                checksum += block.checksum()
-                if writer is not None:
-                    bytes_written += writer(block, fh)
+            if self.formation == "cached":
+                for batch in iter_pair_batches(z, voltage=voltage):
+                    terms += batch.num_terms
+                    checksum += float(batch.checksums().sum())
+                    if writer is not None:
+                        for block in batch:
+                            bytes_written += writer(block, fh)
+            else:
+                for block in iter_pair_blocks(z, voltage=voltage):
+                    terms += block.num_terms
+                    checksum += block.checksum()
+                    if writer is not None:
+                        bytes_written += writer(block, fh)
         finally:
             if fh is not None:
                 fh.close()
@@ -123,8 +146,9 @@ class _PartitionedStrategy:
 
     name = "partitioned"
 
-    def __init__(self, num_workers: int) -> None:
+    def __init__(self, num_workers: int, formation: str = "cached") -> None:
         self.num_workers = require_positive_int(num_workers, "num_workers")
+        self.formation = check_formation_mode(formation)
 
     def _partition(self, n: int) -> Partition:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -146,6 +170,13 @@ class _PartitionedStrategy:
         per_worker_terms = pymp.shared_array((workers,), dtype=np.int64)
         per_worker_checksum = pymp.shared_array((workers,), dtype=np.float64)
         per_worker_bytes = pymp.shared_array((workers,), dtype=np.int64)
+        if self.formation == "cached":
+            # Build the per-category templates in the parent so forked
+            # workers inherit them copy-on-write instead of each paying
+            # the build cost (and each missing the shared cache).
+            warm_template_cache(
+                n, [(cat,) for cat in sorted({it.category for it in items})]
+            )
         start = time.perf_counter()
         with pymp.Parallel(workers) as p:
             me = p.thread_num
@@ -155,20 +186,35 @@ class _PartitionedStrategy:
             my_bytes = 0
             try:
                 mine = np.flatnonzero(worker_of == me)
-                for idx in mine:
-                    item = items[idx]
-                    block = form_pair_block(
-                        n,
-                        item.row,
-                        item.col,
-                        z[item.row, item.col],
-                        voltage=voltage,
-                        categories=[item.category],
+                if self.formation == "cached":
+                    batches, placement = form_worker_share(
+                        n, items, mine, z, voltage=voltage
                     )
-                    my_terms += block.num_terms
-                    my_checksum += block.checksum()
+                    my_terms = sum(b.num_terms for b in batches.values())
+                    my_checksum = sum(
+                        float(b.checksums().sum()) for b in batches.values()
+                    )
                     if writer is not None:
-                        my_bytes += writer(block, fh)
+                        # Emit in original item order so part files are
+                        # byte-identical to the legacy per-item loop.
+                        for idx in mine:
+                            cat, pos = placement[int(idx)]
+                            my_bytes += writer(batches[cat].block(pos), fh)
+                else:
+                    for idx in mine:
+                        item = items[idx]
+                        block = form_pair_block(
+                            n,
+                            item.row,
+                            item.col,
+                            z[item.row, item.col],
+                            voltage=voltage,
+                            categories=[item.category],
+                        )
+                        my_terms += block.num_terms
+                        my_checksum += block.checksum()
+                        if writer is not None:
+                            my_bytes += writer(block, fh)
             finally:
                 if fh is not None:
                     fh.close()
@@ -195,8 +241,8 @@ class ParallelStrategy(_PartitionedStrategy):
 
     name = "parallel"
 
-    def __init__(self) -> None:
-        super().__init__(4)
+    def __init__(self, formation: str = "cached") -> None:
+        super().__init__(4, formation=formation)
 
     def _partition(self, n: int) -> Partition:
         return partition_by_category(n)
@@ -221,8 +267,10 @@ class PyMPStrategy(_PartitionedStrategy):
 
     name = "pymp"
 
-    def __init__(self, num_workers: int, schedule: str = "static") -> None:
-        super().__init__(num_workers)
+    def __init__(
+        self, num_workers: int, schedule: str = "static", formation: str = "cached"
+    ) -> None:
+        super().__init__(num_workers, formation=formation)
         if schedule not in ("static", "dynamic"):
             raise ValueError(f"unknown schedule {schedule!r}")
         self.schedule = schedule
@@ -257,6 +305,10 @@ class PyMPStrategy(_PartitionedStrategy):
         per_worker_terms = pymp.shared_array((workers,), dtype=np.int64)
         per_worker_checksum = pymp.shared_array((workers,), dtype=np.float64)
         per_worker_bytes = pymp.shared_array((workers,), dtype=np.int64)
+        if self.formation == "cached":
+            warm_template_cache(
+                n, [(cat,) for cat in sorted({it.category for it in items})]
+            )
         start = time.perf_counter()
         with pymp.Parallel(workers) as p:
             me = p.thread_num
@@ -265,16 +317,29 @@ class PyMPStrategy(_PartitionedStrategy):
             my_checksum = 0.0
             my_bytes = 0
             try:
+                # Dynamic schedule pulls items one at a time from the
+                # shared counter, so stamping stays per-item (the cached
+                # template still skips all index recomputation).
                 for idx in p.xrange(len(items)):
                     item = items[idx]
-                    block = form_pair_block(
-                        n,
-                        item.row,
-                        item.col,
-                        z[item.row, item.col],
-                        voltage=voltage,
-                        categories=[item.category],
-                    )
+                    if self.formation == "cached":
+                        block = stamp_pair_block(
+                            n,
+                            item.row,
+                            item.col,
+                            z[item.row, item.col],
+                            voltage=voltage,
+                            categories=(item.category,),
+                        )
+                    else:
+                        block = form_pair_block(
+                            n,
+                            item.row,
+                            item.col,
+                            z[item.row, item.col],
+                            voltage=voltage,
+                            categories=[item.category],
+                        )
                     my_terms += block.num_terms
                     my_checksum += block.checksum()
                     if writer is not None:
@@ -326,18 +391,21 @@ def _part_files(output_dir, fmt, workers) -> tuple[str, ...]:
     )
 
 
-def make_strategy(name: str, num_workers: int = 4) -> "SingleThread | _PartitionedStrategy":
+def make_strategy(
+    name: str, num_workers: int = 4, formation: str = "cached"
+) -> "SingleThread | _PartitionedStrategy":
     """Factory by paper name: 'single' | 'parallel' | 'balanced' | 'pymp'."""
+    formation = check_formation_mode(formation)
     if name in ("single", "single-thread"):
-        return SingleThread()
+        return SingleThread(formation=formation)
     if name == "parallel":
-        return ParallelStrategy()
+        return ParallelStrategy(formation=formation)
     if name in ("balanced", "balanced-parallel"):
-        return BalancedParallel(num_workers)
+        return BalancedParallel(num_workers, formation=formation)
     if name == "pymp":
-        return PyMPStrategy(num_workers)
+        return PyMPStrategy(num_workers, formation=formation)
     if name == "pymp-dynamic":
-        return PyMPStrategy(num_workers, schedule="dynamic")
+        return PyMPStrategy(num_workers, schedule="dynamic", formation=formation)
     raise ValueError(f"unknown strategy {name!r}")
 
 
@@ -345,22 +413,34 @@ def make_strategy(name: str, num_workers: int = 4) -> "SingleThread | _Partition
 
 
 def calibrate_sec_per_term(
-    n: int, voltage: float = 5.0, sample_pairs: int = 64, seed_z: float = 1000.0
+    n: int,
+    voltage: float = 5.0,
+    sample_pairs: int = 64,
+    seed_z: float = 1000.0,
+    formation: str = "legacy",
 ) -> float:
     """Measured seconds per formed term on this machine.
 
     Forms ``sample_pairs`` representative full pair blocks and divides
     elapsed time by terms produced.  Formation cost is data-independent
-    (pure index arithmetic), so a constant Z is fine.
+    (pure index arithmetic), so a constant Z is fine.  The default
+    calibrates the legacy path (the cost model the scaling figures were
+    fit against); pass ``formation="cached"`` to measure the template
+    fast path instead (template build time is excluded by warming the
+    cache before the clock starts).
     """
     require_positive_int(n, "n", minimum=2)
+    formation = check_formation_mode(formation)
     count = min(sample_pairs, n * n)
     sample = np.linspace(0, n * n - 1, count).astype(np.int64)
+    if formation == "cached":
+        warm_template_cache(n)
+    former = stamp_pair_block if formation == "cached" else form_pair_block
     start = time.perf_counter()
     terms = 0
     for p in sample:
         row, col = divmod(int(p), n)
-        block = form_pair_block(n, row, col, seed_z, voltage=voltage)
+        block = former(n, row, col, seed_z, voltage=voltage)
         terms += block.num_terms
     elapsed = time.perf_counter() - start
     return elapsed / max(terms, 1)

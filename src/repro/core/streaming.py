@@ -22,6 +22,7 @@ from typing import BinaryIO, Protocol
 import numpy as np
 
 from repro.core.equations import PairBlock, iter_pair_blocks
+from repro.core.templates import check_formation_mode, iter_pair_blocks_cached
 from repro.io.equations_io import write_block_binary
 from repro.utils.validation import require_positive
 
@@ -105,21 +106,32 @@ def stream_formation(
     z: np.ndarray,
     sink: FormationSink,
     voltage: float = 5.0,
+    formation: str = "cached",
 ) -> StreamReport:
     """Form every pair block of ``z`` and feed it to ``sink``.
 
-    Memory stays at one block; the returned report carries throughput
-    so benchmarks can extrapolate wall time for any n.
+    Memory stays bounded (one block legacy, one fixed-size batch
+    cached); the returned report carries throughput so benchmarks can
+    extrapolate wall time for any n.  ``formation="cached"`` stamps
+    blocks from the per-n template (blocks handed to the sink are
+    views into the current batch — the no-retention contract above is
+    what makes that safe); ``"legacy"`` is the original per-pair path.
     """
     z = np.asarray(z, dtype=np.float64)
     if z.ndim != 2 or z.shape[0] != z.shape[1]:
         raise ValueError("z must be square (n, n)")
     require_positive(voltage, "voltage")
+    formation = check_formation_mode(formation)
     n = z.shape[0]
     start = time.perf_counter()
     pairs = 0
     terms = 0
-    for block in iter_pair_blocks(z, voltage=voltage):
+    blocks = (
+        iter_pair_blocks_cached(z, voltage=voltage)
+        if formation == "cached"
+        else iter_pair_blocks(z, voltage=voltage)
+    )
+    for block in blocks:
         sink.consume(block)
         pairs += 1
         terms += block.num_terms
@@ -132,10 +144,10 @@ def stream_formation(
 
 
 def stream_to_file(
-    z: np.ndarray, path: str | Path, voltage: float = 5.0
+    z: np.ndarray, path: str | Path, voltage: float = 5.0, formation: str = "cached"
 ) -> tuple[StreamReport, int]:
     """Stream the full system to one binary file; returns (report, bytes)."""
     with open(path, "wb") as fh:
         sink = BinaryFileSink(fh=fh)
-        report = stream_formation(z, sink, voltage=voltage)
+        report = stream_formation(z, sink, voltage=voltage, formation=formation)
     return report, sink.bytes_written

@@ -67,6 +67,31 @@ def human_bytes(nbytes: float) -> str:
     return f"{value:.1f} TiB"  # pragma: no cover
 
 
+def cache_stats_table(stats_list: Sequence[Any]) -> ResultTable:
+    """Tabulate formation/Jacobian/Laplacian cache statistics.
+
+    Accepts any objects exposing ``name``, ``entries``, ``hits``,
+    ``misses``, ``bytes_resident`` and ``build_seconds`` (the shape of
+    :func:`repro.core.templates.cache_stats`,
+    :func:`repro.core.residual.jacobian_cache_stats` and
+    :func:`repro.kirchhoff.forward.laplacian_cache_stats`).
+    """
+    table = ResultTable(
+        title="formation/assembly caches",
+        columns=("cache", "entries", "hits", "misses", "resident", "build"),
+    )
+    for stats in stats_list:
+        table.add_row(
+            stats.name,
+            stats.entries,
+            stats.hits,
+            stats.misses,
+            human_bytes(stats.bytes_resident),
+            human_seconds(stats.build_seconds),
+        )
+    return table
+
+
 def human_seconds(seconds: float) -> str:
     """Pretty duration: µs/ms/s/min ranges."""
     if seconds < 1e-3:

@@ -12,10 +12,14 @@
 
 from repro.kirchhoff.forward import (
     DriveSolution,
+    clear_laplacian_cache,
     crossbar_laplacian,
     effective_resistance_matrix,
+    laplacian_cache_stats,
+    laplacian_pinv_cached,
     measure,
     solve_all_drives,
+    solve_all_drives_shared,
     solve_drive,
 )
 from repro.kirchhoff.laws import Circuit, CircuitSolution, ResistorEdge
@@ -55,13 +59,17 @@ __all__ = [
     "PathSystem",
     "ResistorEdge",
     "build_path_system",
+    "clear_laplacian_cache",
     "count_paths_exact",
     "count_paths_paper",
     "crossbar_laplacian",
     "effective_resistance_matrix",
     "enumerate_paths",
+    "laplacian_cache_stats",
+    "laplacian_pinv_cached",
     "measure",
     "solve_all_drives",
+    "solve_all_drives_shared",
     "solve_drive",
     "solve_mesh",
     "solve_path_system",

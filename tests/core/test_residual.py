@@ -139,3 +139,47 @@ class TestJacobian:
         assert np.all(r0 > 0)
         interior = np.abs(res[np.arange(len(res)) % (2 * n) >= 2])
         assert np.max(interior) < 1e-9
+
+
+class TestJacobianStructureCache:
+    def test_cached_equals_reference_across_value_updates(self):
+        from repro.core.residual import clear_jacobian_cache
+
+        clear_jacobian_cache()
+        for n in (2, 3, 5):
+            system, x, _ = ground_truth_state(n, seed=n)
+            rng = np.random.default_rng(n)
+            # Several value-only updates against the one cached pattern.
+            for trial in range(4):
+                xt = x * (1 + 0.05 * rng.standard_normal(x.shape))
+                cached = system.jacobian(xt)
+                ref = system.jacobian_reference(xt)
+                assert cached.shape == ref.shape
+                diff = (cached - ref).toarray()
+                scale = max(1.0, np.abs(ref.toarray()).max())
+                assert np.max(np.abs(diff)) <= 1e-12 * scale
+
+    def test_pattern_is_identical_to_reference(self):
+        system, x, _ = ground_truth_state(4, seed=2)
+        cached = system.jacobian(x)
+        ref = system.jacobian_reference(x).tocsr()
+        ref.sum_duplicates()
+        ref.sort_indices()
+        np.testing.assert_array_equal(cached.indptr, ref.indptr)
+        np.testing.assert_array_equal(cached.indices, ref.indices)
+
+    def test_structure_cached_once_per_n(self):
+        from repro.core.residual import (
+            clear_jacobian_cache,
+            jacobian_cache_stats,
+        )
+
+        clear_jacobian_cache()
+        system, x, _ = ground_truth_state(3, seed=1)
+        system.jacobian(x)
+        system.jacobian(x * 1.01)
+        stats = jacobian_cache_stats()
+        assert stats.entries == 1
+        assert stats.misses == 1
+        assert stats.hits >= 1
+        assert stats.bytes_resident > 0

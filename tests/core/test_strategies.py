@@ -145,3 +145,48 @@ class TestFactoryAndCalibration:
         costs = item_costs_seconds(part, 1e-7)
         assert costs.shape == (len(part.items),)
         assert costs.sum() == pytest.approx(total_terms(6) * 1e-7)
+
+
+class TestFormationModes:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda f: SingleThread(formation=f),
+            lambda f: ParallelStrategy(formation=f),
+            lambda f: BalancedParallel(3, formation=f),
+            lambda f: PyMPStrategy(3, formation=f),
+        ],
+    )
+    def test_cached_part_files_byte_identical_to_legacy(
+        self, make, device8, tmp_path
+    ):
+        _, z = device8
+        cached_dir = tmp_path / "cached"
+        legacy_dir = tmp_path / "legacy"
+        rc = make("cached").run(z, output_dir=cached_dir)
+        rl = make("legacy").run(z, output_dir=legacy_dir)
+        assert rc.terms_formed == rl.terms_formed
+        assert rc.checksum == rl.checksum
+        assert [p.rsplit("/", 1)[-1] for p in rc.part_files] == [
+            p.rsplit("/", 1)[-1] for p in rl.part_files
+        ]
+        for pc, pl in zip(rc.part_files, rl.part_files):
+            with open(pc, "rb") as fc, open(pl, "rb") as fl:
+                assert fc.read() == fl.read()
+
+    def test_dynamic_schedule_totals_match(self, device8):
+        _, z = device8
+        rc = PyMPStrategy(2, schedule="dynamic", formation="cached").run(z)
+        rl = PyMPStrategy(2, schedule="dynamic", formation="legacy").run(z)
+        assert rc.terms_formed == rl.terms_formed
+        assert rc.checksum == rl.checksum
+
+    def test_make_strategy_threads_formation(self):
+        assert make_strategy("single", formation="legacy").formation == "legacy"
+        assert make_strategy("pymp", 2).formation == "cached"
+        with pytest.raises(ValueError):
+            make_strategy("single", formation="nope")
+
+    def test_calibration_cached_mode(self):
+        assert calibrate_sec_per_term(6, sample_pairs=4,
+                                      formation="cached") > 0
