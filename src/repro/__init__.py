@@ -19,6 +19,8 @@ Parallelization of Multidimensional Data on Microelectrode Arrays"*
 :mod:`repro.anomaly`   Anomaly detection and scoring.
 :mod:`repro.io`        Measurement text format, equation serialization.
 :mod:`repro.instrument` Memory sampling and result tables.
+:mod:`repro.resilience` Fault injection, checkpoint/resume, bounded
+                       retries, solver degradation (DESIGN.md §6).
 ====================  =====================================================
 
 Quick start::
@@ -35,13 +37,19 @@ Quick start::
 from repro.core.engine import ParmaEngine, ParmaResult
 from repro.core.pipeline import CampaignResult, run_pipeline
 from repro.core.solver import SolveResult, solve
+from repro.resilience.degrade import DegradationReport
+from repro.resilience.faults import FaultPlan
+from repro.resilience.retry import RetryPolicy
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CampaignResult",
+    "DegradationReport",
+    "FaultPlan",
     "ParmaEngine",
     "ParmaResult",
+    "RetryPolicy",
     "SolveResult",
     "__version__",
     "run_pipeline",

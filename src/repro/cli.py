@@ -19,6 +19,10 @@ Subcommands mirror the wet-lab workflow:
     text format — the paper's "Excel files converted into text".
 ``selftest``
     Run the library's core-invariant checks (installation sanity).
+``chaos``
+    Fault-injection smoke: kill workers, corrupt streamed blocks,
+    dirty measurements, force solver rungs — and verify every
+    recovery path produces the fault-free answer.
 ``info``
     Print device/topology/accounting facts for a given n.
 
@@ -58,6 +62,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_solve(args: argparse.Namespace) -> int:
     from repro.core.engine import ParmaEngine
     from repro.io.textformat import load_campaign
+    from repro.mea.dataset import MeasurementValidationError
+    from repro.resilience.degrade import SolverDegradationError
+    from repro.resilience.faults import FaultPlan
 
     campaign = load_campaign(args.campaign)
     try:
@@ -65,20 +72,50 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    faults = None
+    if args.inject_fail_rungs:
+        faults = FaultPlan(
+            fail_rungs=tuple(
+                r.strip() for r in args.inject_fail_rungs.split(",") if r.strip()
+            )
+        )
     engine = ParmaEngine(
         strategy=args.strategy,
         num_workers=args.workers,
         solver=args.solver,
         threshold_sigmas=args.threshold,
         formation=args.formation,
+        validate=args.validate,
+        faults=faults,
     )
     solver_kwargs = (
         {"lam": args.lam} if args.solver == "regularized" else None
     )
-    result = engine.parametrize(
-        meas, output_dir=args.equations_dir, solver_kwargs=solver_kwargs
-    )
+    try:
+        result = engine.parametrize(
+            meas, output_dir=args.equations_dir, solver_kwargs=solver_kwargs
+        )
+    except SolverDegradationError as exc:
+        print(
+            f"error: solve failed on every degradation rung: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    except MeasurementValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     print(result.summary())
+    for event in result.events:
+        print(f"  resilience: {event}")
+    if result.degradation is not None and result.degradation.degraded:
+        print(f"  degradation: {result.degradation.describe()}")
+        if not result.solve.converged:
+            print(
+                "error: solve did not converge even after degradation "
+                f"({result.degradation.describe()})",
+                file=sys.stderr,
+            )
+            return 1
     if args.show:
         from repro.instrument.heatmap import render_field
 
@@ -99,21 +136,36 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     from repro.core.engine import ParmaEngine
     from repro.core.pipeline import run_pipeline
     from repro.io.textformat import load_campaign
+    from repro.resilience.retry import RetryPolicy
 
     campaign = load_campaign(args.campaign)
+    retry = (
+        RetryPolicy(max_retries=args.max_retries)
+        if args.max_retries is not None
+        else None
+    )
     engine = ParmaEngine(
         strategy=args.strategy,
         num_workers=args.workers,
         threshold_sigmas=args.threshold,
         formation=args.formation,
+        retry=retry,
     )
     out = run_pipeline(
         campaign,
         engine=engine,
         growth_threshold=args.growth,
         warm_start=not args.no_warm_start,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=not args.no_resume,
     )
     print(out.summary())
+    resumed = sum(
+        1 for r in out.results if r.formation.strategy.startswith("resumed:")
+    )
+    if resumed:
+        print(f"  {resumed} timepoint(s) restored from checkpoint "
+              f"{args.checkpoint_dir}")
     if args.show and out.drift_detection is not None:
         from repro.instrument.heatmap import render_comparison
 
@@ -176,6 +228,171 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Fault-injection smoke test: every recovery path, one command.
+
+    Each check injects a specific fault and asserts the recovered
+    output equals the fault-free reference — recovery that silently
+    changes answers is worse than crashing.
+    """
+    import tempfile
+
+    import numpy as np
+
+    from repro.core.engine import ParmaEngine
+    from repro.core.pipeline import run_pipeline
+    from repro.core.streaming import stream_to_file
+    from repro.mea.dataset import MeasurementValidationError
+    from repro.mea.synthetic import paper_like_spec
+    from repro.mea.wetlab import run_campaign
+    from repro.parallel.pymp import fork_available
+    from repro.resilience import (
+        FaultPlan,
+        InjectedAbort,
+        RetryPolicy,
+        stream_to_file_checkpointed,
+    )
+
+    n, seed = args.n, args.seed
+    run = run_campaign(paper_like_spec(n, seed=seed), seed=seed)
+    campaign = run.campaign
+    meas = campaign.measurements[0]
+    checks: list[tuple[str, bool, str]] = []
+
+    def check(name: str, ok: bool, detail: str = "") -> None:
+        checks.append((name, ok, detail))
+        print(f"  [{'PASS' if ok else 'FAIL'}] {name}" + (f": {detail}" if detail else ""))
+
+    print(f"chaos smoke on a {n}x{n} device (seed {seed})")
+
+    # 1. Worker kill mid-formation -> bounded retry reproduces the
+    #    fault-free formation checksum.
+    if fork_available():
+        clean = ParmaEngine(strategy="pymp", num_workers=3).form(meas)
+        engine = ParmaEngine(
+            strategy="pymp",
+            num_workers=3,
+            faults=FaultPlan(seed=seed, kill_workers=(1,), kill_attempts=1),
+            retry=RetryPolicy(max_retries=2),
+        )
+        result = engine.parametrize(meas)
+        check(
+            "worker kill -> retry",
+            bool(result.events)
+            and np.isclose(result.formation.checksum, clean.checksum),
+            f"{len(result.events)} event(s), checksum matches",
+        )
+    else:  # pragma: no cover - fork always available on test platforms
+        check("worker kill -> retry", True, "skipped (no fork)")
+
+    with tempfile.TemporaryDirectory() as td:
+        td = Path(td)
+        # 2. Corrupt + dropped stream blocks -> checksum verification
+        #    re-forms them; resumed file is byte-identical.
+        ref_path = td / "clean.bin"
+        stream_to_file(meas.z_kohm, ref_path, voltage=meas.voltage)
+        chaos_dir = td / "stream"
+        corrupt = n + 2
+        plan = FaultPlan(
+            seed=seed,
+            corrupt_blocks=(corrupt,),
+            drop_blocks=(3 * n + 1,),
+            abort_after_blocks=(n * n) // 2,
+        )
+        try:
+            stream_to_file_checkpointed(
+                meas.z_kohm, chaos_dir, voltage=meas.voltage, faults=plan
+            )
+        except InjectedAbort:
+            pass
+        cp, resume_report, _ = stream_to_file_checkpointed(
+            meas.z_kohm, chaos_dir, voltage=meas.voltage
+        )
+        identical = cp.data_path.read_bytes() == ref_path.read_bytes()
+        check(
+            "block corruption/drop -> checkpointed resume",
+            cp.complete and identical and resume_report.blocks_discarded > 0,
+            f"discarded {resume_report.blocks_discarded} "
+            f"({resume_report.first_bad_reason}); file byte-identical",
+        )
+
+        # 3. Campaign abort between timepoints -> resume from manifest,
+        #    fields identical to the fault-free day.
+        ref = run_pipeline(campaign, engine=ParmaEngine(strategy="single"))
+        ck = td / "campaign"
+        try:
+            run_pipeline(
+                campaign,
+                engine=ParmaEngine(strategy="single"),
+                checkpoint_dir=ck,
+                faults=FaultPlan(seed=seed, abort_after_timepoints=2),
+            )
+        except InjectedAbort:
+            pass
+        resumed = run_pipeline(
+            campaign, engine=ParmaEngine(strategy="single"), checkpoint_dir=ck
+        )
+        fields_equal = all(
+            np.array_equal(a.resistance, b.resistance)
+            for a, b in zip(ref.results, resumed.results)
+        )
+        restored = sum(
+            1
+            for r in resumed.results
+            if r.formation.strategy.startswith("resumed:")
+        )
+        check(
+            "campaign kill -> resume",
+            fields_equal and restored == 2,
+            f"{restored} timepoint(s) restored, fields identical",
+        )
+
+    # 4. Dirty measurement: strict rejects naming the channel; repair
+    #    imputes and completes.
+    dirty_plan = FaultPlan(seed=seed, nan_sites=((1, 2),), dead_rows=(0,))
+    strict = ParmaEngine(strategy="single", faults=dirty_plan, validate="strict")
+    try:
+        strict.parametrize(meas)
+        check("dirty measurement -> strict reject", False, "no error raised")
+    except MeasurementValidationError as exc:
+        check(
+            "dirty measurement -> strict reject",
+            "z_kohm[" in str(exc),
+            str(exc)[:80],
+        )
+    repair = ParmaEngine(strategy="single", faults=dirty_plan, validate="repair")
+    result = repair.parametrize(meas)
+    check(
+        "dirty measurement -> repair",
+        any("repaired" in e for e in result.events)
+        and np.all(np.isfinite(result.resistance)),
+        "imputed bad sites, solve finished",
+    )
+
+    # 5. Forced rung failures engage the ladder in order.
+    engine = ParmaEngine(
+        strategy="single",
+        faults=FaultPlan(seed=seed, fail_rungs=("primary", "regularized")),
+    )
+    result = engine.parametrize(meas)
+    deg = result.degradation
+    check(
+        "solver ladder",
+        deg is not None
+        and deg.rung_used == "bounded"
+        and deg.rungs_tried == ("primary", "regularized", "bounded"),
+        deg.describe() if deg else "no degradation report",
+    )
+
+    failed = [name for name, ok, _ in checks if not ok]
+    if failed:
+        print(f"chaos: {len(failed)}/{len(checks)} check(s) FAILED: "
+              f"{', '.join(failed)}", file=sys.stderr)
+        return 1
+    print(f"chaos: all {len(checks)} checks passed")
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     from repro.core.categories import (
         total_equations,
@@ -219,6 +436,12 @@ def _cmd_info(args: argparse.Namespace) -> int:
             [cache_stats(), jacobian_cache_stats(), laplacian_cache_stats()]
         ).render()
     )
+    from repro.resilience.degrade import LADDER_RUNGS
+
+    print("resilience:")
+    print(f"  degradation ladder: {' -> '.join(LADDER_RUNGS)}")
+    print("  checkpoints: campaign manifests (per-timepoint field + "
+          "SHA-256), stream journals (per-block checksum)")
     return 0
 
 
@@ -249,9 +472,16 @@ def build_parser() -> argparse.ArgumentParser:
                                   "pymp", "pymp-dynamic"])
     p_solve.add_argument("--workers", type=int, default=4)
     p_solve.add_argument("--solver", default="nested",
-                         choices=["nested", "full", "regularized"])
+                         choices=["nested", "full", "regularized", "bounded"])
     p_solve.add_argument("--lam", type=float, default=1e-3,
                          help="Tikhonov weight for --solver regularized")
+    p_solve.add_argument("--validate", default="strict",
+                         choices=["strict", "repair", "off"],
+                         help="measurement boundary policy: reject bad "
+                              "channels, impute them, or skip the audit")
+    p_solve.add_argument("--inject-fail-rungs", default=None, metavar="RUNGS",
+                         help="chaos: comma-separated solver rungs to fail "
+                              "(e.g. primary,regularized)")
     p_solve.add_argument("--threshold", type=float, default=3.0,
                          help="anomaly threshold in robust sigmas")
     p_solve.add_argument("--formation", default="cached",
@@ -280,6 +510,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_mon.add_argument("--growth", type=float, default=0.25,
                        help="relative growth flag level")
     p_mon.add_argument("--no-warm-start", action="store_true")
+    p_mon.add_argument("--checkpoint-dir", type=Path, default=None,
+                       help="persist per-timepoint checkpoints here and "
+                            "resume from them")
+    p_mon.add_argument("--no-resume", action="store_true",
+                       help="ignore existing checkpoints (recompute all)")
+    p_mon.add_argument("--max-retries", type=int, default=None,
+                       help="bounded formation retries on worker failure")
     p_mon.add_argument("--show", action="store_true",
                        help="render first/last recovered fields")
     p_mon.set_defaults(func=_cmd_monitor)
@@ -298,6 +535,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_self = sub.add_parser("selftest", help="core-invariant checks")
     p_self.add_argument("--n", type=int, default=5)
     p_self.set_defaults(func=_cmd_selftest)
+
+    p_chaos = sub.add_parser("chaos",
+                             help="fault-injection smoke (recovery checks)")
+    p_chaos.add_argument("--n", type=int, default=10, help="device side")
+    p_chaos.add_argument("--seed", type=int, default=7)
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_info = sub.add_parser("info", help="device/system accounting")
     p_info.add_argument("--n", type=int, default=10)

@@ -68,7 +68,13 @@ from repro.core.streaming import (
     stream_formation,
     stream_to_file,
 )
-from repro.core.solver import SolveResult, solve, solve_full, solve_nested
+from repro.core.solver import (
+    SolveResult,
+    solve,
+    solve_bounded,
+    solve_full,
+    solve_nested,
+)
 from repro.core.templates import (
     PairBlockBatch,
     PairTemplate,
@@ -151,6 +157,7 @@ __all__ = [
     "partition_by_category",
     "run_pipeline",
     "solve",
+    "solve_bounded",
     "solve_full",
     "solve_nested",
     "terms_per_pair",

@@ -27,20 +27,34 @@ import numpy as np
 from repro.anomaly.detect import DetectionResult, detect_anomalies
 from repro.core.solver import SolveResult, solve
 from repro.core.strategies import FormationReport, make_strategy
-from repro.mea.dataset import Measurement
+from repro.mea.dataset import Measurement, repair_z, validate_z
+from repro.resilience.degrade import DegradationReport, solve_with_degradation
+from repro.resilience.faults import as_injector
+from repro.resilience.retry import RetryPolicy, form_with_recovery
 from repro.utils import logging as rlog
 from repro.utils.timing import Stopwatch
+
+#: Accepted values for :class:`ParmaEngine`'s ``validate`` knob.
+VALIDATE_MODES = ("strict", "repair", "off")
 
 
 @dataclass(frozen=True)
 class ParmaResult:
-    """Everything one parametrization produced."""
+    """Everything one parametrization produced.
+
+    ``degradation`` records the solver-ladder walk when the engine ran
+    with degradation enabled (the default); ``events`` lists
+    human-readable resilience events — formation retries, fallbacks,
+    measurement repairs — that occurred on the way to this result.
+    """
 
     measurement: Measurement
     formation: FormationReport
     solve: SolveResult
     detection: DetectionResult
     laps: dict[str, float]
+    degradation: DegradationReport | None = None
+    events: tuple[str, ...] = ()
 
     @property
     def resistance(self) -> np.ndarray:
@@ -48,7 +62,7 @@ class ParmaResult:
 
     def summary(self) -> str:
         n = self.measurement.z_kohm.shape[0]
-        return (
+        text = (
             f"Parma {n}x{n}: formed {self.formation.terms_formed} terms "
             f"({self.formation.strategy}, k={self.formation.num_workers}) "
             f"in {self.laps.get('formation', 0.0):.3f}s; solve "
@@ -56,6 +70,11 @@ class ParmaResult:
             f"{self.laps.get('solve', 0.0):.3f}s; "
             f"{self.detection.num_regions} anomaly region(s)"
         )
+        if self.degradation is not None:
+            text += f"; rung={self.degradation.rung_used}"
+        if self.events:
+            text += f"; {len(self.events)} resilience event(s)"
+        return text
 
 
 class ParmaEngine:
@@ -76,6 +95,25 @@ class ParmaEngine:
     formation:
         ``"cached"`` (default) forms equations from the per-n template
         cache; ``"legacy"`` uses the original per-pair reference path.
+    degradation:
+        When True (default) the solve walks the resilience ladder
+        (primary → cold-start → regularized → bounded) instead of
+        crashing on numerical failure; the rung used is recorded in
+        :attr:`ParmaResult.degradation`.
+    validate:
+        Boundary policy for raw measurements: ``"strict"`` rejects
+        non-finite / non-positive / saturated / non-square Z with an
+        error naming the offending channel; ``"repair"`` imputes bad
+        sites from healthy neighbours and records the repair as a
+        resilience event; ``"off"`` skips the audit.
+    faults:
+        A :class:`repro.resilience.FaultPlan` (or injector) for chaos
+        testing — worker kills, dirty measurements, forced rung
+        failures.  None (default) injects nothing.
+    retry:
+        A :class:`repro.resilience.RetryPolicy` for the formation
+        stage.  When set (or when ``faults`` is), formation runs under
+        bounded retries with a serial re-dispatch fallback.
     """
 
     def __init__(
@@ -86,16 +124,72 @@ class ParmaEngine:
         threshold_sigmas: float = 4.0,
         min_region_size: int = 1,
         formation: str = "cached",
+        degradation: bool = True,
+        validate: str = "strict",
+        faults=None,
+        retry: RetryPolicy | None = None,
+        saturation_kohm: float = 1e6,
     ) -> None:
         self._strategy = make_strategy(strategy, num_workers, formation=formation)
         self.formation = self._strategy.formation
         self.solver = solver
         self.threshold_sigmas = threshold_sigmas
         self.min_region_size = min_region_size
+        self.degradation = bool(degradation)
+        if validate not in VALIDATE_MODES:
+            raise ValueError(
+                f"validate must be one of {VALIDATE_MODES}, got {validate!r}"
+            )
+        self.validate = validate
+        self._injector = as_injector(faults)
+        self.retry = retry
+        self.saturation_kohm = float(saturation_kohm)
 
     @property
     def strategy_name(self) -> str:
         return self._strategy.name
+
+    def _prepare_measurement(
+        self, measurement: Measurement | np.ndarray
+    ) -> tuple[Measurement, tuple[str, ...]]:
+        """Apply fault injection and the boundary-validation policy.
+
+        Accepts either a finished :class:`Measurement` or a raw Z
+        ndarray (dirty acquisitions cannot survive Measurement's own
+        invariants, so raw arrays are the entry point for repair).
+        """
+        events: list[str] = []
+        if isinstance(measurement, Measurement):
+            z = measurement.z_kohm
+            voltage, hour, meta = (
+                measurement.voltage,
+                measurement.hour,
+                dict(measurement.meta),
+            )
+        else:
+            z = np.asarray(measurement, dtype=np.float64)
+            voltage, hour, meta = 5.0, 0.0, {}
+        dirtied = False
+        if self._injector is not None and self._injector.plan.any_measurement_faults():
+            z = self._injector.dirty_measurement(z)
+            dirtied = True
+        if self.validate == "strict":
+            z = validate_z(z, saturation_kohm=self.saturation_kohm)
+        elif self.validate == "repair":
+            z, audit = repair_z(z, saturation_kohm=self.saturation_kohm)
+            if not audit.clean:
+                events.append(f"repaired measurement: {audit.describe()}")
+                rlog.info(
+                    "resilience.measurement_repaired",
+                    bad_sites=audit.num_bad_sites,
+                    detail=audit.describe(),
+                )
+        if isinstance(measurement, Measurement) and not dirtied and not events:
+            return measurement, tuple(events)
+        return (
+            Measurement(z_kohm=z, voltage=voltage, hour=hour, meta=meta),
+            tuple(events),
+        )
 
     def form(
         self,
@@ -109,29 +203,58 @@ class ParmaEngine:
             voltage=measurement.voltage,
             output_dir=output_dir,
             fmt=fmt,
+            faults=self._injector,
         )
 
     def parametrize(
         self,
-        measurement: Measurement,
+        measurement: Measurement | np.ndarray,
         output_dir: str | Path | None = None,
         fmt: str = "binary",
         solver_kwargs: dict | None = None,
     ) -> ParmaResult:
-        """Full pipeline: form → (persist) → solve → detect."""
+        """Full pipeline: validate → form → (persist) → solve → detect.
+
+        ``measurement`` may be a raw Z ndarray, which goes through the
+        engine's ``validate`` policy before entering the pipeline.
+        """
+        measurement, events = self._prepare_measurement(measurement)
+        events = list(events)
         sw = Stopwatch()
         n = measurement.z_kohm.shape[0]
         with sw.lap("formation"), rlog.log_span(
             "parma.formation", n=n, strategy=self.strategy_name
         ):
-            formation = self.form(measurement, output_dir=output_dir, fmt=fmt)
+            if self.retry is not None or self._injector is not None:
+                formation, form_events = form_with_recovery(
+                    self._strategy,
+                    measurement.z_kohm,
+                    voltage=measurement.voltage,
+                    output_dir=output_dir,
+                    fmt=fmt,
+                    policy=self.retry,
+                    faults=self._injector,
+                )
+                events.extend(form_events)
+            else:
+                formation = self.form(measurement, output_dir=output_dir, fmt=fmt)
+        degradation = None
         with sw.lap("solve"):
-            solve_result = solve(
-                measurement.z_kohm,
-                voltage=measurement.voltage,
-                method=self.solver,
-                **(solver_kwargs or {}),
-            )
+            if self.degradation:
+                solve_result, degradation = solve_with_degradation(
+                    measurement.z_kohm,
+                    voltage=measurement.voltage,
+                    method=self.solver,
+                    solver_kwargs=solver_kwargs,
+                    faults=self._injector,
+                )
+            else:
+                solve_result = solve(
+                    measurement.z_kohm,
+                    voltage=measurement.voltage,
+                    method=self.solver,
+                    **(solver_kwargs or {}),
+                )
         rlog.info(
             "parma.solved",
             n=n,
@@ -151,4 +274,6 @@ class ParmaEngine:
             solve=solve_result,
             detection=detection,
             laps=dict(sw.laps),
+            degradation=degradation,
+            events=tuple(events),
         )

@@ -13,9 +13,14 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.anomaly.detect import DetectionResult, detect_drift_anomalies
+from repro.anomaly.detect import DetectionResult, detect_anomalies, detect_drift_anomalies
 from repro.core.engine import ParmaEngine, ParmaResult
-from repro.mea.dataset import MeasurementCampaign
+from repro.core.solver import SolveResult
+from repro.core.strategies import FormationReport
+from repro.mea.dataset import Measurement, MeasurementCampaign
+from repro.resilience.checkpoint import CampaignCheckpoint, CheckpointError
+from repro.resilience.faults import as_injector
+from repro.utils import logging as rlog
 
 
 @dataclass(frozen=True)
@@ -48,6 +53,53 @@ class CampaignResult:
         return "\n".join(lines)
 
 
+def _resumed_result(
+    meas: Measurement, field: np.ndarray, entry: dict, engine: ParmaEngine
+) -> ParmaResult:
+    """Rebuild a ParmaResult for a checkpointed timepoint.
+
+    The field comes off disk (digest-verified); solve/formation
+    metadata comes from the manifest entry; detection is recomputed
+    from the field (cheap, and keeps detector knobs live).  The
+    formation strategy is prefixed ``resumed:`` so reports show which
+    timepoints were not re-formed.
+    """
+    solve_meta = entry["solve"]
+    form_meta = entry["formation"]
+    n = int(field.shape[0])
+    solve_result = SolveResult(
+        r_estimate=field,
+        method=str(solve_meta["method"]),
+        iterations=int(solve_meta["iterations"]),
+        residual_norm=float(solve_meta["residual_norm"]),
+        elapsed_seconds=0.0,
+        converged=bool(solve_meta["converged"]),
+    )
+    formation = FormationReport(
+        strategy=f"resumed:{form_meta['strategy']}",
+        n=n,
+        num_workers=int(form_meta["num_workers"]),
+        elapsed_seconds=0.0,
+        terms_formed=int(form_meta["terms_formed"]),
+        checksum=float(form_meta["checksum"]),
+        per_worker_terms=np.zeros(max(1, int(form_meta["num_workers"])), dtype=np.int64),
+    )
+    detection = detect_anomalies(
+        field,
+        threshold_sigmas=engine.threshold_sigmas,
+        min_size=engine.min_region_size,
+    )
+    return ParmaResult(
+        measurement=meas,
+        formation=formation,
+        solve=solve_result,
+        detection=detection,
+        laps={"formation": 0.0, "solve": 0.0, "detect": 0.0},
+        degradation=None,
+        events=(f"resumed from checkpoint (rung={entry.get('rung', 'primary')})",),
+    )
+
+
 def run_pipeline(
     campaign: MeasurementCampaign,
     engine: ParmaEngine | None = None,
@@ -55,6 +107,9 @@ def run_pipeline(
     growth_threshold: float = 0.25,
     warm_start: bool = True,
     formation: str = "cached",
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = True,
+    faults=None,
 ) -> CampaignResult:
     """Parametrize every timepoint and analyse anomaly drift.
 
@@ -75,11 +130,50 @@ def run_pipeline(
     ``formation`` selects the equation-formation path for the default
     engine ("cached" template fast path or the "legacy" per-pair
     reference); it is ignored when an ``engine`` is supplied.
+
+    With ``checkpoint_dir`` set, each completed timepoint is persisted
+    (field + metadata, atomically, digest-protected) to a
+    :class:`repro.resilience.CampaignCheckpoint`.  A rerun with
+    ``resume=True`` (default) skips verified timepoints — including
+    seeding the warm start from the last checkpointed field — so an
+    interrupted day continues from where it died instead of
+    re-solving from hour 0.  A corrupt field file fails its digest and
+    that timepoint (plus everything after it) is recomputed.
+
+    ``faults`` (a :class:`repro.resilience.FaultPlan` or injector)
+    drives chaos testing at the campaign level — currently
+    ``abort_after_timepoints``, which raises
+    :class:`repro.resilience.InjectedAbort` *after* the checkpoint
+    record, simulating a crash between timepoints.  Measurement/
+    formation/solver faults belong on the engine.
     """
     engine = engine or ParmaEngine(formation=formation)
+    injector = as_injector(faults)
+    checkpoint = (
+        CampaignCheckpoint(checkpoint_dir) if checkpoint_dir is not None else None
+    )
     results: list[ParmaResult] = []
     previous_field = None
-    for meas in campaign:
+    for index, meas in enumerate(campaign):
+        n = meas.z_kohm.shape[0]
+        if (
+            checkpoint is not None
+            and resume
+            and checkpoint.matches(index, meas.hour, n)
+        ):
+            entry = checkpoint.entry(index)
+            try:
+                field = checkpoint.load_field(index)
+            except CheckpointError as exc:
+                rlog.info(
+                    "resilience.checkpoint_invalid", index=index, error=str(exc)
+                )
+                checkpoint.invalidate_from(index)
+            else:
+                result = _resumed_result(meas, field, entry, engine)
+                previous_field = field
+                results.append(result)
+                continue
         tp_dir = None
         if output_dir is not None:
             tp_dir = Path(output_dir) / f"hour-{meas.hour:g}"
@@ -91,6 +185,10 @@ def run_pipeline(
         )
         previous_field = result.resistance
         results.append(result)
+        if checkpoint is not None:
+            checkpoint.record(index, result)
+        if injector is not None:
+            injector.maybe_abort_campaign(len(results))
     drift = None
     if len(results) >= 2:
         drift = detect_drift_anomalies(

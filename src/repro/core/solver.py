@@ -208,6 +208,72 @@ def solve_full(
     )
 
 
+def solve_bounded(
+    z: np.ndarray,
+    voltage: float = 5.0,
+    r0: np.ndarray | None = None,
+    tol: float = 1e-10,
+    max_nfev: int = 200,
+    spread: float = 6.0,
+) -> SolveResult:
+    """Box-bounded trust-region solve on ``θ = log R`` (safety net).
+
+    The last rung of the degradation ladder
+    (:mod:`repro.resilience.degrade`): when Gauss–Newton diverges —
+    wildly inconsistent measurements, a poisoned warm start — this
+    solve cannot run away, because every iterate is confined to
+    ``θ ∈ [θ_unif - spread, θ_unif + spread]`` around the uniform-field
+    estimate (±``spread`` natural-log units ≈ a factor ``e^spread`` in
+    resistance, generous for any physical device).  Slower and less
+    accurate than :func:`solve_nested`, but it always returns a finite
+    field.
+    """
+    z = require_positive_array(z, "z")
+    require_positive(voltage, "voltage")
+    m, n = z.shape
+    start = time.perf_counter()
+    theta_unif = float(np.log(np.median(z) * m * n / (m + n - 1)))
+    lo = theta_unif - spread
+    hi = theta_unif + spread
+    if r0 is None:
+        theta0 = np.full(m * n, theta_unif)
+    else:
+        theta0 = np.log(require_positive_array(r0, "r0")).ravel()
+    # least_squares requires a strictly interior start.
+    margin = 1e-9 * max(1.0, abs(hi - lo))
+    theta0 = np.clip(theta0, lo + margin, hi - margin)
+    z_flat = z.ravel()
+
+    def residual(th: np.ndarray) -> np.ndarray:
+        r = np.exp(th).reshape(m, n)
+        return (predict_z(r).ravel() - z_flat) / z_flat
+
+    def jacobian(th: np.ndarray) -> np.ndarray:
+        r = np.exp(th).reshape(m, n)
+        return nested_jacobian(r) / z_flat[:, None]
+
+    result = scipy.optimize.least_squares(
+        residual,
+        theta0,
+        jac=jacobian,
+        bounds=(lo, hi),
+        method="trf",
+        xtol=tol,
+        ftol=tol,
+        gtol=tol,
+        max_nfev=max_nfev,
+    )
+    r_est = np.exp(result.x).reshape(m, n)
+    return SolveResult(
+        r_estimate=r_est,
+        method="bounded",
+        iterations=int(result.nfev),
+        residual_norm=float(np.linalg.norm(result.fun)),
+        elapsed_seconds=time.perf_counter() - start,
+        converged=bool(result.success) and bool(np.all(np.isfinite(r_est))),
+    )
+
+
 def solve(
     z: np.ndarray,
     voltage: float = 5.0,
@@ -217,8 +283,10 @@ def solve(
     """Dispatch to a solver by name.
 
     ``"nested"`` (recommended), ``"full"`` (the paper's joint system),
-    or ``"regularized"`` (Tikhonov-smoothed nested; pass ``lam=...``,
-    default 1e-3 — see :mod:`repro.core.regularized`).
+    ``"regularized"`` (Tikhonov-smoothed nested; pass ``lam=...``,
+    default 1e-3 — see :mod:`repro.core.regularized`), or ``"bounded"``
+    (box-constrained trust region, the degradation ladder's safety
+    net).
     """
     if method == "nested":
         return solve_nested(z, voltage=voltage, **kwargs)
@@ -229,6 +297,9 @@ def solve(
 
         kwargs.setdefault("lam", 1e-3)
         return solve_regularized(z, voltage=voltage, **kwargs)
+    if method == "bounded":
+        return solve_bounded(z, voltage=voltage, **kwargs)
     raise ValueError(
-        f"unknown method {method!r}; use 'nested', 'full' or 'regularized'"
+        f"unknown method {method!r}; use 'nested', 'full', 'regularized' "
+        "or 'bounded'"
     )

@@ -48,6 +48,8 @@ from repro.core.templates import (
 )
 from repro.io.equations_io import write_block_binary, write_block_text
 from repro.parallel import pymp
+from repro.resilience.atomio import AtomicFile
+from repro.resilience.faults import as_injector
 from repro.utils.validation import require_positive, require_positive_int
 
 
@@ -100,6 +102,7 @@ class SingleThread:
         voltage: float = 5.0,
         output_dir: str | Path | None = None,
         fmt: str = "binary",
+        faults=None,
     ) -> FormationReport:
         z = _validate_z(z)
         require_positive(voltage, "voltage")
@@ -110,6 +113,7 @@ class SingleThread:
         bytes_written = 0
         parts: tuple[str, ...] = ()
         writer, fh = _open_writer(output_dir, fmt, worker=0)
+        ok = False
         try:
             if self.formation == "cached":
                 for batch in iter_pair_batches(z, voltage=voltage):
@@ -124,9 +128,10 @@ class SingleThread:
                     checksum += block.checksum()
                     if writer is not None:
                         bytes_written += writer(block, fh)
+            ok = True
         finally:
             if fh is not None:
-                fh.close()
+                _close_writer(fh, ok)
                 parts = (fh.name,)
         return FormationReport(
             strategy=self.name,
@@ -159,9 +164,11 @@ class _PartitionedStrategy:
         voltage: float = 5.0,
         output_dir: str | Path | None = None,
         fmt: str = "binary",
+        faults=None,
     ) -> FormationReport:
         z = _validate_z(z)
         require_positive(voltage, "voltage")
+        injector = as_injector(faults)
         n = z.shape[0]
         part = self._partition(n)
         workers = part.num_workers
@@ -180,10 +187,13 @@ class _PartitionedStrategy:
         start = time.perf_counter()
         with pymp.Parallel(workers) as p:
             me = p.thread_num
+            if injector is not None:
+                injector.maybe_kill_worker(me)
             writer, fh = _open_writer(output_dir, fmt, worker=me)
             my_terms = 0
             my_checksum = 0.0
             my_bytes = 0
+            ok = False
             try:
                 mine = np.flatnonzero(worker_of == me)
                 if self.formation == "cached":
@@ -215,9 +225,9 @@ class _PartitionedStrategy:
                         my_checksum += block.checksum()
                         if writer is not None:
                             my_bytes += writer(block, fh)
+                ok = True
             finally:
-                if fh is not None:
-                    fh.close()
+                _close_writer(fh, ok)
             per_worker_terms[me] = my_terms
             per_worker_checksum[me] = my_checksum
             per_worker_bytes[me] = my_bytes
@@ -284,10 +294,13 @@ class PyMPStrategy(_PartitionedStrategy):
         voltage: float = 5.0,
         output_dir: str | Path | None = None,
         fmt: str = "binary",
+        faults=None,
     ) -> FormationReport:
         if self.schedule == "static":
-            return super().run(z, voltage=voltage, output_dir=output_dir, fmt=fmt)
-        return self._run_dynamic(z, voltage, output_dir, fmt)
+            return super().run(
+                z, voltage=voltage, output_dir=output_dir, fmt=fmt, faults=faults
+            )
+        return self._run_dynamic(z, voltage, output_dir, fmt, faults)
 
     def _run_dynamic(
         self,
@@ -295,9 +308,11 @@ class PyMPStrategy(_PartitionedStrategy):
         voltage: float,
         output_dir: str | Path | None,
         fmt: str,
+        faults=None,
     ) -> FormationReport:
         z = _validate_z(z)
         require_positive(voltage, "voltage")
+        injector = as_injector(faults)
         n = z.shape[0]
         part = self._partition(n)  # for the item list only
         items = part.items
@@ -312,10 +327,13 @@ class PyMPStrategy(_PartitionedStrategy):
         start = time.perf_counter()
         with pymp.Parallel(workers) as p:
             me = p.thread_num
+            if injector is not None:
+                injector.maybe_kill_worker(me)
             writer, fh = _open_writer(output_dir, fmt, worker=me)
             my_terms = 0
             my_checksum = 0.0
             my_bytes = 0
+            ok = False
             try:
                 # Dynamic schedule pulls items one at a time from the
                 # shared counter, so stamping stays per-item (the cached
@@ -344,9 +362,9 @@ class PyMPStrategy(_PartitionedStrategy):
                     my_checksum += block.checksum()
                     if writer is not None:
                         my_bytes += writer(block, fh)
+                ok = True
             finally:
-                if fh is not None:
-                    fh.close()
+                _close_writer(fh, ok)
             per_worker_terms[me] = my_terms
             per_worker_checksum[me] = my_checksum
             per_worker_bytes[me] = my_bytes
@@ -366,18 +384,34 @@ class PyMPStrategy(_PartitionedStrategy):
 
 
 def _open_writer(output_dir, fmt, worker):
-    """(writer function, open handle) or (None, None)."""
+    """(writer function, atomic part file) or (None, None).
+
+    Part files are written atomically (:class:`AtomicFile`:
+    tmp+fsync+rename on commit), so a worker that dies mid-run leaves
+    at most a ``*.tmp`` orphan — never a truncated part file under the
+    canonical name that a later reader would consume.
+    """
     if output_dir is None:
         return None, None
     out = Path(output_dir)
     out.mkdir(parents=True, exist_ok=True)
     if fmt == "binary":
-        fh = open(out / f"equations-part{worker:04d}.bin", "wb")
-        return write_block_binary, fh
+        part = AtomicFile(out / f"equations-part{worker:04d}.bin", "wb")
+        return write_block_binary, part
     if fmt == "text":
-        fh = open(out / f"equations-part{worker:04d}.txt", "w", encoding="utf-8")
-        return write_block_text, fh
+        part = AtomicFile(
+            out / f"equations-part{worker:04d}.txt", "w", encoding="utf-8"
+        )
+        return write_block_text, part
     raise ValueError(f"unknown format {fmt!r}; use 'binary' or 'text'")
+
+
+def _close_writer(part, ok: bool) -> None:
+    if part is not None:
+        if ok:
+            part.commit()
+        else:
+            part.abort()
 
 
 def _part_files(output_dir, fmt, workers) -> tuple[str, ...]:

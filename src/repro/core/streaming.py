@@ -24,6 +24,8 @@ import numpy as np
 from repro.core.equations import PairBlock, iter_pair_blocks
 from repro.core.templates import check_formation_mode, iter_pair_blocks_cached
 from repro.io.equations_io import write_block_binary
+from repro.resilience.atomio import atomic_open
+from repro.resilience.faults import as_injector
 from repro.utils.validation import require_positive
 
 
@@ -107,6 +109,7 @@ def stream_formation(
     sink: FormationSink,
     voltage: float = 5.0,
     formation: str = "cached",
+    faults=None,
 ) -> StreamReport:
     """Form every pair block of ``z`` and feed it to ``sink``.
 
@@ -116,12 +119,19 @@ def stream_formation(
     blocks from the per-n template (blocks handed to the sink are
     views into the current batch — the no-retention contract above is
     what makes that safe); ``"legacy"`` is the original per-pair path.
+
+    ``faults`` (a :class:`repro.resilience.FaultPlan` or injector) can
+    corrupt or drop blocks before the sink, and abort the stream — the
+    failure modes the checkpointed writer
+    (:func:`repro.resilience.checkpoint.stream_to_file_checkpointed`)
+    detects and repairs on resume.
     """
     z = np.asarray(z, dtype=np.float64)
     if z.ndim != 2 or z.shape[0] != z.shape[1]:
         raise ValueError("z must be square (n, n)")
     require_positive(voltage, "voltage")
     formation = check_formation_mode(formation)
+    injector = as_injector(faults)
     n = z.shape[0]
     start = time.perf_counter()
     pairs = 0
@@ -131,10 +141,16 @@ def stream_formation(
         if formation == "cached"
         else iter_pair_blocks(z, voltage=voltage)
     )
-    for block in blocks:
+    for index, block in enumerate(blocks):
+        if injector is not None:
+            block = injector.mangle_block(block, index)
+            if block is None:
+                continue  # dropped before the sink
         sink.consume(block)
         pairs += 1
         terms += block.num_terms
+        if injector is not None:
+            injector.maybe_abort_stream(pairs)
     return StreamReport(
         n=n,
         pairs_formed=pairs,
@@ -146,8 +162,14 @@ def stream_formation(
 def stream_to_file(
     z: np.ndarray, path: str | Path, voltage: float = 5.0, formation: str = "cached"
 ) -> tuple[StreamReport, int]:
-    """Stream the full system to one binary file; returns (report, bytes)."""
-    with open(path, "wb") as fh:
+    """Stream the full system to one binary file; returns (report, bytes).
+
+    The write is atomic (tmp+fsync+rename): an interrupted stream
+    leaves no file under ``path``.  For resumable multi-gigabyte
+    streams use
+    :func:`repro.resilience.checkpoint.stream_to_file_checkpointed`.
+    """
+    with atomic_open(path, "wb") as fh:
         sink = BinaryFileSink(fh=fh)
         report = stream_formation(z, sink, voltage=voltage, formation=formation)
     return report, sink.bytes_written

@@ -92,6 +92,32 @@ def cache_stats_table(stats_list: Sequence[Any]) -> ResultTable:
     return table
 
 
+def ladder_table(results: Sequence[Any]) -> ResultTable:
+    """Tabulate which degradation rung each parametrization used.
+
+    Accepts :class:`repro.core.engine.ParmaResult`-shaped objects
+    (``measurement.hour``, ``solve``, optional ``degradation`` and
+    ``events``); rows show the rung, the ladder path walked, and any
+    resilience events — the §II-C monitoring operator's view of how
+    degraded the day's answers are.
+    """
+    table = ResultTable(
+        title="solver degradation / resilience events",
+        columns=("hour", "solver", "converged", "rung", "path", "events"),
+    )
+    for r in results:
+        deg = getattr(r, "degradation", None)
+        table.add_row(
+            f"{float(r.measurement.hour):g}",
+            r.solve.method,
+            bool(r.solve.converged),
+            deg.rung_used if deg is not None else "-",
+            deg.describe() if deg is not None and deg.degraded else "-",
+            "; ".join(getattr(r, "events", ())) or "-",
+        )
+    return table
+
+
 def human_seconds(seconds: float) -> str:
     """Pretty duration: µs/ms/s/min ranges."""
     if seconds < 1e-3:

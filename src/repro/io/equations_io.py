@@ -33,6 +33,7 @@ from repro.core.equations import (
     NODE_GROUND,
     PairBlock,
 )
+from repro.resilience.atomio import atomic_open
 
 _MAGIC = b"PMEQ1\x00"
 _HEADER = struct.Struct("<iiidd q")  # n, row, col, voltage, z, num_terms
@@ -126,9 +127,13 @@ def read_blocks_binary(fh: BinaryIO) -> Iterator[PairBlock]:
 def save_blocks_binary(
     blocks: "Iterator[PairBlock] | list[PairBlock]", path: str | Path
 ) -> int:
-    """Write blocks to ``path``; returns total bytes."""
+    """Write blocks to ``path`` atomically; returns total bytes.
+
+    The file appears under ``path`` only after a complete, fsynced
+    write (tmp+rename) — readers never observe a torn equation file.
+    """
     total = 0
-    with open(path, "wb") as fh:
+    with atomic_open(path, "wb") as fh:
         for block in blocks:
             total += write_block_binary(block, fh)
     return total
@@ -184,9 +189,10 @@ def write_block_text(block: PairBlock, fh: TextIO) -> int:
 def save_blocks_text(
     blocks: "Iterator[PairBlock] | list[PairBlock]", path: str | Path
 ) -> int:
-    """Write blocks as human-readable equations; returns characters."""
+    """Write blocks as human-readable equations, atomically; returns
+    characters."""
     total = 0
-    with open(path, "w", encoding="utf-8") as fh:
+    with atomic_open(path, "w", encoding="utf-8") as fh:
         for block in blocks:
             total += write_block_text(block, fh)
     return total

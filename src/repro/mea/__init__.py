@@ -14,7 +14,15 @@
 * :mod:`repro.mea.dataset` — measurement containers.
 """
 
-from repro.mea.dataset import Measurement, MeasurementCampaign
+from repro.mea.dataset import (
+    ChannelAudit,
+    Measurement,
+    MeasurementCampaign,
+    MeasurementValidationError,
+    audit_z,
+    repair_z,
+    validate_z,
+)
 from repro.mea.defects import (
     DefectMap,
     apply_defects,
@@ -70,9 +78,14 @@ __all__ = [
     "KDimMEA",
     "LatticeDevice",
     "uniform_face_resistance_exact",
+    "ChannelAudit",
     "MEAGrid",
     "Measurement",
     "MeasurementCampaign",
+    "MeasurementValidationError",
+    "audit_z",
+    "repair_z",
+    "validate_z",
     "PAPER_R_MAX_KOHM",
     "PAPER_R_MIN_KOHM",
     "PAPER_VOLTAGE",

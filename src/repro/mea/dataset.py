@@ -19,6 +19,165 @@ import numpy as np
 from repro.utils.validation import require_positive, require_positive_array
 
 
+class MeasurementValidationError(ValueError):
+    """A Z matrix failed boundary validation; the message names the
+    first offending channel (row, col) so lab staff can trace it to a
+    physical electrode."""
+
+
+@dataclass(frozen=True)
+class ChannelAudit:
+    """Per-site health report for one raw Z matrix.
+
+    Site categories (index pairs into ``z``):
+
+    * ``nan_sites`` — non-finite readings (NaN/inf): open channel or
+      acquisition glitch;
+    * ``nonpositive_sites`` — zero/negative resistance: wiring or
+      sign-convention fault;
+    * ``saturated_sites`` — readings at/above ``saturation_kohm``:
+      instrument rail, typical of a dead electrode;
+    * ``dead_rows`` / ``dead_cols`` — whole wires whose every reading
+      is bad (an electrode that is physically gone).
+    """
+
+    shape: tuple[int, int]
+    nan_sites: tuple[tuple[int, int], ...]
+    nonpositive_sites: tuple[tuple[int, int], ...]
+    saturated_sites: tuple[tuple[int, int], ...]
+    dead_rows: tuple[int, ...]
+    dead_cols: tuple[int, ...]
+    saturation_kohm: float
+
+    @property
+    def clean(self) -> bool:
+        return not (
+            self.nan_sites
+            or self.nonpositive_sites
+            or self.saturated_sites
+            or self.dead_rows
+            or self.dead_cols
+        )
+
+    @property
+    def num_bad_sites(self) -> int:
+        return (
+            len(self.nan_sites)
+            + len(self.nonpositive_sites)
+            + len(self.saturated_sites)
+        )
+
+    def first_offender(self) -> str:
+        """Human-readable description of the first bad channel found."""
+        if self.nan_sites:
+            i, j = self.nan_sites[0]
+            return f"z_kohm[{i}, {j}] is non-finite"
+        if self.nonpositive_sites:
+            i, j = self.nonpositive_sites[0]
+            return f"z_kohm[{i}, {j}] is non-positive"
+        if self.saturated_sites:
+            i, j = self.saturated_sites[0]
+            return (
+                f"z_kohm[{i}, {j}] is saturated "
+                f"(>= {self.saturation_kohm:g} kOhm)"
+            )
+        return "no bad channels"
+
+    def describe(self) -> str:
+        if self.clean:
+            return "all channels healthy"
+        parts = [f"{self.num_bad_sites} bad site(s)"]
+        if self.nan_sites:
+            parts.append(f"{len(self.nan_sites)} non-finite")
+        if self.nonpositive_sites:
+            parts.append(f"{len(self.nonpositive_sites)} non-positive")
+        if self.saturated_sites:
+            parts.append(f"{len(self.saturated_sites)} saturated")
+        if self.dead_rows:
+            parts.append(f"dead row wire(s) {list(self.dead_rows)}")
+        if self.dead_cols:
+            parts.append(f"dead column wire(s) {list(self.dead_cols)}")
+        return ", ".join(parts) + f"; first: {self.first_offender()}"
+
+
+def audit_z(z: np.ndarray, saturation_kohm: float = 1e6) -> ChannelAudit:
+    """Audit a raw Z matrix (pre-:class:`Measurement`) for bad channels.
+
+    Operates on the raw ndarray because :class:`Measurement` refuses
+    to hold non-finite data at all — the audit is how dirty
+    acquisitions get triaged *before* entering the pipeline.
+    """
+    z = np.asarray(z, dtype=np.float64)
+    if z.ndim != 2:
+        raise MeasurementValidationError(f"z_kohm must be 2-D, got {z.ndim}-D")
+    finite = np.isfinite(z)
+    positive = finite & (z > 0)
+    saturated = positive & (z >= saturation_kohm)
+    bad = ~positive | saturated
+    nan_sites = tuple(map(tuple, np.argwhere(~finite)))
+    nonpositive_sites = tuple(map(tuple, np.argwhere(finite & (z <= 0))))
+    saturated_sites = tuple(map(tuple, np.argwhere(saturated)))
+    dead_rows = tuple(int(i) for i in np.flatnonzero(bad.all(axis=1)))
+    dead_cols = tuple(int(j) for j in np.flatnonzero(bad.all(axis=0)))
+    return ChannelAudit(
+        shape=z.shape,
+        nan_sites=tuple((int(i), int(j)) for i, j in nan_sites),
+        nonpositive_sites=tuple((int(i), int(j)) for i, j in nonpositive_sites),
+        saturated_sites=tuple((int(i), int(j)) for i, j in saturated_sites),
+        dead_rows=dead_rows,
+        dead_cols=dead_cols,
+        saturation_kohm=float(saturation_kohm),
+    )
+
+
+def validate_z(
+    z: np.ndarray, saturation_kohm: float = 1e6, require_square: bool = True
+) -> np.ndarray:
+    """Strict engine-boundary check: raise naming the offending channel.
+
+    Returns the validated float64 array on success.
+    """
+    z = np.asarray(z, dtype=np.float64)
+    if z.ndim != 2:
+        raise MeasurementValidationError(f"z_kohm must be 2-D, got {z.ndim}-D")
+    if require_square and z.shape[0] != z.shape[1]:
+        raise MeasurementValidationError(
+            f"z_kohm must be square, got {z.shape[0]}x{z.shape[1]}"
+        )
+    audit = audit_z(z, saturation_kohm=saturation_kohm)
+    if not audit.clean:
+        raise MeasurementValidationError(
+            f"measurement rejected: {audit.describe()}"
+        )
+    return z
+
+
+def repair_z(z: np.ndarray, saturation_kohm: float = 1e6) -> tuple[np.ndarray, ChannelAudit]:
+    """Repair bad sites by imputing from healthy neighbours.
+
+    Each bad site gets the median of the healthy readings in its row
+    and column (falling back to the global healthy median, then to
+    1.0 kΩ for a fully dead matrix).  Returns ``(repaired, audit)``
+    where ``audit`` describes what was replaced — callers in
+    ``validate="repair"`` mode surface it in logs/meta rather than
+    silently consuming patched data.
+    """
+    z = np.asarray(z, dtype=np.float64).copy()
+    audit = audit_z(z, saturation_kohm=saturation_kohm)
+    if audit.clean:
+        return z, audit
+    finite = np.isfinite(z)
+    good = finite & (z > 0) & (z < saturation_kohm)
+    global_median = float(np.median(z[good])) if good.any() else 1.0
+    bad_sites = np.argwhere(~good)
+    for i, j in bad_sites:
+        row_good = z[i, good[i, :]]
+        col_good = z[good[:, j], j]
+        neighbours = np.concatenate([row_good, col_good])
+        z[i, j] = float(np.median(neighbours)) if neighbours.size else global_median
+    return z, audit
+
+
 @dataclass(frozen=True)
 class Measurement:
     """One snapshot of a device's pairwise measurements.

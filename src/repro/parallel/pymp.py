@@ -38,7 +38,23 @@ _ACTIVE_REGION: "Parallel | None" = None
 
 
 class ParallelError(RuntimeError):
-    """Raised in the parent when a region member fails."""
+    """Raised in the parent when a region member fails.
+
+    ``failed_ranks`` / ``exit_codes`` identify which members died and
+    how (negative codes are signal numbers, per
+    ``os.waitstatus_to_exitcode``), so retry layers can report — and
+    chaos tests assert — exactly which worker was lost.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        failed_ranks: tuple[int, ...] = (),
+        exit_codes: tuple[int, ...] = (),
+    ) -> None:
+        super().__init__(message)
+        self.failed_ranks = tuple(failed_ranks)
+        self.exit_codes = tuple(exit_codes)
 
 
 class Parallel:
@@ -96,20 +112,27 @@ class Parallel:
             sys.stderr.flush()
             sys.stdout.flush()
             os._exit(code)
-        # Parent: reap children, then clear the region.
-        failures = []
-        for pid in self._children:
+        # Parent: reap children, then clear the region.  Child pids
+        # were appended in rank order 1..k, so rank = index + 1.
+        failures: list[tuple[int, int]] = []
+        for rank_minus_1, pid in enumerate(self._children):
             _, status = os.waitpid(pid, 0)
-            if os.waitstatus_to_exitcode(status) != 0:
-                failures.append(pid)
+            code = os.waitstatus_to_exitcode(status)
+            if code != 0:
+                failures.append((rank_minus_1 + 1, code))
         self._children = []
         _ACTIVE_REGION = None
         self._entered = False
         if exc_type is not None:
             return False  # propagate the parent's own exception
         if failures:
+            ranks = tuple(rank for rank, _ in failures)
+            codes = tuple(code for _, code in failures)
             raise ParallelError(
-                f"{len(failures)} region member(s) failed; see stderr"
+                f"{len(failures)} region member(s) failed "
+                f"(ranks {ranks}); see stderr",
+                failed_ranks=ranks,
+                exit_codes=codes,
             )
         return False
 

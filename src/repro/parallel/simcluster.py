@@ -205,6 +205,136 @@ def crossover_rank(
     return best_rank
 
 
+@dataclass(frozen=True)
+class RecoveryPoint:
+    """Makespan of a run that loses ranks mid-compute and re-dispatches.
+
+    ``lost_work`` is compute the dead ranks performed before dying
+    (wasted — their partial results never report); ``redispatch_time``
+    is the LPT makespan of re-running their *entire* task share on the
+    survivors; ``detect_time`` is the heartbeat lag before survivors
+    learn of the death.
+    """
+
+    ranks: int
+    failed_ranks: tuple[int, ...]
+    baseline_total: float
+    compute_time: float
+    detect_time: float
+    redispatch_time: float
+    startup_time: float
+    comm_time: float
+    serial_time: float
+    lost_work: float
+    tasks_redispatched: int
+
+    @property
+    def total(self) -> float:
+        return (
+            self.compute_time
+            + self.detect_time
+            + self.redispatch_time
+            + self.startup_time
+            + self.comm_time
+            + self.serial_time
+        )
+
+    @property
+    def failure_overhead(self) -> float:
+        """Relative slowdown versus the fault-free run."""
+        if self.baseline_total == 0.0:
+            return 0.0
+        return self.total / self.baseline_total - 1.0
+
+
+def simulate_with_failures(
+    task_costs: Sequence[float],
+    ranks: int,
+    model: ClusterModel,
+    failed_ranks: Sequence[int],
+    failure_fraction: float = 0.5,
+    detection_latency: float | None = None,
+    scheduler: Scheduler = lpt_schedule,
+) -> RecoveryPoint:
+    """Strong-scaling makespan when ``failed_ranks`` die mid-compute.
+
+    Each failed rank dies after completing ``failure_fraction`` of its
+    assigned share; everything it was assigned is re-scheduled (LPT)
+    over the survivors, who begin the re-dispatch once their own share
+    *and* the failure detection (default: one 100·alpha heartbeat
+    period) are behind them.  Deterministic — the failover curves in
+    the chaos benchmarks are exactly reproducible.
+    """
+    costs = np.asarray(task_costs, dtype=np.float64)
+    if ranks < 2:
+        raise ValueError("failure simulation needs >= 2 ranks")
+    failed = tuple(sorted(set(int(r) for r in failed_ranks)))
+    for r in failed:
+        if not 0 <= r < ranks:
+            raise ValueError(f"failed rank {r} out of range for {ranks} ranks")
+    if len(failed) >= ranks:
+        raise ValueError("at least one rank must survive")
+    if not 0.0 <= failure_fraction <= 1.0:
+        raise ValueError("failure_fraction must be in [0, 1]")
+    if detection_latency is None:
+        detection_latency = 100.0 * model.alpha
+
+    baseline = simulate_strong_scaling(costs, ranks, model, scheduler)
+    if not failed:
+        return RecoveryPoint(
+            ranks=ranks,
+            failed_ranks=(),
+            baseline_total=baseline.total,
+            compute_time=baseline.compute_time,
+            detect_time=0.0,
+            redispatch_time=0.0,
+            startup_time=baseline.startup_time,
+            comm_time=baseline.comm_time,
+            serial_time=baseline.serial_time,
+            lost_work=0.0,
+            tasks_redispatched=0,
+        )
+
+    parallel_costs = costs * (1.0 - model.serial_fraction)
+    schedule = scheduler(parallel_costs, ranks)
+    survivors = [r for r in range(ranks) if r not in failed]
+    # Work assigned to the dead: all of it reruns; the fraction they
+    # finished before dying is wasted compute.
+    orphan_tasks = np.concatenate(
+        [schedule.tasks_of(r) for r in failed]
+    ).astype(np.int64)
+    orphan_costs = parallel_costs[orphan_tasks]
+    lost_work = float(
+        sum(failure_fraction * schedule.loads[r] for r in failed)
+    )
+    death_time = float(
+        max(failure_fraction * schedule.loads[r] for r in failed)
+    )
+    survivor_makespan = float(max(schedule.loads[r] for r in survivors))
+    redispatch = lpt_schedule(orphan_costs, len(survivors))
+    # Survivors drain their own share first; re-dispatch starts once
+    # the last death is detected and they are free.
+    redispatch_start = max(survivor_makespan, death_time + detection_latency)
+    detect = redispatch_start - survivor_makespan
+    depth = math.ceil(math.log2(ranks))
+    # One extra gather round for the re-dispatched results.
+    per_rank_bytes = model.result_bytes_per_task * len(costs) / ranks
+    comm = (depth + 1) * (model.alpha + model.beta * per_rank_bytes)
+    return RecoveryPoint(
+        ranks=ranks,
+        failed_ranks=failed,
+        baseline_total=baseline.total,
+        compute_time=survivor_makespan,
+        detect_time=detect,
+        redispatch_time=redispatch.makespan,
+        startup_time=baseline.startup_time,
+        comm_time=comm,
+        serial_time=baseline.serial_time,
+        lost_work=lost_work,
+        tasks_redispatched=int(len(orphan_tasks)),
+    )
+
+
 def amdahl_bound(serial_fraction: float, ranks: int) -> float:
     """Classical Amdahl speedup bound, for benchmark annotations."""
     if not 0.0 <= serial_fraction <= 1.0:
@@ -217,6 +347,7 @@ def amdahl_bound(serial_fraction: float, ranks: int) -> float:
 __all__ = [
     "ClusterModel",
     "HPC_FDR",
+    "RecoveryPoint",
     "ScalingPoint",
     "Z820_SMP",
     "amdahl_bound",
@@ -225,5 +356,6 @@ __all__ = [
     "parallel_efficiency",
     "scaling_sweep",
     "simulate_strong_scaling",
+    "simulate_with_failures",
     "speedup_curve",
 ]

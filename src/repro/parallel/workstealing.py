@@ -202,3 +202,164 @@ def simulate_runtime_stealing(
         steals=steals,
         finish_times=clock,
     )
+
+
+@dataclass(frozen=True)
+class FailoverTrace:
+    """Result of a stealing simulation with worker deaths.
+
+    ``lost_work_seconds`` is compute discarded on dead workers
+    (partial executions that never reported); ``tasks_rerun`` counts
+    tasks a dead worker had started that survivors re-executed.
+    """
+
+    makespan: float
+    steals: int
+    finish_times: np.ndarray
+    failed_workers: tuple[int, ...]
+    tasks_rerun: int
+    redispatched_tasks: int
+    lost_work_seconds: float
+
+    def overhead_vs(self, baseline: StealingTrace) -> float:
+        """Relative makespan inflation caused by the failures."""
+        if baseline.makespan == 0.0:
+            return 0.0
+        return self.makespan / baseline.makespan - 1.0
+
+
+def simulate_stealing_with_failures(
+    costs: Sequence[float],
+    num_workers: int,
+    death_times: dict[int, float],
+    steal_overhead: float = 0.0,
+    detection_latency: float = 0.0,
+    initial: str = "contiguous",
+) -> FailoverTrace:
+    """Runtime stealing where some workers die mid-run.
+
+    ``death_times`` maps worker index → wall-clock death instant.  A
+    worker dying mid-task loses that partial execution (counted in
+    ``lost_work_seconds``); the task and the worker's remaining queue
+    become stealable by survivors only after
+    ``death + detection_latency`` (heartbeat lag).  Fully
+    deterministic, so failover overhead curves are reproducible.
+
+    Raises ``RuntimeError`` if every worker dies with work remaining —
+    the no-survivor case a real deployment must treat as a campaign
+    abort, not a recoverable fault.
+    """
+    costs_arr = np.asarray(costs, dtype=np.float64)
+    n = len(costs_arr)
+    if num_workers < 1:
+        raise ValueError("num_workers must be >= 1")
+    for w in death_times:
+        if not 0 <= w < num_workers:
+            raise ValueError(f"death time for unknown worker {w}")
+    queues: list[list[int]] = [[] for _ in range(num_workers)]
+    if initial == "contiguous":
+        base = contiguous_schedule(costs_arr, num_workers)
+    elif initial == "strided":
+        worker_of = np.arange(n) % num_workers
+    else:
+        raise ValueError(f"unknown initial split {initial!r}")
+    if initial == "contiguous":
+        worker_of = base.worker_of
+    for i in range(n):
+        queues[int(worker_of[i])].append(i)
+    for q in queues:
+        q.sort(key=lambda i: (-costs_arr[i], i))  # pop cheapest last
+
+    clock = np.zeros(num_workers, dtype=np.float64)
+    alive = [True] * num_workers
+    # (task, available_at) pairs orphaned by a death, largest first.
+    orphan_pool: list[tuple[int, float]] = []
+    steals = 0
+    tasks_rerun = 0
+    redispatched = 0
+    lost_work = 0.0
+    done = 0
+
+    def _kill(w: int, at: float) -> None:
+        nonlocal redispatched
+        alive[w] = False
+        clock[w] = at
+        release = at + detection_latency
+        for t in queues[w]:
+            orphan_pool.append((t, release))
+        redispatched += len(queues[w])
+        queues[w] = []
+        orphan_pool.sort(key=lambda tr: (-costs_arr[tr[0]], tr[0]))
+
+    while done < n:
+        live = [w for w in range(num_workers) if alive[w]]
+        if not live:
+            raise RuntimeError(
+                f"all workers died with {n - done} task(s) remaining"
+            )
+        w = min(live, key=lambda v: (clock[v], v))
+        death = death_times.get(w, float("inf"))
+        if clock[w] >= death:
+            _kill(w, max(clock[w], death))
+            continue
+        start = clock[w]
+        if queues[w]:
+            task = queues[w].pop()
+        else:
+            victims = [
+                (sum(costs_arr[t] for t in q), v)
+                for v, q in enumerate(queues)
+                if q and alive[v]
+            ]
+            ready_orphans = [
+                (i, (t, avail))
+                for i, (t, avail) in enumerate(orphan_pool)
+            ]
+            if victims:
+                _, victim = max(victims, key=lambda lv: (lv[0], -lv[1]))
+                task = queues[victim].pop(0)
+                start += steal_overhead
+                steals += 1
+            elif ready_orphans:
+                # Take the soonest-available largest orphan; waiting
+                # for release is idle time, not compute.
+                idx, (task, avail) = min(
+                    ready_orphans, key=lambda ia: (ia[1][1], ia[0])
+                )
+                orphan_pool.pop(idx)
+                start = max(start, avail) + steal_overhead
+                steals += 1
+            else:
+                # Nothing visible yet: everything pending belongs to
+                # workers that are not yet dead — advance this worker
+                # to the next death it must outlive.
+                pending_deaths = [
+                    death_times.get(v, float("inf"))
+                    for v in range(num_workers)
+                    if alive[v] and queues[v] and v != w
+                ]
+                horizon = min(pending_deaths, default=float("inf"))
+                if horizon == float("inf"):  # pragma: no cover - defensive
+                    raise RuntimeError("stealing simulation deadlocked")
+                clock[w] = max(clock[w], horizon + detection_latency)
+                continue
+        end = start + costs_arr[task]
+        if end > death:
+            # Died mid-task: partial work wasted, task re-enters pool.
+            lost_work += max(0.0, death - start)
+            tasks_rerun += 1
+            orphan_pool.append((task, death + detection_latency))
+            orphan_pool.sort(key=lambda tr: (-costs_arr[tr[0]], tr[0]))
+            _kill(w, death)
+            continue
+        clock[w] = end
+        done += 1
+    return FailoverTrace(
+        makespan=float(clock[alive].max(initial=0.0)) if any(alive) else 0.0,
+        steals=steals,
+        finish_times=clock,
+        failed_workers=tuple(sorted(w for w in death_times if not alive[w])),
+        tasks_rerun=tasks_rerun,
+        redispatched_tasks=redispatched,
+        lost_work_seconds=float(lost_work),
+    )

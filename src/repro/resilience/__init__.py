@@ -1,0 +1,86 @@
+"""Resilience: fault injection, checkpoint/resume, retry, degradation.
+
+The paper's target workload (§II-C) is "(almost) real-time anomaly
+detection" over whole wet-lab days.  At that horizon faults are not
+exceptional — workers die, part files tear, electrodes go dead,
+solves diverge — and a run that discards a day of completed
+timepoints on the first fault is not a production system.  This
+subpackage makes every failure mode *injectable* (so recovery is
+testable) and every layer *recoverable*:
+
+* :mod:`repro.resilience.atomio` — tmp+fsync+rename atomic writes;
+* :mod:`repro.resilience.faults` — deterministic, seeded fault
+  injection (worker kills, block corruption, dirty measurements,
+  solver divergence, simulated aborts);
+* :mod:`repro.resilience.retry` — bounded retries with backoff and a
+  serial re-dispatch fallback for formation;
+* :mod:`repro.resilience.checkpoint` — manifest-journaled campaign
+  and streaming checkpoints with checksum-verified resume;
+* :mod:`repro.resilience.degrade` — the solver degradation ladder
+  (primary → cold-start → regularized → bounded).
+
+Attribute access is lazy (PEP 562): the low layers (``atomio``,
+``faults``) are importable from anywhere — including
+:mod:`repro.io.equations_io`, *below* this package — without pulling
+in ``checkpoint``/``retry``/``degrade``, which depend on the core and
+io layers.
+
+See DESIGN.md §6 and docs/RESILIENCE.md.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    # atomio
+    "AtomicFile": "atomio",
+    "atomic_open": "atomio",
+    "atomic_write_bytes": "atomio",
+    "atomic_write_json": "atomio",
+    "atomic_write_text": "atomio",
+    # faults
+    "KILLED_WORKER_EXIT": "faults",
+    "FaultInjector": "faults",
+    "FaultPlan": "faults",
+    "InjectedAbort": "faults",
+    "InjectedSolverFault": "faults",
+    "as_injector": "faults",
+    # retry
+    "RetryExhausted": "retry",
+    "RetryOutcome": "retry",
+    "RetryPolicy": "retry",
+    "form_with_recovery": "retry",
+    "run_with_retry": "retry",
+    # degrade
+    "LADDER_RUNGS": "degrade",
+    "DegradationReport": "degrade",
+    "SolverDegradationError": "degrade",
+    "solve_with_degradation": "degrade",
+    # checkpoint
+    "CampaignCheckpoint": "checkpoint",
+    "CheckpointError": "checkpoint",
+    "StreamCheckpoint": "checkpoint",
+    "StreamResumeReport": "checkpoint",
+    "stream_to_file_checkpointed": "checkpoint",
+    "verify_stream_directory": "checkpoint",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro.resilience' has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    module = importlib.import_module(f"repro.resilience.{module_name}")
+    value = getattr(module, name)
+    globals()[name] = value  # cache for the next access
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

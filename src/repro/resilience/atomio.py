@@ -1,0 +1,118 @@
+"""Atomic file writes: tmp + fsync + rename.
+
+A campaign that dies mid-write must never leave a *truncated file
+under the canonical name* — a half-written part file that still begins
+with a valid magic would be silently consumed by a later run.  The
+classic cure is used everywhere the library persists results: write to
+``<name>.tmp`` in the same directory, ``fsync``, then ``os.rename``
+onto the final name.  POSIX rename is atomic within a filesystem, so
+readers observe either the old complete file, the new complete file,
+or (first write) no file — never a prefix.
+
+Interrupted writes leave at most a ``*.tmp`` orphan, which no reader
+ever opens; the next successful attempt truncates and replaces it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import IO, Iterator
+
+#: Suffix for in-flight files.  Readers must never open ``*.tmp``.
+TMP_SUFFIX = ".tmp"
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Best-effort fsync of a directory (makes the rename durable)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync unsupported on dirs
+        pass
+    finally:
+        os.close(fd)
+
+
+class AtomicFile:
+    """A file handle that only materialises its path on :meth:`commit`.
+
+    Writes go to ``<path>.tmp``; ``commit()`` flushes, fsyncs and
+    renames onto ``path``; ``abort()`` discards the temporary.  The
+    object is deliberately not a context manager — the parallel
+    strategies need the commit/abort decision split across a
+    ``finally`` block (a killed worker must *not* commit).
+    """
+
+    def __init__(
+        self, path: str | Path, mode: str = "wb", encoding: str | None = None
+    ) -> None:
+        self.path = Path(path)
+        self.tmp_path = self.path.with_name(self.path.name + TMP_SUFFIX)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.handle: IO = open(self.tmp_path, mode, encoding=encoding)
+        self._done = False
+
+    @property
+    def name(self) -> str:
+        """The *final* path (what callers should record)."""
+        return str(self.path)
+
+    def write(self, data) -> int:
+        return self.handle.write(data)
+
+    def commit(self) -> None:
+        """Flush, fsync, close and rename onto the final path."""
+        if self._done:
+            return
+        self._done = True
+        self.handle.flush()
+        os.fsync(self.handle.fileno())
+        self.handle.close()
+        os.rename(self.tmp_path, self.path)
+        _fsync_dir(self.path.parent)
+
+    def abort(self) -> None:
+        """Close and remove the temporary; the final path is untouched."""
+        if self._done:
+            return
+        self._done = True
+        self.handle.close()
+        try:
+            self.tmp_path.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+@contextmanager
+def atomic_open(
+    path: str | Path, mode: str = "wb", encoding: str | None = None
+) -> Iterator[IO]:
+    """Context manager: commit on clean exit, abort on exception."""
+    af = AtomicFile(path, mode, encoding=encoding)
+    try:
+        yield af.handle
+    except BaseException:
+        af.abort()
+        raise
+    else:
+        af.commit()
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> None:
+    with atomic_open(path, "wb") as fh:
+        fh.write(data)
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    with atomic_open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+
+
+def atomic_write_json(path: str | Path, obj) -> None:
+    atomic_write_text(path, json.dumps(obj, indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,237 @@
+"""Deterministic fault injection for chaos testing.
+
+Real wet-lab campaigns fail in three places: *workers* die (OOM kill,
+node loss), *artifacts* rot (torn writes, bit flips in part files) and
+*measurements* arrive dirty (dead electrodes, rail-saturated channels,
+NaN from the DAQ).  This module injects all three on demand so the
+recovery paths — retry (:mod:`repro.resilience.retry`), checkpoint
+resume (:mod:`repro.resilience.checkpoint`) and the solver degradation
+ladder (:mod:`repro.resilience.degrade`) — can be exercised end to end
+in tests and in the ``parma chaos`` smoke command.
+
+Every fault decision is a pure function of ``(plan.seed, site key)``
+via :func:`repro.utils.rng.derive_seed`, so an injection schedule is
+reproducible across processes, fork order and retry attempts — the
+same determinism contract the paper's schedulers keep (§IV-C.1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.equations import PairBlock
+from repro.utils.rng import default_rng, derive_seed
+
+#: Exit status an injected worker kill uses (EX_TEMPFAIL: retryable).
+KILLED_WORKER_EXIT = 75
+
+
+class InjectedAbort(RuntimeError):
+    """Simulated process death between units of work (checkpoint test)."""
+
+
+class InjectedSolverFault(ArithmeticError):
+    """Simulated solver divergence (degradation-ladder test)."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative fault schedule; all fields default to "no faults".
+
+    Attributes
+    ----------
+    seed:
+        Root of every stochastic decision below (deterministic).
+    kill_workers:
+        Worker ranks to kill inside parallel formation regions.  Rank 0
+        is the parent process and is never killed.
+    kill_probability:
+        Additional per-(attempt, worker) Bernoulli kill rate.
+    kill_attempts:
+        Kills fire only on attempts ``< kill_attempts`` — the default 1
+        means "die once, survive the retry", which is the interesting
+        recovery case.
+    corrupt_blocks / corrupt_block_rate:
+        Explicit canonical pair indices (and/or a Bernoulli rate) of
+        streamed blocks whose term signs are flipped before hitting the
+        sink — detectable by checksum, invisible to byte counting.
+    drop_blocks / drop_block_rate:
+        Blocks silently discarded before the sink (torn write).
+    abort_after_blocks / abort_after_timepoints:
+        Raise :class:`InjectedAbort` once this many blocks (streaming)
+        or timepoints (campaign pipeline) have completed — simulates a
+        process kill between checkpoints.
+    nan_sites / saturate_sites:
+        ``(row, col)`` channels of Z replaced by NaN / the saturation
+        rail.
+    dead_rows / dead_cols:
+        Whole wires reading the saturation rail (electrode lost
+        contact: every pair through it is an open circuit).
+    dirty_rate:
+        Bernoulli per-channel NaN rate on top of the explicit sites.
+    saturation_kohm:
+        The rail value used for saturated/dead channels.
+    fail_rungs:
+        Degradation-ladder rung names that raise
+        :class:`InjectedSolverFault` instead of solving.
+    """
+
+    seed: int = 0
+    kill_workers: tuple[int, ...] = ()
+    kill_probability: float = 0.0
+    kill_attempts: int = 1
+    corrupt_blocks: tuple[int, ...] = ()
+    corrupt_block_rate: float = 0.0
+    drop_blocks: tuple[int, ...] = ()
+    drop_block_rate: float = 0.0
+    abort_after_blocks: int | None = None
+    abort_after_timepoints: int | None = None
+    nan_sites: tuple[tuple[int, int], ...] = ()
+    saturate_sites: tuple[tuple[int, int], ...] = ()
+    dead_rows: tuple[int, ...] = ()
+    dead_cols: tuple[int, ...] = ()
+    dirty_rate: float = 0.0
+    saturation_kohm: float = 1.0e7
+    fail_rungs: tuple[str, ...] = ()
+
+    def any_measurement_faults(self) -> bool:
+        return bool(
+            self.nan_sites
+            or self.saturate_sites
+            or self.dead_rows
+            or self.dead_cols
+            or self.dirty_rate > 0.0
+        )
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` at the library's injection points.
+
+    One injector follows one logical run; the retry layer calls
+    :meth:`note_attempt` between attempts so "die once" plans stop
+    firing after the first failure.  The attempt counter is bumped in
+    the parent *before* workers fork, so every region member agrees on
+    it (copy-on-write).
+    """
+
+    def __init__(self, plan: FaultPlan | None = None) -> None:
+        self.plan = plan or FaultPlan()
+        self.attempt = 0
+
+    # -- shared helpers ------------------------------------------------------
+
+    def _bernoulli(self, rate: float, *key: int | str) -> bool:
+        if rate <= 0.0:
+            return False
+        rng = default_rng(derive_seed(self.plan.seed, *key))
+        return bool(rng.random() < rate)
+
+    def note_attempt(self) -> None:
+        """Record that a failed attempt is being retried."""
+        self.attempt += 1
+
+    # -- worker kills --------------------------------------------------------
+
+    def should_kill_worker(self, worker: int) -> bool:
+        if worker == 0 or self.attempt >= self.plan.kill_attempts:
+            return False
+        if worker in self.plan.kill_workers:
+            return True
+        return self._bernoulli(
+            self.plan.kill_probability, "kill", self.attempt, worker
+        )
+
+    def maybe_kill_worker(self, worker: int) -> None:
+        """Called by each region member; dies via ``os._exit`` if doomed.
+
+        ``os._exit`` (not an exception) models a SIGKILL-style death:
+        no Python unwind, no part-file commit, just a non-zero wait
+        status for the parent to find.
+        """
+        if self.should_kill_worker(worker):
+            os._exit(KILLED_WORKER_EXIT)
+
+    # -- block corruption (streaming / serialization) ------------------------
+
+    def block_fate(self, index: int) -> str:
+        """``"ok"``, ``"corrupt"`` or ``"drop"`` for canonical block ``index``."""
+        if index in self.plan.drop_blocks or self._bernoulli(
+            self.plan.drop_block_rate, "drop", index
+        ):
+            return "drop"
+        if index in self.plan.corrupt_blocks or self._bernoulli(
+            self.plan.corrupt_block_rate, "corrupt", index
+        ):
+            return "corrupt"
+        return "ok"
+
+    def mangle_block(self, block: PairBlock, index: int) -> PairBlock | None:
+        """Apply the block's fate: pass through, corrupt, or drop (None).
+
+        Corruption flips every term sign — the byte count is unchanged
+        (so naive size checks pass) but the order-independent checksum
+        is negated, which is exactly what the manifest verification
+        must catch.
+        """
+        fate = self.block_fate(index)
+        if fate == "ok":
+            return block
+        if fate == "drop":
+            return None
+        return dataclasses.replace(block, sign=(-block.sign).astype(np.int8))
+
+    def maybe_abort_stream(self, blocks_done: int) -> None:
+        limit = self.plan.abort_after_blocks
+        if limit is not None and blocks_done >= limit:
+            raise InjectedAbort(
+                f"injected stream abort after {blocks_done} block(s)"
+            )
+
+    def maybe_abort_campaign(self, timepoints_done: int) -> None:
+        limit = self.plan.abort_after_timepoints
+        if limit is not None and timepoints_done >= limit:
+            raise InjectedAbort(
+                f"injected campaign abort after {timepoints_done} timepoint(s)"
+            )
+
+    # -- dirty measurements --------------------------------------------------
+
+    def dirty_measurement(self, z: np.ndarray) -> np.ndarray:
+        """Return a copy of ``z`` with the planned channel damage applied."""
+        plan = self.plan
+        if not plan.any_measurement_faults():
+            return np.asarray(z, dtype=np.float64)
+        out = np.array(z, dtype=np.float64, copy=True)
+        m, n = out.shape
+        for r in plan.dead_rows:
+            out[r, :] = plan.saturation_kohm
+        for c in plan.dead_cols:
+            out[:, c] = plan.saturation_kohm
+        for r, c in plan.saturate_sites:
+            out[r, c] = plan.saturation_kohm
+        for r, c in plan.nan_sites:
+            out[r, c] = np.nan
+        if plan.dirty_rate > 0.0:
+            rng = default_rng(derive_seed(plan.seed, "dirty"))
+            mask = rng.random((m, n)) < plan.dirty_rate
+            out[mask] = np.nan
+        return out
+
+    # -- solver divergence ---------------------------------------------------
+
+    def maybe_fail_rung(self, rung: str) -> None:
+        if rung in self.plan.fail_rungs:
+            raise InjectedSolverFault(f"injected divergence on rung {rung!r}")
+
+
+def as_injector(
+    faults: "FaultInjector | FaultPlan | None",
+) -> FaultInjector | None:
+    """Accept a plan or an injector wherever ``faults=`` is threaded."""
+    if faults is None or isinstance(faults, FaultInjector):
+        return faults
+    return FaultInjector(faults)

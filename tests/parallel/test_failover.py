@@ -1,0 +1,111 @@
+"""Failover models: rank death, re-dispatch, and orphan stealing."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.simcluster import (
+    Z820_SMP,
+    simulate_strong_scaling,
+    simulate_with_failures,
+)
+from repro.parallel.workstealing import (
+    simulate_runtime_stealing,
+    simulate_stealing_with_failures,
+)
+
+
+def uniform_costs(count, each=1e-3):
+    return np.full(count, each)
+
+
+class TestClusterFailover:
+    def test_failure_costs_more_than_clean_run(self):
+        costs = uniform_costs(256)
+        clean = simulate_strong_scaling(costs, 8, Z820_SMP)
+        failed = simulate_with_failures(costs, 8, Z820_SMP, failed_ranks=(3,))
+        assert failed.total > clean.total
+        assert failed.failure_overhead > 0
+        assert failed.baseline_total == pytest.approx(clean.total)
+
+    def test_lost_work_and_redispatch_accounted(self):
+        failed = simulate_with_failures(
+            uniform_costs(256), 8, Z820_SMP,
+            failed_ranks=(3,), failure_fraction=0.5,
+        )
+        assert failed.lost_work > 0
+        assert failed.tasks_redispatched > 0
+        assert failed.failed_ranks == (3,)
+
+    def test_deterministic(self):
+        kwargs = dict(failed_ranks=(1, 5), failure_fraction=0.25)
+        a = simulate_with_failures(uniform_costs(128), 8, Z820_SMP, **kwargs)
+        b = simulate_with_failures(uniform_costs(128), 8, Z820_SMP, **kwargs)
+        assert a == b
+
+    def test_more_deaths_cost_more(self):
+        costs = uniform_costs(256)
+        one = simulate_with_failures(costs, 8, Z820_SMP, failed_ranks=(3,))
+        three = simulate_with_failures(
+            costs, 8, Z820_SMP, failed_ranks=(3, 5, 6)
+        )
+        assert three.total > one.total
+
+    def test_all_ranks_dead_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_with_failures(
+                uniform_costs(16), 2, Z820_SMP, failed_ranks=(0, 1)
+            )
+
+
+class TestStealingFailover:
+    def test_survivors_finish_all_tasks(self):
+        costs = uniform_costs(64, each=1.0)
+        trace = simulate_stealing_with_failures(
+            costs, 4, death_times={1: 3.0}
+        )
+        assert trace.failed_workers == (1,)
+        assert trace.tasks_rerun >= 0
+        clean = simulate_runtime_stealing(costs, 4)
+        assert trace.makespan >= clean.makespan
+        assert trace.overhead_vs(clean) >= 0
+
+    def test_mid_task_death_loses_partial_work(self):
+        # Worker 1 dies halfway through a 2-second task: that second
+        # of execution is lost and the task reruns elsewhere.
+        costs = np.full(8, 2.0)
+        trace = simulate_stealing_with_failures(
+            costs, 4, death_times={1: 1.0}
+        )
+        assert trace.lost_work_seconds > 0
+        assert trace.tasks_rerun > 0
+
+    def test_detection_latency_delays_recovery(self):
+        costs = uniform_costs(32, each=1.0)
+        fast = simulate_stealing_with_failures(
+            costs, 4, death_times={1: 2.0}, detection_latency=0.0
+        )
+        slow = simulate_stealing_with_failures(
+            costs, 4, death_times={1: 2.0}, detection_latency=5.0
+        )
+        assert slow.makespan >= fast.makespan
+
+    def test_deterministic(self):
+        costs = uniform_costs(50, each=0.7)
+        a, b = (
+            simulate_stealing_with_failures(
+                costs, 5, death_times={2: 1.0, 4: 3.0}, detection_latency=0.5
+            )
+            for _ in range(2)
+        )
+        assert a.makespan == b.makespan
+        assert a.steals == b.steals
+        assert np.array_equal(a.finish_times, b.finish_times)
+        assert a.failed_workers == b.failed_workers
+        assert a.lost_work_seconds == b.lost_work_seconds
+
+    def test_all_workers_dead_raises(self):
+        with pytest.raises(RuntimeError, match="all workers died"):
+            simulate_stealing_with_failures(
+                np.full(16, 10.0), 2,
+                death_times={0: 1.0, 1: 1.0},
+            )

@@ -1,0 +1,86 @@
+"""Atomic write primitives: readers never see partial files."""
+
+import json
+import os
+
+import pytest
+
+from repro.resilience.atomio import (
+    AtomicFile,
+    atomic_open,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+)
+
+
+class TestAtomicFile:
+    def test_commit_renames_into_place(self, tmp_path):
+        path = tmp_path / "out.bin"
+        fh = AtomicFile(path, "wb")
+        fh.write(b"payload")
+        assert not path.exists(), "final name must not exist before commit"
+        fh.commit()
+        assert path.read_bytes() == b"payload"
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_abort_leaves_nothing_under_final_name(self, tmp_path):
+        path = tmp_path / "out.bin"
+        fh = AtomicFile(path, "wb")
+        fh.write(b"half-written")
+        fh.abort()
+        assert not path.exists()
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_name_is_final_path(self, tmp_path):
+        path = tmp_path / "part-0.bin"
+        fh = AtomicFile(path, "wb")
+        assert fh.name == str(path)
+        fh.abort()
+
+    def test_commit_replaces_existing_file(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        fh = AtomicFile(path, "w", encoding="utf-8")
+        fh.write("new")
+        fh.commit()
+        assert path.read_text() == "new"
+
+
+class TestAtomicOpen:
+    def test_clean_exit_commits(self, tmp_path):
+        path = tmp_path / "data.bin"
+        with atomic_open(path, "wb") as fh:
+            fh.write(b"abc")
+        assert path.read_bytes() == b"abc"
+
+    def test_exception_aborts(self, tmp_path):
+        path = tmp_path / "data.bin"
+        with pytest.raises(RuntimeError):
+            with atomic_open(path, "wb") as fh:
+                fh.write(b"torn")
+                raise RuntimeError("writer died")
+        assert not path.exists()
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestHelpers:
+    def test_write_bytes_text_json(self, tmp_path):
+        atomic_write_bytes(tmp_path / "b.bin", b"\x00\x01")
+        atomic_write_text(tmp_path / "t.txt", "héllo")
+        atomic_write_json(tmp_path / "j.json", {"k": [1, 2]})
+        assert (tmp_path / "b.bin").read_bytes() == b"\x00\x01"
+        assert (tmp_path / "t.txt").read_text(encoding="utf-8") == "héllo"
+        assert json.loads((tmp_path / "j.json").read_text()) == {"k": [1, 2]}
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_tmp_file_lives_in_destination_directory(self, tmp_path):
+        # rename() must not cross filesystems, so the tmp file sits
+        # next to its final name.
+        path = tmp_path / "sub" / "out.bin"
+        path.parent.mkdir()
+        fh = AtomicFile(path, "wb")
+        tmp_entries = list(path.parent.glob("*.tmp"))
+        assert len(tmp_entries) == 1
+        assert os.path.dirname(tmp_entries[0]) == str(path.parent)
+        fh.abort()

@@ -1,0 +1,121 @@
+"""The solver degradation ladder engages in order and reports its rung."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ParmaEngine
+from repro.core.solver import solve_bounded
+from repro.mea.wetlab import quick_device_data
+from repro.resilience.degrade import (
+    LADDER_RUNGS,
+    SolverDegradationError,
+    solve_with_degradation,
+)
+from repro.resilience.faults import FaultInjector, FaultPlan
+
+
+@pytest.fixture(scope="module")
+def z6():
+    _, z = quick_device_data(6, seed=5)
+    return z
+
+
+class TestLadderOrder:
+    def test_clean_solve_uses_primary(self, z6):
+        result, report = solve_with_degradation(z6)
+        assert report.rung_used == "primary"
+        assert not report.degraded
+        assert result.converged
+
+    def test_each_injected_failure_steps_down_in_order(self, z6):
+        # Fail a growing prefix of rungs; the ladder must land on the
+        # next rung each time, in the documented order.
+        r0 = np.full_like(z6, 5.0)
+        ladder = list(LADDER_RUNGS)
+        for depth in range(1, len(ladder)):
+            faults = FaultInjector(FaultPlan(fail_rungs=tuple(ladder[:depth])))
+            result, report = solve_with_degradation(
+                z6, solver_kwargs={"r0": r0}, faults=faults
+            )
+            assert report.rung_used == ladder[depth]
+            assert report.rungs_tried == tuple(ladder[: depth + 1])
+            assert report.degraded
+            assert np.all(np.isfinite(result.r_estimate))
+
+    def test_all_rungs_failing_raises_with_full_path(self, z6):
+        faults = FaultInjector(FaultPlan(fail_rungs=LADDER_RUNGS))
+        with pytest.raises(SolverDegradationError) as err:
+            solve_with_degradation(
+                z6, solver_kwargs={"r0": np.full_like(z6, 5.0)}, faults=faults
+            )
+        assert err.value.report.exhausted
+        assert err.value.report.rungs_tried == LADDER_RUNGS
+
+    def test_cold_start_rung_only_with_warm_start(self, z6):
+        faults = FaultInjector(FaultPlan(fail_rungs=("primary",)))
+        _, report = solve_with_degradation(z6, faults=faults)
+        assert "cold-start" not in report.rungs_tried
+        assert report.rung_used == "regularized"
+
+    def test_poisoned_warm_start_recovers(self, z6):
+        # A NaN warm start makes the primary rung blow up numerically;
+        # the cold-start rung discards it and succeeds.
+        poisoned = np.full_like(z6, np.nan)
+        result, report = solve_with_degradation(
+            z6, solver_kwargs={"r0": poisoned}
+        )
+        assert report.rung_used != "primary"
+        assert np.all(np.isfinite(result.r_estimate))
+
+    def test_config_errors_propagate(self, z6):
+        with pytest.raises(ValueError, match="unknown"):
+            solve_with_degradation(z6, method="does-not-exist")
+
+
+class TestBoundedSolver:
+    def test_bounded_always_finite(self, z6):
+        result = solve_bounded(z6)
+        assert result.method == "bounded"
+        assert np.all(np.isfinite(result.r_estimate))
+        assert np.all(result.r_estimate > 0)
+
+
+class TestRungVisibility:
+    def test_rung_in_result_summary(self, z6):
+        engine = ParmaEngine(
+            strategy="single",
+            faults=FaultPlan(fail_rungs=("primary", "regularized")),
+        )
+        from repro.mea.dataset import Measurement
+
+        result = engine.parametrize(Measurement(z_kohm=z6))
+        assert result.degradation is not None
+        assert result.degradation.rung_used == "bounded"
+        assert "rung=bounded" in result.summary()
+
+    def test_clean_summary_reports_primary(self, z6):
+        from repro.mea.dataset import Measurement
+
+        result = ParmaEngine(strategy="single").parametrize(
+            Measurement(z_kohm=z6)
+        )
+        assert "rung=primary" in result.summary()
+
+    def test_ladder_in_parma_info(self, capsys):
+        from repro.cli import main
+
+        assert main(["info", "--n", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "degradation ladder" in out
+        assert "primary -> cold-start -> regularized -> bounded" in out
+
+    def test_ladder_table_renders_rung(self, z6):
+        from repro.instrument.report import ladder_table
+        from repro.mea.dataset import Measurement
+
+        engine = ParmaEngine(
+            strategy="single", faults=FaultPlan(fail_rungs=("primary",))
+        )
+        result = engine.parametrize(Measurement(z_kohm=z6))
+        rendered = ladder_table([result]).render()
+        assert "regularized" in rendered

@@ -1,0 +1,114 @@
+"""Fault injection is deterministic and scoped exactly as planned."""
+
+import numpy as np
+import pytest
+
+from repro.core.equations import form_pair_block
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultPlan,
+    InjectedAbort,
+    as_injector,
+)
+
+
+def _block(n=4):
+    return form_pair_block(n, 1, 2, 5.0)
+
+
+class TestKillDecisions:
+    def test_rank_zero_never_killed(self):
+        inj = FaultInjector(FaultPlan(kill_workers=(0, 1), kill_probability=1.0))
+        assert not inj.should_kill_worker(0)
+        assert inj.should_kill_worker(1)
+
+    def test_kill_attempts_bounds_deaths(self):
+        inj = FaultInjector(FaultPlan(kill_workers=(2,), kill_attempts=1))
+        assert inj.should_kill_worker(2)
+        inj.note_attempt()
+        assert not inj.should_kill_worker(2), "retry must survive"
+
+    def test_probabilistic_kills_are_deterministic(self):
+        plans = [FaultInjector(FaultPlan(seed=3, kill_probability=0.5))
+                 for _ in range(2)]
+        decisions = [
+            [inj.should_kill_worker(w) for w in range(1, 9)] for inj in plans
+        ]
+        assert decisions[0] == decisions[1]
+        assert any(decisions[0]), "rate 0.5 over 8 workers should fire"
+
+
+class TestBlockFates:
+    def test_explicit_corrupt_and_drop(self):
+        inj = FaultInjector(FaultPlan(corrupt_blocks=(5,), drop_blocks=(9,)))
+        assert inj.block_fate(5) == "corrupt"
+        assert inj.block_fate(9) == "drop"
+        assert inj.block_fate(0) == "ok"
+
+    def test_corruption_negates_checksum_keeps_bytes(self):
+        block = _block()
+        inj = FaultInjector(FaultPlan(corrupt_blocks=(7,)))
+        mangled = inj.mangle_block(block, 7)
+        assert mangled is not None
+        assert mangled.num_terms == block.num_terms
+        assert mangled.checksum() == pytest.approx(-block.checksum())
+
+    def test_drop_returns_none(self):
+        inj = FaultInjector(FaultPlan(drop_blocks=(7,)))
+        assert inj.mangle_block(_block(), 7) is None
+
+    def test_ok_passes_block_through_unchanged(self):
+        block = _block()
+        inj = FaultInjector(FaultPlan())
+        assert inj.mangle_block(block, 3) is block
+
+
+class TestAborts:
+    def test_stream_abort_threshold(self):
+        inj = FaultInjector(FaultPlan(abort_after_blocks=3))
+        inj.maybe_abort_stream(2)
+        with pytest.raises(InjectedAbort):
+            inj.maybe_abort_stream(3)
+
+    def test_campaign_abort_threshold(self):
+        inj = FaultInjector(FaultPlan(abort_after_timepoints=2))
+        inj.maybe_abort_campaign(1)
+        with pytest.raises(InjectedAbort):
+            inj.maybe_abort_campaign(2)
+
+
+class TestDirtyMeasurements:
+    def test_sites_and_wires_applied(self):
+        plan = FaultPlan(
+            nan_sites=((1, 2),),
+            saturate_sites=((0, 3),),
+            dead_rows=(2,),
+            saturation_kohm=1e7,
+        )
+        z = np.full((5, 5), 5.0)
+        dirty = FaultInjector(plan).dirty_measurement(z)
+        assert np.isnan(dirty[1, 2])
+        assert dirty[0, 3] == 1e7
+        assert np.all(dirty[2, :] == 1e7)
+        assert z[1, 2] == 5.0, "input must not be mutated"
+
+    def test_dirty_rate_deterministic(self):
+        plan = FaultPlan(seed=11, dirty_rate=0.2)
+        z = np.full((10, 10), 5.0)
+        a = FaultInjector(plan).dirty_measurement(z)
+        b = FaultInjector(plan).dirty_measurement(z)
+        assert np.array_equal(np.isnan(a), np.isnan(b))
+        assert np.isnan(a).any()
+
+    def test_clean_plan_returns_equal_array(self):
+        z = np.full((4, 4), 5.0)
+        out = FaultInjector(FaultPlan()).dirty_measurement(z)
+        assert np.array_equal(out, z)
+
+
+class TestAsInjector:
+    def test_accepts_none_plan_and_injector(self):
+        assert as_injector(None) is None
+        inj = as_injector(FaultPlan(seed=1))
+        assert isinstance(inj, FaultInjector)
+        assert as_injector(inj) is inj

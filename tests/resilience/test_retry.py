@@ -1,0 +1,139 @@
+"""Bounded retry with deterministic backoff, and formation recovery."""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import SingleThread, make_strategy
+from repro.parallel.pymp import ParallelError
+from repro.resilience.faults import FaultInjector, FaultPlan
+from repro.resilience.retry import (
+    RetryExhausted,
+    RetryPolicy,
+    form_with_recovery,
+    run_with_retry,
+)
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential_and_capped(self):
+        p = RetryPolicy(backoff_seconds=0.5, backoff_factor=2.0,
+                        max_backoff_seconds=1.5)
+        assert p.delay(0) == 0.5
+        assert p.delay(1) == 1.0
+        assert p.delay(2) == 1.5  # capped
+
+    def test_zero_backoff_never_sleeps(self):
+        assert RetryPolicy().delay(5) == 0.0
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+
+
+class TestRunWithRetry:
+    def test_success_after_transient_failures(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ParallelError("worker lost")
+            return "ok"
+
+        result, outcome = run_with_retry(flaky, RetryPolicy(max_retries=3))
+        assert result == "ok"
+        assert outcome.attempts == 3
+        assert outcome.succeeded
+        assert len(outcome.errors) == 2
+
+    def test_exhaustion_raises_with_outcome(self):
+        def dead():
+            raise ParallelError("always")
+
+        with pytest.raises(RetryExhausted) as err:
+            run_with_retry(dead, RetryPolicy(max_retries=1))
+        assert err.value.outcome.attempts == 2
+        assert not err.value.outcome.succeeded
+
+    def test_non_transient_errors_propagate_immediately(self):
+        def broken():
+            raise ValueError("config error")
+
+        with pytest.raises(ValueError):
+            run_with_retry(broken, RetryPolicy(max_retries=5))
+
+    def test_sleeps_follow_policy(self):
+        slept = []
+
+        def dead():
+            raise OSError("disk hiccup")
+
+        with pytest.raises(RetryExhausted):
+            run_with_retry(
+                dead,
+                RetryPolicy(max_retries=2, backoff_seconds=0.25),
+                sleep=slept.append,
+            )
+        assert slept == [0.25, 0.5]
+
+    def test_injector_attempt_counter_advances(self):
+        inj = FaultInjector(FaultPlan(kill_workers=(1,), kill_attempts=1))
+
+        def flaky():
+            if inj.should_kill_worker(1):
+                raise ParallelError("killed")
+            return "recovered"
+
+        result, outcome = run_with_retry(
+            flaky, RetryPolicy(max_retries=2), faults=inj
+        )
+        assert result == "recovered"
+        assert outcome.attempts == 2
+
+
+class TestFormWithRecovery:
+    def _z(self, n=5):
+        return np.full((n, n), 5.0)
+
+    def test_clean_run_has_no_events(self):
+        report, events = form_with_recovery(SingleThread(), self._z())
+        assert report.terms_formed > 0
+        assert events == ()
+
+    def test_worker_kill_retried_then_matches_clean(self):
+        z = self._z(6)
+        clean = make_strategy("pymp", 3).run(z)
+        inj = FaultInjector(FaultPlan(kill_workers=(1,), kill_attempts=1))
+        report, events = form_with_recovery(
+            make_strategy("pymp", 3), z,
+            policy=RetryPolicy(max_retries=2), faults=inj,
+        )
+        assert report.checksum == pytest.approx(clean.checksum)
+        assert any("failed" in e for e in events)
+
+    def test_parallel_exhaustion_degrades_to_single_thread(self):
+        z = self._z(5)
+        clean = SingleThread().run(z)
+        # Kill on every attempt: the pymp strategy can never finish.
+        inj = FaultInjector(FaultPlan(kill_workers=(1,), kill_attempts=99))
+        report, events = form_with_recovery(
+            make_strategy("pymp", 3), z,
+            policy=RetryPolicy(max_retries=1), faults=inj,
+        )
+        assert report.strategy == clean.strategy
+        assert report.checksum == pytest.approx(clean.checksum)
+        assert any("degraded to single-thread" in e for e in events)
+
+    def test_single_thread_exhaustion_raises(self):
+        calls = {"n": 0}
+
+        class AlwaysFails(SingleThread):
+            def run(self, *a, **kw):
+                calls["n"] += 1
+                raise OSError("disk gone")
+
+        with pytest.raises(RetryExhausted):
+            form_with_recovery(
+                AlwaysFails(), self._z(), policy=RetryPolicy(max_retries=1)
+            )
+        assert calls["n"] == 2

@@ -1,0 +1,131 @@
+"""Measurement validation at the engine boundary names the offender."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import ParmaEngine
+from repro.mea.dataset import (
+    Measurement,
+    MeasurementValidationError,
+    audit_z,
+    repair_z,
+    validate_z,
+)
+from repro.resilience.faults import FaultPlan
+
+
+def _clean(n=5, value=5.0):
+    return np.full((n, n), value)
+
+
+class TestAuditZ:
+    def test_clean_matrix_audits_clean(self):
+        audit = audit_z(_clean())
+        assert audit.clean
+        assert audit.num_bad_sites == 0
+        assert audit.first_offender() == "no bad channels"
+
+    def test_nan_site_located(self):
+        z = _clean()
+        z[1, 2] = np.nan
+        audit = audit_z(z)
+        assert not audit.clean
+        assert (1, 2) in audit.nan_sites
+        assert "z_kohm[1, 2]" in audit.first_offender()
+
+    def test_nonpositive_and_saturated_sites(self):
+        z = _clean()
+        z[0, 0] = -2.0
+        z[3, 4] = 5e6
+        audit = audit_z(z, saturation_kohm=1e6)
+        assert (0, 0) in audit.nonpositive_sites
+        assert (3, 4) in audit.saturated_sites
+
+    def test_dead_wires_reported_as_rows_and_cols(self):
+        z = _clean(4)
+        z[2, :] = 1e7
+        z[:, 1] = 1e7
+        audit = audit_z(z, saturation_kohm=1e6)
+        assert 2 in audit.dead_rows
+        assert 1 in audit.dead_cols
+
+
+class TestValidateZ:
+    def test_clean_passes(self):
+        validate_z(_clean())
+
+    def test_error_names_offending_channel(self):
+        z = _clean()
+        z[1, 2] = np.inf
+        with pytest.raises(MeasurementValidationError, match=r"z_kohm\[1, 2\]"):
+            validate_z(z)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(MeasurementValidationError, match="square"):
+            validate_z(np.full((3, 4), 5.0))
+
+
+class TestRepairZ:
+    def test_repair_imputes_finite_positive_values(self):
+        z = _clean()
+        z[1, 2] = np.nan
+        z[0, 0] = -1.0
+        repaired, audit = repair_z(z)
+        assert not audit.clean
+        assert np.all(np.isfinite(repaired))
+        assert np.all(repaired > 0)
+        validate_z(repaired)
+
+    def test_repair_uses_neighbour_statistics(self):
+        z = _clean(5, value=7.0)
+        z[2, 2] = np.nan
+        repaired, _ = repair_z(z)
+        assert repaired[2, 2] == pytest.approx(7.0)
+
+    def test_clean_matrix_returned_unchanged(self):
+        z = _clean()
+        repaired, audit = repair_z(z)
+        assert audit.clean
+        assert np.array_equal(repaired, z)
+
+
+class TestEngineValidationModes:
+    def _dirty_faults(self):
+        return FaultPlan(nan_sites=((1, 2),), dead_rows=(0,))
+
+    def test_strict_rejects_naming_channel(self):
+        engine = ParmaEngine(
+            strategy="single", validate="strict", faults=self._dirty_faults()
+        )
+        with pytest.raises(MeasurementValidationError, match=r"z_kohm\["):
+            engine.parametrize(Measurement(z_kohm=_clean()))
+
+    def test_repair_mode_recovers_and_records_event(self):
+        engine = ParmaEngine(
+            strategy="single", validate="repair", faults=self._dirty_faults()
+        )
+        result = engine.parametrize(Measurement(z_kohm=_clean()))
+        assert any("repaired" in e for e in result.events)
+        assert np.all(np.isfinite(result.resistance))
+        assert "resilience event" in result.summary()
+
+    def test_off_mode_skips_boundary_validation(self):
+        # "off" disables only the boundary policy: the dirty matrix
+        # then trips Measurement's own invariants as a plain
+        # ValueError, without the channel-naming diagnosis.
+        engine = ParmaEngine(
+            strategy="single", validate="off", faults=self._dirty_faults()
+        )
+        with pytest.raises(ValueError) as err:
+            engine.parametrize(Measurement(z_kohm=_clean()))
+        assert not isinstance(err.value, MeasurementValidationError)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="validate"):
+            ParmaEngine(strategy="single", validate="sometimes")
+
+    def test_clean_measurement_passes_strict(self):
+        result = ParmaEngine(strategy="single", validate="strict").parametrize(
+            Measurement(z_kohm=_clean())
+        )
+        assert result.events == ()
