@@ -21,6 +21,8 @@ Parallelization of Multidimensional Data on Microelectrode Arrays"*
 :mod:`repro.instrument` Memory sampling and result tables.
 :mod:`repro.resilience` Fault injection, checkpoint/resume, bounded
                        retries, solver degradation (DESIGN.md §6).
+:mod:`repro.observe`   Tracing, metrics, run manifests
+                       (docs/OBSERVABILITY.md).
 ====================  =====================================================
 
 Quick start::
@@ -37,6 +39,7 @@ Quick start::
 from repro.core.engine import ParmaEngine, ParmaResult
 from repro.core.pipeline import CampaignResult, run_pipeline
 from repro.core.solver import SolveResult, solve
+from repro.observe import Observer, set_observer
 from repro.resilience.degrade import DegradationReport
 from repro.resilience.faults import FaultPlan
 from repro.resilience.retry import RetryPolicy
@@ -47,9 +50,11 @@ __all__ = [
     "CampaignResult",
     "DegradationReport",
     "FaultPlan",
+    "Observer",
     "ParmaEngine",
     "ParmaResult",
     "RetryPolicy",
+    "set_observer",
     "SolveResult",
     "__version__",
     "run_pipeline",

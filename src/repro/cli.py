@@ -25,6 +25,10 @@ Subcommands mirror the wet-lab workflow:
     recovery path produces the fault-free answer.
 ``info``
     Print device/topology/accounting facts for a given n.
+``trace``
+    Inspect observability artifacts: ``parma trace summarize DIR``
+    prints the phase rollup, metrics and environment of a traced run
+    (``parma solve/monitor --trace DIR``).
 
 All output is plain text; exit status is nonzero on failure.  Invoke
 as ``parma ...`` (console script) or ``python -m repro.cli ...``.
@@ -37,6 +41,67 @@ import sys
 from pathlib import Path
 
 import numpy as np
+
+
+def _make_observer(args: argparse.Namespace):
+    """Build + install the run Observer for ``--trace`` / ``--metrics``.
+
+    Returns None when neither flag was given (the global observer stays
+    the zero-overhead no-op).
+    """
+    trace_dir = getattr(args, "trace", None)
+    if trace_dir is None and not getattr(args, "metrics", False):
+        return None
+    from repro.observe import Observer, set_observer
+
+    obs = Observer(trace_dir=trace_dir)
+    set_observer(obs)  # low layers (atomio, checkpoint) report globally
+    return obs
+
+
+def _finish_observer(obs, args: argparse.Namespace, config: dict, memory=None) -> None:
+    """Finalize artifacts and/or print the metrics table, then uninstall."""
+    if obs is None:
+        return
+    from repro.observe import set_observer
+    from repro.observe.observer import MANIFEST_FILE_NAME
+
+    try:
+        if obs.trace_dir is not None:
+            manifest = obs.finalize(config=config, memory=memory)
+            print(
+                f"trace: {manifest['num_spans']} span(s) -> {obs.trace_dir} "
+                f"(run {manifest['run_id']}; open trace.chrome.json in "
+                "Perfetto, or `parma trace summarize "
+                f"{obs.trace_dir}`)"
+            )
+            print(f"manifest: {obs.trace_dir / MANIFEST_FILE_NAME}")
+        if getattr(args, "metrics", False):
+            from repro.instrument.report import metrics_table
+            from repro.observe.metrics import sync_cache_gauges
+
+            if obs.trace_dir is None:
+                # finalize() already mirrored the cache gauges above.
+                sync_cache_gauges(obs.metrics)
+            print(metrics_table(obs.metrics.snapshot()).render())
+    finally:
+        set_observer(None)
+
+
+def _drop_observer(obs) -> None:
+    """Uninstall the global observer on an error path (no artifacts)."""
+    if obs is not None:
+        from repro.observe import set_observer
+
+        set_observer(None)
+
+
+def _add_observe_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", type=Path, default=None, metavar="DIR",
+                        help="write trace.jsonl, trace.chrome.json and "
+                             "manifest.json for this run to DIR")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the run's metrics table")
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -79,6 +144,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 r.strip() for r in args.inject_fail_rungs.split(",") if r.strip()
             )
         )
+    obs = _make_observer(args)
     engine = ParmaEngine(
         strategy=args.strategy,
         num_workers=args.workers,
@@ -87,23 +153,51 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         formation=args.formation,
         validate=args.validate,
         faults=faults,
+        observer=obs,
     )
     solver_kwargs = (
         {"lam": args.lam} if args.solver == "regularized" else None
     )
+    memory = None
     try:
-        result = engine.parametrize(
-            meas, output_dir=args.equations_dir, solver_kwargs=solver_kwargs
-        )
+        if obs is not None:
+            from repro.instrument.memory import MemorySampler
+
+            with MemorySampler(interval=0.02) as sampler, obs.span(
+                "run", command="solve", n=int(meas.z_kohm.shape[0])
+            ):
+                result = engine.parametrize(
+                    meas,
+                    output_dir=args.equations_dir,
+                    solver_kwargs=solver_kwargs,
+                )
+            memory = sampler.summary()
+        else:
+            result = engine.parametrize(
+                meas, output_dir=args.equations_dir, solver_kwargs=solver_kwargs
+            )
     except SolverDegradationError as exc:
+        _drop_observer(obs)
         print(
             f"error: solve failed on every degradation rung: {exc}",
             file=sys.stderr,
         )
         return 1
     except MeasurementValidationError as exc:
+        _drop_observer(obs)
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    config = {
+        "command": "solve",
+        "n": int(meas.z_kohm.shape[0]),
+        "hour": float(meas.hour),
+        "strategy": args.strategy,
+        "workers": args.workers,
+        "solver": args.solver,
+        "formation": args.formation,
+        "validate": args.validate,
+    }
+    _finish_observer(obs, args, config, memory=memory)
     print(result.summary())
     for event in result.events:
         print(f"  resilience: {event}")
@@ -144,21 +238,50 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         if args.max_retries is not None
         else None
     )
+    obs = _make_observer(args)
     engine = ParmaEngine(
         strategy=args.strategy,
         num_workers=args.workers,
         threshold_sigmas=args.threshold,
         formation=args.formation,
         retry=retry,
+        observer=obs,
     )
-    out = run_pipeline(
-        campaign,
-        engine=engine,
-        growth_threshold=args.growth,
-        warm_start=not args.no_warm_start,
-        checkpoint_dir=args.checkpoint_dir,
-        resume=not args.no_resume,
-    )
+    memory = None
+    if obs is not None:
+        from repro.instrument.memory import MemorySampler
+
+        with MemorySampler(interval=0.02) as sampler, obs.span(
+            "run", command="monitor", timepoints=len(campaign)
+        ):
+            out = run_pipeline(
+                campaign,
+                engine=engine,
+                growth_threshold=args.growth,
+                warm_start=not args.no_warm_start,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=not args.no_resume,
+                observer=obs,
+            )
+        memory = sampler.summary()
+    else:
+        out = run_pipeline(
+            campaign,
+            engine=engine,
+            growth_threshold=args.growth,
+            warm_start=not args.no_warm_start,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=not args.no_resume,
+        )
+    config = {
+        "command": "monitor",
+        "timepoints": len(campaign),
+        "strategy": args.strategy,
+        "workers": args.workers,
+        "formation": args.formation,
+        "warm_start": not args.no_warm_start,
+    }
+    _finish_observer(obs, args, config, memory=memory)
     print(out.summary())
     resumed = sum(
         1 for r in out.results if r.formation.strategy.startswith("resumed:")
@@ -393,6 +516,75 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``parma trace summarize DIR``: digest a traced run's artifacts."""
+    from repro.instrument.report import (
+        human_seconds,
+        metrics_table,
+        trace_phase_table,
+    )
+    from repro.observe import load_manifest, phase_total_seconds
+    from repro.observe.observer import MANIFEST_FILE_NAME, TRACE_JSONL_NAME
+    from repro.observe.tracing import build_span_tree, read_jsonl
+
+    directory = Path(args.dir)
+    manifest_path = directory / MANIFEST_FILE_NAME
+    if not manifest_path.exists():
+        print(f"error: no {MANIFEST_FILE_NAME} in {directory}", file=sys.stderr)
+        return 2
+    manifest = load_manifest(manifest_path)
+    env = manifest["environment"]
+    print(f"run {manifest['run_id']}")
+    print(
+        f"  wall {human_seconds(manifest['wall_seconds'])}, "
+        f"cpu {human_seconds(manifest['cpu_seconds'])}, "
+        f"{manifest.get('num_spans', 0)} span(s)"
+    )
+    print(
+        f"  host {env.get('host')} ({env.get('platform')}); "
+        f"python {env.get('python')}, numpy {env.get('numpy')} "
+        f"[{env.get('blas')}]; git {env.get('git')}"
+    )
+    if manifest.get("config"):
+        knobs = ", ".join(f"{k}={v}" for k, v in sorted(manifest["config"].items()))
+        print(f"  config: {knobs}")
+    if manifest.get("memory"):
+        from repro.instrument.report import human_bytes
+
+        mem = manifest["memory"]
+        print(
+            f"  memory: peak {human_bytes(mem.get('peak', 0))}, "
+            f"p50 {human_bytes(mem.get('p50', 0))}, "
+            f"p90 {human_bytes(mem.get('p90', 0))}"
+        )
+    covered = phase_total_seconds(manifest)
+    wall = manifest["wall_seconds"]
+    if wall > 0:
+        print(f"  phase coverage: {covered / wall:.1%} of wall time traced")
+    print(trace_phase_table(manifest["phases"]).render())
+    print(metrics_table(manifest["metrics"]).render())
+    trace_path = directory / TRACE_JSONL_NAME
+    if args.tree and trace_path.exists():
+        spans = read_jsonl(trace_path)
+        roots = build_span_tree([s for s in spans if s.kind == "span"])
+
+        def show(node, depth):
+            span = node.span
+            print(
+                "  " + "  " * depth
+                + f"{span.name} {human_seconds(span.dur)}"
+                + (f" [pid {span.pid}]" if depth == 0 else "")
+            )
+            for child in node.children:
+                if child.span.kind == "span":
+                    show(child, depth + 1)
+
+        print("span tree:")
+        for root in roots:
+            show(root, 0)
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     from repro.core.categories import (
         total_equations,
@@ -423,19 +615,16 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print(f"  flow terms: {total_terms(n)}  (2 n^4)")
     stats = SystemStats.for_device(n)
     print(f"  memory estimate: {human_bytes(stats.bytes_estimate)}")
-    from repro.core.residual import jacobian_cache_stats
-    from repro.core.templates import cache_stats, get_template
+    from repro.core.templates import get_template
     from repro.instrument.report import cache_stats_table
-    from repro.kirchhoff.forward import laplacian_cache_stats
+    from repro.observe.metrics import all_cache_stats
 
     # Exercise the formation template once (second call is the hit).
     get_template(n)
     get_template(n)
-    print(
-        cache_stats_table(
-            [cache_stats(), jacobian_cache_stats(), laplacian_cache_stats()]
-        ).render()
-    )
+    # all_cache_stats() is the same single source the run manifest's
+    # cache gauges are mirrored from, so both surfaces always agree.
+    print(cache_stats_table(all_cache_stats()).render())
     from repro.resilience.degrade import LADDER_RUNGS
 
     print("resilience:")
@@ -494,6 +683,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write recovered R field (.npy)")
     p_solve.add_argument("--show", action="store_true",
                          help="render the recovered field as a heatmap")
+    _add_observe_args(p_solve)
     p_solve.set_defaults(func=_cmd_solve)
 
     p_mon = sub.add_parser("monitor", help="full-campaign drift analysis")
@@ -519,6 +709,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bounded formation retries on worker failure")
     p_mon.add_argument("--show", action="store_true",
                        help="render first/last recovered fields")
+    _add_observe_args(p_mon)
     p_mon.set_defaults(func=_cmd_monitor)
 
     p_scr = sub.add_parser("screen", help="defect screening (QC)")
@@ -545,6 +736,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_info = sub.add_parser("info", help="device/system accounting")
     p_info.add_argument("--n", type=int, default=10)
     p_info.set_defaults(func=_cmd_info)
+
+    p_trace = sub.add_parser("trace", help="inspect observability artifacts")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_tsum = trace_sub.add_parser(
+        "summarize", help="phase/metrics digest of a traced run directory"
+    )
+    p_tsum.add_argument("dir", type=Path,
+                        help="directory written by --trace")
+    p_tsum.add_argument("--tree", action="store_true",
+                        help="also print the reconstructed span tree")
+    p_tsum.set_defaults(func=_cmd_trace)
 
     return parser
 

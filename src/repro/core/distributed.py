@@ -13,6 +13,8 @@ The same SPMD program structure would run unchanged on real mpi4py
 
 from __future__ import annotations
 
+import os
+import time
 from pathlib import Path
 
 import numpy as np
@@ -26,6 +28,7 @@ from repro.core.templates import (
     warm_template_cache,
 )
 from repro.io.equations_io import write_block_binary
+from repro.observe.observer import as_observer
 from repro.parallel.mpi import Comm, run_mpi
 from repro.utils.validation import require_positive, require_positive_int
 
@@ -38,6 +41,7 @@ def _rank_program(
     formation: str = "cached",
 ):
     """SPMD body: form my share, reduce totals, report my stats."""
+    t0 = time.perf_counter()
     rank, size = comm.Get_rank(), comm.Get_size()
     n = z.shape[0]
     part = partition_betti(n, size)
@@ -89,6 +93,11 @@ def _rank_program(
         "total_terms": int(totals[0]),
         "total_checksum": float(totals[1]),
         "total_bytes": int(totals[2]),
+        # perf_counter is CLOCK_MONOTONIC on Linux, so the launcher can
+        # place this rank's work window on its own trace timeline.
+        "t0": t0,
+        "t1": time.perf_counter(),
+        "pid": os.getpid(),
     }
 
 
@@ -111,9 +120,8 @@ class MPIFormation:
         voltage: float = 5.0,
         output_dir: str | Path | None = None,
         fmt: str = "binary",
+        observer=None,
     ) -> FormationReport:
-        import time
-
         z = np.asarray(z, dtype=np.float64)
         if z.ndim != 2 or z.shape[0] != z.shape[1]:
             raise ValueError("z must be a square (n, n) matrix")
@@ -134,41 +142,65 @@ class MPIFormation:
                 z.shape[0],
                 [(cat,) for cat in sorted({it.category for it in part.items})],
             )
-        start = time.perf_counter()
-        results = run_mpi(
-            _rank_program,
-            self.num_workers,
-            args=(
-                z,
-                voltage,
-                str(out) if out is not None else None,
-                self.formation,
-            ),
-        )
-        elapsed = time.perf_counter() - start
-        # Cross-rank consistency: every rank saw the same totals.
-        totals = {(r["total_terms"], round(r["total_checksum"], 6)) for r in results}
-        if len(totals) != 1:  # pragma: no cover - runtime invariant
-            raise RuntimeError("ranks disagree on reduced totals")
-        per_worker = np.array(
-            [r["terms"] for r in sorted(results, key=lambda r: r["rank"])],
-            dtype=np.int64,
-        )
-        parts = ()
-        if out is not None:
-            parts = tuple(
-                str(out / f"equations-rank{r:04d}.bin")
-                for r in range(self.num_workers)
-                if (out / f"equations-rank{r:04d}.bin").exists()
-            )
-        return FormationReport(
+        obs = as_observer(observer)
+        with obs.span(
+            "formation",
             strategy=self.name,
             n=z.shape[0],
-            num_workers=self.num_workers,
-            elapsed_seconds=elapsed,
-            terms_formed=results[0]["total_terms"],
-            checksum=results[0]["total_checksum"],
-            per_worker_terms=per_worker,
-            bytes_written=results[0]["total_bytes"],
-            part_files=parts,
-        )
+            workers=self.num_workers,
+        ):
+            start = time.perf_counter()
+            results = run_mpi(
+                _rank_program,
+                self.num_workers,
+                args=(
+                    z,
+                    voltage,
+                    str(out) if out is not None else None,
+                    self.formation,
+                ),
+            )
+            elapsed = time.perf_counter() - start
+            # Cross-rank consistency: every rank saw the same totals.
+            totals = {
+                (r["total_terms"], round(r["total_checksum"], 6)) for r in results
+            }
+            if len(totals) != 1:  # pragma: no cover - runtime invariant
+                raise RuntimeError("ranks disagree on reduced totals")
+            ordered = sorted(results, key=lambda r: r["rank"])
+            if obs.enabled:
+                # Ranks never see the tracer (they cross a pickle
+                # boundary), so their reported work windows become
+                # synthesized child spans on the launcher's timeline.
+                for r in ordered:
+                    obs.add_span(
+                        "formation.rank",
+                        ts=r["t0"],
+                        dur=max(0.0, r["t1"] - r["t0"]),
+                        pid=r.get("pid"),
+                        tid=r["rank"],
+                        rank=r["rank"],
+                        terms=r["terms"],
+                        bytes=r["bytes"],
+                    )
+            per_worker = np.array([r["terms"] for r in ordered], dtype=np.int64)
+            parts = ()
+            if out is not None:
+                parts = tuple(
+                    str(out / f"equations-rank{r:04d}.bin")
+                    for r in range(self.num_workers)
+                    if (out / f"equations-rank{r:04d}.bin").exists()
+                )
+            report = FormationReport(
+                strategy=self.name,
+                n=z.shape[0],
+                num_workers=self.num_workers,
+                elapsed_seconds=elapsed,
+                terms_formed=results[0]["total_terms"],
+                checksum=results[0]["total_checksum"],
+                per_worker_terms=per_worker,
+                bytes_written=results[0]["total_bytes"],
+                part_files=parts,
+            )
+        obs.record_formation(report)
+        return report

@@ -28,6 +28,7 @@ from repro.anomaly.detect import DetectionResult, detect_anomalies
 from repro.core.solver import SolveResult, solve
 from repro.core.strategies import FormationReport, make_strategy
 from repro.mea.dataset import Measurement, repair_z, validate_z
+from repro.observe.observer import as_observer
 from repro.resilience.degrade import DegradationReport, solve_with_degradation
 from repro.resilience.faults import as_injector
 from repro.resilience.retry import RetryPolicy, form_with_recovery
@@ -114,6 +115,11 @@ class ParmaEngine:
         A :class:`repro.resilience.RetryPolicy` for the formation
         stage.  When set (or when ``faults`` is), formation runs under
         bounded retries with a serial re-dispatch fallback.
+    observer:
+        A :class:`repro.observe.Observer` receiving spans, metrics and
+        resilience events from every stage.  None (default) defers to
+        the global observer (:func:`repro.observe.get_observer`),
+        which is a zero-overhead no-op unless installed.
     """
 
     def __init__(
@@ -129,6 +135,7 @@ class ParmaEngine:
         faults=None,
         retry: RetryPolicy | None = None,
         saturation_kohm: float = 1e6,
+        observer=None,
     ) -> None:
         self._strategy = make_strategy(strategy, num_workers, formation=formation)
         self.formation = self._strategy.formation
@@ -144,6 +151,7 @@ class ParmaEngine:
         self._injector = as_injector(faults)
         self.retry = retry
         self.saturation_kohm = float(saturation_kohm)
+        self.observer = observer
 
     @property
     def strategy_name(self) -> str:
@@ -179,6 +187,13 @@ class ParmaEngine:
             z, audit = repair_z(z, saturation_kohm=self.saturation_kohm)
             if not audit.clean:
                 events.append(f"repaired measurement: {audit.describe()}")
+                obs = as_observer(self.observer)
+                obs.event(
+                    "measurement.repaired",
+                    bad_sites=audit.num_bad_sites,
+                    detail=audit.describe(),
+                )
+                obs.count("measurement.repairs")
                 rlog.info(
                     "resilience.measurement_repaired",
                     bad_sites=audit.num_bad_sites,
@@ -204,6 +219,7 @@ class ParmaEngine:
             output_dir=output_dir,
             fmt=fmt,
             faults=self._injector,
+            observer=self.observer,
         )
 
     def parametrize(
@@ -220,6 +236,7 @@ class ParmaEngine:
         """
         measurement, events = self._prepare_measurement(measurement)
         events = list(events)
+        obs = as_observer(self.observer)
         sw = Stopwatch()
         n = measurement.z_kohm.shape[0]
         with sw.lap("formation"), rlog.log_span(
@@ -234,12 +251,15 @@ class ParmaEngine:
                     fmt=fmt,
                     policy=self.retry,
                     faults=self._injector,
+                    observer=obs,
                 )
                 events.extend(form_events)
             else:
                 formation = self.form(measurement, output_dir=output_dir, fmt=fmt)
         degradation = None
-        with sw.lap("solve"):
+        with sw.lap("solve"), obs.span(
+            "solve", n=n, method=self.solver, degradation=self.degradation
+        ):
             if self.degradation:
                 solve_result, degradation = solve_with_degradation(
                     measurement.z_kohm,
@@ -247,6 +267,7 @@ class ParmaEngine:
                     method=self.solver,
                     solver_kwargs=solver_kwargs,
                     faults=self._injector,
+                    observer=obs,
                 )
             else:
                 solve_result = solve(
@@ -255,6 +276,7 @@ class ParmaEngine:
                     method=self.solver,
                     **(solver_kwargs or {}),
                 )
+        obs.record_degradation(degradation)
         rlog.info(
             "parma.solved",
             n=n,
@@ -262,7 +284,7 @@ class ParmaEngine:
             converged=solve_result.converged,
             iterations=solve_result.iterations,
         )
-        with sw.lap("detect"):
+        with sw.lap("detect"), obs.span("detect", n=n):
             detection = detect_anomalies(
                 solve_result.r_estimate,
                 threshold_sigmas=self.threshold_sigmas,

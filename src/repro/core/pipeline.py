@@ -18,6 +18,7 @@ from repro.core.engine import ParmaEngine, ParmaResult
 from repro.core.solver import SolveResult
 from repro.core.strategies import FormationReport
 from repro.mea.dataset import Measurement, MeasurementCampaign
+from repro.observe.observer import as_observer
 from repro.resilience.checkpoint import CampaignCheckpoint, CheckpointError
 from repro.resilience.faults import as_injector
 from repro.utils import logging as rlog
@@ -110,6 +111,7 @@ def run_pipeline(
     checkpoint_dir: str | Path | None = None,
     resume: bool = True,
     faults=None,
+    observer=None,
 ) -> CampaignResult:
     """Parametrize every timepoint and analyse anomaly drift.
 
@@ -146,54 +148,77 @@ def run_pipeline(
     :class:`repro.resilience.InjectedAbort` *after* the checkpoint
     record, simulating a crash between timepoints.  Measurement/
     formation/solver faults belong on the engine.
+
+    ``observer`` (a :class:`repro.observe.Observer`) traces the
+    campaign: one ``timepoint`` span per measurement with
+    formation/solve/detect children from the engine, plus
+    checkpoint-resume events.  When given, it is also installed on the
+    engine so the per-stage spans land on the same stream.
     """
     engine = engine or ParmaEngine(formation=formation)
+    obs = as_observer(observer)
+    if observer is not None:
+        engine.observer = observer
     injector = as_injector(faults)
     checkpoint = (
         CampaignCheckpoint(checkpoint_dir) if checkpoint_dir is not None else None
     )
     results: list[ParmaResult] = []
     previous_field = None
-    for index, meas in enumerate(campaign):
-        n = meas.z_kohm.shape[0]
-        if (
-            checkpoint is not None
-            and resume
-            and checkpoint.matches(index, meas.hour, n)
-        ):
-            entry = checkpoint.entry(index)
-            try:
-                field = checkpoint.load_field(index)
-            except CheckpointError as exc:
-                rlog.info(
-                    "resilience.checkpoint_invalid", index=index, error=str(exc)
+    with obs.span(
+        "campaign", timepoints=len(campaign), strategy=engine.strategy_name
+    ):
+        for index, meas in enumerate(campaign):
+            n = meas.z_kohm.shape[0]
+            if (
+                checkpoint is not None
+                and resume
+                and checkpoint.matches(index, meas.hour, n)
+            ):
+                entry = checkpoint.entry(index)
+                try:
+                    field = checkpoint.load_field(index)
+                except CheckpointError as exc:
+                    rlog.info(
+                        "resilience.checkpoint_invalid", index=index, error=str(exc)
+                    )
+                    obs.event(
+                        "checkpoint.invalidated", index=index, error=str(exc)
+                    )
+                    obs.count("checkpoint.invalidations")
+                    checkpoint.invalidate_from(index)
+                else:
+                    result = _resumed_result(meas, field, entry, engine)
+                    previous_field = field
+                    results.append(result)
+                    obs.event(
+                        "checkpoint.resumed", index=index, hour=float(meas.hour)
+                    )
+                    obs.count("checkpoint.resumes")
+                    continue
+            tp_dir = None
+            if output_dir is not None:
+                tp_dir = Path(output_dir) / f"hour-{meas.hour:g}"
+            solver_kwargs = {}
+            if warm_start and previous_field is not None:
+                solver_kwargs["r0"] = previous_field
+            with obs.span("timepoint", index=index, hour=float(meas.hour), n=n):
+                result = engine.parametrize(
+                    meas, output_dir=tp_dir, solver_kwargs=solver_kwargs
                 )
-                checkpoint.invalidate_from(index)
-            else:
-                result = _resumed_result(meas, field, entry, engine)
-                previous_field = field
-                results.append(result)
-                continue
-        tp_dir = None
-        if output_dir is not None:
-            tp_dir = Path(output_dir) / f"hour-{meas.hour:g}"
-        solver_kwargs = {}
-        if warm_start and previous_field is not None:
-            solver_kwargs["r0"] = previous_field
-        result = engine.parametrize(
-            meas, output_dir=tp_dir, solver_kwargs=solver_kwargs
-        )
-        previous_field = result.resistance
-        results.append(result)
-        if checkpoint is not None:
-            checkpoint.record(index, result)
-        if injector is not None:
-            injector.maybe_abort_campaign(len(results))
-    drift = None
-    if len(results) >= 2:
-        drift = detect_drift_anomalies(
-            results[0].resistance,
-            results[-1].resistance,
-            growth_threshold=growth_threshold,
-        )
+            previous_field = result.resistance
+            results.append(result)
+            if checkpoint is not None:
+                checkpoint.record(index, result)
+                obs.count("checkpoint.writes")
+            if injector is not None:
+                injector.maybe_abort_campaign(len(results))
+        drift = None
+        if len(results) >= 2:
+            with obs.span("drift", timepoints=len(results)):
+                drift = detect_drift_anomalies(
+                    results[0].resistance,
+                    results[-1].resistance,
+                    growth_threshold=growth_threshold,
+                )
     return CampaignResult(results=tuple(results), drift_detection=drift)

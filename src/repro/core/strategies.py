@@ -47,6 +47,8 @@ from repro.core.templates import (
     warm_template_cache,
 )
 from repro.io.equations_io import write_block_binary, write_block_text
+from repro.observe.observer import NULL_SPAN as _NO_SPAN
+from repro.observe.observer import as_observer
 from repro.parallel import pymp
 from repro.resilience.atomio import AtomicFile
 from repro.resilience.faults import as_injector
@@ -103,9 +105,12 @@ class SingleThread:
         output_dir: str | Path | None = None,
         fmt: str = "binary",
         faults=None,
+        observer=None,
     ) -> FormationReport:
         z = _validate_z(z)
         require_positive(voltage, "voltage")
+        obs = as_observer(observer)
+        tracing = obs.enabled
         n = z.shape[0]
         start = time.perf_counter()
         terms = 0
@@ -115,25 +120,36 @@ class SingleThread:
         writer, fh = _open_writer(output_dir, fmt, worker=0)
         ok = False
         try:
-            if self.formation == "cached":
-                for batch in iter_pair_batches(z, voltage=voltage):
-                    terms += batch.num_terms
-                    checksum += float(batch.checksums().sum())
-                    if writer is not None:
-                        for block in batch:
-                            bytes_written += writer(block, fh)
-            else:
-                for block in iter_pair_blocks(z, voltage=voltage):
-                    terms += block.num_terms
-                    checksum += block.checksum()
-                    if writer is not None:
-                        bytes_written += writer(block, fh)
+            with obs.span("formation", strategy=self.name, n=n, workers=1):
+                if self.formation == "cached":
+                    for batch in iter_pair_batches(z, voltage=voltage):
+                        with obs.span("form.batch", pairs=batch.num_pairs):
+                            terms += batch.num_terms
+                            checksum += float(batch.checksums().sum())
+                            if writer is not None:
+                                for block in batch:
+                                    bytes_written += writer(block, fh)
+                else:
+                    for block in iter_pair_blocks(z, voltage=voltage):
+                        if tracing:
+                            with obs.span(
+                                "form", pair=(block.row, block.col)
+                            ):
+                                terms += block.num_terms
+                                checksum += block.checksum()
+                                if writer is not None:
+                                    bytes_written += writer(block, fh)
+                        else:
+                            terms += block.num_terms
+                            checksum += block.checksum()
+                            if writer is not None:
+                                bytes_written += writer(block, fh)
             ok = True
         finally:
             if fh is not None:
                 _close_writer(fh, ok)
                 parts = (fh.name,)
-        return FormationReport(
+        report = FormationReport(
             strategy=self.name,
             n=n,
             num_workers=1,
@@ -144,6 +160,8 @@ class SingleThread:
             bytes_written=bytes_written,
             part_files=parts,
         )
+        obs.record_formation(report)
+        return report
 
 
 class _PartitionedStrategy:
@@ -165,10 +183,13 @@ class _PartitionedStrategy:
         output_dir: str | Path | None = None,
         fmt: str = "binary",
         faults=None,
+        observer=None,
     ) -> FormationReport:
         z = _validate_z(z)
         require_positive(voltage, "voltage")
         injector = as_injector(faults)
+        obs = as_observer(observer)
+        tracing = obs.enabled
         n = z.shape[0]
         part = self._partition(n)
         workers = part.num_workers
@@ -184,8 +205,16 @@ class _PartitionedStrategy:
             warm_template_cache(
                 n, [(cat,) for cat in sorted({it.category for it in items})]
             )
+        if tracing:
+            # The spool directory must exist before the fork so every
+            # region member inherits the same path; ``mark`` keeps
+            # children from re-spooling inherited pre-fork spans.
+            obs.ensure_spool()
+        mark = obs.mark()
         start = time.perf_counter()
-        with pymp.Parallel(workers) as p:
+        with obs.span(
+            "formation", strategy=self.name, n=n, workers=workers
+        ), pymp.Parallel(workers) as p:
             me = p.thread_num
             if injector is not None:
                 injector.maybe_kill_worker(me)
@@ -196,44 +225,61 @@ class _PartitionedStrategy:
             ok = False
             try:
                 mine = np.flatnonzero(worker_of == me)
-                if self.formation == "cached":
-                    batches, placement = form_worker_share(
-                        n, items, mine, z, voltage=voltage
-                    )
-                    my_terms = sum(b.num_terms for b in batches.values())
-                    my_checksum = sum(
-                        float(b.checksums().sum()) for b in batches.values()
-                    )
-                    if writer is not None:
-                        # Emit in original item order so part files are
-                        # byte-identical to the legacy per-item loop.
-                        for idx in mine:
-                            cat, pos = placement[int(idx)]
-                            my_bytes += writer(batches[cat].block(pos), fh)
-                else:
-                    for idx in mine:
-                        item = items[idx]
-                        block = form_pair_block(
-                            n,
-                            item.row,
-                            item.col,
-                            z[item.row, item.col],
-                            voltage=voltage,
-                            categories=[item.category],
+                with obs.span(
+                    "formation.worker", worker=me, items=len(mine)
+                ):
+                    if self.formation == "cached":
+                        with obs.span("form.share", worker=me):
+                            batches, placement = form_worker_share(
+                                n, items, mine, z, voltage=voltage
+                            )
+                        my_terms = sum(b.num_terms for b in batches.values())
+                        my_checksum = sum(
+                            float(b.checksums().sum()) for b in batches.values()
                         )
-                        my_terms += block.num_terms
-                        my_checksum += block.checksum()
                         if writer is not None:
-                            my_bytes += writer(block, fh)
+                            # Emit in original item order so part files are
+                            # byte-identical to the legacy per-item loop.
+                            with obs.span("form.write", worker=me):
+                                for idx in mine:
+                                    cat, pos = placement[int(idx)]
+                                    my_bytes += writer(
+                                        batches[cat].block(pos), fh
+                                    )
+                    else:
+                        for idx in mine:
+                            item = items[idx]
+                            with obs.span(
+                                "form",
+                                pair=(item.row, item.col),
+                                category=int(item.category),
+                            ) if tracing else _NO_SPAN:
+                                block = form_pair_block(
+                                    n,
+                                    item.row,
+                                    item.col,
+                                    z[item.row, item.col],
+                                    voltage=voltage,
+                                    categories=[item.category],
+                                )
+                                my_terms += block.num_terms
+                                my_checksum += block.checksum()
+                                if writer is not None:
+                                    my_bytes += writer(block, fh)
                 ok = True
             finally:
                 _close_writer(fh, ok)
+                if me != 0:
+                    # Forked children exit via os._exit: their span
+                    # buffers die with them unless spooled here.
+                    obs.worker_flush(since=mark, worker=me)
             per_worker_terms[me] = my_terms
             per_worker_checksum[me] = my_checksum
             per_worker_bytes[me] = my_bytes
+        obs.merge_workers()
         elapsed = time.perf_counter() - start
         parts = _part_files(output_dir, fmt, workers)
-        return FormationReport(
+        report = FormationReport(
             strategy=self.name,
             n=n,
             num_workers=workers,
@@ -244,6 +290,8 @@ class _PartitionedStrategy:
             bytes_written=int(per_worker_bytes.sum()),
             part_files=parts,
         )
+        obs.record_formation(report)
+        return report
 
 
 class ParallelStrategy(_PartitionedStrategy):
@@ -295,12 +343,18 @@ class PyMPStrategy(_PartitionedStrategy):
         output_dir: str | Path | None = None,
         fmt: str = "binary",
         faults=None,
+        observer=None,
     ) -> FormationReport:
         if self.schedule == "static":
             return super().run(
-                z, voltage=voltage, output_dir=output_dir, fmt=fmt, faults=faults
+                z,
+                voltage=voltage,
+                output_dir=output_dir,
+                fmt=fmt,
+                faults=faults,
+                observer=observer,
             )
-        return self._run_dynamic(z, voltage, output_dir, fmt, faults)
+        return self._run_dynamic(z, voltage, output_dir, fmt, faults, observer)
 
     def _run_dynamic(
         self,
@@ -309,10 +363,13 @@ class PyMPStrategy(_PartitionedStrategy):
         output_dir: str | Path | None,
         fmt: str,
         faults=None,
+        observer=None,
     ) -> FormationReport:
         z = _validate_z(z)
         require_positive(voltage, "voltage")
         injector = as_injector(faults)
+        obs = as_observer(observer)
+        tracing = obs.enabled
         n = z.shape[0]
         part = self._partition(n)  # for the item list only
         items = part.items
@@ -324,8 +381,13 @@ class PyMPStrategy(_PartitionedStrategy):
             warm_template_cache(
                 n, [(cat,) for cat in sorted({it.category for it in items})]
             )
+        if tracing:
+            obs.ensure_spool()
+        mark = obs.mark()
         start = time.perf_counter()
-        with pymp.Parallel(workers) as p:
+        with obs.span(
+            "formation", strategy=f"{self.name}-dynamic", n=n, workers=workers
+        ), pymp.Parallel(workers) as p:
             me = p.thread_num
             if injector is not None:
                 injector.maybe_kill_worker(me)
@@ -338,39 +400,48 @@ class PyMPStrategy(_PartitionedStrategy):
                 # Dynamic schedule pulls items one at a time from the
                 # shared counter, so stamping stays per-item (the cached
                 # template still skips all index recomputation).
-                for idx in p.xrange(len(items)):
-                    item = items[idx]
-                    if self.formation == "cached":
-                        block = stamp_pair_block(
-                            n,
-                            item.row,
-                            item.col,
-                            z[item.row, item.col],
-                            voltage=voltage,
-                            categories=(item.category,),
-                        )
-                    else:
-                        block = form_pair_block(
-                            n,
-                            item.row,
-                            item.col,
-                            z[item.row, item.col],
-                            voltage=voltage,
-                            categories=[item.category],
-                        )
-                    my_terms += block.num_terms
-                    my_checksum += block.checksum()
-                    if writer is not None:
-                        my_bytes += writer(block, fh)
+                with obs.span("formation.worker", worker=me):
+                    for idx in p.xrange(len(items)):
+                        item = items[idx]
+                        with obs.span(
+                            "form",
+                            pair=(item.row, item.col),
+                            category=int(item.category),
+                        ) if tracing else _NO_SPAN:
+                            if self.formation == "cached":
+                                block = stamp_pair_block(
+                                    n,
+                                    item.row,
+                                    item.col,
+                                    z[item.row, item.col],
+                                    voltage=voltage,
+                                    categories=(item.category,),
+                                )
+                            else:
+                                block = form_pair_block(
+                                    n,
+                                    item.row,
+                                    item.col,
+                                    z[item.row, item.col],
+                                    voltage=voltage,
+                                    categories=[item.category],
+                                )
+                            my_terms += block.num_terms
+                            my_checksum += block.checksum()
+                            if writer is not None:
+                                my_bytes += writer(block, fh)
                 ok = True
             finally:
                 _close_writer(fh, ok)
+                if me != 0:
+                    obs.worker_flush(since=mark, worker=me)
             per_worker_terms[me] = my_terms
             per_worker_checksum[me] = my_checksum
             per_worker_bytes[me] = my_bytes
+        obs.merge_workers()
         elapsed = time.perf_counter() - start
         parts = _part_files(output_dir, fmt, workers)
-        return FormationReport(
+        report = FormationReport(
             strategy=f"{self.name}-dynamic",
             n=n,
             num_workers=workers,
@@ -381,6 +452,8 @@ class PyMPStrategy(_PartitionedStrategy):
             bytes_written=int(per_worker_bytes.sum()),
             part_files=parts,
         )
+        obs.record_formation(report)
+        return report
 
 
 def _open_writer(output_dir, fmt, worker):

@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.equations import PairBlock, iter_pair_blocks
 from repro.core.templates import check_formation_mode, iter_pair_blocks_cached
 from repro.io.equations_io import write_block_binary
+from repro.observe.observer import as_observer
 from repro.resilience.atomio import atomic_open
 from repro.resilience.faults import as_injector
 from repro.utils.validation import require_positive
@@ -110,6 +111,7 @@ def stream_formation(
     voltage: float = 5.0,
     formation: str = "cached",
     faults=None,
+    observer=None,
 ) -> StreamReport:
     """Form every pair block of ``z`` and feed it to ``sink``.
 
@@ -132,6 +134,7 @@ def stream_formation(
     require_positive(voltage, "voltage")
     formation = check_formation_mode(formation)
     injector = as_injector(faults)
+    obs = as_observer(observer)
     n = z.shape[0]
     start = time.perf_counter()
     pairs = 0
@@ -141,16 +144,21 @@ def stream_formation(
         if formation == "cached"
         else iter_pair_blocks(z, voltage=voltage)
     )
-    for index, block in enumerate(blocks):
-        if injector is not None:
-            block = injector.mangle_block(block, index)
-            if block is None:
-                continue  # dropped before the sink
-        sink.consume(block)
-        pairs += 1
-        terms += block.num_terms
-        if injector is not None:
-            injector.maybe_abort_stream(pairs)
+    with obs.span("stream", n=n, formation=formation, sink=type(sink).__name__):
+        for index, block in enumerate(blocks):
+            if injector is not None:
+                block = injector.mangle_block(block, index)
+                if block is None:
+                    obs.event("stream.block_dropped", index=index)
+                    obs.count("stream.blocks_dropped")
+                    continue  # dropped before the sink
+            sink.consume(block)
+            pairs += 1
+            terms += block.num_terms
+            if injector is not None:
+                injector.maybe_abort_stream(pairs)
+    obs.count("stream.blocks_consumed", pairs)
+    obs.count("stream.terms", terms)
     return StreamReport(
         n=n,
         pairs_formed=pairs,

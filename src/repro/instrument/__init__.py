@@ -7,15 +7,27 @@ from repro.instrument.memory import (
     rss_bytes,
     usage_cdf,
 )
-from repro.instrument.report import ResultTable, human_bytes, human_seconds
+from repro.instrument.report import (
+    ResultTable,
+    cache_stats_table,
+    human_bytes,
+    human_seconds,
+    ladder_table,
+    metrics_table,
+    trace_phase_table,
+)
 
 __all__ = [
     "MemorySampler",
     "ResultTable",
+    "cache_stats_table",
     "fraction_below",
     "human_bytes",
     "human_seconds",
+    "ladder_table",
+    "metrics_table",
     "peak_and_quantiles",
     "rss_bytes",
+    "trace_phase_table",
     "usage_cdf",
 ]

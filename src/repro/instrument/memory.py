@@ -17,6 +17,7 @@ threads only ~30 %").
 from __future__ import annotations
 
 import os
+import threading
 import tracemalloc
 from dataclasses import dataclass, field
 
@@ -40,14 +41,53 @@ def rss_bytes() -> int:
 
 @dataclass
 class MemorySampler:
-    """Collects (timestamp-ordered) RSS samples during a run."""
+    """Collects (timestamp-ordered) RSS samples during a run.
+
+    Usable as a context manager.  With ``interval`` set (seconds), a
+    daemon thread polls RSS in the background for the duration of the
+    ``with`` block — for code that has no natural between-items hook,
+    like a whole traced CLI run; without it, entry/exit each take one
+    sample and the caller drives the rest via :meth:`sample`.  The
+    sampler thread is **always joined on exit, including when the body
+    raised** — a straggler thread appending to ``samples`` while the
+    caller reads them would corrupt the CDF.
+    """
 
     samples: list[int] = field(default_factory=list)
+    interval: float | None = None
+    _thread: threading.Thread | None = field(
+        default=None, repr=False, compare=False
+    )
+    _stop: threading.Event | None = field(default=None, repr=False, compare=False)
 
     def sample(self) -> int:
         value = rss_bytes()
         self.samples.append(value)
         return value
+
+    def __enter__(self) -> "MemorySampler":
+        self.sample()
+        if self.interval is not None:
+            if self.interval <= 0:
+                raise ValueError("interval must be positive seconds")
+            self._stop = threading.Event()
+            self._thread = threading.Thread(
+                target=self._poll, name="parma-memory-sampler", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join()
+            self._thread = None
+            self._stop = None
+        self.sample()
+
+    def _poll(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sample()
 
     def as_array(self) -> np.ndarray:
         return np.asarray(self.samples, dtype=np.float64)
@@ -55,6 +95,10 @@ class MemorySampler:
     @property
     def peak(self) -> int:
         return max(self.samples, default=0)
+
+    def summary(self) -> dict[str, float]:
+        """Peak/quantile dict in the shape the run manifest embeds."""
+        return peak_and_quantiles(self.as_array())
 
     def reset(self) -> None:
         self.samples.clear()

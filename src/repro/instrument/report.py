@@ -119,7 +119,11 @@ def ladder_table(results: Sequence[Any]) -> ResultTable:
 
 
 def human_seconds(seconds: float) -> str:
-    """Pretty duration: µs/ms/s/min ranges."""
+    """Pretty duration: µs/ms/s/min ranges; '0 s' for zero, sign-safe."""
+    if seconds == 0:
+        return "0 s"
+    if seconds < 0:
+        return "-" + human_seconds(-seconds)
     if seconds < 1e-3:
         return f"{seconds * 1e6:.1f} µs"
     if seconds < 1.0:
@@ -127,3 +131,57 @@ def human_seconds(seconds: float) -> str:
     if seconds < 120:
         return f"{seconds:.2f} s"
     return f"{seconds / 60:.1f} min"
+
+
+def _phase_field(entry: dict, *keys: str) -> float:
+    """First present key: tolerates rollup ('self') and manifest
+    ('self_seconds') spellings of the same phase dict."""
+    for key in keys:
+        if key in entry:
+            return float(entry[key])
+    return 0.0
+
+
+def trace_phase_table(phases: dict) -> ResultTable:
+    """Tabulate a phase rollup, heaviest self-time first.
+
+    Accepts either :func:`repro.observe.tracing.phase_rollup` output
+    (``count``/``total``/``self``) or the ``phases`` object of a run
+    manifest (``count``/``total_seconds``/``self_seconds``).
+    """
+    table = ResultTable(
+        title="trace phases (self-time ordered)",
+        columns=("phase", "count", "total", "self"),
+    )
+    ordered = sorted(
+        phases.items(),
+        key=lambda kv: -_phase_field(kv[1], "self", "self_seconds"),
+    )
+    for name, entry in ordered:
+        table.add_row(
+            name,
+            int(_phase_field(entry, "count")),
+            human_seconds(_phase_field(entry, "total", "total_seconds")),
+            human_seconds(_phase_field(entry, "self", "self_seconds")),
+        )
+    return table
+
+
+def metrics_table(snapshot: dict) -> ResultTable:
+    """Tabulate a :meth:`MetricsRegistry.snapshot` dict.
+
+    Counters and gauges show their value; histograms collapse to
+    ``n=<count> mean=<mean>`` (the buckets stay in the manifest JSON).
+    """
+    table = ResultTable(title="metrics", columns=("metric", "type", "value"))
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        kind = entry.get("type", "?")
+        if kind == "histogram":
+            count = int(entry.get("count", 0))
+            mean = entry.get("sum", 0.0) / count if count else 0.0
+            value = f"n={count} mean={human_seconds(float(mean))}"
+        else:
+            value = entry.get("value", "?")
+        table.add_row(name, kind, value)
+    return table

@@ -1,0 +1,213 @@
+"""Process-local metrics: counters, gauges, fixed-bucket histograms.
+
+One :class:`MetricsRegistry` per run (the :class:`repro.observe.Observer`
+owns it) aggregates everything the pipeline wants counted — pair
+blocks formed, template-cache hits/misses, retry attempts, degradation
+rung transitions, checkpoint writes/resumes, bytes committed by
+:mod:`repro.resilience.atomio` — and snapshots to a plain dict that the
+run manifest embeds verbatim.
+
+The registry is intentionally *process-local*: forked formation
+workers report their share through the existing shared-memory
+reductions (``FormationReport.per_worker_terms`` etc.), and the parent
+feeds the reduced totals into the registry after the join
+(:func:`record_formation`), so no cross-process metric merging is ever
+needed.
+
+Canonical metric names are dotted lowercase (``formation.terms``,
+``retry.attempts``, ``degrade.rung.bounded``, ``checkpoint.writes``,
+``atomio.bytes_committed``, ``cache.pair-template.hits``).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+#: Default histogram buckets for durations in seconds (upper edges).
+DURATION_BUCKETS = (0.001, 0.01, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0)
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> float:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+        return self.value
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """Last-write-wins level (cache residency, queue depth, ...)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> float:
+        self.value = float(value)
+        return self.value
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram: counts per upper-edge bucket + overflow.
+
+    ``buckets`` are the inclusive upper edges; one extra overflow
+    bucket catches everything above the last edge.  Also tracks sum
+    and count so means survive the snapshot.
+    """
+
+    name: str
+    buckets: tuple[float, ...] = DURATION_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    total: float = 0.0
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        edges = tuple(float(b) for b in self.buckets)
+        if list(edges) != sorted(edges):
+            raise ValueError(f"histogram {self.name}: buckets must be sorted")
+        self.buckets = edges
+        if not self.counts:
+            self.counts = [0] * (len(edges) + 1)
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_right(self.buckets, float(value))] += 1
+        self.total += float(value)
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe name -> metric map with typed get-or-create access."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls, **kwargs):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name=name, **kwargs)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {type(metric).__name__}, "
+                    f"not a {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DURATION_BUCKETS
+    ) -> Histogram:
+        return self._get(name, Histogram, buckets=tuple(buckets))
+
+    def names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._metrics))
+
+    def snapshot(self) -> dict[str, dict]:
+        """A JSON-safe copy of every metric, sorted by name."""
+        with self._lock:
+            return {
+                name: self._metrics[name].to_dict()
+                for name in sorted(self._metrics)
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+
+# -- pipeline-specific recorders ----------------------------------------------
+
+
+def record_formation(registry: MetricsRegistry, report: Any) -> None:
+    """Fold one ``FormationReport`` into the registry."""
+    registry.counter("formation.runs").inc()
+    registry.counter("formation.terms").inc(float(report.terms_formed))
+    registry.counter("formation.pair_blocks").inc(float(report.n) ** 2)
+    registry.counter("formation.bytes_written").inc(
+        float(getattr(report, "bytes_written", 0))
+    )
+    registry.histogram("formation.elapsed_seconds").observe(
+        float(report.elapsed_seconds)
+    )
+
+
+def record_degradation(registry: MetricsRegistry, report: Any) -> None:
+    """Fold one ``DegradationReport`` into the registry."""
+    if report is None:
+        return
+    if report.rung_used:
+        registry.counter(f"degrade.rung.{report.rung_used}").inc()
+    transitions = max(0, len(report.rungs_tried) - 1)
+    if transitions:
+        registry.counter("degrade.rung_transitions").inc(transitions)
+    if report.exhausted:
+        registry.counter("degrade.exhausted").inc()
+
+
+def all_cache_stats() -> list[Any]:
+    """The three formation/assembly cache stats, one authoritative list.
+
+    This is the *single source* consumed by ``parma info``'s
+    :func:`repro.instrument.report.cache_stats_table`, by
+    :func:`sync_cache_gauges` (metrics registry), and hence by the run
+    manifest — all three surfaces show the same numbers.
+    """
+    # Imported here: the core/kirchhoff layers sit above this module.
+    from repro.core.residual import jacobian_cache_stats
+    from repro.core.templates import cache_stats
+    from repro.kirchhoff.forward import laplacian_cache_stats
+
+    return [cache_stats(), jacobian_cache_stats(), laplacian_cache_stats()]
+
+
+def sync_cache_gauges(registry: MetricsRegistry) -> list[Any]:
+    """Mirror the cache stats into ``cache.<name>.*`` gauges.
+
+    Returns the stats list so callers can also tabulate it.
+    """
+    stats_list = all_cache_stats()
+    for stats in stats_list:
+        prefix = f"cache.{stats.name}"
+        registry.gauge(f"{prefix}.entries").set(stats.entries)
+        registry.gauge(f"{prefix}.hits").set(stats.hits)
+        registry.gauge(f"{prefix}.misses").set(stats.misses)
+        registry.gauge(f"{prefix}.bytes_resident").set(stats.bytes_resident)
+        registry.gauge(f"{prefix}.build_seconds").set(stats.build_seconds)
+    return stats_list

@@ -73,9 +73,20 @@ class AtomicFile:
         self._done = True
         self.handle.flush()
         os.fsync(self.handle.fileno())
+        size = os.fstat(self.handle.fileno()).st_size
         self.handle.close()
         os.rename(self.tmp_path, self.path)
         _fsync_dir(self.path.parent)
+        # Report through the global observer: atomic writes happen far
+        # below any layer that threads an Observer parameter.  Function-
+        # level import keeps this module import-light (and the observer
+        # defaults to the zero-overhead no-op).
+        from repro.observe.observer import get_observer
+
+        obs = get_observer()
+        if obs.enabled:
+            obs.count("atomio.commits")
+            obs.count("atomio.bytes_committed", size)
 
     def abort(self) -> None:
         """Close and remove the temporary; the final path is untouched."""

@@ -326,11 +326,14 @@ def stream_to_file_checkpointed(
     verified directory is a no-op.  ``faults`` may corrupt/drop blocks
     or abort mid-stream — exactly the failures resume must survive.
     """
+    from repro.observe.observer import get_observer
+
     z = np.asarray(z, dtype=np.float64)
     if z.ndim != 2 or z.shape[0] != z.shape[1]:
         raise ValueError("z must be square (n, n)")
     formation = check_formation_mode(formation)
     injector = as_injector(faults)
+    obs = get_observer()
     n = int(z.shape[0])
     cp = StreamCheckpoint(directory)
 
@@ -346,6 +349,14 @@ def stream_to_file_checkpointed(
                 discarded=report.blocks_discarded,
                 reason=report.first_bad_reason,
             )
+        obs.event(
+            "checkpoint.stream_resumed",
+            verified=report.blocks_verified,
+            discarded=report.blocks_discarded,
+            reason=report.first_bad_reason,
+        )
+        obs.count("checkpoint.stream_resumes")
+        obs.count("checkpoint.stream_blocks_discarded", report.blocks_discarded)
         cp.truncate_to(start_block)
     else:
         if cp.data_path.exists():
@@ -369,7 +380,9 @@ def stream_to_file_checkpointed(
     )
     formed = 0
     unflushed = 0
-    with open(cp.data_path, "ab") as fh:
+    with obs.span(
+        "checkpoint.stream", n=n, start_block=start_block, total_blocks=total_blocks
+    ), open(cp.data_path, "ab") as fh:
         offset = fh.tell()
         for k, block in enumerate(blocks):
             if k < start_block:
@@ -406,6 +419,7 @@ def stream_to_file_checkpointed(
         e["index"] == i for i, e in enumerate(cp.blocks)
     )
     cp._write_manifest()
+    obs.count("checkpoint.stream_blocks_formed", formed)
     return cp, report, formed
 
 

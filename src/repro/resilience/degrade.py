@@ -96,6 +96,7 @@ def solve_with_degradation(
     method: str = "nested",
     solver_kwargs: dict | None = None,
     faults: FaultInjector | None = None,
+    observer=None,
 ) -> tuple[SolveResult, DegradationReport]:
     """Solve ``Z(R) = z`` walking the degradation ladder.
 
@@ -104,8 +105,13 @@ def solve_with_degradation(
     regularized rung).  Configuration errors — e.g. an unknown
     ``method`` — propagate immediately; only numerical failures
     (:data:`DEGRADABLE_ERRORS` or a non-converged/non-finite result)
-    step down the ladder.
+    step down the ladder.  Each rejected rung lands on the observer
+    stream as a ``degrade.rung_failed`` event; each rung runs inside a
+    ``solve.rung`` span.
     """
+    from repro.observe.observer import as_observer
+
+    obs = as_observer(observer)
     kwargs = dict(solver_kwargs or {})
     warm = kwargs.get("r0") is not None
     cold_kwargs = {k: v for k, v in kwargs.items() if k != "r0"}
@@ -129,20 +135,31 @@ def solve_with_degradation(
             # checkpoint) is precisely what the cold-start rung is
             # for — don't let input validation turn it into a crash.
             reasons.append("non-finite warm start")
+            obs.event("degrade.rung_failed", rung=rung, reason="non-finite warm start")
             continue
         try:
             if faults is not None:
                 faults.maybe_fail_rung(rung)
-            with np.errstate(all="ignore"):
+            with np.errstate(all="ignore"), obs.span(
+                "solve.rung", rung=rung, method=rung_method
+            ):
                 result = solve(z, voltage=voltage, method=rung_method, **rung_kwargs)
         except InjectedSolverFault as exc:
             reasons.append(str(exc))
+            obs.event("degrade.rung_failed", rung=rung, reason=str(exc), injected=True)
             continue
         except DEGRADABLE_ERRORS as exc:
             reasons.append(f"{type(exc).__name__}: {exc}")
+            obs.event(
+                "degrade.rung_failed",
+                rung=rung,
+                reason=f"{type(exc).__name__}: {exc}",
+            )
             continue
         reason = _acceptable(result)
         reasons.append(reason)
+        if reason:
+            obs.event("degrade.rung_failed", rung=rung, reason=reason)
         if not reason:
             report = DegradationReport(
                 rung_used=rung,
@@ -155,6 +172,7 @@ def solve_with_degradation(
                     rung=rung,
                     path=report.describe(),
                 )
+                obs.event("degrade.rung_used", rung=rung, path=report.describe())
             return result, report
 
     report = DegradationReport(
@@ -163,6 +181,7 @@ def solve_with_degradation(
         reasons=tuple(reasons),
         exhausted=True,
     )
+    obs.event("degrade.exhausted", path=report.describe())
     raise SolverDegradationError(
         f"solver degradation ladder exhausted: {report.describe()}", report
     )

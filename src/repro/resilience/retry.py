@@ -88,13 +88,19 @@ def run_with_retry(
     retry_on: Sequence[type[BaseException]] = TRANSIENT_ERRORS,
     faults: FaultInjector | None = None,
     sleep: Callable[[float], None] = time.sleep,
+    observer=None,
 ) -> tuple[T, RetryOutcome]:
     """Call ``fn`` with up to ``policy.max_retries`` retries.
 
     ``faults.note_attempt()`` is invoked before each retry so "die
     once" fault plans stop firing.  Raises :class:`RetryExhausted`
-    (chained to the last error) when every attempt fails.
+    (chained to the last error) when every attempt fails.  Each failed
+    attempt lands on the observer stream as a ``retry.attempt_failed``
+    event plus a ``retry.attempts`` count.
     """
+    from repro.observe.observer import as_observer
+
+    obs = as_observer(observer)
     policy = policy or RetryPolicy()
     retry_on = tuple(retry_on)
     errors: list[str] = []
@@ -112,6 +118,13 @@ def run_with_retry(
                 max_attempts=policy.max_retries + 1,
                 error=str(exc),
             )
+            obs.event(
+                "retry.attempt_failed",
+                attempt=attempt + 1,
+                max_attempts=policy.max_retries + 1,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            obs.count("retry.attempts")
             if attempt == policy.max_retries:
                 break
             delay = policy.delay(attempt)
@@ -148,6 +161,7 @@ def form_with_recovery(
     policy: RetryPolicy | None = None,
     faults: FaultInjector | None = None,
     sleep: Callable[[float], None] = time.sleep,
+    observer=None,
 ):
     """Run a formation strategy with retries, then a serial fallback.
 
@@ -160,15 +174,23 @@ def form_with_recovery(
     parallel speedup is sacrificed.
     """
     from repro.core.strategies import SingleThread
+    from repro.observe.observer import as_observer
+
+    obs = as_observer(observer)
 
     def attempt():
         return strategy.run(
-            z, voltage=voltage, output_dir=output_dir, fmt=fmt, faults=faults
+            z,
+            voltage=voltage,
+            output_dir=output_dir,
+            fmt=fmt,
+            faults=faults,
+            observer=observer,
         )
 
     try:
         report, outcome = run_with_retry(
-            attempt, policy=policy, faults=faults, sleep=sleep
+            attempt, policy=policy, faults=faults, sleep=sleep, observer=observer
         )
         return report, outcome.events()
     except RetryExhausted as exc:
@@ -179,8 +201,16 @@ def form_with_recovery(
             strategy=getattr(strategy, "name", "?"),
             attempts=exc.outcome.attempts,
         )
+        obs.event(
+            "formation.degraded",
+            strategy=getattr(strategy, "name", "?"),
+            attempts=exc.outcome.attempts,
+        )
+        obs.count("formation.fallbacks")
         fallback = SingleThread(formation=strategy.formation)
-        report = fallback.run(z, voltage=voltage, output_dir=output_dir, fmt=fmt)
+        report = fallback.run(
+            z, voltage=voltage, output_dir=output_dir, fmt=fmt, observer=observer
+        )
         events = exc.outcome.events() + (
             f"formation degraded to single-thread after "
             f"{exc.outcome.attempts} failed attempt(s)",

@@ -1,0 +1,103 @@
+"""MemorySampler context-manager behaviour (satellite of the observe PR)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.instrument.memory import MemorySampler, peak_and_quantiles
+
+
+class TestContextManager:
+    def test_entry_and_exit_sample(self):
+        with MemorySampler() as s:
+            pass
+        assert len(s.samples) == 2
+        assert s.peak > 0
+
+    def test_background_polling(self):
+        with MemorySampler(interval=0.005) as s:
+            time.sleep(0.05)
+        # entry + exit + several background polls
+        assert len(s.samples) >= 4
+
+    def test_thread_joined_on_clean_exit(self):
+        before = threading.active_count()
+        with MemorySampler(interval=0.005):
+            time.sleep(0.01)
+        assert threading.active_count() == before
+
+    def test_thread_joined_on_exception(self):
+        before = threading.active_count()
+        sampler = MemorySampler(interval=0.005)
+        with pytest.raises(RuntimeError):
+            with sampler:
+                time.sleep(0.01)
+                raise RuntimeError("body died")
+        assert sampler._thread is None
+        assert threading.active_count() == before
+        count = len(sampler.samples)
+        time.sleep(0.02)  # a live straggler would keep appending
+        assert len(sampler.samples) == count
+
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(ValueError, match="positive"):
+            MemorySampler(interval=0.0).__enter__()
+
+    def test_summary_matches_quantiles(self):
+        with MemorySampler() as s:
+            pass
+        assert s.summary() == peak_and_quantiles(s.as_array())
+        assert s.summary()["peak"] == float(s.peak)
+
+    def test_reusable_after_exit(self):
+        s = MemorySampler(interval=0.005)
+        with s:
+            pass
+        first = len(s.samples)
+        with s:
+            pass
+        assert len(s.samples) == first + 2
+
+
+class TestStopwatchLap:
+    """Satellite: Stopwatch.lap() is the canonical phase-timing form."""
+
+    def test_lap_accumulates(self):
+        from repro.utils.timing import Stopwatch
+
+        sw = Stopwatch()
+        with sw.lap("phase"):
+            time.sleep(0.002)
+        with sw.lap("phase"):
+            time.sleep(0.002)
+        assert sw.laps["phase"] >= 0.004
+        assert sw.total() == sum(sw.laps.values())
+
+    def test_lap_stops_on_exception(self):
+        from repro.utils.timing import Stopwatch
+
+        sw = Stopwatch()
+        with pytest.raises(ValueError):
+            with sw.lap("phase"):
+                raise ValueError("x")
+        assert "phase" in sw.laps  # stopped, not left running
+        with sw.lap("phase"):  # restartable
+            pass
+
+    def test_nested_distinct_laps(self):
+        from repro.utils.timing import Stopwatch
+
+        sw = Stopwatch()
+        with sw.lap("outer"):
+            with sw.lap("inner"):
+                time.sleep(0.002)
+        assert sw.laps["outer"] >= sw.laps["inner"]
+
+    def test_double_start_rejected(self):
+        from repro.utils.timing import Stopwatch
+
+        sw = Stopwatch()
+        sw.start("x")
+        with pytest.raises(RuntimeError, match="already running"):
+            sw.start("x")

@@ -1,0 +1,81 @@
+"""Edge cases for the report tables and duration/byte formatters."""
+
+from repro.instrument.report import (
+    ResultTable,
+    cache_stats_table,
+    human_seconds,
+    ladder_table,
+    metrics_table,
+    trace_phase_table,
+)
+
+
+class TestHumanSeconds:
+    def test_zero(self):
+        assert human_seconds(0.0) == "0 s"
+
+    def test_negative_is_sign_safe(self):
+        assert human_seconds(-0.5) == "-500.0 ms"
+        assert human_seconds(-200) == "-3.3 min"
+
+    def test_ranges(self):
+        assert human_seconds(5e-6) == "5.0 µs"
+        assert human_seconds(0.5) == "500.0 ms"
+        assert human_seconds(30) == "30.00 s"
+        assert human_seconds(600) == "10.0 min"
+
+
+class TestEmptyTables:
+    def test_empty_result_table_renders(self):
+        table = ResultTable(title="empty", columns=("a", "bb"))
+        out = table.render()
+        assert "== empty ==" in out
+        assert "a" in out and "bb" in out
+        assert len(out.splitlines()) == 3  # title + header + rule
+
+    def test_empty_cache_stats_table(self):
+        out = cache_stats_table([]).render()
+        assert "formation/assembly caches" in out
+
+    def test_empty_ladder_table(self):
+        out = ladder_table([]).render()
+        assert "degradation" in out
+
+    def test_empty_trace_phase_table(self):
+        out = trace_phase_table({}).render()
+        assert "trace phases" in out
+
+    def test_empty_metrics_table(self):
+        out = metrics_table({}).render()
+        assert "metrics" in out
+
+
+class TestTraceTables:
+    def test_phase_table_accepts_both_spellings(self):
+        rollup = {"a": {"count": 1, "total": 2.0, "self": 1.0}}
+        manifest = {"a": {"count": 1, "total_seconds": 2.0, "self_seconds": 1.0}}
+        assert (
+            trace_phase_table(rollup).rows == trace_phase_table(manifest).rows
+        )
+
+    def test_phase_table_ordered_by_self_time(self):
+        phases = {
+            "light": {"count": 1, "total": 1.0, "self": 0.1},
+            "heavy": {"count": 1, "total": 1.0, "self": 0.9},
+        }
+        rows = trace_phase_table(phases).rows
+        assert rows[0][0] == "heavy"
+
+    def test_metrics_table_histogram_collapses(self):
+        snap = {
+            "h": {"type": "histogram", "sum": 1.0, "count": 2},
+            "c": {"type": "counter", "value": 3.0},
+        }
+        out = metrics_table(snap).render()
+        assert "n=2 mean=500.0 ms" in out
+        assert "counter" in out
+
+    def test_metrics_table_empty_histogram_no_zero_division(self):
+        snap = {"h": {"type": "histogram", "sum": 0.0, "count": 0}}
+        out = metrics_table(snap).render()
+        assert "n=0" in out

@@ -1,0 +1,208 @@
+"""Tests for the span tracer: recording, export, reconstruction."""
+
+import json
+import time
+
+import pytest
+
+from repro.observe.tracing import (
+    SPOOL_SUFFIX,
+    Span,
+    Tracer,
+    build_span_tree,
+    chrome_trace_events,
+    phase_rollup,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+class TestRecording:
+    def test_span_records_duration(self):
+        t = Tracer()
+        with t.span("work", n=5):
+            time.sleep(0.002)
+        (span,) = t.spans
+        assert span.name == "work"
+        assert span.kind == "span"
+        assert span.dur >= 0.002
+        assert span.attrs == {"n": 5}
+
+    def test_nesting_links_parent(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        inner, outer = t.spans  # inner closes first
+        assert inner.name == "inner" and outer.name == "outer"
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_exception_marks_error_and_pops(self):
+        t = Tracer()
+        with pytest.raises(RuntimeError):
+            with t.span("doomed"):
+                raise RuntimeError("boom")
+        (span,) = t.spans
+        assert span.attrs["error"] == "RuntimeError"
+        # the stack unwound: a new span is a root again
+        with t.span("next"):
+            pass
+        assert t.spans[-1].parent_id is None
+
+    def test_event_is_instant_and_parented(self):
+        t = Tracer()
+        with t.span("outer"):
+            t.event("retry.attempt_failed", attempt=1)
+        event, outer = t.spans
+        assert event.kind == "event"
+        assert event.dur == 0.0
+        assert event.parent_id == outer.span_id
+
+    def test_attrs_coerced_to_jsonable(self):
+        import numpy as np
+
+        t = Tracer()
+        with t.span("s", pair=(1, 2), x=np.int64(7)):
+            pass
+        attrs = t.spans[0].attrs
+        assert attrs["pair"] == [1, 2]
+        assert attrs["x"] == 7 and isinstance(attrs["x"], int)
+        json.dumps(attrs)
+
+    def test_add_span_synthesizes_child(self):
+        t = Tracer()
+        with t.span("formation"):
+            t.add_span("formation.rank", ts=1.0, dur=0.5, pid=999, tid=1, rank=1)
+        rank, formation = t.spans
+        assert rank.parent_id == formation.span_id
+        assert rank.pid == 999 and rank.dur == 0.5
+
+    def test_mark_and_clear(self):
+        t = Tracer()
+        with t.span("a"):
+            pass
+        assert t.mark() == 1
+        t.clear()
+        assert len(t) == 0
+
+
+class TestRoundTrip:
+    def _sample(self):
+        t = Tracer()
+        with t.span("campaign", timepoints=2):
+            with t.span("timepoint", index=0):
+                t.event("checkpoint.resumed", index=0)
+        return t.spans
+
+    def test_jsonl_round_trip(self, tmp_path):
+        spans = self._sample()
+        path = tmp_path / "trace.jsonl"
+        assert write_jsonl(spans, path) == 3
+        back = read_jsonl(path)
+        assert [s.to_dict() for s in back] == [s.to_dict() for s in spans]
+
+    def test_read_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(self._sample(), path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(read_jsonl(path)) == 3
+
+    def test_chrome_trace_is_valid_json(self, tmp_path):
+        spans = self._sample()
+        path = tmp_path / "trace.chrome.json"
+        count = write_chrome_trace(spans, path)
+        doc = json.loads(path.read_text())
+        assert isinstance(doc["traceEvents"], list)
+        assert len(doc["traceEvents"]) == count
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases == {"M", "X", "i"}
+
+    def test_chrome_timestamps_relative_microseconds(self):
+        spans = self._sample()
+        events = [e for e in chrome_trace_events(spans) if e["ph"] == "X"]
+        t0 = min(e["ts"] for e in events)
+        assert t0 == 0.0
+        outer = next(e for e in events if e["name"] == "campaign")
+        inner = next(e for e in events if e["name"] == "timepoint")
+        assert inner["ts"] >= outer["ts"]
+        assert inner["dur"] <= outer["dur"]
+
+    def test_chrome_trace_empty(self):
+        assert chrome_trace_events([]) == []
+
+
+class TestReconstruction:
+    def test_span_tree_shape(self):
+        t = Tracer()
+        with t.span("root"):
+            with t.span("child"):
+                pass
+            with t.span("child"):
+                pass
+        roots = build_span_tree(t.spans)
+        assert len(roots) == 1
+        assert [c.span.name for c in roots[0].children] == ["child", "child"]
+
+    def test_orphan_becomes_root(self):
+        orphan = Span(
+            name="worker", ts=0.0, dur=1.0, pid=1, tid=1,
+            span_id="1:1", parent_id="0:99",
+        )
+        roots = build_span_tree([orphan])
+        assert len(roots) == 1 and roots[0].span.name == "worker"
+
+    def test_phase_rollup_self_excludes_children(self):
+        t = Tracer()
+        with t.span("solve"):
+            time.sleep(0.002)
+            with t.span("solve.rung"):
+                time.sleep(0.004)
+        rollup = phase_rollup(t.spans)
+        assert rollup["solve"]["count"] == 1
+        assert rollup["solve.rung"]["total"] >= 0.004
+        assert rollup["solve"]["self"] == pytest.approx(
+            rollup["solve"]["total"] - rollup["solve.rung"]["total"]
+        )
+
+    def test_rollup_ignores_events(self):
+        t = Tracer()
+        with t.span("s"):
+            t.event("e")
+        rollup = phase_rollup(t.spans)
+        assert set(rollup) == {"s"}
+
+
+class TestSpool:
+    def test_flush_and_merge(self, tmp_path):
+        parent = Tracer()
+        with parent.span("pre-fork"):
+            pass
+        mark = parent.mark()
+        parent.ensure_spool(tmp_path / "spool")
+
+        # a "worker" sharing the same tracer object (as after fork)
+        with parent.span("worker-span"):
+            pass
+        flushed = parent.flush_to_spool(since=mark, worker=1)
+        assert flushed == 1
+        assert list((tmp_path / "spool").glob(f"*{SPOOL_SUFFIX}"))
+
+        fresh = Tracer()
+        fresh.ensure_spool(tmp_path / "spool")
+        assert fresh.merge_spool() == 1
+        assert fresh.spans[0].name == "worker-span"
+        # spool files are consumed
+        assert not list((tmp_path / "spool").glob(f"*{SPOOL_SUFFIX}"))
+
+    def test_flush_without_spool_dir_is_noop(self):
+        t = Tracer()
+        with t.span("s"):
+            pass
+        assert t.flush_to_spool() == 0
+
+    def test_merge_empty_spool(self, tmp_path):
+        t = Tracer()
+        t.ensure_spool(tmp_path / "nothing")
+        assert t.merge_spool() == 0
