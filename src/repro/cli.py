@@ -104,6 +104,35 @@ def _add_observe_args(parser: argparse.ArgumentParser) -> None:
                         help="print the run's metrics table")
 
 
+def _add_deadline_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget for the whole run; on "
+                             "expiry in-flight workers are killed and the "
+                             f"exit status is {_DEADLINE_EXIT} (partial "
+                             "results are reported, not discarded)")
+    parser.add_argument("--stall-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="heartbeat watchdog: kill a formation worker "
+                             "silent this long and salvage its completed "
+                             "blocks")
+
+
+# Mirrored from repro.resilience.supervise.DEADLINE_EXIT_CODE without
+# importing it at module load (the CLI keeps imports lazy per command).
+_DEADLINE_EXIT = 94
+
+
+def _deadline_failure(exc, obs, args, config) -> None:
+    """Report a blown deadline: finalize artifacts, print the salvage."""
+    _finish_observer(obs, args, config)
+    print(f"error: {exc}", file=sys.stderr)
+    partial = getattr(exc, "partial", None)
+    if partial is not None and hasattr(partial, "summary"):
+        print("partial results before the deadline:")
+        print(partial.summary())
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.io.textformat import save_campaign
     from repro.mea.synthetic import paper_like_spec
@@ -130,6 +159,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     from repro.mea.dataset import MeasurementValidationError
     from repro.resilience.degrade import SolverDegradationError
     from repro.resilience.faults import FaultPlan
+    from repro.resilience.supervise import DEADLINE_EXIT_CODE, DeadlineExceeded
 
     campaign = load_campaign(args.campaign)
     try:
@@ -154,10 +184,22 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         validate=args.validate,
         faults=faults,
         observer=obs,
+        deadline=args.deadline,
+        stall_timeout=args.stall_timeout,
     )
     solver_kwargs = (
         {"lam": args.lam} if args.solver == "regularized" else None
     )
+    config = {
+        "command": "solve",
+        "n": int(meas.z_kohm.shape[0]),
+        "hour": float(meas.hour),
+        "strategy": args.strategy,
+        "workers": args.workers,
+        "solver": args.solver,
+        "formation": args.formation,
+        "validate": args.validate,
+    }
     memory = None
     try:
         if obs is not None:
@@ -176,6 +218,11 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             result = engine.parametrize(
                 meas, output_dir=args.equations_dir, solver_kwargs=solver_kwargs
             )
+    except DeadlineExceeded as exc:
+        # Finalize (don't drop) so the manifest records the salvage
+        # counters accumulated before the budget ran out.
+        _deadline_failure(exc, obs, args, config)
+        return DEADLINE_EXIT_CODE
     except SolverDegradationError as exc:
         _drop_observer(obs)
         print(
@@ -187,16 +234,6 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         _drop_observer(obs)
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    config = {
-        "command": "solve",
-        "n": int(meas.z_kohm.shape[0]),
-        "hour": float(meas.hour),
-        "strategy": args.strategy,
-        "workers": args.workers,
-        "solver": args.solver,
-        "formation": args.formation,
-        "validate": args.validate,
-    }
     _finish_observer(obs, args, config, memory=memory)
     print(result.summary())
     for event in result.events:
@@ -231,6 +268,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     from repro.core.pipeline import run_pipeline
     from repro.io.textformat import load_campaign
     from repro.resilience.retry import RetryPolicy
+    from repro.resilience.supervise import DEADLINE_EXIT_CODE, DeadlineExceeded
 
     campaign = load_campaign(args.campaign)
     retry = (
@@ -246,33 +284,8 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         formation=args.formation,
         retry=retry,
         observer=obs,
+        stall_timeout=args.stall_timeout,
     )
-    memory = None
-    if obs is not None:
-        from repro.instrument.memory import MemorySampler
-
-        with MemorySampler(interval=0.02) as sampler, obs.span(
-            "run", command="monitor", timepoints=len(campaign)
-        ):
-            out = run_pipeline(
-                campaign,
-                engine=engine,
-                growth_threshold=args.growth,
-                warm_start=not args.no_warm_start,
-                checkpoint_dir=args.checkpoint_dir,
-                resume=not args.no_resume,
-                observer=obs,
-            )
-        memory = sampler.summary()
-    else:
-        out = run_pipeline(
-            campaign,
-            engine=engine,
-            growth_threshold=args.growth,
-            warm_start=not args.no_warm_start,
-            checkpoint_dir=args.checkpoint_dir,
-            resume=not args.no_resume,
-        )
     config = {
         "command": "monitor",
         "timepoints": len(campaign),
@@ -281,6 +294,38 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         "formation": args.formation,
         "warm_start": not args.no_warm_start,
     }
+    memory = None
+    try:
+        if obs is not None:
+            from repro.instrument.memory import MemorySampler
+
+            with MemorySampler(interval=0.02) as sampler, obs.span(
+                "run", command="monitor", timepoints=len(campaign)
+            ):
+                out = run_pipeline(
+                    campaign,
+                    engine=engine,
+                    growth_threshold=args.growth,
+                    warm_start=not args.no_warm_start,
+                    checkpoint_dir=args.checkpoint_dir,
+                    resume=not args.no_resume,
+                    observer=obs,
+                    deadline=args.deadline,
+                )
+            memory = sampler.summary()
+        else:
+            out = run_pipeline(
+                campaign,
+                engine=engine,
+                growth_threshold=args.growth,
+                warm_start=not args.no_warm_start,
+                checkpoint_dir=args.checkpoint_dir,
+                resume=not args.no_resume,
+                deadline=args.deadline,
+            )
+    except DeadlineExceeded as exc:
+        _deadline_failure(exc, obs, args, config)
+        return DEADLINE_EXIT_CODE
     _finish_observer(obs, args, config, memory=memory)
     print(out.summary())
     resumed = sum(
@@ -351,6 +396,12 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+#: ``parma chaos --include`` keys, in execution order.
+CHAOS_CHECKS = (
+    "kill", "hang", "slow", "signal", "stream", "campaign", "dirty", "ladder",
+)
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     """Fault-injection smoke test: every recovery path, one command.
 
@@ -358,6 +409,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     output equals the fault-free reference — recovery that silently
     changes answers is worse than crashing.
     """
+    import signal as signal_mod
     import tempfile
 
     import numpy as np
@@ -368,13 +420,32 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.mea.dataset import MeasurementValidationError
     from repro.mea.synthetic import paper_like_spec
     from repro.mea.wetlab import run_campaign
-    from repro.parallel.pymp import fork_available
+    from repro.observe import Observer
+    from repro.parallel.pymp import ParallelError, fork_available
     from repro.resilience import (
         FaultPlan,
         InjectedAbort,
         RetryPolicy,
         stream_to_file_checkpointed,
     )
+    from repro.resilience.supervise import Supervisor
+
+    include = None
+    if args.include:
+        include = tuple(
+            name.strip() for name in args.include.split(",") if name.strip()
+        )
+        unknown = sorted(set(include) - set(CHAOS_CHECKS))
+        if unknown:
+            print(
+                f"error: unknown chaos check(s) {', '.join(unknown)} "
+                f"(known: {', '.join(CHAOS_CHECKS)})",
+                file=sys.stderr,
+            )
+            return 2
+
+    def want(name: str) -> bool:
+        return include is None or name in include
 
     n, seed = args.n, args.seed
     run = run_campaign(paper_like_spec(n, seed=seed), seed=seed)
@@ -386,127 +457,250 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         checks.append((name, ok, detail))
         print(f"  [{'PASS' if ok else 'FAIL'}] {name}" + (f": {detail}" if detail else ""))
 
-    print(f"chaos smoke on a {n}x{n} device (seed {seed})")
+    obs = _make_observer(args)
+    # Supervision checks assert on observer counters, so they need a
+    # live metrics registry even when the user asked for no artifacts.
+    sup_obs = obs if obs is not None else Observer()
+
+    def counter(name: str) -> float:
+        return sup_obs.metrics.snapshot().get(name, {}).get("value", 0.0)
+
+    selected = include or CHAOS_CHECKS
+    print(
+        f"chaos smoke on a {n}x{n} device (seed {seed}; "
+        f"checks: {', '.join(selected)})"
+    )
+
+    clean = None
+    if fork_available() and any(
+        want(c) for c in ("kill", "hang", "slow", "signal")
+    ):
+        clean = ParmaEngine(strategy="pymp", num_workers=3).form(meas)
 
     # 1. Worker kill mid-formation -> bounded retry reproduces the
     #    fault-free formation checksum.
-    if fork_available():
-        clean = ParmaEngine(strategy="pymp", num_workers=3).form(meas)
-        engine = ParmaEngine(
-            strategy="pymp",
-            num_workers=3,
-            faults=FaultPlan(seed=seed, kill_workers=(1,), kill_attempts=1),
-            retry=RetryPolicy(max_retries=2),
-        )
-        result = engine.parametrize(meas)
-        check(
-            "worker kill -> retry",
-            bool(result.events)
-            and np.isclose(result.formation.checksum, clean.checksum),
-            f"{len(result.events)} event(s), checksum matches",
-        )
-    else:  # pragma: no cover - fork always available on test platforms
-        check("worker kill -> retry", True, "skipped (no fork)")
+    if want("kill"):
+        if fork_available():
+            engine = ParmaEngine(
+                strategy="pymp",
+                num_workers=3,
+                faults=FaultPlan(seed=seed, kill_workers=(1,), kill_attempts=1),
+                retry=RetryPolicy(max_retries=2),
+            )
+            result = engine.parametrize(meas)
+            check(
+                "worker kill -> retry",
+                bool(result.events)
+                and np.isclose(result.formation.checksum, clean.checksum),
+                f"{len(result.events)} event(s), checksum matches",
+            )
+        else:  # pragma: no cover - fork always available on test platforms
+            check("worker kill -> retry", True, "skipped (no fork)")
+
+    # 2. Hung worker -> heartbeat watchdog kills it, parent salvages
+    #    its completed blocks and re-forms only the missing tail.
+    if want("hang"):
+        if fork_available():
+            engine = ParmaEngine(
+                strategy="pymp",
+                num_workers=3,
+                faults=FaultPlan(seed=seed, hang_workers=(1,), hang_after_items=1),
+                stall_timeout=1.5,
+                observer=sup_obs,
+            )
+            result = engine.parametrize(meas)
+            f = result.formation
+            check(
+                "hung worker -> watchdog + salvage",
+                np.isclose(f.checksum, clean.checksum)
+                and f.stalled_ranks == (1,)
+                and f.blocks_salvaged > 0
+                and f.blocks_reformed > 0,
+                f"rank 1 killed after heartbeat stall; {f.blocks_salvaged} "
+                f"block(s) salvaged, {f.blocks_reformed} re-formed; "
+                "checksum matches",
+            )
+        else:  # pragma: no cover
+            check("hung worker -> watchdog + salvage", True, "skipped (no fork)")
+
+    # 3. Slow worker -> straggler speculation fires (tail re-formed in
+    #    the parent) while the worker itself survives to completion.
+    if want("slow"):
+        if fork_available():
+            before = counter("supervise.stragglers")
+            engine = ParmaEngine(
+                strategy="pymp",
+                num_workers=3,
+                faults=FaultPlan(
+                    seed=seed, slow_workers=(1,), slow_seconds_per_item=0.5
+                ),
+                supervise=Supervisor(
+                    stall_timeout=30.0, straggler_age=0.25, observer=sup_obs
+                ),
+                observer=sup_obs,
+            )
+            result = engine.parametrize(meas)
+            fired = counter("supervise.stragglers") - before
+            check(
+                "slow worker -> straggler speculation",
+                np.isclose(result.formation.checksum, clean.checksum)
+                and fired >= 1
+                and not result.formation.stalled_ranks,
+                f"speculation fired for {int(fired)} rank(s); no worker "
+                "killed; checksum matches",
+            )
+        else:  # pragma: no cover
+            check("slow worker -> straggler speculation", True,
+                  "skipped (no fork)")
+
+    # 4. Signal death -> the join reports *negative* exit codes (the
+    #    signal number), on both the raising and serial-degraded paths.
+    if want("signal"):
+        if fork_available():
+            sig = int(signal_mod.SIGTERM)
+            plan = FaultPlan(
+                seed=seed, kill_workers=(1,), kill_signal=sig, kill_attempts=99
+            )
+            engine = ParmaEngine(strategy="pymp", num_workers=3, faults=plan)
+            try:
+                engine.form(meas)
+                check("signal death -> negative exit code", False,
+                      "no ParallelError raised")
+            except ParallelError as exc:
+                print(
+                    f"  worker death report: ranks {exc.failed_ranks}, "
+                    f"exit codes {exc.exit_codes}"
+                )
+                check(
+                    "signal death -> negative exit code",
+                    exc.failed_ranks == (1,) and exc.exit_codes == (-sig,),
+                    f"exit code {exc.exit_codes[0]} = -SIGTERM",
+                )
+            engine = ParmaEngine(
+                strategy="pymp",
+                num_workers=3,
+                faults=plan,
+                retry=RetryPolicy(max_retries=1),
+            )
+            result = engine.parametrize(meas)
+            check(
+                "signal death -> serial degradation",
+                result.formation.strategy == "single-thread"
+                and np.isclose(result.formation.checksum, clean.checksum)
+                and any(str(-sig) in e for e in result.events),
+                f"degraded to single-thread; events record exit code {-sig}",
+            )
+        else:  # pragma: no cover
+            check("signal death -> negative exit code", True,
+                  "skipped (no fork)")
 
     with tempfile.TemporaryDirectory() as td:
         td = Path(td)
-        # 2. Corrupt + dropped stream blocks -> checksum verification
+        # 5. Corrupt + dropped stream blocks -> checksum verification
         #    re-forms them; resumed file is byte-identical.
-        ref_path = td / "clean.bin"
-        stream_to_file(meas.z_kohm, ref_path, voltage=meas.voltage)
-        chaos_dir = td / "stream"
-        corrupt = n + 2
-        plan = FaultPlan(
-            seed=seed,
-            corrupt_blocks=(corrupt,),
-            drop_blocks=(3 * n + 1,),
-            abort_after_blocks=(n * n) // 2,
-        )
-        try:
-            stream_to_file_checkpointed(
-                meas.z_kohm, chaos_dir, voltage=meas.voltage, faults=plan
+        if want("stream"):
+            ref_path = td / "clean.bin"
+            stream_to_file(meas.z_kohm, ref_path, voltage=meas.voltage)
+            chaos_dir = td / "stream"
+            corrupt = n + 2
+            plan = FaultPlan(
+                seed=seed,
+                corrupt_blocks=(corrupt,),
+                drop_blocks=(3 * n + 1,),
+                abort_after_blocks=(n * n) // 2,
             )
-        except InjectedAbort:
-            pass
-        cp, resume_report, _ = stream_to_file_checkpointed(
-            meas.z_kohm, chaos_dir, voltage=meas.voltage
-        )
-        identical = cp.data_path.read_bytes() == ref_path.read_bytes()
-        check(
-            "block corruption/drop -> checkpointed resume",
-            cp.complete and identical and resume_report.blocks_discarded > 0,
-            f"discarded {resume_report.blocks_discarded} "
-            f"({resume_report.first_bad_reason}); file byte-identical",
-        )
+            try:
+                stream_to_file_checkpointed(
+                    meas.z_kohm, chaos_dir, voltage=meas.voltage, faults=plan
+                )
+            except InjectedAbort:
+                pass
+            cp, resume_report, _ = stream_to_file_checkpointed(
+                meas.z_kohm, chaos_dir, voltage=meas.voltage
+            )
+            identical = cp.data_path.read_bytes() == ref_path.read_bytes()
+            check(
+                "block corruption/drop -> checkpointed resume",
+                cp.complete and identical and resume_report.blocks_discarded > 0,
+                f"discarded {resume_report.blocks_discarded} "
+                f"({resume_report.first_bad_reason}); file byte-identical",
+            )
 
-        # 3. Campaign abort between timepoints -> resume from manifest,
+        # 6. Campaign abort between timepoints -> resume from manifest,
         #    fields identical to the fault-free day.
-        ref = run_pipeline(campaign, engine=ParmaEngine(strategy="single"))
-        ck = td / "campaign"
-        try:
-            run_pipeline(
-                campaign,
-                engine=ParmaEngine(strategy="single"),
-                checkpoint_dir=ck,
-                faults=FaultPlan(seed=seed, abort_after_timepoints=2),
+        if want("campaign"):
+            ref = run_pipeline(campaign, engine=ParmaEngine(strategy="single"))
+            ck = td / "campaign"
+            try:
+                run_pipeline(
+                    campaign,
+                    engine=ParmaEngine(strategy="single"),
+                    checkpoint_dir=ck,
+                    faults=FaultPlan(seed=seed, abort_after_timepoints=2),
+                )
+            except InjectedAbort:
+                pass
+            resumed = run_pipeline(
+                campaign, engine=ParmaEngine(strategy="single"), checkpoint_dir=ck
             )
-        except InjectedAbort:
-            pass
-        resumed = run_pipeline(
-            campaign, engine=ParmaEngine(strategy="single"), checkpoint_dir=ck
-        )
-        fields_equal = all(
-            np.array_equal(a.resistance, b.resistance)
-            for a, b in zip(ref.results, resumed.results)
-        )
-        restored = sum(
-            1
-            for r in resumed.results
-            if r.formation.strategy.startswith("resumed:")
-        )
-        check(
-            "campaign kill -> resume",
-            fields_equal and restored == 2,
-            f"{restored} timepoint(s) restored, fields identical",
-        )
+            fields_equal = all(
+                np.array_equal(a.resistance, b.resistance)
+                for a, b in zip(ref.results, resumed.results)
+            )
+            restored = sum(
+                1
+                for r in resumed.results
+                if r.formation.strategy.startswith("resumed:")
+            )
+            check(
+                "campaign kill -> resume",
+                fields_equal and restored == 2,
+                f"{restored} timepoint(s) restored, fields identical",
+            )
 
-    # 4. Dirty measurement: strict rejects naming the channel; repair
+    # 7. Dirty measurement: strict rejects naming the channel; repair
     #    imputes and completes.
-    dirty_plan = FaultPlan(seed=seed, nan_sites=((1, 2),), dead_rows=(0,))
-    strict = ParmaEngine(strategy="single", faults=dirty_plan, validate="strict")
-    try:
-        strict.parametrize(meas)
-        check("dirty measurement -> strict reject", False, "no error raised")
-    except MeasurementValidationError as exc:
+    if want("dirty"):
+        dirty_plan = FaultPlan(seed=seed, nan_sites=((1, 2),), dead_rows=(0,))
+        strict = ParmaEngine(strategy="single", faults=dirty_plan, validate="strict")
+        try:
+            strict.parametrize(meas)
+            check("dirty measurement -> strict reject", False, "no error raised")
+        except MeasurementValidationError as exc:
+            check(
+                "dirty measurement -> strict reject",
+                "z_kohm[" in str(exc),
+                str(exc)[:80],
+            )
+        repair = ParmaEngine(strategy="single", faults=dirty_plan, validate="repair")
+        result = repair.parametrize(meas)
         check(
-            "dirty measurement -> strict reject",
-            "z_kohm[" in str(exc),
-            str(exc)[:80],
+            "dirty measurement -> repair",
+            any("repaired" in e for e in result.events)
+            and np.all(np.isfinite(result.resistance)),
+            "imputed bad sites, solve finished",
         )
-    repair = ParmaEngine(strategy="single", faults=dirty_plan, validate="repair")
-    result = repair.parametrize(meas)
-    check(
-        "dirty measurement -> repair",
-        any("repaired" in e for e in result.events)
-        and np.all(np.isfinite(result.resistance)),
-        "imputed bad sites, solve finished",
-    )
 
-    # 5. Forced rung failures engage the ladder in order.
-    engine = ParmaEngine(
-        strategy="single",
-        faults=FaultPlan(seed=seed, fail_rungs=("primary", "regularized")),
-    )
-    result = engine.parametrize(meas)
-    deg = result.degradation
-    check(
-        "solver ladder",
-        deg is not None
-        and deg.rung_used == "bounded"
-        and deg.rungs_tried == ("primary", "regularized", "bounded"),
-        deg.describe() if deg else "no degradation report",
-    )
+    # 8. Forced rung failures engage the ladder in order.
+    if want("ladder"):
+        engine = ParmaEngine(
+            strategy="single",
+            faults=FaultPlan(seed=seed, fail_rungs=("primary", "regularized")),
+        )
+        result = engine.parametrize(meas)
+        deg = result.degradation
+        check(
+            "solver ladder",
+            deg is not None
+            and deg.rung_used == "bounded"
+            and deg.rungs_tried == ("primary", "regularized", "bounded"),
+            deg.describe() if deg else "no degradation report",
+        )
 
+    _finish_observer(
+        obs, args,
+        {"command": "chaos", "n": n, "seed": seed, "checks": ",".join(selected)},
+    )
     failed = [name for name, ok, _ in checks if not ok]
     if failed:
         print(f"chaos: {len(failed)}/{len(checks)} check(s) FAILED: "
@@ -684,6 +878,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--show", action="store_true",
                          help="render the recovered field as a heatmap")
     _add_observe_args(p_solve)
+    _add_deadline_args(p_solve)
     p_solve.set_defaults(func=_cmd_solve)
 
     p_mon = sub.add_parser("monitor", help="full-campaign drift analysis")
@@ -710,6 +905,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_mon.add_argument("--show", action="store_true",
                        help="render first/last recovered fields")
     _add_observe_args(p_mon)
+    _add_deadline_args(p_mon)
     p_mon.set_defaults(func=_cmd_monitor)
 
     p_scr = sub.add_parser("screen", help="defect screening (QC)")
@@ -731,6 +927,10 @@ def build_parser() -> argparse.ArgumentParser:
                              help="fault-injection smoke (recovery checks)")
     p_chaos.add_argument("--n", type=int, default=10, help="device side")
     p_chaos.add_argument("--seed", type=int, default=7)
+    p_chaos.add_argument("--include", default=None, metavar="CHECKS",
+                         help="comma-separated subset of checks to run "
+                              f"({', '.join(CHAOS_CHECKS)}); default all")
+    _add_observe_args(p_chaos)
     p_chaos.set_defaults(func=_cmd_chaos)
 
     p_info = sub.add_parser("info", help="device/system accounting")

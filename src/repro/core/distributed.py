@@ -29,7 +29,8 @@ from repro.core.templates import (
 )
 from repro.io.equations_io import write_block_binary
 from repro.observe.observer import as_observer
-from repro.parallel.mpi import Comm, run_mpi
+from repro.parallel.mpi import Comm, MPITimeout, run_mpi
+from repro.resilience.supervise import Deadline, DeadlineExceeded
 from repro.utils.validation import require_positive, require_positive_int
 
 
@@ -121,6 +122,7 @@ class MPIFormation:
         output_dir: str | Path | None = None,
         fmt: str = "binary",
         observer=None,
+        deadline: Deadline | float | None = None,
     ) -> FormationReport:
         z = np.asarray(z, dtype=np.float64)
         if z.ndim != 2 or z.shape[0] != z.shape[1]:
@@ -130,6 +132,9 @@ class MPIFormation:
         require_positive(voltage, "voltage")
         if fmt != "binary":
             raise ValueError("MPI formation persists binary part files only")
+        deadline = Deadline.coerce(deadline)
+        if deadline is not None:
+            deadline.check("MPI formation launch")
         out = None
         if output_dir is not None:
             out = Path(output_dir)
@@ -150,16 +155,24 @@ class MPIFormation:
             workers=self.num_workers,
         ):
             start = time.perf_counter()
-            results = run_mpi(
-                _rank_program,
-                self.num_workers,
-                args=(
-                    z,
-                    voltage,
-                    str(out) if out is not None else None,
-                    self.formation,
-                ),
-            )
+            try:
+                results = run_mpi(
+                    _rank_program,
+                    self.num_workers,
+                    args=(
+                        z,
+                        voltage,
+                        str(out) if out is not None else None,
+                        self.formation,
+                    ),
+                    timeout=deadline,
+                )
+            except MPITimeout as exc:
+                raise DeadlineExceeded(
+                    f"deadline of {deadline.seconds:g}s expired during "
+                    f"MPI formation: {exc}",
+                    deadline=deadline,
+                ) from exc
             elapsed = time.perf_counter() - start
             # Cross-rank consistency: every rank saw the same totals.
             totals = {

@@ -32,6 +32,7 @@ from repro.observe.observer import as_observer
 from repro.resilience.degrade import DegradationReport, solve_with_degradation
 from repro.resilience.faults import as_injector
 from repro.resilience.retry import RetryPolicy, form_with_recovery
+from repro.resilience.supervise import Deadline, Supervisor
 from repro.utils import logging as rlog
 from repro.utils.timing import Stopwatch
 
@@ -73,6 +74,16 @@ class ParmaResult:
         )
         if self.degradation is not None:
             text += f"; rung={self.degradation.rung_used}"
+        if self.formation.stalled_ranks:
+            text += (
+                f"; watchdog killed rank(s) "
+                f"{tuple(self.formation.stalled_ranks)}"
+            )
+        if self.formation.blocks_salvaged or self.formation.blocks_reformed:
+            text += (
+                f"; salvage: {self.formation.blocks_salvaged} block(s) kept, "
+                f"{self.formation.blocks_reformed} re-formed"
+            )
         if self.events:
             text += f"; {len(self.events)} resilience event(s)"
         return text
@@ -120,6 +131,21 @@ class ParmaEngine:
         resilience events from every stage.  None (default) defers to
         the global observer (:func:`repro.observe.get_observer`),
         which is a zero-overhead no-op unless installed.
+    deadline:
+        Wall-clock budget in seconds (or a started
+        :class:`repro.resilience.supervise.Deadline`) for everything
+        this engine runs.  The budget starts ticking at construction
+        and is shared by every stage — formation regions, salvage,
+        solve — raising
+        :class:`repro.resilience.supervise.DeadlineExceeded` (and
+        killing any in-flight workers) when spent.
+    stall_timeout:
+        Seconds a region worker may go without a heartbeat before the
+        watchdog declares it hung (SIGTERM → SIGKILL) and the parent
+        salvages its share.  None (default) disables the watchdog.
+    supervise:
+        A preconfigured :class:`repro.resilience.supervise.Supervisor`
+        overriding the one built from ``deadline``/``stall_timeout``.
     """
 
     def __init__(
@@ -136,6 +162,9 @@ class ParmaEngine:
         retry: RetryPolicy | None = None,
         saturation_kohm: float = 1e6,
         observer=None,
+        deadline: Deadline | float | None = None,
+        stall_timeout: float | None = None,
+        supervise: Supervisor | None = None,
     ) -> None:
         self._strategy = make_strategy(strategy, num_workers, formation=formation)
         self.formation = self._strategy.formation
@@ -152,6 +181,20 @@ class ParmaEngine:
         self.retry = retry
         self.saturation_kohm = float(saturation_kohm)
         self.observer = observer
+        self.deadline = Deadline.coerce(deadline)
+        self.stall_timeout = stall_timeout
+        if supervise is not None:
+            self.supervisor: Supervisor | None = supervise
+            if self.deadline is None:
+                self.deadline = supervise.deadline
+        elif stall_timeout is not None or self.deadline is not None:
+            self.supervisor = Supervisor(
+                stall_timeout=stall_timeout,
+                deadline=self.deadline,
+                observer=observer,
+            )
+        else:
+            self.supervisor = None
 
     @property
     def strategy_name(self) -> str:
@@ -220,6 +263,8 @@ class ParmaEngine:
             fmt=fmt,
             faults=self._injector,
             observer=self.observer,
+            supervise=self.supervisor,
+            deadline=self.deadline,
         )
 
     def parametrize(
@@ -239,6 +284,8 @@ class ParmaEngine:
         obs = as_observer(self.observer)
         sw = Stopwatch()
         n = measurement.z_kohm.shape[0]
+        if self.deadline is not None:
+            self.deadline.check("parametrization")
         with sw.lap("formation"), rlog.log_span(
             "parma.formation", n=n, strategy=self.strategy_name
         ):
@@ -252,10 +299,24 @@ class ParmaEngine:
                     policy=self.retry,
                     faults=self._injector,
                     observer=obs,
+                    supervise=self.supervisor,
+                    deadline=self.deadline,
                 )
                 events.extend(form_events)
             else:
                 formation = self.form(measurement, output_dir=output_dir, fmt=fmt)
+        if formation.stalled_ranks:
+            events.append(
+                f"watchdog killed hung worker(s) "
+                f"{tuple(formation.stalled_ranks)} after heartbeat stall"
+            )
+        if formation.blocks_salvaged or formation.blocks_reformed:
+            events.append(
+                f"salvaged {formation.blocks_salvaged} completed block(s), "
+                f"re-formed {formation.blocks_reformed} in the parent"
+            )
+        if self.deadline is not None:
+            self.deadline.check("solve")
         degradation = None
         with sw.lap("solve"), obs.span(
             "solve", n=n, method=self.solver, degradation=self.degradation
@@ -284,6 +345,8 @@ class ParmaEngine:
             converged=solve_result.converged,
             iterations=solve_result.iterations,
         )
+        if self.deadline is not None:
+            self.deadline.check("anomaly detection")
         with sw.lap("detect"), obs.span("detect", n=n):
             detection = detect_anomalies(
                 solve_result.r_estimate,

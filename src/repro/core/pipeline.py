@@ -21,6 +21,7 @@ from repro.mea.dataset import Measurement, MeasurementCampaign
 from repro.observe.observer import as_observer
 from repro.resilience.checkpoint import CampaignCheckpoint, CheckpointError
 from repro.resilience.faults import as_injector
+from repro.resilience.supervise import Deadline, DeadlineExceeded
 from repro.utils import logging as rlog
 
 
@@ -112,6 +113,7 @@ def run_pipeline(
     resume: bool = True,
     faults=None,
     observer=None,
+    deadline: Deadline | float | None = None,
 ) -> CampaignResult:
     """Parametrize every timepoint and analyse anomaly drift.
 
@@ -154,11 +156,28 @@ def run_pipeline(
     formation/solve/detect children from the engine, plus
     checkpoint-resume events.  When given, it is also installed on the
     engine so the per-stage spans land on the same stream.
+
+    ``deadline`` (seconds, or a started
+    :class:`repro.resilience.supervise.Deadline`) bounds the whole
+    campaign on one shared monotonic budget — it is installed on the
+    engine so formation regions and supervision drain the same clock.
+    When it expires, :class:`repro.resilience.supervise.
+    DeadlineExceeded` is raised with ``partial`` set to a
+    :class:`CampaignResult` of the timepoints that did finish
+    (checkpointed ones included), so callers salvage instead of
+    discard.
     """
     engine = engine or ParmaEngine(formation=formation)
     obs = as_observer(observer)
     if observer is not None:
         engine.observer = observer
+    deadline = Deadline.coerce(deadline)
+    if deadline is not None:
+        engine.deadline = deadline
+        if engine.supervisor is not None and engine.supervisor.deadline is None:
+            engine.supervisor.deadline = deadline
+    elif engine.deadline is not None:
+        deadline = engine.deadline
     injector = as_injector(faults)
     checkpoint = (
         CampaignCheckpoint(checkpoint_dir) if checkpoint_dir is not None else None
@@ -170,6 +189,15 @@ def run_pipeline(
     ):
         for index, meas in enumerate(campaign):
             n = meas.z_kohm.shape[0]
+            if deadline is not None and deadline.expired:
+                raise DeadlineExceeded(
+                    f"deadline of {deadline.seconds:g}s expired after "
+                    f"{len(results)} of {len(campaign)} timepoint(s)",
+                    deadline=deadline,
+                    partial=CampaignResult(
+                        results=tuple(results), drift_detection=None
+                    ),
+                )
             if (
                 checkpoint is not None
                 and resume
@@ -203,9 +231,16 @@ def run_pipeline(
             if warm_start and previous_field is not None:
                 solver_kwargs["r0"] = previous_field
             with obs.span("timepoint", index=index, hour=float(meas.hour), n=n):
-                result = engine.parametrize(
-                    meas, output_dir=tp_dir, solver_kwargs=solver_kwargs
-                )
+                try:
+                    result = engine.parametrize(
+                        meas, output_dir=tp_dir, solver_kwargs=solver_kwargs
+                    )
+                except DeadlineExceeded as exc:
+                    if exc.partial is None:
+                        exc.partial = CampaignResult(
+                            results=tuple(results), drift_detection=None
+                        )
+                    raise
             previous_field = result.resistance
             results.append(result)
             if checkpoint is not None:

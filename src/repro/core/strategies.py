@@ -23,6 +23,7 @@ strategies' exact per-item costs into the calibrated cluster model
 
 from __future__ import annotations
 
+import math
 import os
 import time
 from dataclasses import dataclass, field
@@ -42,6 +43,7 @@ from repro.core.partition import (
 from repro.core.templates import (
     check_formation_mode,
     form_worker_share,
+    get_template,
     iter_pair_batches,
     stamp_pair_block,
     warm_template_cache,
@@ -52,7 +54,25 @@ from repro.observe.observer import as_observer
 from repro.parallel import pymp
 from repro.resilience.atomio import AtomicFile
 from repro.resilience.faults import as_injector
+from repro.resilience.supervise import Deadline
 from repro.utils.validation import require_positive, require_positive_int
+
+#: Minimum items formed per heartbeat under supervision.  Supervised
+#: workers form their share in contiguous chunks so the watchdog sees
+#: progress at sub-share granularity; the chunks are consecutive
+#: slices of the same sorted share, so part files stay byte-identical
+#: to the unsupervised single-call path.
+_SUPERVISED_CHUNK = 32
+
+#: Upper bound on chunks per worker share: per-chunk overhead (extra
+#: ``form_worker_share`` calls) must stay a constant fraction of the
+#: share no matter its size, or supervision would tax large devices.
+_SUPERVISED_CHUNKS_PER_SHARE = 4
+
+
+def _heartbeat_chunk(share_items: int) -> int:
+    """Chunk size balancing watchdog granularity against call overhead."""
+    return max(_SUPERVISED_CHUNK, -(-share_items // _SUPERVISED_CHUNKS_PER_SHARE))
 
 
 @dataclass(frozen=True)
@@ -68,6 +88,13 @@ class FormationReport:
     per_worker_terms: np.ndarray
     bytes_written: int = 0
     part_files: tuple[str, ...] = field(default_factory=tuple)
+    #: Items kept from surviving workers after a worker loss (verified
+    #: against the template checksum table), items re-formed in the
+    #: parent, and which ranks the heartbeat watchdog killed.  All zero
+    #: / empty on a fault-free run.
+    blocks_salvaged: int = 0
+    blocks_reformed: int = 0
+    stalled_ranks: tuple[int, ...] = field(default_factory=tuple)
 
     def terms_per_second(self) -> float:
         if self.elapsed_seconds <= 0:
@@ -106,11 +133,14 @@ class SingleThread:
         fmt: str = "binary",
         faults=None,
         observer=None,
+        supervise=None,
+        deadline=None,
     ) -> FormationReport:
         z = _validate_z(z)
         require_positive(voltage, "voltage")
         obs = as_observer(observer)
         tracing = obs.enabled
+        deadline = _resolve_deadline(deadline, supervise)
         n = z.shape[0]
         start = time.perf_counter()
         terms = 0
@@ -123,6 +153,8 @@ class SingleThread:
             with obs.span("formation", strategy=self.name, n=n, workers=1):
                 if self.formation == "cached":
                     for batch in iter_pair_batches(z, voltage=voltage):
+                        if deadline is not None:
+                            deadline.check("serial formation")
                         with obs.span("form.batch", pairs=batch.num_pairs):
                             terms += batch.num_terms
                             checksum += float(batch.checksums().sum())
@@ -131,6 +163,8 @@ class SingleThread:
                                     bytes_written += writer(block, fh)
                 else:
                     for block in iter_pair_blocks(z, voltage=voltage):
+                        if deadline is not None:
+                            deadline.check("serial formation")
                         if tracing:
                             with obs.span(
                                 "form", pair=(block.row, block.col)
@@ -184,12 +218,18 @@ class _PartitionedStrategy:
         fmt: str = "binary",
         faults=None,
         observer=None,
+        supervise=None,
+        deadline=None,
     ) -> FormationReport:
         z = _validate_z(z)
         require_positive(voltage, "voltage")
         injector = as_injector(faults)
         obs = as_observer(observer)
         tracing = obs.enabled
+        sup = supervise
+        deadline = _resolve_deadline(deadline, sup)
+        if deadline is not None:
+            deadline.check("formation")
         n = z.shape[0]
         part = self._partition(n)
         workers = part.num_workers
@@ -205,6 +245,34 @@ class _PartitionedStrategy:
             warm_template_cache(
                 n, [(cat,) for cat in sorted({it.category for it in items})]
             )
+        # Speculative tail shares formed in the parent by the straggler
+        # hook: rank -> (head_count, batches, placement).  Only the
+        # cached path speculates (formation is deterministic, so the
+        # speculative result is identical to what the worker would
+        # produce — the checksum verification in _salvage is the dedup).
+        spec: dict[int, tuple[int, dict, dict]] = {}
+
+        def _on_straggler(rank: int, items_done: int) -> None:
+            if rank in spec or (deadline is not None and deadline.expired):
+                return
+            mine_r = np.flatnonzero(worker_of == rank)
+            tail = mine_r[items_done:]
+            if len(tail) == 0:
+                return
+            batches, placement = form_worker_share(
+                n, items, tail, z, voltage=voltage
+            )
+            spec[rank] = (int(items_done), batches, placement)
+
+        if sup is not None:
+            sup.begin_region(
+                workers,
+                total_items=len(items),
+                observer=obs,
+                on_straggler=(
+                    _on_straggler if self.formation == "cached" else None
+                ),
+            )
         if tracing:
             # The spool directory must exist before the fork so every
             # region member inherits the same path; ``mark`` keeps
@@ -212,70 +280,127 @@ class _PartitionedStrategy:
             obs.ensure_spool()
         mark = obs.mark()
         start = time.perf_counter()
-        with obs.span(
-            "formation", strategy=self.name, n=n, workers=workers
-        ), pymp.Parallel(workers) as p:
-            me = p.thread_num
-            if injector is not None:
-                injector.maybe_kill_worker(me)
-            writer, fh = _open_writer(output_dir, fmt, worker=me)
-            my_terms = 0
-            my_checksum = 0.0
-            my_bytes = 0
-            ok = False
-            try:
-                mine = np.flatnonzero(worker_of == me)
-                with obs.span(
-                    "formation.worker", worker=me, items=len(mine)
-                ):
-                    if self.formation == "cached":
-                        with obs.span("form.share", worker=me):
-                            batches, placement = form_worker_share(
-                                n, items, mine, z, voltage=voltage
+        salvage_stats = (0, 0)
+        stalled_ranks: tuple[int, ...] = ()
+        try:
+            with obs.span(
+                "formation", strategy=self.name, n=n, workers=workers
+            ), pymp.Parallel(workers, supervisor=sup) as p:
+                me = p.thread_num
+                if injector is not None:
+                    injector.maybe_kill_worker(me)
+                writer, fh = _open_writer(output_dir, fmt, worker=me)
+                my_terms = 0
+                my_checksum = 0.0
+                my_bytes = 0
+                ok = False
+                try:
+                    mine = np.flatnonzero(worker_of == me)
+                    if sup is not None:
+                        sup.assign(me, len(mine))
+                    with obs.span(
+                        "formation.worker", worker=me, items=len(mine)
+                    ):
+                        if self.formation == "cached":
+                            # Unsupervised: one batched call per worker.
+                            # Supervised: the same share in contiguous
+                            # chunks, heartbeating per chunk (output is
+                            # byte-identical; see _SUPERVISED_CHUNK).
+                            chunk = (
+                                _heartbeat_chunk(len(mine))
+                                if sup is not None or injector is not None
+                                else max(1, len(mine))
                             )
-                        my_terms = sum(b.num_terms for b in batches.values())
-                        my_checksum = sum(
-                            float(b.checksums().sum()) for b in batches.values()
-                        )
-                        if writer is not None:
-                            # Emit in original item order so part files are
-                            # byte-identical to the legacy per-item loop.
-                            with obs.span("form.write", worker=me):
-                                for idx in mine:
-                                    cat, pos = placement[int(idx)]
-                                    my_bytes += writer(
-                                        batches[cat].block(pos), fh
+                            done = 0
+                            for lo in range(0, len(mine), chunk):
+                                sub = mine[lo : lo + chunk]
+                                with obs.span("form.share", worker=me):
+                                    batches, placement = form_worker_share(
+                                        n, items, sub, z, voltage=voltage
                                     )
-                    else:
-                        for idx in mine:
-                            item = items[idx]
-                            with obs.span(
-                                "form",
-                                pair=(item.row, item.col),
-                                category=int(item.category),
-                            ) if tracing else _NO_SPAN:
-                                block = form_pair_block(
-                                    n,
-                                    item.row,
-                                    item.col,
-                                    z[item.row, item.col],
-                                    voltage=voltage,
-                                    categories=[item.category],
+                                my_terms += sum(
+                                    b.num_terms for b in batches.values()
                                 )
-                                my_terms += block.num_terms
-                                my_checksum += block.checksum()
+                                my_checksum += sum(
+                                    float(b.checksums().sum())
+                                    for b in batches.values()
+                                )
                                 if writer is not None:
-                                    my_bytes += writer(block, fh)
-                ok = True
-            finally:
-                _close_writer(fh, ok)
-                if me != 0:
-                    # Forked children exit via os._exit: their span
-                    # buffers die with them unless spooled here.
-                    obs.worker_flush(since=mark, worker=me)
-            per_worker_terms[me] = my_terms
-            per_worker_checksum[me] = my_checksum
-            per_worker_bytes[me] = my_bytes
+                                    # Emit in original item order so part
+                                    # files are byte-identical to the
+                                    # legacy per-item loop.
+                                    with obs.span("form.write", worker=me):
+                                        for idx in sub:
+                                            cat, pos = placement[int(idx)]
+                                            my_bytes += writer(
+                                                batches[cat].block(pos), fh
+                                            )
+                                done += len(sub)
+                                if sup is not None:
+                                    sup.tick(me, advance=len(sub))
+                                if injector is not None:
+                                    injector.on_progress(me, done)
+                        else:
+                            for k, idx in enumerate(mine):
+                                item = items[idx]
+                                with obs.span(
+                                    "form",
+                                    pair=(item.row, item.col),
+                                    category=int(item.category),
+                                ) if tracing else _NO_SPAN:
+                                    block = form_pair_block(
+                                        n,
+                                        item.row,
+                                        item.col,
+                                        z[item.row, item.col],
+                                        voltage=voltage,
+                                        categories=[item.category],
+                                    )
+                                    my_terms += block.num_terms
+                                    my_checksum += block.checksum()
+                                    if writer is not None:
+                                        my_bytes += writer(block, fh)
+                                if sup is not None:
+                                    sup.tick(me)
+                                if injector is not None:
+                                    injector.on_progress(me, k + 1)
+                    ok = True
+                finally:
+                    _close_writer(fh, ok)
+                    if me != 0:
+                        # Forked children exit via os._exit: their span
+                        # buffers die with them unless spooled here.
+                        obs.worker_flush(since=mark, worker=me)
+                per_worker_terms[me] = my_terms
+                per_worker_checksum[me] = my_checksum
+                per_worker_bytes[me] = my_bytes
+        except pymp.ParallelError as exc:
+            if (
+                sup is None
+                or not sup.salvage
+                or self.formation != "cached"
+                or not exc.failed_ranks
+            ):
+                raise
+            salvage_stats = _salvage_lost_shares(
+                exc,
+                n=n,
+                items=items,
+                worker_of=worker_of,
+                z=z,
+                voltage=voltage,
+                output_dir=output_dir,
+                fmt=fmt,
+                per_worker_terms=per_worker_terms,
+                per_worker_checksum=per_worker_checksum,
+                per_worker_bytes=per_worker_bytes,
+                spec=spec,
+                obs=obs,
+                deadline=deadline,
+            )
+            stalled_ranks = tuple(
+                sorted(getattr(exc, "last_progress", {}) or ())
+            )
         obs.merge_workers()
         elapsed = time.perf_counter() - start
         parts = _part_files(output_dir, fmt, workers)
@@ -289,6 +414,9 @@ class _PartitionedStrategy:
             per_worker_terms=per_worker_terms.copy(),
             bytes_written=int(per_worker_bytes.sum()),
             part_files=parts,
+            blocks_salvaged=salvage_stats[0],
+            blocks_reformed=salvage_stats[1],
+            stalled_ranks=stalled_ranks,
         )
         obs.record_formation(report)
         return report
@@ -344,6 +472,8 @@ class PyMPStrategy(_PartitionedStrategy):
         fmt: str = "binary",
         faults=None,
         observer=None,
+        supervise=None,
+        deadline=None,
     ) -> FormationReport:
         if self.schedule == "static":
             return super().run(
@@ -353,8 +483,12 @@ class PyMPStrategy(_PartitionedStrategy):
                 fmt=fmt,
                 faults=faults,
                 observer=observer,
+                supervise=supervise,
+                deadline=deadline,
             )
-        return self._run_dynamic(z, voltage, output_dir, fmt, faults, observer)
+        return self._run_dynamic(
+            z, voltage, output_dir, fmt, faults, observer, supervise, deadline
+        )
 
     def _run_dynamic(
         self,
@@ -364,12 +498,18 @@ class PyMPStrategy(_PartitionedStrategy):
         fmt: str,
         faults=None,
         observer=None,
+        supervise=None,
+        deadline=None,
     ) -> FormationReport:
         z = _validate_z(z)
         require_positive(voltage, "voltage")
         injector = as_injector(faults)
         obs = as_observer(observer)
         tracing = obs.enabled
+        sup = supervise
+        deadline = _resolve_deadline(deadline, sup)
+        if deadline is not None:
+            deadline.check("formation")
         n = z.shape[0]
         part = self._partition(n)  # for the item list only
         items = part.items
@@ -381,13 +521,19 @@ class PyMPStrategy(_PartitionedStrategy):
             warm_template_cache(
                 n, [(cat,) for cat in sorted({it.category for it in items})]
             )
+        if sup is not None:
+            # Dynamic assignment has no per-rank share to salvage; the
+            # supervisor still heartbeats (via p.xrange ticks) and the
+            # watchdog converts a hang into a WorkerStalled that the
+            # retry ladder can handle.
+            sup.begin_region(workers, total_items=len(items), observer=obs)
         if tracing:
             obs.ensure_spool()
         mark = obs.mark()
         start = time.perf_counter()
         with obs.span(
             "formation", strategy=f"{self.name}-dynamic", n=n, workers=workers
-        ), pymp.Parallel(workers) as p:
+        ), pymp.Parallel(workers, supervisor=sup) as p:
             me = p.thread_num
             if injector is not None:
                 injector.maybe_kill_worker(me)
@@ -395,6 +541,7 @@ class PyMPStrategy(_PartitionedStrategy):
             my_terms = 0
             my_checksum = 0.0
             my_bytes = 0
+            my_items = 0
             ok = False
             try:
                 # Dynamic schedule pulls items one at a time from the
@@ -403,6 +550,9 @@ class PyMPStrategy(_PartitionedStrategy):
                 with obs.span("formation.worker", worker=me):
                     for idx in p.xrange(len(items)):
                         item = items[idx]
+                        my_items += 1
+                        if injector is not None:
+                            injector.on_progress(me, my_items)
                         with obs.span(
                             "form",
                             pair=(item.row, item.col),
@@ -454,6 +604,140 @@ class PyMPStrategy(_PartitionedStrategy):
         )
         obs.record_formation(report)
         return report
+
+
+def _resolve_deadline(deadline, supervise):
+    """One shared Deadline for the run: explicit wins, else supervisor's.
+
+    When only one side carries a budget the other is synchronised to
+    it, so the in-region watchdog and the between-stage checks drain
+    the same clock.
+    """
+    deadline = Deadline.coerce(deadline)
+    if supervise is None:
+        return deadline
+    if deadline is None:
+        return supervise.deadline
+    if supervise.deadline is None:
+        supervise.deadline = deadline
+    return deadline
+
+
+def _expected_share(n, items, mine_r, tables):
+    """(terms, checksum) a rank's share must total, from the O(1) table."""
+    terms = 0
+    checksum = 0.0
+    for i in mine_r:
+        item = items[int(i)]
+        terms += int(item.cost)
+        checksum += float(tables[item.category][item.row, item.col])
+    return terms, checksum
+
+
+def _salvage_lost_shares(
+    exc,
+    *,
+    n,
+    items,
+    worker_of,
+    z,
+    voltage,
+    output_dir,
+    fmt,
+    per_worker_terms,
+    per_worker_checksum,
+    per_worker_bytes,
+    spec,
+    obs,
+    deadline,
+):
+    """Keep verified survivor shares; re-form only the lost ones.
+
+    Called in the parent after a supervised region lost workers
+    (crash, injected kill, or watchdog kill).  Every rank's reported
+    (terms, checksum) is verified against the exact per-category
+    template checksum tables; verified shares are *salvaged* as-is
+    (their part files committed atomically before the loss), while
+    missing or mismatched shares are re-formed here — reusing any
+    speculative tail the straggler hook already formed — and their
+    part files written by the parent, so the final output is
+    bit-identical to a fault-free run.  Returns
+    ``(blocks_salvaged, blocks_reformed)`` in work items.
+    """
+    failed = set(exc.failed_ranks)
+    workers = len(per_worker_terms)
+    tables = {
+        cat: get_template(n, (cat,)).checksum_table
+        for cat in sorted({it.category for it in items})
+    }
+    salvaged = 0
+    reformed = 0
+    for rank in range(workers):
+        mine_r = np.flatnonzero(worker_of == rank)
+        expected_terms, expected_checksum = _expected_share(
+            n, items, mine_r, tables
+        )
+        intact = (
+            rank not in failed
+            and int(per_worker_terms[rank]) == expected_terms
+            and math.isclose(
+                float(per_worker_checksum[rank]),
+                expected_checksum,
+                rel_tol=1e-9,
+                abs_tol=1e-6,
+            )
+        )
+        if intact:
+            salvaged += len(mine_r)
+            continue
+        if deadline is not None:
+            deadline.check("salvage re-formation")
+        # Reuse the speculative tail if the straggler hook got there
+        # first; only the head still needs forming.
+        head = mine_r
+        shares = []
+        if rank in spec:
+            head_count, tail_batches, tail_placement = spec[rank]
+            head = mine_r[:head_count]
+            shares.append((tail_batches, tail_placement))
+            salvaged += len(mine_r) - head_count
+        if len(head):
+            shares.append(form_worker_share(n, items, head, z, voltage=voltage))
+            reformed += len(head)
+        my_terms = sum(
+            b.num_terms for batches, _ in shares for b in batches.values()
+        )
+        my_checksum = sum(
+            float(b.checksums().sum())
+            for batches, _ in shares
+            for b in batches.values()
+        )
+        my_bytes = 0
+        writer, fh = _open_writer(output_dir, fmt, worker=rank)
+        ok = False
+        try:
+            if writer is not None:
+                for idx in mine_r:
+                    for batches, placement in shares:
+                        if int(idx) in placement:
+                            cat, pos = placement[int(idx)]
+                            my_bytes += writer(batches[cat].block(pos), fh)
+                            break
+            ok = True
+        finally:
+            _close_writer(fh, ok)
+        per_worker_terms[rank] = my_terms
+        per_worker_checksum[rank] = my_checksum
+        per_worker_bytes[rank] = my_bytes
+        obs.event(
+            "supervise.blocks_salvaged",
+            rank=rank,
+            reformed_items=int(len(head)),
+            reused_speculative=rank in spec,
+        )
+    obs.count("supervise.blocks_salvaged", salvaged)
+    obs.count("supervise.blocks_reformed", reformed)
+    return salvaged, reformed
 
 
 def _open_writer(output_dir, fmt, worker):

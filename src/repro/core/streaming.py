@@ -27,6 +27,7 @@ from repro.io.equations_io import write_block_binary
 from repro.observe.observer import as_observer
 from repro.resilience.atomio import atomic_open
 from repro.resilience.faults import as_injector
+from repro.resilience.supervise import Deadline, DeadlineExceeded
 from repro.utils.validation import require_positive
 
 
@@ -112,6 +113,7 @@ def stream_formation(
     formation: str = "cached",
     faults=None,
     observer=None,
+    deadline: Deadline | float | None = None,
 ) -> StreamReport:
     """Form every pair block of ``z`` and feed it to ``sink``.
 
@@ -127,6 +129,13 @@ def stream_formation(
     failure modes the checkpointed writer
     (:func:`repro.resilience.checkpoint.stream_to_file_checkpointed`)
     detects and repairs on resume.
+
+    ``deadline`` (seconds or a running
+    :class:`repro.resilience.supervise.Deadline`) is checked once per
+    block; on expiry the stream raises
+    :class:`repro.resilience.supervise.DeadlineExceeded` with
+    ``partial`` set to the blocks-consumed count, leaving whatever the
+    sink already committed intact.
     """
     z = np.asarray(z, dtype=np.float64)
     if z.ndim != 2 or z.shape[0] != z.shape[1]:
@@ -134,6 +143,7 @@ def stream_formation(
     require_positive(voltage, "voltage")
     formation = check_formation_mode(formation)
     injector = as_injector(faults)
+    deadline = Deadline.coerce(deadline)
     obs = as_observer(observer)
     n = z.shape[0]
     start = time.perf_counter()
@@ -146,6 +156,13 @@ def stream_formation(
     )
     with obs.span("stream", n=n, formation=formation, sink=type(sink).__name__):
         for index, block in enumerate(blocks):
+            if deadline is not None and deadline.expired:
+                raise DeadlineExceeded(
+                    f"deadline of {deadline.seconds:g}s expired after "
+                    f"{pairs} streamed block(s)",
+                    deadline=deadline,
+                    partial=pairs,
+                )
             if injector is not None:
                 block = injector.mangle_block(block, index)
                 if block is None:

@@ -166,6 +166,12 @@ def record_formation(registry: MetricsRegistry, report: Any) -> None:
     registry.histogram("formation.elapsed_seconds").observe(
         float(report.elapsed_seconds)
     )
+    salvaged = float(getattr(report, "blocks_salvaged", 0))
+    reformed = float(getattr(report, "blocks_reformed", 0))
+    if salvaged:
+        registry.counter("formation.blocks_salvaged").inc(salvaged)
+    if reformed:
+        registry.counter("formation.blocks_reformed").inc(reformed)
 
 
 def record_degradation(registry: MetricsRegistry, report: Any) -> None:

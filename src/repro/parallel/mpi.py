@@ -33,9 +33,11 @@ from __future__ import annotations
 
 import os
 import pickle
+import signal
 import socket
 import struct
 import sys
+import time
 import traceback
 from typing import Any, Callable, Sequence
 
@@ -49,6 +51,14 @@ ANY_TAG = -1
 
 class MPIError(RuntimeError):
     """Raised for invalid communicator usage or failed ranks."""
+
+
+class MPITimeout(MPIError):
+    """The launcher's timeout expired before every rank reported.
+
+    All remaining ranks were killed (SIGTERM → SIGKILL) and reaped
+    before this is raised — an expired launch never leaves orphans.
+    """
 
 
 class Comm:
@@ -230,16 +240,34 @@ def _recv_exact(sock: socket.socket, nbytes: int) -> bytes:
 
 
 def run_mpi(
-    program: Callable[..., Any], size: int, args: tuple = ()
+    program: Callable[..., Any],
+    size: int,
+    args: tuple = (),
+    timeout: float | None = None,
 ) -> list[Any]:
     """Run ``program(comm, *args)`` on ``size`` forked ranks.
 
     Returns the per-rank return values (pickled back to the caller).
     Raises :class:`MPIError` if any rank raised; rank tracebacks go to
     stderr.  The caller process is the launcher, not a rank.
+
+    ``timeout`` bounds the whole launch in wall-clock seconds (also
+    accepts any object with a ``remaining()`` method, e.g. a
+    :class:`repro.resilience.supervise.Deadline`).  When it expires,
+    every still-running rank is killed (SIGTERM, then SIGKILL after a
+    short grace), all children are reaped, and :class:`MPITimeout`
+    is raised — no orphan rank processes survive the call.
     """
     if size < 1:
         raise ValueError("size must be >= 1")
+    t_end = None
+    if timeout is not None:
+        seconds = (
+            timeout.remaining()
+            if hasattr(timeout, "remaining")
+            else float(timeout)
+        )
+        t_end = time.monotonic() + max(0.0, seconds)
     # Full mesh of socketpairs, created before forking.
     mesh: dict[tuple[int, int], tuple[socket.socket, socket.socket]] = {}
     for a in range(size):
@@ -292,21 +320,61 @@ def run_mpi(
         sb.close()
     results: list[Any] = [None] * size
     errors: list[int] = []
+    timed_out: list[int] = []
     for rank, (pr, pw) in enumerate(result_pipes):
         pw.close()
     for rank, (pr, _) in enumerate(result_pipes):
         try:
+            if t_end is not None:
+                remaining = t_end - time.monotonic()
+                if remaining <= 0 or timed_out:
+                    timed_out.append(rank)
+                    continue
+                pr.settimeout(remaining)
             header = _recv_exact(pr, _LEN.size)
             (length,) = _LEN.unpack(header)
             results[rank] = pickle.loads(_recv_exact(pr, length))
-        except MPIError:
+        except (TimeoutError, socket.timeout):
+            timed_out.append(rank)
+        except (MPIError, OSError):
             errors.append(rank)
         finally:
             pr.close()
+    if timed_out:
+        _kill_ranks(pids)
     for rank, pid in enumerate(pids):
         _, status = os.waitpid(pid, 0)
-        if os.waitstatus_to_exitcode(status) != 0 and rank not in errors:
+        if (
+            os.waitstatus_to_exitcode(status) != 0
+            and rank not in errors
+            and rank not in timed_out
+        ):
             errors.append(rank)
+    if timed_out:
+        raise MPITimeout(
+            f"MPI launch timed out waiting for rank(s) {sorted(timed_out)}; "
+            "all ranks killed and reaped"
+        )
     if errors:
         raise MPIError(f"rank(s) {sorted(errors)} failed; see stderr")
     return results
+
+
+def _kill_ranks(pids: list[int], term_grace: float = 0.5) -> None:
+    """SIGTERM every pid, then SIGKILL after a grace period.
+
+    Deliberately does *not* reap: the caller's blocking ``waitpid``
+    sweep owns that, and a SIGKILL'd child is guaranteed to exit, so
+    that sweep terminates promptly.
+    """
+    for pid in pids:
+        try:
+            os.kill(pid, signal.SIGTERM)
+        except ProcessLookupError:
+            pass
+    time.sleep(term_grace)
+    for pid in pids:
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except ProcessLookupError:
+            pass

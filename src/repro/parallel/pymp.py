@@ -29,12 +29,19 @@ import mmap
 import multiprocessing
 import os
 import sys
+import time
 import traceback
 from typing import Iterator, Sequence
 
 import numpy as np
 
 _ACTIVE_REGION: "Parallel | None" = None
+
+#: Reap-poll sleep bounds for the non-blocking join (seconds).  The
+#: poll starts short (children usually finish just after the parent)
+#: and backs off so a long-running region does not busy-wait.
+_REAP_SLEEP_MIN = 0.001
+_REAP_SLEEP_MAX = 0.05
 
 
 class ParallelError(RuntimeError):
@@ -57,6 +64,28 @@ class ParallelError(RuntimeError):
         self.exit_codes = tuple(exit_codes)
 
 
+class WorkerStalled(ParallelError):
+    """A region member stopped heartbeating and was killed.
+
+    Raised by a supervised join (see
+    :class:`repro.resilience.supervise.Supervisor`).  On top of the
+    :class:`ParallelError` rank/exit-code diagnostics,
+    ``last_progress`` maps each watchdog-killed rank to its final
+    heartbeat snapshot (items done, heartbeat age), so traces and
+    salvage reports show exactly where the worker froze.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        failed_ranks: tuple[int, ...] = (),
+        exit_codes: tuple[int, ...] = (),
+        last_progress: dict | None = None,
+    ) -> None:
+        super().__init__(message, failed_ranks, exit_codes)
+        self.last_progress = dict(last_progress or {})
+
+
 class Parallel:
     """An OpenMP-style parallel region over forked processes.
 
@@ -71,7 +100,7 @@ class Parallel:
     ``num_threads``, ``lock`` (a cross-process mutex).
     """
 
-    def __init__(self, num_threads: int) -> None:
+    def __init__(self, num_threads: int, supervisor=None) -> None:
         if num_threads < 1:
             raise ValueError(f"num_threads must be >= 1, got {num_threads}")
         self.num_threads = int(num_threads)
@@ -80,6 +109,12 @@ class Parallel:
         self._counter = multiprocessing.Value("l", 0, lock=True)
         self._children: list[int] = []
         self._entered = False
+        # Duck-typed repro.resilience.supervise.Supervisor (kept loose
+        # so this module never imports the resilience layer).  When
+        # set, work-sharing iterators heartbeat per pulled item and the
+        # join is the supervisor's watchdog loop instead of the plain
+        # WNOHANG sweep.
+        self._supervisor = supervisor
 
     # -- region lifecycle --------------------------------------------------
 
@@ -90,6 +125,11 @@ class Parallel:
         _ACTIVE_REGION = self
         self._entered = True
         self._counter.value = 0
+        sup = self._supervisor
+        if sup is not None and not sup.region_armed_for(self.num_threads):
+            # The heartbeat board is shared memory, so it must exist
+            # before the first fork.
+            sup.begin_region(self.num_threads)
         for child_rank in range(1, self.num_threads):
             pid = os.fork()
             if pid == 0:
@@ -109,32 +149,82 @@ class Parallel:
             if exc_type is not None:
                 traceback.print_exception(exc_type, exc, tb, file=sys.stderr)
                 code = 1
+            elif self._supervisor is not None:
+                self._supervisor.mark_done(self.thread_num)
             sys.stderr.flush()
             sys.stdout.flush()
             os._exit(code)
         # Parent: reap children, then clear the region.  Child pids
         # were appended in rank order 1..k, so rank = index + 1.
-        failures: list[tuple[int, int]] = []
-        for rank_minus_1, pid in enumerate(self._children):
-            _, status = os.waitpid(pid, 0)
-            code = os.waitstatus_to_exitcode(status)
-            if code != 0:
-                failures.append((rank_minus_1 + 1, code))
-        self._children = []
-        _ACTIVE_REGION = None
-        self._entered = False
+        stalled: dict = {}
+        try:
+            if self._supervisor is not None:
+                self._supervisor.mark_done(0)
+                failures, stalled = self._supervisor.reap_region(
+                    self._children, parent_failed=exc_type is not None
+                )
+            else:
+                failures = self._reap_nonblocking()
+        finally:
+            self._children = []
+            _ACTIVE_REGION = None
+            self._entered = False
         if exc_type is not None:
             return False  # propagate the parent's own exception
         if failures:
             ranks = tuple(rank for rank, _ in failures)
             codes = tuple(code for _, code in failures)
-            raise ParallelError(
+            message = (
                 f"{len(failures)} region member(s) failed "
-                f"(ranks {ranks}); see stderr",
-                failed_ranks=ranks,
-                exit_codes=codes,
+                f"(ranks {ranks}, exit codes {codes}); see stderr"
             )
+            if stalled:
+                raise WorkerStalled(
+                    message
+                    + f"; rank(s) {tuple(sorted(stalled))} killed by "
+                    "the heartbeat watchdog",
+                    failed_ranks=ranks,
+                    exit_codes=codes,
+                    last_progress=stalled,
+                )
+            raise ParallelError(message, failed_ranks=ranks, exit_codes=codes)
         return False
+
+    def _reap_nonblocking(self) -> list[tuple[int, int]]:
+        """Reap children in *completion* order (WNOHANG + backoff poll).
+
+        The original join waited for rank 1, then rank 2, ... with
+        blocking ``waitpid``: a hung rank 1 masked rank 3's crash
+        diagnostics forever.  Failures are returned sorted by rank so
+        ``failed_ranks``/``exit_codes`` ordering stays stable for
+        callers regardless of which child exited first.
+        """
+        pending = {rank + 1: pid for rank, pid in enumerate(self._children)}
+        failures: list[tuple[int, int]] = []
+        sleep = _REAP_SLEEP_MIN
+        while pending:
+            progressed = False
+            for rank in sorted(pending):
+                try:
+                    wpid, status = os.waitpid(pending[rank], os.WNOHANG)
+                except ChildProcessError:  # pragma: no cover - stolen reap
+                    pending.pop(rank)
+                    progressed = True
+                    continue
+                if wpid == 0:
+                    continue
+                pending.pop(rank)
+                progressed = True
+                code = os.waitstatus_to_exitcode(status)
+                if code != 0:
+                    failures.append((rank, code))
+            if progressed:
+                sleep = _REAP_SLEEP_MIN
+            elif pending:
+                time.sleep(sleep)
+                sleep = min(sleep * 2, _REAP_SLEEP_MAX)
+        failures.sort(key=lambda rc: rc[0])
+        return failures
 
     # -- work sharing --------------------------------------------------------
 
@@ -148,7 +238,9 @@ class Parallel:
         """
         start, stop, step = _parse_range(args)
         self._require_entered()
-        return iter(range(start + self.thread_num * step, stop, step * self.num_threads))
+        return self._ticked(
+            range(start + self.thread_num * step, stop, step * self.num_threads)
+        )
 
     def block_range(self, *args: int) -> Iterator[int]:
         """Statically chunked indices in contiguous blocks.
@@ -164,7 +256,7 @@ class Parallel:
         per, extra = divmod(n, self.num_threads)
         lo = self.thread_num * per + min(self.thread_num, extra)
         hi = lo + per + (1 if self.thread_num < extra else 0)
-        return iter(indices[lo:hi])
+        return self._ticked(indices[lo:hi])
 
     def xrange(self, *args: int) -> Iterator[int]:
         """Dynamically scheduled indices, OpenMP ``schedule(dynamic)``.
@@ -185,12 +277,26 @@ class Parallel:
                     return
                 yield indices[k]
 
-        return _gen()
+        return self._ticked(_gen())
 
     def iterate(self, items: Sequence) -> Iterator:
         """Static round-robin over an arbitrary sequence."""
         for i in self.range(len(items)):
             yield items[i]
+
+    def _ticked(self, it) -> Iterator[int]:
+        """Heartbeat once per pulled item when a supervisor is attached."""
+        sup = self._supervisor
+        if sup is None:
+            return iter(it)
+
+        def _gen() -> Iterator[int]:
+            me = self.thread_num
+            for item in it:
+                sup.tick(me)
+                yield item
+
+        return _gen()
 
     def _require_entered(self) -> None:
         if not self._entered:

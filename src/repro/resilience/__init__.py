@@ -17,7 +17,10 @@ testable) and every layer *recoverable*:
 * :mod:`repro.resilience.checkpoint` — manifest-journaled campaign
   and streaming checkpoints with checksum-verified resume;
 * :mod:`repro.resilience.degrade` — the solver degradation ladder
-  (primary → cold-start → regularized → bounded).
+  (primary → cold-start → regularized → bounded);
+* :mod:`repro.resilience.supervise` — deadline budgets plus heartbeat
+  supervision of parallel regions (hung-worker watchdog, straggler
+  speculation, partial-result salvage).
 
 Attribute access is lazy (PEP 562): the low layers (``atomio``,
 ``faults``) are importable from anywhere — including
@@ -55,6 +58,12 @@ _EXPORTS = {
     "DegradationReport": "degrade",
     "SolverDegradationError": "degrade",
     "solve_with_degradation": "degrade",
+    # supervise
+    "DEADLINE_EXIT_CODE": "supervise",
+    "Deadline": "supervise",
+    "DeadlineExceeded": "supervise",
+    "HeartbeatBoard": "supervise",
+    "Supervisor": "supervise",
     # checkpoint
     "CampaignCheckpoint": "checkpoint",
     "CheckpointError": "checkpoint",

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -54,7 +55,19 @@ class FaultPlan:
     kill_attempts:
         Kills fire only on attempts ``< kill_attempts`` — the default 1
         means "die once, survive the retry", which is the interesting
-        recovery case.
+        recovery case.  Also gates hang/slow faults.
+    kill_signal:
+        When set (e.g. ``signal.SIGKILL``), doomed workers die via
+        ``os.kill(os.getpid(), kill_signal)`` instead of ``os._exit``,
+        so the parent observes a *negative* exit code (the signal
+        number) — exercises signal-death reporting.
+    hang_workers / hang_after_items:
+        Worker ranks that stop making progress (sleep forever, still
+        reapable via SIGTERM) after completing ``hang_after_items``
+        items — exercises the heartbeat watchdog and salvage.
+    slow_workers / slow_seconds_per_item:
+        Worker ranks that sleep this long per item — exercises the
+        straggler detector without ever tripping the stall watchdog.
     corrupt_blocks / corrupt_block_rate:
         Explicit canonical pair indices (and/or a Bernoulli rate) of
         streamed blocks whose term signs are flipped before hitting the
@@ -84,6 +97,11 @@ class FaultPlan:
     kill_workers: tuple[int, ...] = ()
     kill_probability: float = 0.0
     kill_attempts: int = 1
+    kill_signal: int | None = None
+    hang_workers: tuple[int, ...] = ()
+    hang_after_items: int = 0
+    slow_workers: tuple[int, ...] = ()
+    slow_seconds_per_item: float = 0.0
     corrupt_blocks: tuple[int, ...] = ()
     corrupt_block_rate: float = 0.0
     drop_blocks: tuple[int, ...] = ()
@@ -150,10 +168,44 @@ class FaultInjector:
 
         ``os._exit`` (not an exception) models a SIGKILL-style death:
         no Python unwind, no part-file commit, just a non-zero wait
-        status for the parent to find.
+        status for the parent to find.  With ``plan.kill_signal`` set
+        the death is a real signal instead, so the parent reads a
+        negative exit code.
         """
         if self.should_kill_worker(worker):
+            if self.plan.kill_signal is not None:
+                os.kill(os.getpid(), int(self.plan.kill_signal))
+                time.sleep(60)  # pragma: no cover - signal delivery race
             os._exit(KILLED_WORKER_EXIT)
+
+    # -- hangs and stragglers ------------------------------------------------
+
+    def should_hang_worker(self, worker: int) -> bool:
+        if worker == 0 or self.attempt >= self.plan.kill_attempts:
+            return False
+        return worker in self.plan.hang_workers
+
+    def on_progress(self, worker: int, items_done: int) -> None:
+        """Per-item hook inside formation loops: hang or slow down.
+
+        A *hang* is an infinite sleep loop — the worker stays alive
+        (so only the heartbeat watchdog can detect it) but remains
+        killable by SIGTERM.  A *slow* worker just sleeps per item,
+        exercising the straggler path without tripping the watchdog.
+        """
+        if worker == 0 or self.attempt >= self.plan.kill_attempts:
+            return
+        if (
+            worker in self.plan.hang_workers
+            and items_done >= self.plan.hang_after_items
+        ):
+            while True:  # pragma: no branch - exits only by signal
+                time.sleep(60)
+        if (
+            worker in self.plan.slow_workers
+            and self.plan.slow_seconds_per_item > 0.0
+        ):
+            time.sleep(self.plan.slow_seconds_per_item)
 
     # -- block corruption (streaming / serialization) ------------------------
 

@@ -9,9 +9,12 @@ equation formation and adds the last rung of the formation ladder —
 re-dispatching the work onto the in-process single-thread strategy,
 which cannot lose workers because it never forks.
 
-Backoff is deterministic (exponential, no jitter): two runs of the
-same plan retry at the same instants, keeping chaos tests exactly
-reproducible.
+Backoff is deterministic by default (exponential, no jitter): two runs
+of the same plan retry at the same instants, keeping chaos tests
+exactly reproducible.  Fleets that retry many regions simultaneously
+can opt into *seeded* jitter — still a pure function of
+``(jitter_seed, attempt)``, so reproducibility is kept while the
+thundering herd is broken up.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from typing import Callable, Sequence, TypeVar
 from repro.parallel.pymp import ParallelError
 from repro.resilience.faults import FaultInjector
 from repro.utils import logging as rlog
+from repro.utils.rng import default_rng, derive_seed
 
 T = TypeVar("T")
 
@@ -38,6 +42,8 @@ class RetryPolicy:
     backoff_seconds: float = 0.0
     backoff_factor: float = 2.0
     max_backoff_seconds: float = 2.0
+    jitter: float = 0.0
+    jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -46,15 +52,29 @@ class RetryPolicy:
             )
         if self.backoff_seconds < 0:
             raise ValueError("backoff_seconds must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
 
     def delay(self, attempt: int) -> float:
-        """Seconds to sleep before retry number ``attempt`` (0-based)."""
+        """Seconds to sleep before retry number ``attempt`` (0-based).
+
+        With ``jitter`` > 0 the exponential delay is scaled by a
+        deterministic factor in ``[1 - jitter, 1]`` drawn from
+        ``(jitter_seed, attempt)`` — jitter only ever *shortens* the
+        wait, so the delay never exceeds ``max_backoff_seconds``.
+        """
         if self.backoff_seconds <= 0.0:
             return 0.0
-        return min(
+        base = min(
             self.backoff_seconds * self.backoff_factor**attempt,
             self.max_backoff_seconds,
         )
+        if self.jitter <= 0.0:
+            return base
+        u = default_rng(
+            derive_seed(self.jitter_seed, "retry-jitter", attempt)
+        ).random()
+        return base * (1.0 - self.jitter * u)
 
 
 @dataclass(frozen=True)
@@ -162,6 +182,8 @@ def form_with_recovery(
     faults: FaultInjector | None = None,
     sleep: Callable[[float], None] = time.sleep,
     observer=None,
+    supervise=None,
+    deadline=None,
 ):
     """Run a formation strategy with retries, then a serial fallback.
 
@@ -172,6 +194,13 @@ def form_with_recovery(
     formation is deterministic, so the fallback's output (including
     part files, which collapse to one part) is equivalent; only the
     parallel speedup is sacrificed.
+
+    ``supervise`` (a :class:`repro.resilience.supervise.Supervisor`)
+    usually absorbs worker loss *below* this ladder via salvage; when
+    it cannot (dynamic schedule, salvage disabled), the resulting
+    ``WorkerStalled`` is a :class:`ParallelError` and retries here.
+    ``deadline`` is never retried: running out of wall-clock is not
+    transient.
     """
     from repro.core.strategies import SingleThread
     from repro.observe.observer import as_observer
@@ -186,6 +215,8 @@ def form_with_recovery(
             fmt=fmt,
             faults=faults,
             observer=observer,
+            supervise=supervise,
+            deadline=deadline,
         )
 
     try:
@@ -209,7 +240,12 @@ def form_with_recovery(
         obs.count("formation.fallbacks")
         fallback = SingleThread(formation=strategy.formation)
         report = fallback.run(
-            z, voltage=voltage, output_dir=output_dir, fmt=fmt, observer=observer
+            z,
+            voltage=voltage,
+            output_dir=output_dir,
+            fmt=fmt,
+            observer=observer,
+            deadline=deadline,
         )
         events = exc.outcome.events() + (
             f"formation degraded to single-thread after "

@@ -1,6 +1,7 @@
 """Tests for the PyMP-style fork/join regions (real forked processes)."""
 
 import os
+import signal
 
 import numpy as np
 import pytest
@@ -138,3 +139,69 @@ class TestParallelRegion:
                 for i in p.xrange(10):
                     out[i] += 1
         assert (out == 2).all()
+
+
+class TestNonBlockingReap:
+    """The join reaps children in completion order (WNOHANG poll)."""
+
+    def test_failures_reported_in_rank_order(self):
+        # Ranks 1 and 3 die with distinct codes, in reverse completion
+        # order (rank 3 exits first); diagnostics stay rank-ordered.
+        with pytest.raises(ParallelError) as err:
+            with Parallel(4) as p:
+                if p.thread_num == 1:
+                    import time
+
+                    time.sleep(0.3)
+                    os._exit(11)
+                if p.thread_num == 3:
+                    os._exit(13)
+        assert err.value.failed_ranks == (1, 3)
+        assert err.value.exit_codes == (11, 13)
+
+    def test_slow_rank_does_not_mask_fast_crash(self):
+        # Rank 1 sleeps while rank 2 crashes immediately: the reap must
+        # still collect rank 2's status promptly and rank 1's at exit.
+        import time
+
+        start = time.monotonic()
+        with pytest.raises(ParallelError) as err:
+            with Parallel(3) as p:
+                if p.thread_num == 1:
+                    time.sleep(0.5)
+                if p.thread_num == 2:
+                    os._exit(21)
+        assert err.value.failed_ranks == (2,)
+        assert time.monotonic() - start < 5.0
+
+    def test_message_names_ranks_and_codes(self):
+        with pytest.raises(ParallelError, match=r"ranks \(2,\)"):
+            with Parallel(3) as p:
+                if p.thread_num == 2:
+                    os._exit(9)
+
+
+class TestSignalDeath:
+    """Workers killed by signals surface negative exit codes."""
+
+    @pytest.mark.parametrize("sig", [signal.SIGKILL, signal.SIGTERM])
+    def test_signal_number_is_negative_exit_code(self, sig):
+        with pytest.raises(ParallelError) as err:
+            with Parallel(2) as p:
+                if p.thread_num == 1:
+                    os.kill(os.getpid(), sig)
+                    import time
+
+                    time.sleep(30)  # pragma: no cover - signal races
+        assert err.value.failed_ranks == (1,)
+        assert err.value.exit_codes == (-int(sig),)
+
+    def test_mixed_signal_and_exit_codes(self):
+        with pytest.raises(ParallelError) as err:
+            with Parallel(3) as p:
+                if p.thread_num == 1:
+                    os._exit(5)
+                if p.thread_num == 2:
+                    os.kill(os.getpid(), signal.SIGKILL)
+        codes = dict(zip(err.value.failed_ranks, err.value.exit_codes))
+        assert codes == {1: 5, 2: -int(signal.SIGKILL)}

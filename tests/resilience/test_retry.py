@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.strategies import SingleThread, make_strategy
 from repro.parallel.pymp import ParallelError
@@ -137,3 +139,61 @@ class TestFormWithRecovery:
                 AlwaysFails(), self._z(), policy=RetryPolicy(max_retries=1)
             )
         assert calls["n"] == 2
+
+
+class TestSeededJitter:
+    """Deterministic backoff jitter: opt-in, bounded, reproducible."""
+
+    def test_default_is_jitter_free(self):
+        p = RetryPolicy(backoff_seconds=0.5, backoff_factor=2.0,
+                        max_backoff_seconds=8.0)
+        assert p.jitter == 0.0
+        assert [p.delay(a) for a in range(4)] == [0.5, 1.0, 2.0, 4.0]
+
+    def test_jitter_only_shortens(self):
+        base = RetryPolicy(backoff_seconds=1.0, max_backoff_seconds=8.0)
+        jit = RetryPolicy(backoff_seconds=1.0, max_backoff_seconds=8.0,
+                          jitter=0.5, jitter_seed=3)
+        for attempt in range(6):
+            b, j = base.delay(attempt), jit.delay(attempt)
+            assert j <= b
+            assert j >= b * 0.5  # scale factor stays in [1 - jitter, 1]
+
+    def test_jitter_is_pure_function_of_seed_and_attempt(self):
+        a = RetryPolicy(backoff_seconds=1.0, jitter=0.9, jitter_seed=42)
+        b = RetryPolicy(backoff_seconds=1.0, jitter=0.9, jitter_seed=42)
+        c = RetryPolicy(backoff_seconds=1.0, jitter=0.9, jitter_seed=43)
+        delays_a = [a.delay(k) for k in range(8)]
+        delays_b = [b.delay(k) for k in range(8)]
+        delays_c = [c.delay(k) for k in range(8)]
+        assert delays_a == delays_b
+        assert delays_a != delays_c  # different seed, different schedule
+
+    def test_invalid_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    @given(
+        backoff=st.floats(min_value=1e-3, max_value=10.0),
+        factor=st.floats(min_value=1.0, max_value=4.0),
+        cap=st.floats(min_value=1e-3, max_value=5.0),
+        jitter=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        attempt=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_delay_never_exceeds_cap(self, backoff, factor, cap, jitter,
+                                     seed, attempt):
+        policy = RetryPolicy(
+            backoff_seconds=backoff,
+            backoff_factor=factor,
+            max_backoff_seconds=cap,
+            jitter=jitter,
+            jitter_seed=seed,
+        )
+        delay = policy.delay(attempt)
+        assert 0.0 <= delay <= cap
+        # Reproducible: the same (policy, attempt) always sleeps the same.
+        assert delay == policy.delay(attempt)

@@ -1,0 +1,258 @@
+"""Deadline budgets, heartbeat boards and the region supervisor."""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.observe import Observer
+from repro.parallel.pymp import (
+    Parallel,
+    WorkerStalled,
+    fork_available,
+    shared_array,
+)
+from repro.resilience.supervise import (
+    DEADLINE_EXIT_CODE,
+    Deadline,
+    DeadlineExceeded,
+    HeartbeatBoard,
+    Supervisor,
+)
+
+needs_fork = pytest.mark.skipif(not fork_available(), reason="requires os.fork")
+
+
+class TestDeadline:
+    def test_coerce_none_and_passthrough(self):
+        assert Deadline.coerce(None) is None
+        d = Deadline(5.0)
+        assert Deadline.coerce(d) is d
+        assert isinstance(Deadline.coerce(2), Deadline)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+        with pytest.raises(ValueError):
+            Deadline(-1.0)
+
+    def test_monotonic_accounting(self):
+        d = Deadline(60.0)
+        assert not d.expired
+        assert 0.0 <= d.elapsed() < 60.0
+        assert d.remaining() <= 60.0
+        assert d.remaining() + d.elapsed() == pytest.approx(60.0, abs=1e-3)
+
+    def test_expired_check_raises_with_context(self):
+        d = Deadline(10.0, _t0=time.monotonic() - 11.0)
+        assert d.expired
+        with pytest.raises(DeadlineExceeded, match="before the solve"):
+            d.check("the solve")
+        d.check  # unexpired deadline below never raises
+        Deadline(10.0).check("anything")
+
+    def test_exception_carries_deadline_and_partial(self):
+        d = Deadline(1.0)
+        exc = DeadlineExceeded("out of time", deadline=d, partial=[1, 2])
+        assert exc.deadline is d
+        assert exc.partial == [1, 2]
+
+    def test_exit_code_is_distinct(self):
+        # Not 0/1/2 (ok/failure/usage), not coreutils timeout's 124.
+        assert DEADLINE_EXIT_CODE not in (0, 1, 2, 124)
+
+
+class TestHeartbeatBoard:
+    def test_assign_tick_done_lifecycle(self):
+        board = HeartbeatBoard(3)
+        board.assign(1, 10)
+        assert board.items_done(1) == 0
+        board.tick(1)
+        board.tick(1, advance=4)
+        assert board.items_done(1) == 5
+        assert not board.is_done(1)
+        board.mark_done(1)
+        assert board.is_done(1)
+
+    def test_progress_sums_across_workers(self):
+        board = HeartbeatBoard(2)
+        board.assign(0, 4)
+        board.assign(1, 6)
+        board.tick(0, advance=2)
+        board.tick(1, advance=3)
+        assert board.progress() == (5, 10)
+
+    def test_age_measures_heartbeat_staleness(self):
+        board = HeartbeatBoard(1)
+        board.assign(0, 1)
+        now = time.monotonic()
+        assert board.age(0, now) == pytest.approx(0.0, abs=0.05)
+        assert board.age(0, now + 2.5) == pytest.approx(2.5, abs=0.05)
+
+    def test_dump_snapshot(self):
+        board = HeartbeatBoard(2)
+        board.assign(0, 7)
+        board.tick(0, advance=3)
+        board.mark_done(1)
+        snap = board.dump()
+        assert snap[0]["items_done"] == 3.0
+        assert snap[0]["items_assigned"] == 7.0
+        assert not snap[0]["done"]
+        assert snap[1]["done"]
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            HeartbeatBoard(0)
+
+    @needs_fork
+    def test_ticks_cross_the_fork_boundary(self):
+        board = HeartbeatBoard(2)
+        pid = os.fork()
+        if pid == 0:
+            board.assign(1, 5)
+            board.tick(1, advance=5)
+            board.mark_done(1)
+            os._exit(0)
+        os.waitpid(pid, 0)
+        assert board.items_done(1) == 5
+        assert board.is_done(1)
+
+
+class TestSupervisorValidation:
+    def test_rejects_bad_stall_timeout(self):
+        with pytest.raises(ValueError):
+            Supervisor(stall_timeout=0.0)
+
+    def test_rejects_bad_straggler_threshold(self):
+        with pytest.raises(ValueError):
+            Supervisor(straggler_threshold=0.0)
+        with pytest.raises(ValueError):
+            Supervisor(straggler_threshold=1.5)
+
+    def test_straggler_age_defaults_to_half_stall(self):
+        assert Supervisor(stall_timeout=4.0).straggler_age == 2.0
+        assert Supervisor().straggler_age is None
+
+    def test_region_armed_tracks_width(self):
+        sup = Supervisor()
+        assert not sup.region_armed_for(3)
+        sup.begin_region(3)
+        assert sup.region_armed_for(3)
+        assert not sup.region_armed_for(4)
+
+
+@needs_fork
+class TestSupervisedRegion:
+    def test_clean_region_has_no_failures(self):
+        sup = Supervisor(stall_timeout=5.0)
+        out = shared_array((4,))
+        with Parallel(4, supervisor=sup) as p:
+            sup.assign(p.thread_num, 1)
+            sup.tick(p.thread_num)
+            out[p.thread_num] = p.thread_num
+        np.testing.assert_array_equal(out, np.arange(4.0))
+        assert sup.board is None  # region state cleared after the join
+
+    def test_reap_is_completion_order_not_rank_order(self):
+        # Rank 1 finishes last; the join must still return promptly
+        # after all exits rather than blocking on rank 1 first.
+        sup = Supervisor(stall_timeout=30.0)
+        start = time.monotonic()
+        with Parallel(3, supervisor=sup) as p:
+            sup.assign(p.thread_num, 1)
+            if p.thread_num == 1:
+                time.sleep(0.5)
+            sup.tick(p.thread_num)
+        assert time.monotonic() - start < 5.0
+
+    def test_hung_worker_killed_and_reported(self):
+        sup = Supervisor(stall_timeout=0.5, term_grace=0.2)
+        with pytest.raises(WorkerStalled) as err:
+            with Parallel(3, supervisor=sup) as p:
+                sup.assign(p.thread_num, 10)
+                if p.thread_num == 2:
+                    while True:
+                        time.sleep(30)
+                sup.tick(p.thread_num, advance=10)
+        exc = err.value
+        assert exc.failed_ranks == (2,)
+        # SIGTERM's default handler terminated it: negative exit code.
+        assert exc.exit_codes == (-signal.SIGTERM,)
+        assert 2 in exc.last_progress
+        assert exc.last_progress[2]["items_done"] == 0.0
+        assert "heartbeat watchdog" in str(exc)
+
+    def test_stall_events_and_counters_emitted(self):
+        obs = Observer()
+        sup = Supervisor(stall_timeout=0.5, term_grace=0.2, observer=obs)
+        with pytest.raises(WorkerStalled):
+            with Parallel(2, supervisor=sup) as p:
+                sup.assign(p.thread_num, 1)
+                if p.thread_num == 1:
+                    while True:
+                        time.sleep(30)
+                sup.tick(p.thread_num)
+        snap = obs.metrics.snapshot()
+        assert snap["supervise.stalls"]["value"] >= 1
+        assert snap["supervise.workers_killed"]["value"] >= 1
+
+    def test_deadline_expiry_kills_region_and_raises(self):
+        sup = Supervisor(deadline=Deadline(0.4))
+        start = time.monotonic()
+        with pytest.raises(DeadlineExceeded):
+            with Parallel(3, supervisor=sup) as p:
+                sup.assign(p.thread_num, 1)
+                if p.thread_num != 0:
+                    time.sleep(30)  # would block an unsupervised join
+                sup.tick(p.thread_num)
+        # Bounded: far below the 30s sleep; no orphans left behind.
+        assert time.monotonic() - start < 10.0
+
+    def test_straggler_hook_fires_once_per_slow_rank(self):
+        calls = []
+        sup = Supervisor(stall_timeout=30.0, straggler_age=0.2)
+        sup.begin_region(3, total_items=30, on_straggler=lambda r, k: calls.append((r, k)))
+        with Parallel(3, supervisor=sup) as p:
+            sup.assign(p.thread_num, 10)
+            if p.thread_num == 1:
+                sup.tick(p.thread_num, advance=9)
+                time.sleep(1.2)  # slow tail: past straggler_age, no stall
+            sup.tick(p.thread_num, advance=10)
+        assert calls == [(1, 9)]
+
+    def test_hook_exception_does_not_break_the_join(self):
+        def boom(rank, items_done):
+            raise RuntimeError("speculation failed")
+
+        sup = Supervisor(stall_timeout=30.0, straggler_age=0.1)
+        sup.begin_region(2, total_items=10, on_straggler=boom)
+        with Parallel(2, supervisor=sup) as p:
+            sup.assign(p.thread_num, 5)
+            if p.thread_num == 1:
+                sup.tick(p.thread_num, advance=4)
+                time.sleep(0.6)
+            sup.tick(p.thread_num, advance=5)
+        # Reaching here is the assertion: the region joined cleanly.
+        assert sup.board is None
+
+    def test_crash_and_stall_both_reported(self):
+        # One worker dies on its own, another hangs: the join reports
+        # both, with stable rank ordering.
+        sup = Supervisor(stall_timeout=0.6, term_grace=0.2)
+        with pytest.raises(WorkerStalled) as err:
+            with Parallel(4, supervisor=sup) as p:
+                sup.assign(p.thread_num, 1)
+                if p.thread_num == 1:
+                    os._exit(7)
+                if p.thread_num == 3:
+                    while True:
+                        time.sleep(30)
+                sup.tick(p.thread_num)
+        exc = err.value
+        assert exc.failed_ranks == (1, 3)
+        codes = dict(zip(exc.failed_ranks, exc.exit_codes))
+        assert codes[1] == 7
+        assert codes[3] == -signal.SIGTERM
+        assert set(exc.last_progress) == {3}
