@@ -1,0 +1,232 @@
+#!/usr/bin/env python
+"""Documentation checker: relative links, anchors, CLI snippets.
+
+Two classes of rot this catches, both of which have bitten real
+projects silently:
+
+1. **Broken relative links.**  Every ``[text](path)`` /
+   ``[text](path#anchor)`` in the checked markdown files must point
+   at a file that exists, and — when an anchor is given — at a
+   heading that renders to that anchor under GitHub's slug rules.
+   External (``http(s):``, ``mailto:``) links are not fetched.
+
+2. **Stale CLI snippets.**  Every line starting with ``parma `` inside
+   a fenced code block is parsed against the *real* argument parser
+   (``repro.cli.build_parser``) — flags renamed or removed in the CLI
+   fail the docs build instead of lingering in the README.  Commands
+   are only parsed, never executed.
+
+Usage::
+
+    python scripts/check_docs.py [--root DIR]
+
+Exits non-zero listing every problem; prints a summary when clean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import shlex
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Files whose links and snippets are checked (relative to the root).
+DEFAULT_FILES = ("README.md", "docs")
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+_FENCE_RE = re.compile(r"^(\s*)(```|~~~)")
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "chrome://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line.
+
+    Lowercase; markdown emphasis/code markers dropped; anything that
+    is not alphanumeric, space, hyphen or underscore removed; spaces
+    become hyphens (consecutive spaces become consecutive hyphens,
+    matching GitHub's behaviour for ``A & B`` headings).
+    """
+    text = heading.strip().lower()
+    text = text.replace("`", "").replace("*", "")
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def markdown_files(root: Path, targets=DEFAULT_FILES) -> list[Path]:
+    """Resolve the default file set under ``root`` (files or dirs)."""
+    out: list[Path] = []
+    for name in targets:
+        path = root / name
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.md")))
+        elif path.is_file():
+            out.append(path)
+    return out
+
+
+def _display(path: Path, root: Path) -> str:
+    """Path shown in problem reports: root-relative when possible."""
+    try:
+        return str(path.relative_to(root))
+    except ValueError:
+        return str(path)
+
+
+def heading_anchors(path: Path) -> set[str]:
+    """All anchor slugs a markdown file exposes (fences excluded)."""
+    anchors: set[str] = set()
+    seen: dict[str, int] = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING_RE.match(line)
+        if match is None:
+            continue
+        slug = github_slug(match.group(1))
+        # GitHub de-duplicates repeated headings with -1, -2, ...
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+def iter_links(path: Path):
+    """Yield ``(line_number, target)`` for every markdown link."""
+    in_fence = False
+    for number, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if _FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK_RE.finditer(line):
+            yield number, match.group(1)
+
+
+def check_links(files: list[Path], root: Path) -> list[str]:
+    """Validate every relative link (and its anchor) in ``files``."""
+    problems: list[str] = []
+    for path in files:
+        for number, target in iter_links(path):
+            where = f"{_display(path, root)}:{number}"
+            if target.startswith(_EXTERNAL_PREFIXES):
+                continue
+            base, _, fragment = target.partition("#")
+            if base:
+                resolved = (path.parent / base).resolve()
+                if not resolved.exists():
+                    problems.append(f"{where}: broken link -> {target}")
+                    continue
+            else:
+                resolved = path  # pure in-page anchor: #section
+            if fragment:
+                if resolved.is_dir() or resolved.suffix.lower() != ".md":
+                    continue  # anchors into non-markdown: not checkable
+                if fragment not in heading_anchors(resolved):
+                    problems.append(
+                        f"{where}: missing anchor #{fragment} in {base or path.name}"
+                    )
+    return problems
+
+
+def iter_cli_snippets(path: Path):
+    """Yield ``(line_number, argv)`` for each ``parma`` command line.
+
+    Looks only inside fenced code blocks; strips ``$ `` prompts,
+    trailing ``&`` backgrounding and line continuations.  Lines that
+    do not start with ``parma`` (pipes into other tools, ``kill``,
+    comments) are skipped.
+    """
+    in_fence = False
+    pending = ""
+    for number, raw in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if _FENCE_RE.match(raw):
+            in_fence = not in_fence
+            pending = ""
+            continue
+        if not in_fence:
+            continue
+        line = pending + raw.strip()
+        if line.endswith("\\"):
+            pending = line[:-1] + " "
+            continue
+        pending = ""
+        line = line.lstrip("$ ").strip()
+        if not line.startswith("parma "):
+            continue
+        line = line.split("#", 1)[0].strip()
+        if line.endswith("&"):
+            line = line[:-1].rstrip()
+        try:
+            argv = shlex.split(line)[1:]
+        except ValueError:
+            yield number, None  # unbalanced quotes
+            continue
+        yield number, argv
+
+
+def check_snippets(files: list[Path], root: Path) -> list[str]:
+    """Parse every documented ``parma`` invocation with the real CLI."""
+    sys.path.insert(0, str(root / "src"))
+    try:
+        from repro.cli import build_parser
+    finally:
+        sys.path.pop(0)
+
+    problems: list[str] = []
+    checked = 0
+    for path in files:
+        for number, argv in iter_cli_snippets(path):
+            where = f"{_display(path, root)}:{number}"
+            if argv is None:
+                problems.append(f"{where}: unparseable shell quoting")
+                continue
+            checked += 1
+            parser = build_parser()
+            try:
+                parser.parse_args(argv)
+            except SystemExit:
+                problems.append(
+                    f"{where}: `parma {' '.join(argv)}` rejected by the CLI"
+                )
+    if not problems:
+        print(f"snippets: {checked} `parma` command(s) validated")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", type=Path, default=REPO_ROOT, help="repository root"
+    )
+    args = parser.parse_args(argv)
+    root = args.root.resolve()
+
+    files = markdown_files(root)
+    if not files:
+        print(f"no markdown files found under {root}", file=sys.stderr)
+        return 2
+    problems = check_links(files, root) + check_snippets(files, root)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
+        return 1
+    print(f"links: {len(files)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Docstring conventions checker for the serving subsystem.
+
+A small, dependency-free subset of pydocstyle, scoped (by default) to
+``src/repro/serve/`` — the package whose public surface is a wire
+protocol other tools build against, so its docstrings are part of the
+contract.  Rules enforced:
+
+- every module has a docstring;
+- every public class, function and method (name not starting with
+  ``_``) has a docstring;
+- the docstring's first line is a one-line summary ending with a
+  period (or a colon introducing a literal block);
+- multi-line docstrings have a blank line after the summary.
+
+Usage::
+
+    python scripts/check_docstrings.py [paths...]
+
+Exits non-zero listing every violation; silent rules stay silent.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_SCOPE = REPO_ROOT / "src" / "repro" / "serve"
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _summary_ok(doc: str) -> bool:
+    first = doc.strip().splitlines()[0].rstrip()
+    return first.endswith((".", ":", "!", "?"))
+
+
+def _blank_after_summary(doc: str) -> bool:
+    lines = doc.strip().splitlines()
+    return len(lines) == 1 or lines[1].strip() == ""
+
+
+def _check_docstring(doc: str | None, where: str, kind: str) -> list[str]:
+    if doc is None or not doc.strip():
+        return [f"{where}: missing docstring on {kind}"]
+    problems = []
+    if not _summary_ok(doc):
+        problems.append(
+            f"{where}: {kind} docstring summary should end with a period"
+        )
+    if not _blank_after_summary(doc):
+        problems.append(
+            f"{where}: {kind} docstring needs a blank line after the summary"
+        )
+    return problems
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """All docstring violations in one python file."""
+    rel = path.relative_to(root)
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    problems = _check_docstring(ast.get_docstring(tree), str(rel), "module")
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                name = f"{prefix}{child.name}"
+                if _is_public(child.name):
+                    problems.extend(
+                        _check_docstring(
+                            ast.get_docstring(child),
+                            f"{rel}:{child.lineno} ({name})",
+                            "class",
+                        )
+                    )
+                visit(child, f"{name}.")
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = f"{prefix}{child.name}"
+                if _is_public(child.name):
+                    problems.extend(
+                        _check_docstring(
+                            ast.get_docstring(child),
+                            f"{rel}:{child.lineno} ({name})",
+                            "function",
+                        )
+                    )
+                # Nested defs are implementation detail: not checked.
+
+    visit(tree, "")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    targets = [Path(a) for a in (argv if argv is not None else sys.argv[1:])]
+    if not targets:
+        targets = [DEFAULT_SCOPE]
+    files: list[Path] = []
+    for target in targets:
+        if target.is_dir():
+            files.extend(sorted(target.rglob("*.py")))
+        else:
+            files.append(target)
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path.resolve(), REPO_ROOT))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} docstring problem(s)", file=sys.stderr)
+        return 1
+    print(f"docstrings: {len(files)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,6 +29,15 @@ Subcommands mirror the wet-lab workflow:
     Inspect observability artifacts: ``parma trace summarize DIR``
     prints the phase rollup, metrics and environment of a traced run
     (``parma solve/monitor --trace DIR``).
+``serve``
+    Run the persistent solve service on a unix-domain socket: a
+    long-lived engine pool with warm formation/pinv caches, request
+    batching, bounded admission and graceful SIGTERM drain
+    (docs/SERVING.md).
+``submit``
+    Submit one timepoint to a running ``parma serve`` instance and
+    print its result; exit status mirrors ``parma solve`` (plus 75
+    for retriable admission rejections).
 
 All output is plain text; exit status is nonzero on failure.  Invoke
 as ``parma ...`` (console script) or ``python -m repro.cli ...``.
@@ -828,6 +837,122 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the persistent solve service until SIGTERM/SIGINT drains it."""
+    import signal as signal_mod
+
+    from repro.observe import Observer
+    from repro.serve import ServiceConfig, SolveService
+
+    obs = Observer(trace_dir=args.trace)
+    config = ServiceConfig(
+        socket_path=args.socket,
+        results_dir=args.results,
+        max_queue_depth=args.queue_depth,
+        max_batch=args.max_batch,
+        linger=args.linger,
+        serve_workers=args.serve_workers,
+        strategy=args.strategy,
+        num_workers=args.workers,
+        max_deadline=args.max_deadline,
+        observer=obs,
+    )
+    service = SolveService(config)
+    service.start()
+
+    def _on_signal(signum, frame) -> None:
+        service.request_drain()
+
+    signal_mod.signal(signal_mod.SIGTERM, _on_signal)
+    signal_mod.signal(signal_mod.SIGINT, _on_signal)
+    print(
+        f"serving on {args.socket} (results under {args.results}; "
+        f"batch<= {args.max_batch}, queue<= {args.queue_depth}; "
+        "SIGTERM drains)",
+        flush=True,
+    )
+    try:
+        while not service.wait(timeout=0.5):
+            pass
+    finally:
+        service.stop()
+    if obs.trace_dir is not None:
+        manifest = obs.finalize(
+            config={"command": "serve", "socket": str(args.socket)}
+        )
+        print(f"service manifest: {args.trace}/manifest.json "
+              f"(run {manifest['run_id']})")
+    if args.metrics and obs.metrics is not None:
+        from repro.instrument.report import metrics_table
+
+        print(metrics_table(obs.metrics.snapshot()).render())
+    print("drained; all in-flight requests completed")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Send one timepoint to a running service and print the result."""
+    from repro.io.textformat import load_campaign
+    from repro.serve import ServeConnectionError, SolveClient
+    from repro.serve.protocol import RETRIABLE_EXIT_CODE
+
+    campaign = load_campaign(args.campaign)
+    try:
+        meas = campaign.at_hour(args.hour)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    client = SolveClient(args.socket, timeout=args.timeout)
+    try:
+        response = client.solve(
+            meas.z_kohm,
+            voltage=meas.voltage,
+            hour=meas.hour,
+            solver=args.solver,
+            formation=args.formation,
+            threshold_sigmas=args.threshold,
+            validate=args.validate,
+            deadline=args.deadline,
+            solver_kwargs=(
+                {"lam": args.lam} if args.solver == "regularized" else {}
+            ),
+            want_field=args.field_out is not None or args.show,
+        )
+    except ServeConnectionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return RETRIABLE_EXIT_CODE
+    if response.retriable:
+        print(
+            f"rejected ({response.status}): {response.error} — safe to "
+            "resubmit",
+            file=sys.stderr,
+        )
+        return response.exit_status
+    if not response.ok:
+        print(f"error: {response.status}: {response.error}", file=sys.stderr)
+        return response.exit_status
+    print(response.summary)
+    print(
+        f"  served: batch of {response.batch_size}, "
+        f"{'warm' if response.cache_warm else 'cold'} caches, "
+        f"queued {response.queue_seconds:.3f}s, "
+        f"ran {response.elapsed_seconds:.3f}s"
+    )
+    for event in response.events:
+        print(f"  resilience: {event}")
+    if response.manifest_path:
+        print(f"  manifest: {response.manifest_path}")
+    field = response.resistance_array()
+    if args.show and field is not None:
+        from repro.instrument.heatmap import render_field
+
+        print(render_field(field))
+    if args.field_out is not None and field is not None:
+        np.save(args.field_out, field)
+        print(f"wrote recovered field to {args.field_out}")
+    return response.exit_status
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="parma",
@@ -932,6 +1057,71 @@ def build_parser() -> argparse.ArgumentParser:
                               f"({', '.join(CHAOS_CHECKS)}); default all")
     _add_observe_args(p_chaos)
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_srv = sub.add_parser("serve",
+                           help="persistent solve service (unix socket)")
+    p_srv.add_argument("--socket", type=Path, required=True,
+                       help="unix-domain socket path to listen on")
+    p_srv.add_argument("--results", type=Path, required=True,
+                       help="directory for per-request run manifests "
+                            "(req-<id>/manifest.json)")
+    p_srv.add_argument("--queue-depth", type=int, default=64,
+                       help="admission bound; beyond it requests are "
+                            "rejected retriably (exit 75 at the client)")
+    p_srv.add_argument("--max-batch", type=int, default=8,
+                       help="max compatible requests (same n, same "
+                            "formation) coalesced into one formation pass")
+    p_srv.add_argument("--linger", type=float, default=0.05,
+                       metavar="SECONDS",
+                       help="how long a batch head waits for compatible "
+                            "followers before executing")
+    p_srv.add_argument("--serve-workers", type=int, default=1,
+                       help="executor threads (keep 1 unless solves are "
+                            "short and BLAS contention is acceptable)")
+    p_srv.add_argument("--strategy", default="single",
+                       choices=["single", "parallel", "balanced",
+                                "pymp", "pymp-dynamic"],
+                       help="formation strategy for served requests "
+                            "(single avoids forking from a threaded server)")
+    p_srv.add_argument("--workers", type=int, default=4,
+                       help="region width for multi-worker strategies")
+    p_srv.add_argument("--max-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="cap every per-request deadline (and impose "
+                            "one on requests that asked for none)")
+    _add_observe_args(p_srv)
+    p_srv.set_defaults(func=_cmd_serve)
+
+    p_sub = sub.add_parser("submit",
+                           help="submit one timepoint to a running serve")
+    p_sub.add_argument("campaign", type=Path)
+    p_sub.add_argument("--socket", type=Path, required=True,
+                       help="socket of the running `parma serve`")
+    p_sub.add_argument("--hour", type=float, default=0.0)
+    p_sub.add_argument("--solver", default="nested",
+                       choices=["nested", "full", "regularized", "bounded"])
+    p_sub.add_argument("--lam", type=float, default=1e-3,
+                       help="Tikhonov weight for --solver regularized")
+    p_sub.add_argument("--formation", default="cached",
+                       choices=["cached", "legacy"],
+                       help="equation-formation path; also the batching "
+                            "compatibility key together with n")
+    p_sub.add_argument("--threshold", type=float, default=3.0,
+                       help="anomaly threshold in robust sigmas")
+    p_sub.add_argument("--validate", default="strict",
+                       choices=["strict", "repair", "off"],
+                       help="measurement boundary policy applied server-side")
+    p_sub.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-request wall-clock budget (exit 94 when "
+                            "blown, like `parma solve --deadline`)")
+    p_sub.add_argument("--timeout", type=float, default=300.0,
+                       help="client socket timeout (queue wait + solve)")
+    p_sub.add_argument("--field-out", type=Path, default=None,
+                       help="write recovered R field (.npy)")
+    p_sub.add_argument("--show", action="store_true",
+                       help="render the recovered field as a heatmap")
+    p_sub.set_defaults(func=_cmd_submit)
 
     p_info = sub.add_parser("info", help="device/system accounting")
     p_info.add_argument("--n", type=int, default=10)

@@ -201,13 +201,20 @@ class ParmaEngine:
         return self._strategy.name
 
     def _prepare_measurement(
-        self, measurement: Measurement | np.ndarray
+        self,
+        measurement: Measurement | np.ndarray,
+        voltage: float | None = None,
+        hour: float | None = None,
     ) -> tuple[Measurement, tuple[str, ...]]:
         """Apply fault injection and the boundary-validation policy.
 
         Accepts either a finished :class:`Measurement` or a raw Z
         ndarray (dirty acquisitions cannot survive Measurement's own
         invariants, so raw arrays are the entry point for repair).
+        ``voltage``/``hour`` annotate the raw-array case — e.g. a
+        serve request whose dirty payload could not be wrapped in a
+        Measurement client-side — and are ignored for finished
+        measurements, which already carry their own.
         """
         events: list[str] = []
         if isinstance(measurement, Measurement):
@@ -219,7 +226,9 @@ class ParmaEngine:
             )
         else:
             z = np.asarray(measurement, dtype=np.float64)
-            voltage, hour, meta = 5.0, 0.0, {}
+            voltage = 5.0 if voltage is None else float(voltage)
+            hour = 0.0 if hour is None else float(hour)
+            meta = {}
         dirtied = False
         if self._injector is not None and self._injector.plan.any_measurement_faults():
             z = self._injector.dirty_measurement(z)
@@ -267,19 +276,42 @@ class ParmaEngine:
             deadline=self.deadline,
         )
 
+    def warm(self, n: int) -> None:
+        """Prebuild the formation structures for device side ``n``.
+
+        Populates the process-wide :class:`repro.core.templates.
+        PairTemplate` cache so the first real request at this ``n``
+        pays only stamping, not template construction.  The solve
+        service calls this from its batch pass; a long-lived embedder
+        can call it at startup for its expected device sizes.  The
+        Laplacian-pinv LRU cannot be prewarmed (it is keyed by
+        measurement values), but it is process-global and warms itself
+        on first use.
+        """
+        if self.formation == "cached":
+            from repro.core.templates import warm_template_cache
+
+            warm_template_cache(n)
+
     def parametrize(
         self,
         measurement: Measurement | np.ndarray,
         output_dir: str | Path | None = None,
         fmt: str = "binary",
         solver_kwargs: dict | None = None,
+        voltage: float | None = None,
+        hour: float | None = None,
     ) -> ParmaResult:
         """Full pipeline: validate → form → (persist) → solve → detect.
 
         ``measurement`` may be a raw Z ndarray, which goes through the
-        engine's ``validate`` policy before entering the pipeline.
+        engine's ``validate`` policy before entering the pipeline;
+        ``voltage``/``hour`` annotate that raw-array case (ignored for
+        a finished :class:`Measurement`).
         """
-        measurement, events = self._prepare_measurement(measurement)
+        measurement, events = self._prepare_measurement(
+            measurement, voltage=voltage, hour=hour
+        )
         events = list(events)
         obs = as_observer(self.observer)
         sw = Stopwatch()

@@ -4,6 +4,13 @@ Glues the engine to time-series inputs: each timepoint is
 parametrized, fields are compared across hours, and growth-based
 anomaly drift is reported — the "(almost) real-time anomaly
 detection" workload of §II-C.
+
+This is the *batch* shape of the repeated-query workload: one process,
+one campaign, timepoints in order (warm-started, checkpointable,
+deadline-bounded).  The *online* shape — many independent requests
+arriving concurrently, sharing warm caches across processes' lifetimes
+— is :mod:`repro.serve` (``parma serve``); see ``docs/ARCHITECTURE.md``
+for how the two sit on the same engine.
 """
 
 from __future__ import annotations

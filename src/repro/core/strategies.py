@@ -97,6 +97,7 @@ class FormationReport:
     stalled_ranks: tuple[int, ...] = field(default_factory=tuple)
 
     def terms_per_second(self) -> float:
+        """Formation throughput (the paper's Fig. 5/6 y-axis unit)."""
         if self.elapsed_seconds <= 0:
             return float("inf")
         return self.terms_formed / self.elapsed_seconds
@@ -136,6 +137,16 @@ class SingleThread:
         supervise=None,
         deadline=None,
     ) -> FormationReport:
+        """Form all ``2n³`` joint-constraint terms for one measurement.
+
+        ``z`` is the (n, n) pairwise-resistance matrix in kΩ;
+        ``output_dir`` (optional) streams the equations to disk in
+        ``fmt`` ("binary" or "text").  ``faults``, ``observer``,
+        ``supervise`` and ``deadline`` hook in fault injection,
+        tracing/metrics, heartbeat supervision and the shared
+        wall-clock budget — all optional, all free when absent.
+        Returns a :class:`FormationReport`.
+        """
         z = _validate_z(z)
         require_positive(voltage, "voltage")
         obs = as_observer(observer)
@@ -221,6 +232,13 @@ class _PartitionedStrategy:
         supervise=None,
         deadline=None,
     ) -> FormationReport:
+        """Form the constraints in parallel over this strategy's partition.
+
+        Same contract as :meth:`SingleThread.run`; the work is dealt
+        to ``num_workers`` forked PyMP workers per the subclass's
+        partition, each writing a part file that the parent merges
+        (order-independent checksum, byte-identical equations).
+        """
         z = _validate_z(z)
         require_positive(voltage, "voltage")
         injector = as_injector(faults)
@@ -475,6 +493,14 @@ class PyMPStrategy(_PartitionedStrategy):
         supervise=None,
         deadline=None,
     ) -> FormationReport:
+        """Form the constraints with PyMP-k over the Betti partition.
+
+        ``schedule="static"`` runs the shared partitioned path
+        (:meth:`_PartitionedStrategy.run`); ``"dynamic"`` pulls hole
+        indices from a shared atomic counter instead, so faster
+        workers take more work (non-deterministic shares, identical
+        merged output).
+        """
         if self.schedule == "static":
             return super().run(
                 z,

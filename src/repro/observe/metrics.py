@@ -16,7 +16,18 @@ needed.
 
 Canonical metric names are dotted lowercase (``formation.terms``,
 ``retry.attempts``, ``degrade.rung.bounded``, ``checkpoint.writes``,
-``atomio.bytes_committed``, ``cache.pair-template.hits``).
+``atomio.bytes_committed``, ``cache.pair-template.hits``).  The solve
+service adds the ``serve.*`` family — ``serve.requests``,
+``serve.batches``, ``serve.batch_size``, ``serve.queue_depth``,
+``serve.queue_wait_seconds``, ``serve.latency.{cold,warm}_seconds``,
+``serve.rejected.{queue_full,draining,invalid}``,
+``serve.responses.{ok,failed,deadline}``, ``serve.drains`` — documented
+in ``docs/SERVING.md``.
+
+One cross-registry operation exists for the serving path:
+:meth:`MetricsRegistry.merge` folds a *snapshot* of another registry
+into this one, so the long-lived service registry can aggregate each
+per-request registry after the request's manifest is finalized.
 """
 
 from __future__ import annotations
@@ -150,6 +161,34 @@ class MetricsRegistry:
     def clear(self) -> None:
         with self._lock:
             self._metrics.clear()
+
+    def merge(self, snapshot: dict[str, dict]) -> None:
+        """Fold a :meth:`snapshot` of another registry into this one.
+
+        Counters add, gauges take the incoming value, histograms merge
+        bucket-by-bucket when the edges agree (and are skipped with no
+        error when they don't — two registries disagreeing on buckets
+        is a configuration drift the caller can see in its own
+        snapshot, not a reason to corrupt counts).  Unknown metric
+        types are ignored so newer snapshots stay mergeable.
+        """
+        for name, entry in snapshot.items():
+            kind = entry.get("type")
+            if kind == "counter":
+                self.counter(name).inc(float(entry.get("value", 0.0)))
+            elif kind == "gauge":
+                self.gauge(name).set(float(entry.get("value", 0.0)))
+            elif kind == "histogram":
+                edges = tuple(float(b) for b in entry.get("buckets", ()))
+                hist = self.histogram(name, buckets=edges or DURATION_BUCKETS)
+                counts = entry.get("counts", [])
+                if hist.buckets != edges or len(counts) != len(hist.counts):
+                    continue
+                with self._lock:
+                    for i, c in enumerate(counts):
+                        hist.counts[i] += int(c)
+                    hist.total += float(entry.get("sum", 0.0))
+                    hist.count += int(entry.get("count", 0))
 
 
 # -- pipeline-specific recorders ----------------------------------------------

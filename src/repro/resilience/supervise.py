@@ -46,7 +46,10 @@ from repro.parallel import pymp
 
 #: Process exit status the CLI returns when a run's :class:`Deadline`
 #: expires (distinct from 1 = failure and 2 = usage; chosen away from
-#: coreutils ``timeout``'s 124 so CI can tell the two apart).
+#: coreutils ``timeout``'s 124 so CI can tell the two apart).  The
+#: solve service maps its ``deadline-exceeded`` response status to the
+#: same code, so ``parma submit`` and ``parma solve --deadline`` are
+#: script-compatible (full table in ``docs/SERVING.md``).
 DEADLINE_EXIT_CODE = 94
 
 #: First sleep of the supervised reap loop's adaptive backoff; doubles
@@ -94,6 +97,32 @@ class Deadline:
         if value is None or isinstance(value, Deadline):
             return value
         return cls(value)
+
+    @classmethod
+    def capped(
+        cls,
+        value: "Deadline | float | int | None",
+        cap: float | None,
+    ) -> "Deadline | None":
+        """Coerce a requested budget, clamped to a policy maximum.
+
+        The solve service admits per-request deadlines but must not
+        let one request reserve an executor forever, so admission caps
+        the request's budget at the service's ``max_deadline``.  With
+        no request budget and no cap the result is None (unbounded);
+        with only a cap, the cap *is* the budget — an operator cap
+        bounds every request, including those that asked for none.
+        """
+        if cap is None:
+            return cls.coerce(value)
+        cap = float(cap)
+        if value is None:
+            return cls(cap)
+        if isinstance(value, Deadline):
+            if value.seconds <= cap:
+                return value
+            return cls(cap, _t0=value._t0)
+        return cls(min(float(value), cap))
 
     def elapsed(self) -> float:
         return time.monotonic() - self._t0

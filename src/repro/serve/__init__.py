@@ -1,0 +1,76 @@
+"""Persistent solve service: ``parma serve`` / ``parma submit``.
+
+The batch CLI pays full process startup — importing numpy, rebuilding
+the per-``n`` :class:`repro.core.templates.PairTemplate`, refactoring
+the Laplacian pseudo-inverse — on *every* invocation.  ``repro.serve``
+turns the reproduction into a long-lived local service instead: a
+:class:`SolveService` listens on a unix-domain socket, runs requests
+through a persistent engine pool (so the template, Jacobian-structure
+and Laplacian-pinv caches stay warm across requests), and coalesces
+compatible requests — same device side ``n``, same formation mode —
+into one formation pass per batch.
+
+The pieces, each its own module:
+
+* :mod:`repro.serve.protocol` — the length-prefixed JSON wire format,
+  request/response schema, status → exit-status mapping (including
+  the deadline status 94 shared with the batch CLI);
+* :mod:`repro.serve.queue` — the bounded admission queue (depth-limited,
+  drain-aware, retriable rejections);
+* :mod:`repro.serve.batcher` — compatibility keying and batch
+  coalescing with a short linger window;
+* :mod:`repro.serve.server` — :class:`SolveService` itself: socket
+  accept loop, worker pool, per-request run manifests via
+  :mod:`repro.observe`, graceful drain on SIGTERM;
+* :mod:`repro.serve.client` — :class:`SolveClient`, the library/CLI
+  client (one request per connection, no hidden retries).
+
+See ``docs/SERVING.md`` for the wire protocol and operational
+semantics, and ``docs/ARCHITECTURE.md`` for where serving sits in the
+stack.
+"""
+
+from repro.serve.batcher import Batch, Batcher, batch_key
+from repro.serve.client import ServeConnectionError, SolveClient
+from repro.serve.protocol import (
+    RETRIABLE_EXIT_CODE,
+    RETRIABLE_STATUSES,
+    STATUS_DEADLINE,
+    STATUS_DRAINING,
+    STATUS_FAILED,
+    STATUS_INVALID,
+    STATUS_OK,
+    STATUS_QUEUE_FULL,
+    ProtocolError,
+    Request,
+    Response,
+    exit_status_for,
+)
+from repro.serve.queue import AdmissionQueue, QueueDraining, QueueFull, Ticket
+from repro.serve.server import ServiceConfig, SolveService
+
+__all__ = [
+    "AdmissionQueue",
+    "Batch",
+    "Batcher",
+    "ProtocolError",
+    "QueueDraining",
+    "QueueFull",
+    "Request",
+    "Response",
+    "RETRIABLE_EXIT_CODE",
+    "RETRIABLE_STATUSES",
+    "STATUS_DEADLINE",
+    "STATUS_DRAINING",
+    "STATUS_FAILED",
+    "STATUS_INVALID",
+    "STATUS_OK",
+    "STATUS_QUEUE_FULL",
+    "ServeConnectionError",
+    "ServiceConfig",
+    "SolveClient",
+    "SolveService",
+    "Ticket",
+    "batch_key",
+    "exit_status_for",
+]

@@ -1,0 +1,126 @@
+""":class:`SolveClient` — the library/CLI client for the solve service.
+
+One request per connection, deliberately: a unix-domain connect is
+microseconds, and connection-per-request means the client needs no
+multiplexing, the server needs no per-connection session state, and a
+dead peer is detected by the OS instead of a heartbeat layer.
+
+The client never retries on its own.  A rejected response says so via
+:attr:`repro.serve.protocol.Response.retriable`; whether (and when) to
+resubmit is the caller's policy — e.g. ``parma submit`` exits 75 and
+leaves retrying to the surrounding script or scheduler.
+"""
+
+from __future__ import annotations
+
+import socket
+from pathlib import Path
+
+import numpy as np
+
+from repro.serve.protocol import (
+    ProtocolError,
+    Request,
+    Response,
+    recv_message,
+    send_message,
+)
+
+
+class ServeConnectionError(ConnectionError):
+    """No service is reachable on the configured socket path."""
+
+
+class SolveClient:
+    """Submit parametrization requests to a running :class:`SolveService`.
+
+    Parameters
+    ----------
+    socket_path:
+        The unix-domain socket the service listens on.
+    timeout:
+        Per-request socket timeout in seconds.  This must cover the
+        request's *queue wait plus solve time*; the default is
+        generous because a deadline-bounded request should be bounded
+        by its own ``deadline``, not the transport.
+    """
+
+    def __init__(self, socket_path: str | Path, timeout: float = 300.0) -> None:
+        self.socket_path = Path(socket_path)
+        self.timeout = float(timeout)
+
+    # -- transport -----------------------------------------------------------
+
+    def _roundtrip(self, message: dict) -> dict:
+        """Connect, send one message, read one reply, disconnect."""
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            try:
+                sock.connect(str(self.socket_path))
+            except (FileNotFoundError, ConnectionRefusedError) as exc:
+                raise ServeConnectionError(
+                    f"no solve service on {self.socket_path} "
+                    f"(start one with `parma serve --socket "
+                    f"{self.socket_path}`)"
+                ) from exc
+            send_message(sock, message)
+            reply = recv_message(sock)
+        finally:
+            sock.close()
+        if reply is None:
+            raise ProtocolError("service closed the connection without replying")
+        return reply
+
+    # -- requests ------------------------------------------------------------
+
+    def submit(self, request: Request) -> Response:
+        """Send one solve request and block for its response."""
+        return Response.from_dict(self._roundtrip(request.to_dict()))
+
+    def solve(
+        self,
+        z: np.ndarray,
+        voltage: float = 5.0,
+        hour: float = 0.0,
+        **knobs,
+    ) -> Response:
+        """Convenience wrapper: build a :class:`Request` from an array.
+
+        ``knobs`` are forwarded to :class:`repro.serve.protocol.
+        Request` (``solver``, ``formation``, ``deadline``,
+        ``threshold_sigmas``, ``validate``, ``solver_kwargs``,
+        ``want_field``, ``id``).
+        """
+        request = Request(
+            z=np.asarray(z, dtype=np.float64).tolist(),
+            voltage=float(voltage),
+            hour=float(hour),
+            **knobs,
+        )
+        return self.submit(request)
+
+    def ping(self) -> dict:
+        """Liveness probe; returns the service's ``pong`` payload."""
+        return self._roundtrip({"kind": "ping"})
+
+    def stats(self) -> dict:
+        """Service health snapshot: queue depth, counters, drain state."""
+        return self._roundtrip({"kind": "stats"})
+
+    def drain(self) -> dict:
+        """Ask the service to drain gracefully (admin operation)."""
+        return self._roundtrip({"kind": "drain"})
+
+    def wait_ready(self, timeout: float = 10.0, interval: float = 0.05) -> bool:
+        """Poll :meth:`ping` until the service answers; True when it did."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                self.ping()
+                return True
+            except (ServeConnectionError, ProtocolError, OSError):
+                time.sleep(interval)
+        return False

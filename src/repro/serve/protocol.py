@@ -1,0 +1,317 @@
+"""Wire protocol for the solve service: framing, schema, status codes.
+
+One message is a 4-byte big-endian length prefix followed by that many
+bytes of UTF-8 JSON.  JSON keeps the protocol debuggable (``socat``
+against the socket shows readable requests) and — because Python's
+``json`` serializes floats with shortest round-tripping ``repr`` — a
+resistance field survives the wire *bit-identically*, which the
+integration tests assert against standalone ``parma solve``.
+
+Statuses map onto process exit codes so ``parma submit`` behaves like
+the batch CLI it replaces: ``ok`` → 0, ``failed`` → 1, ``invalid`` →
+2, ``deadline-exceeded`` → 94 (the same
+:data:`repro.resilience.supervise.DEADLINE_EXIT_CODE` the batch
+``--deadline`` path uses), and both admission rejections → 75
+(``EX_TEMPFAIL``; the request was *not* attempted and may be retried
+verbatim).  See ``docs/SERVING.md`` for the full table.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.resilience.supervise import DEADLINE_EXIT_CODE
+
+#: Per-message length-prefix format (4-byte big-endian unsigned).
+_LENGTH_FORMAT = ">I"
+_LENGTH_BYTES = struct.calcsize(_LENGTH_FORMAT)
+
+#: Refuse messages beyond this many bytes (a 200x200 field is ~1 MB;
+#: 64 MB leaves head-room without letting a bad client exhaust RAM).
+MAX_MESSAGE_BYTES = 64 * 1024 * 1024
+
+# -- statuses -----------------------------------------------------------------
+
+#: Request ran to a converged result; manifest written.
+STATUS_OK = "ok"
+#: Request ran and failed (solver exhausted, validation error, ...).
+STATUS_FAILED = "failed"
+#: Request was malformed and never admitted (bad shape, unknown knob).
+STATUS_INVALID = "invalid"
+#: The per-request wall-clock budget expired mid-run.
+STATUS_DEADLINE = "deadline-exceeded"
+#: Admission control: the bounded queue was at depth; retry later.
+STATUS_QUEUE_FULL = "rejected-queue-full"
+#: Admission control: the service is draining (SIGTERM); retry against
+#: the next instance.
+STATUS_DRAINING = "rejected-draining"
+
+#: Statuses a client may retry verbatim: the request was rejected at
+#: admission and never touched an engine, so no work is duplicated.
+RETRIABLE_STATUSES = frozenset({STATUS_QUEUE_FULL, STATUS_DRAINING})
+
+#: Exit status ``parma submit`` returns for retriable rejections
+#: (sysexits.h ``EX_TEMPFAIL``, the conventional "try again" code,
+#: distinct from 1/2 failures and the deadline's 94).
+RETRIABLE_EXIT_CODE = 75
+
+_EXIT_FOR_STATUS = {
+    STATUS_OK: 0,
+    STATUS_FAILED: 1,
+    STATUS_INVALID: 2,
+    STATUS_DEADLINE: DEADLINE_EXIT_CODE,
+    STATUS_QUEUE_FULL: RETRIABLE_EXIT_CODE,
+    STATUS_DRAINING: RETRIABLE_EXIT_CODE,
+}
+
+
+def exit_status_for(status: str) -> int:
+    """Process exit status ``parma submit`` maps a response status to."""
+    try:
+        return _EXIT_FOR_STATUS[status]
+    except KeyError:
+        raise ValueError(f"unknown response status {status!r}") from None
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent bytes that do not frame/parse as a message."""
+
+
+# -- schema -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parametrization request as it crosses the wire.
+
+    The measurement travels inline (``z`` as nested lists) so the
+    server never dereferences client-side paths; ``deadline`` is a
+    per-request wall-clock budget in seconds, capped by the service's
+    ``max_deadline`` at admission (see
+    :meth:`repro.resilience.supervise.Deadline.capped`).
+    """
+
+    z: list
+    voltage: float = 5.0
+    hour: float = 0.0
+    solver: str = "nested"
+    formation: str = "cached"
+    threshold_sigmas: float = 3.0
+    validate: str = "strict"
+    deadline: float | None = None
+    solver_kwargs: dict = field(default_factory=dict)
+    want_field: bool = True
+    id: str | None = None
+
+    @property
+    def n(self) -> int:
+        """Device side length implied by the inline measurement."""
+        return len(self.z)
+
+    def z_array(self) -> np.ndarray:
+        """The measurement as a float64 ndarray (shape-checked)."""
+        z = np.asarray(self.z, dtype=np.float64)
+        if z.ndim != 2 or z.shape[0] != z.shape[1] or z.shape[0] < 2:
+            raise ValueError(
+                f"z must be a square matrix with n >= 2, got shape {z.shape}"
+            )
+        return z
+
+    def to_dict(self) -> dict:
+        """The JSON-ready ``solve`` message for this request."""
+        return {
+            "kind": "solve",
+            "id": self.id,
+            "z": self.z,
+            "voltage": self.voltage,
+            "hour": self.hour,
+            "solver": self.solver,
+            "formation": self.formation,
+            "threshold_sigmas": self.threshold_sigmas,
+            "validate": self.validate,
+            "deadline": self.deadline,
+            "solver_kwargs": dict(self.solver_kwargs),
+            "want_field": self.want_field,
+        }
+
+    @classmethod
+    def from_dict(cls, message: dict) -> "Request":
+        """Parse a ``solve`` message; raises ``ValueError`` when malformed."""
+        if not isinstance(message, dict):
+            raise ValueError("request must be a JSON object")
+        z = message.get("z")
+        if not isinstance(z, list) or not z:
+            raise ValueError("request field 'z' must be a non-empty list")
+        kwargs = message.get("solver_kwargs") or {}
+        if not isinstance(kwargs, dict):
+            raise ValueError("request field 'solver_kwargs' must be an object")
+        return cls(
+            z=z,
+            voltage=float(message.get("voltage", 5.0)),
+            hour=float(message.get("hour", 0.0)),
+            solver=str(message.get("solver", "nested")),
+            formation=str(message.get("formation", "cached")),
+            threshold_sigmas=float(message.get("threshold_sigmas", 3.0)),
+            validate=str(message.get("validate", "strict")),
+            deadline=(
+                None if message.get("deadline") is None
+                else float(message["deadline"])
+            ),
+            solver_kwargs=dict(kwargs),
+            want_field=bool(message.get("want_field", True)),
+            id=(None if message.get("id") is None else str(message["id"])),
+        )
+
+
+@dataclass(frozen=True)
+class Response:
+    """What the service answers for one request.
+
+    ``manifest_path`` points at the per-request run manifest written
+    through :mod:`repro.observe` (absent for rejected/invalid
+    requests); ``batch_size`` and ``cache_warm`` describe how the
+    request was executed (how many compatible requests shared its
+    formation pass, and whether the per-``n`` template was already
+    resident); ``queue_seconds``/``elapsed_seconds`` split latency
+    into waiting and working.
+    """
+
+    id: str
+    status: str
+    summary: str = ""
+    error: str = ""
+    manifest_path: str | None = None
+    num_regions: int = 0
+    resistance: list | None = None
+    events: tuple[str, ...] = ()
+    batch_size: int = 0
+    cache_warm: bool = False
+    queue_seconds: float = 0.0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when the request ran to a converged result."""
+        return self.status == STATUS_OK
+
+    @property
+    def retriable(self) -> bool:
+        """True when the request may be resubmitted verbatim."""
+        return self.status in RETRIABLE_STATUSES
+
+    @property
+    def exit_status(self) -> int:
+        """The process exit status this response maps to."""
+        return exit_status_for(self.status)
+
+    def resistance_array(self) -> np.ndarray | None:
+        """The recovered field as an ndarray (None when not carried)."""
+        if self.resistance is None:
+            return None
+        return np.asarray(self.resistance, dtype=np.float64)
+
+    def to_dict(self) -> dict:
+        """The JSON-ready response message."""
+        return {
+            "kind": "result",
+            "id": self.id,
+            "status": self.status,
+            "exit_status": self.exit_status,
+            "summary": self.summary,
+            "error": self.error,
+            "manifest_path": self.manifest_path,
+            "num_regions": self.num_regions,
+            "resistance": self.resistance,
+            "events": list(self.events),
+            "batch_size": self.batch_size,
+            "cache_warm": self.cache_warm,
+            "queue_seconds": self.queue_seconds,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, message: dict) -> "Response":
+        """Parse a ``result`` message; raises ``ValueError`` when malformed."""
+        if not isinstance(message, dict) or "status" not in message:
+            raise ValueError("response must be a JSON object with a status")
+        status = str(message["status"])
+        exit_status_for(status)  # reject unknown statuses early
+        return cls(
+            id=str(message.get("id", "")),
+            status=status,
+            summary=str(message.get("summary", "")),
+            error=str(message.get("error", "")),
+            manifest_path=message.get("manifest_path"),
+            num_regions=int(message.get("num_regions", 0)),
+            resistance=message.get("resistance"),
+            events=tuple(message.get("events") or ()),
+            batch_size=int(message.get("batch_size", 0)),
+            cache_warm=bool(message.get("cache_warm", False)),
+            queue_seconds=float(message.get("queue_seconds", 0.0)),
+            elapsed_seconds=float(message.get("elapsed_seconds", 0.0)),
+        )
+
+
+# -- framing ------------------------------------------------------------------
+
+
+def encode_message(message: dict) -> bytes:
+    """Frame a JSON-able dict as length-prefixed UTF-8 bytes."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"message of {len(payload)} bytes exceeds the "
+            f"{MAX_MESSAGE_BYTES}-byte limit"
+        )
+    return struct.pack(_LENGTH_FORMAT, len(payload)) + payload
+
+
+def send_message(sock: socket.socket, message: dict) -> None:
+    """Write one framed message to a connected socket."""
+    sock.sendall(encode_message(message))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes; None on clean EOF at a boundary."""
+    chunks: list[bytes] = []
+    got = 0
+    while got < count:
+        chunk = sock.recv(min(count - got, 1 << 20))
+        if not chunk:
+            if got == 0:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-message ({got}/{count} bytes)"
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> dict | None:
+    """Read one framed message; None when the peer closed cleanly."""
+    header = _recv_exact(sock, _LENGTH_BYTES)
+    if header is None:
+        return None
+    (length,) = struct.unpack(_LENGTH_FORMAT, header)
+    if length > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"peer announced a {length}-byte message (limit "
+            f"{MAX_MESSAGE_BYTES})"
+        )
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise ProtocolError("connection closed between header and payload")
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable message payload: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("message payload must be a JSON object")
+    return message

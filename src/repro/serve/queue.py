@@ -1,0 +1,204 @@
+"""Bounded admission queue for the solve service.
+
+Admission control is the service's overload valve: the queue holds at
+most ``max_depth`` tickets, and a submit beyond that raises
+:class:`QueueFull` *immediately* instead of letting latency grow
+without bound — the client gets a retriable rejection (exit 75) and
+decides when to try again.  Draining (SIGTERM) flips the same valve
+the other way: :meth:`AdmissionQueue.drain` atomically closes
+admission and hands back every not-yet-started ticket so the server
+can answer each with a retriable ``rejected-draining`` status while
+in-flight work finishes.
+
+A :class:`Ticket` is the unit of coordination between the connection
+handler (which enqueues and then blocks on :meth:`Ticket.wait`) and
+the worker pool (which resolves it).  Resolution is one-shot and
+idempotent-checked: resolving twice is a programming error.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
+    from repro.serve.protocol import Request, Response
+
+
+class QueueFull(RuntimeError):
+    """The queue is at ``max_depth``; the request was not admitted."""
+
+
+class QueueDraining(RuntimeError):
+    """The service is draining; the request was not admitted."""
+
+
+class Ticket:
+    """One admitted request travelling from handler to worker.
+
+    The handler thread blocks on :meth:`wait`; whichever worker
+    executes (or rejects) the request calls :meth:`resolve` exactly
+    once.  ``enqueued_at`` (monotonic) feeds the ``serve.queue_wait``
+    histogram.
+    """
+
+    __slots__ = ("request", "enqueued_at", "_event", "_response")
+
+    def __init__(self, request: "Request") -> None:
+        self.request = request
+        self.enqueued_at = time.monotonic()
+        self._event = threading.Event()
+        self._response: Optional["Response"] = None
+
+    def resolve(self, response: "Response") -> None:
+        """Deliver the response and wake the waiting handler (one-shot)."""
+        if self._event.is_set():
+            raise RuntimeError(
+                f"ticket for request {self.request.id!r} resolved twice"
+            )
+        self._response = response
+        self._event.set()
+
+    def wait(self, timeout: float | None = None) -> Optional["Response"]:
+        """Block until resolved; None when ``timeout`` elapses first."""
+        if not self._event.wait(timeout):
+            return None
+        return self._response
+
+    @property
+    def resolved(self) -> bool:
+        """True once :meth:`resolve` has delivered a response."""
+        return self._event.is_set()
+
+    def queue_seconds(self) -> float:
+        """Seconds since this ticket was admitted (monotonic)."""
+        return time.monotonic() - self.enqueued_at
+
+
+class AdmissionQueue:
+    """Depth-bounded FIFO of :class:`Ticket` with drain semantics.
+
+    All methods are thread-safe; one :class:`threading.Condition`
+    guards the deque.  ``on_depth`` (optional) is called with the new
+    depth after every admit/remove so the server can mirror it into
+    the ``serve.queue_depth`` gauge without polling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 64,
+        on_depth: Callable[[int], None] | None = None,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = int(max_depth)
+        self._items: deque[Ticket] = deque()
+        self._cond = threading.Condition()
+        self._draining = False
+        self._on_depth = on_depth
+
+    # -- admission (handler side) -------------------------------------------
+
+    def submit(self, request: "Request") -> Ticket:
+        """Admit a request; raises :class:`QueueFull`/:class:`QueueDraining`."""
+        with self._cond:
+            if self._draining:
+                raise QueueDraining("service is draining; retry later")
+            if len(self._items) >= self.max_depth:
+                raise QueueFull(
+                    f"queue is at its depth bound ({self.max_depth}); "
+                    "retry later"
+                )
+            ticket = Ticket(request)
+            self._items.append(ticket)
+            depth = len(self._items)
+            self._cond.notify()
+        if self._on_depth is not None:
+            self._on_depth(depth)
+        return ticket
+
+    # -- consumption (worker side) ------------------------------------------
+
+    def take(self, timeout: float | None = None) -> Ticket | None:
+        """Pop the oldest ticket, blocking up to ``timeout`` seconds.
+
+        Returns None on timeout or when the queue is draining and
+        empty (the worker's signal to exit its loop).
+        """
+        with self._cond:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            while not self._items:
+                if self._draining:
+                    return None
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return None
+                self._cond.wait(remaining)
+            ticket = self._items.popleft()
+            depth = len(self._items)
+        if self._on_depth is not None:
+            self._on_depth(depth)
+        return ticket
+
+    def take_matching(
+        self, predicate: Callable[["Request"], bool], limit: int
+    ) -> list[Ticket]:
+        """Pop up to ``limit`` queued tickets whose request matches.
+
+        Non-blocking; preserves FIFO order among the matches and
+        leaves non-matching tickets queued in their original order.
+        The batcher uses this to coalesce same-key requests behind a
+        just-taken head ticket.
+        """
+        if limit <= 0:
+            return []
+        taken: list[Ticket] = []
+        with self._cond:
+            kept: deque[Ticket] = deque()
+            while self._items:
+                ticket = self._items.popleft()
+                if len(taken) < limit and predicate(ticket.request):
+                    taken.append(ticket)
+                else:
+                    kept.append(ticket)
+            self._items = kept
+            depth = len(self._items)
+        if taken and self._on_depth is not None:
+            self._on_depth(depth)
+        return taken
+
+    # -- drain ---------------------------------------------------------------
+
+    def drain(self) -> list[Ticket]:
+        """Close admission and return every not-yet-started ticket.
+
+        After this call :meth:`submit` raises :class:`QueueDraining`,
+        blocked :meth:`take` calls return None once the queue empties,
+        and the returned tickets are the caller's to resolve with a
+        retriable rejection.  Idempotent: a second drain returns ``[]``.
+        """
+        with self._cond:
+            self._draining = True
+            abandoned = list(self._items)
+            self._items.clear()
+            self._cond.notify_all()
+        if abandoned and self._on_depth is not None:
+            self._on_depth(0)
+        return abandoned
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` has closed admission."""
+        with self._cond:
+            return self._draining
+
+    def depth(self) -> int:
+        """Number of tickets currently queued (not yet taken)."""
+        with self._cond:
+            return len(self._items)

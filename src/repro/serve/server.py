@@ -1,0 +1,570 @@
+""":class:`SolveService` — the persistent solve server.
+
+One process, three kinds of threads:
+
+* the **acceptor** owns the unix-domain listening socket and spawns a
+  short-lived handler per connection;
+* **handlers** read one request, admit it to the
+  :class:`repro.serve.queue.AdmissionQueue` (or answer a retriable
+  rejection), block on the ticket, and write the response;
+* **workers** pull compatible batches through the
+  :class:`repro.serve.batcher.Batcher` and execute them against a
+  long-lived engine pool, so the per-``n`` pair template, the
+  Jacobian-structure cache and the Laplacian-pinv LRU stay warm
+  across requests (the whole point of serving instead of re-execing).
+
+Graceful drain (SIGTERM, or an admin ``drain`` message): admission
+closes, queued-but-unstarted tickets are answered with the retriable
+``rejected-draining`` status, in-flight batches run to completion and
+their responses are delivered, then the workers exit and the socket
+is unlinked.  Nothing already being computed is discarded.
+
+Every request that executes gets a run manifest (plus trace
+artifacts) written through :mod:`repro.observe` under
+``results_dir/req-<id>/``; service-level health lands in the
+``serve.*`` spans/counters of the service observer (see
+``docs/SERVING.md`` for the metric names and
+``docs/OBSERVABILITY.md`` for the manifest schema).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import socket
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.engine import ParmaEngine
+from repro.core.templates import has_template
+from repro.observe import Observer
+from repro.observe.observer import MANIFEST_FILE_NAME, as_observer
+from repro.resilience.supervise import Deadline, DeadlineExceeded
+from repro.serve.batcher import Batch, Batcher
+from repro.serve.protocol import (
+    STATUS_DEADLINE,
+    STATUS_DRAINING,
+    STATUS_FAILED,
+    STATUS_INVALID,
+    STATUS_OK,
+    STATUS_QUEUE_FULL,
+    ProtocolError,
+    Request,
+    Response,
+    recv_message,
+    send_message,
+)
+from repro.serve.queue import AdmissionQueue, QueueDraining, QueueFull, Ticket
+from repro.utils import logging as rlog
+
+#: How long blocked socket/queue polls sleep between liveness checks.
+_POLL_SECONDS = 0.1
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything a :class:`SolveService` needs to run.
+
+    ``strategy``/``num_workers`` configure the engines (the default
+    ``single`` strategy avoids forking out of a multi-threaded server;
+    forked strategies work but are the operator's informed choice).
+    ``serve_workers`` is the number of executor threads — keep it at 1
+    unless solves are short and BLAS contention is acceptable.
+    ``max_deadline`` caps any per-request budget; ``None`` accepts the
+    request's own value unchanged.
+    """
+
+    socket_path: Path
+    results_dir: Path
+    max_queue_depth: int = 64
+    max_batch: int = 8
+    linger: float = 0.05
+    serve_workers: int = 1
+    strategy: str = "single"
+    num_workers: int = 4
+    max_deadline: float | None = None
+    observer: object | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "socket_path", Path(self.socket_path))
+        object.__setattr__(self, "results_dir", Path(self.results_dir))
+        if self.serve_workers < 1:
+            raise ValueError(
+                f"serve_workers must be >= 1, got {self.serve_workers}"
+            )
+
+
+class SolveService:
+    """A running (or startable) solve service bound to a unix socket.
+
+    Lifecycle::
+
+        service = SolveService(ServiceConfig(socket_path, results_dir))
+        service.start()           # binds + spawns acceptor/workers
+        ...                       # clients connect and submit
+        service.request_drain()   # e.g. from a SIGTERM handler
+        service.wait()            # until drained and stopped
+        service.stop()            # idempotent final cleanup
+
+    ``start()``/``stop()`` are safe to call from the main thread while
+    handlers and workers run; ``request_drain()`` is async-signal-safe
+    enough for a Python signal handler (it only sets events and
+    resolves tickets).
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.observer = as_observer(config.observer)
+        self.queue = AdmissionQueue(
+            max_depth=config.max_queue_depth,
+            on_depth=lambda depth: self.observer.gauge(
+                "serve.queue_depth", float(depth)
+            ),
+        )
+        self.batcher = Batcher(
+            self.queue, max_batch=config.max_batch, linger=config.linger
+        )
+        self._sock: socket.socket | None = None
+        self._acceptor: threading.Thread | None = None
+        self._workers: list[threading.Thread] = []
+        self._handlers: set[threading.Thread] = set()
+        self._handlers_lock = threading.Lock()
+        self._engines: dict[tuple, ParmaEngine] = {}
+        self._engines_lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._drained = threading.Event()
+        self._started_at = time.monotonic()
+        self._requests_seen = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind the socket and spawn the acceptor and worker threads."""
+        if self._sock is not None:
+            raise RuntimeError("service already started")
+        path = self.config.socket_path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self.config.results_dir.mkdir(parents=True, exist_ok=True)
+        if path.exists():
+            # A previous instance that died uncleanly leaves its socket
+            # file behind; binding over it requires the unlink.
+            path.unlink()
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.bind(str(path))
+        sock.listen(min(128, self.config.max_queue_depth * 2))
+        sock.settimeout(_POLL_SECONDS)
+        self._sock = sock
+        self._started_at = time.monotonic()
+        self._acceptor = threading.Thread(
+            target=self._accept_loop, name="serve-acceptor", daemon=True
+        )
+        self._acceptor.start()
+        for rank in range(self.config.serve_workers):
+            worker = threading.Thread(
+                target=self._worker_loop,
+                name=f"serve-worker-{rank}",
+                daemon=True,
+            )
+            worker.start()
+            self._workers.append(worker)
+        rlog.info(
+            "serve.started",
+            socket=str(path),
+            workers=self.config.serve_workers,
+            max_batch=self.config.max_batch,
+        )
+
+    def request_drain(self) -> None:
+        """Begin a graceful drain (idempotent; returns immediately).
+
+        New submissions are rejected with ``rejected-draining``,
+        queued-but-unstarted tickets are resolved with the same
+        retriable status, and workers exit once in-flight batches
+        finish.  :meth:`wait` observes completion.
+        """
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        self.observer.count("serve.drains")
+        self.observer.event("serve.draining", queued=self.queue.depth())
+        abandoned = self.queue.drain()
+        for ticket in abandoned:
+            self._reject(ticket.request, STATUS_DRAINING, ticket=ticket)
+        rlog.info("serve.draining", rejected_queued=len(abandoned))
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the drain completed; True when it did."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for worker in self._workers:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            worker.join(remaining)
+            if worker.is_alive():
+                return False
+        self._drained.set()
+        return True
+
+    def stop(self) -> None:
+        """Drain, join every thread and remove the socket (idempotent)."""
+        self.request_drain()
+        self.wait()
+        if self._acceptor is not None:
+            self._acceptor.join(timeout=5.0)
+            self._acceptor = None
+        with self._handlers_lock:
+            handlers = list(self._handlers)
+        for handler in handlers:
+            handler.join(timeout=5.0)
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+        try:
+            self.config.socket_path.unlink()
+        except FileNotFoundError:
+            pass
+        rlog.info("serve.stopped", requests=self._requests_seen)
+
+    @property
+    def draining(self) -> bool:
+        """True once a drain has been requested."""
+        return self._stopping.is_set()
+
+    # -- acceptor / handlers -------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        """Accept connections until stopped; one handler thread each."""
+        assert self._sock is not None
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:  # pragma: no cover - socket closed under us
+                break
+            handler = threading.Thread(
+                target=self._handle_connection, args=(conn,), daemon=True
+            )
+            with self._handlers_lock:
+                self._handlers.add(handler)
+            handler.start()
+
+    def _handle_connection(self, conn: socket.socket) -> None:
+        """Serve one connection: read one message, answer, close."""
+        try:
+            with conn:
+                conn.settimeout(60.0)
+                try:
+                    message = recv_message(conn)
+                except ProtocolError as exc:
+                    send_message(
+                        conn,
+                        Response(
+                            id="", status=STATUS_INVALID, error=str(exc)
+                        ).to_dict(),
+                    )
+                    return
+                if message is None:
+                    return
+                reply = self._dispatch(message)
+                send_message(conn, reply)
+        except OSError:
+            # The client went away mid-reply; its problem, not ours.
+            pass
+        finally:
+            with self._handlers_lock:
+                self._handlers.discard(threading.current_thread())
+
+    def _dispatch(self, message: dict) -> dict:
+        """Route one decoded message to its handler; returns the reply."""
+        kind = message.get("kind", "solve")
+        if kind == "ping":
+            return {
+                "kind": "pong",
+                "draining": self.draining,
+                "uptime_seconds": time.monotonic() - self._started_at,
+                "pid": os.getpid(),
+            }
+        if kind == "stats":
+            snapshot = (
+                self.observer.metrics.snapshot()
+                if self.observer.metrics is not None
+                else {}
+            )
+            return {
+                "kind": "stats",
+                "queue_depth": self.queue.depth(),
+                "draining": self.draining,
+                "requests": self._requests_seen,
+                "metrics": snapshot,
+            }
+        if kind == "drain":
+            self.request_drain()
+            return {"kind": "draining"}
+        if kind != "solve":
+            return Response(
+                id=str(message.get("id") or ""),
+                status=STATUS_INVALID,
+                error=f"unknown message kind {kind!r}",
+            ).to_dict()
+        return self._handle_solve(message)
+
+    def _handle_solve(self, message: dict) -> dict:
+        """Admit a solve request, wait for its ticket, return the reply."""
+        try:
+            request = Request.from_dict(message)
+            request.z_array()  # shape-check before admission
+        except ValueError as exc:
+            self.observer.count("serve.rejected.invalid")
+            return Response(
+                id=str(message.get("id") or ""),
+                status=STATUS_INVALID,
+                error=str(exc),
+            ).to_dict()
+        if request.id is None:
+            request = dataclasses.replace(request, id=uuid.uuid4().hex[:12])
+        self._requests_seen += 1
+        self.observer.count("serve.requests")
+        try:
+            ticket = self.queue.submit(request)
+        except QueueFull as exc:
+            return self._reject(request, STATUS_QUEUE_FULL, error=str(exc))
+        except QueueDraining as exc:
+            return self._reject(request, STATUS_DRAINING, error=str(exc))
+        response = ticket.wait()
+        assert response is not None  # tickets are always resolved
+        return response.to_dict()
+
+    def _reject(
+        self,
+        request: Request,
+        status: str,
+        error: str = "",
+        ticket: Ticket | None = None,
+    ) -> dict:
+        """Build (and deliver, for queued tickets) a retriable rejection."""
+        counter = (
+            "serve.rejected.queue_full"
+            if status == STATUS_QUEUE_FULL
+            else "serve.rejected.draining"
+        )
+        self.observer.count(counter)
+        response = Response(
+            id=request.id or "",
+            status=status,
+            error=error or "service is draining; retry against the next instance",
+        )
+        if ticket is not None:
+            ticket.resolve(response)
+        return response.to_dict()
+
+    # -- workers -------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        """Pull batches until the queue is drained empty, then exit."""
+        while True:
+            batch = self.batcher.next_batch(timeout=_POLL_SECONDS)
+            if batch is None:
+                if self._stopping.is_set() and self.queue.depth() == 0:
+                    return
+                continue
+            self._execute_batch(batch)
+
+    def _engine_for(self, request: Request, deadline: Deadline | None) -> ParmaEngine:
+        """A pooled engine for the request's knobs (fresh when deadlined).
+
+        Engines are stateless between calls, so one per knob
+        combination serves every matching request; a per-request
+        deadline (and the observer handle) is mutable engine state, so
+        deadlined requests — and every request when more than one
+        executor thread could share a pooled engine — get a throwaway.
+        Engine construction is cheap; the expensive state (templates,
+        pinv LRU, Jacobian structure) is process-global either way.
+        """
+        key = (
+            request.solver,
+            request.formation,
+            request.threshold_sigmas,
+            request.validate,
+        )
+        if deadline is not None or self.config.serve_workers > 1:
+            return ParmaEngine(
+                strategy=self.config.strategy,
+                num_workers=self.config.num_workers,
+                solver=request.solver,
+                threshold_sigmas=request.threshold_sigmas,
+                formation=request.formation,
+                validate=request.validate,
+                deadline=deadline,
+            )
+        with self._engines_lock:
+            engine = self._engines.get(key)
+            if engine is None:
+                engine = ParmaEngine(
+                    strategy=self.config.strategy,
+                    num_workers=self.config.num_workers,
+                    solver=request.solver,
+                    threshold_sigmas=request.threshold_sigmas,
+                    formation=request.formation,
+                    validate=request.validate,
+                )
+                self._engines[key] = engine
+        return engine
+
+    def _execute_batch(self, batch: Batch) -> None:
+        """Run one compatible batch: shared warm-up, then each member."""
+        warm = batch.formation != "cached" or has_template(batch.n)
+        self.observer.count("serve.batches")
+        self.observer.observe_hist("serve.batch_size", float(batch.size))
+        with self.observer.span(
+            "serve.batch",
+            n=batch.n,
+            formation=batch.formation,
+            size=batch.size,
+            cache_warm=warm,
+        ):
+            for index, ticket in enumerate(batch.tickets):
+                # One formation pass per batch: the head member's
+                # formation stage builds (or finds) the per-n template,
+                # and every member behind it only stamps values into
+                # the shared structure.  The head of a cold batch is
+                # labelled cold — its latency covers the build.
+                self._execute_ticket(ticket, batch, warm or index > 0)
+
+    def _execute_ticket(self, ticket: Ticket, batch: Batch, warm: bool) -> None:
+        """Execute one request and resolve its ticket (never raises)."""
+        request = ticket.request
+        queue_seconds = ticket.queue_seconds()
+        self.observer.observe_hist("serve.queue_wait_seconds", queue_seconds)
+        started = time.perf_counter()
+        try:
+            response = self._run_request(request, batch, warm, queue_seconds)
+        except Exception as exc:  # noqa: BLE001 - tickets must resolve
+            self.observer.count("serve.responses.failed")
+            response = Response(
+                id=request.id or "",
+                status=STATUS_FAILED,
+                error=f"{type(exc).__name__}: {exc}",
+                batch_size=batch.size,
+                cache_warm=warm,
+                queue_seconds=queue_seconds,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+        ticket.resolve(response)
+
+    def _fold_request_metrics(self, request_observer: Observer) -> None:
+        """Aggregate a finished request's registry into the service's.
+
+        Per-request observers own their formation/solve/cache counters
+        (they land in that request's manifest); merging them here keeps
+        the service-level ``stats`` reply a running total across every
+        request served.
+        """
+        if self.observer.metrics is not None:
+            self.observer.metrics.merge(request_observer.metrics.snapshot())
+
+    def _run_request(
+        self, request: Request, batch: Batch, warm: bool, queue_seconds: float
+    ) -> Response:
+        """The per-request pipeline: engine, observer, manifest, response."""
+        from repro.mea.dataset import Measurement, MeasurementValidationError
+        from repro.resilience.degrade import SolverDegradationError
+
+        started = time.perf_counter()
+        deadline = Deadline.capped(request.deadline, self.config.max_deadline)
+        engine = self._engine_for(request, deadline)
+        request_dir = self.config.results_dir / f"req-{request.id}"
+        obs = Observer(trace_dir=request_dir)
+        engine.observer = obs
+        config = {
+            "command": "serve",
+            "request_id": request.id,
+            "n": request.n,
+            "hour": request.hour,
+            "solver": request.solver,
+            "formation": request.formation,
+            "strategy": self.config.strategy,
+            "validate": request.validate,
+            "batch_size": batch.size,
+            "cache_warm": warm,
+        }
+        z = request.z_array()
+        try:
+            measurement: Measurement | object
+            try:
+                measurement = Measurement(
+                    z_kohm=z, voltage=request.voltage, hour=request.hour
+                )
+            except ValueError:
+                # Dirty acquisitions cannot satisfy Measurement's own
+                # invariants; hand the raw array to the engine's
+                # validate policy (strict will name the channel).
+                measurement = z
+            with obs.span("run", command="serve", n=request.n):
+                result = engine.parametrize(
+                    measurement,
+                    solver_kwargs=request.solver_kwargs or None,
+                    voltage=request.voltage,
+                    hour=request.hour,
+                )
+        except DeadlineExceeded as exc:
+            obs.finalize(config=config)
+            self._fold_request_metrics(obs)
+            self.observer.count("serve.responses.deadline")
+            return Response(
+                id=request.id or "",
+                status=STATUS_DEADLINE,
+                error=str(exc),
+                manifest_path=str(request_dir / MANIFEST_FILE_NAME),
+                batch_size=batch.size,
+                cache_warm=warm,
+                queue_seconds=queue_seconds,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+        except (SolverDegradationError, MeasurementValidationError) as exc:
+            self.observer.count("serve.responses.failed")
+            return Response(
+                id=request.id or "",
+                status=STATUS_FAILED,
+                error=str(exc),
+                batch_size=batch.size,
+                cache_warm=warm,
+                queue_seconds=queue_seconds,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+        finally:
+            engine.observer = None
+        elapsed = time.perf_counter() - started
+        obs.finalize(config=config)
+        self._fold_request_metrics(obs)
+        failed = (
+            result.degradation is not None
+            and result.degradation.degraded
+            and not result.solve.converged
+        )
+        bucket = "serve.latency.warm_seconds" if warm else "serve.latency.cold_seconds"
+        self.observer.observe_hist(bucket, elapsed)
+        self.observer.count(
+            "serve.responses.failed" if failed else "serve.responses.ok"
+        )
+        return Response(
+            id=request.id or "",
+            status=STATUS_FAILED if failed else STATUS_OK,
+            summary=result.summary(),
+            error=(
+                "solve did not converge even after degradation" if failed else ""
+            ),
+            manifest_path=str(request_dir / MANIFEST_FILE_NAME),
+            num_regions=result.detection.num_regions,
+            resistance=(
+                result.resistance.tolist() if request.want_field else None
+            ),
+            events=result.events,
+            batch_size=batch.size,
+            cache_warm=warm,
+            queue_seconds=queue_seconds,
+            elapsed_seconds=elapsed,
+        )

@@ -1,0 +1,180 @@
+"""Admission-queue and batcher unit tests (no sockets, no engines)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.batcher import Batch, Batcher, batch_key
+from repro.serve.protocol import Request, Response
+from repro.serve.queue import AdmissionQueue, QueueDraining, QueueFull, Ticket
+
+
+def _request(n: int = 4, formation: str = "cached", rid: str | None = None):
+    return Request(z=[[1000.0] * n for _ in range(n)], formation=formation, id=rid)
+
+
+class TestTicket:
+    def test_resolve_wakes_waiter(self):
+        ticket = Ticket(_request())
+        response = Response(id="x", status="ok")
+
+        def resolver():
+            time.sleep(0.02)
+            ticket.resolve(response)
+
+        thread = threading.Thread(target=resolver)
+        thread.start()
+        assert ticket.wait(timeout=5.0) == response
+        thread.join()
+        assert ticket.resolved
+
+    def test_wait_timeout_returns_none(self):
+        assert Ticket(_request()).wait(timeout=0.01) is None
+
+    def test_double_resolve_is_an_error(self):
+        ticket = Ticket(_request())
+        ticket.resolve(Response(id="x", status="ok"))
+        with pytest.raises(RuntimeError, match="resolved twice"):
+            ticket.resolve(Response(id="x", status="ok"))
+
+
+class TestAdmissionQueue:
+    def test_fifo_order(self):
+        queue = AdmissionQueue(max_depth=8)
+        for i in range(3):
+            queue.submit(_request(rid=str(i)))
+        assert [queue.take().request.id for _ in range(3)] == ["0", "1", "2"]
+
+    def test_depth_bound_rejects(self):
+        queue = AdmissionQueue(max_depth=2)
+        queue.submit(_request())
+        queue.submit(_request())
+        with pytest.raises(QueueFull, match="depth bound"):
+            queue.submit(_request())
+
+    def test_take_timeout(self):
+        queue = AdmissionQueue(max_depth=2)
+        start = time.monotonic()
+        assert queue.take(timeout=0.05) is None
+        assert time.monotonic() - start < 2.0
+
+    def test_drain_rejects_new_and_returns_queued(self):
+        queue = AdmissionQueue(max_depth=8)
+        queue.submit(_request(rid="a"))
+        queue.submit(_request(rid="b"))
+        abandoned = queue.drain()
+        assert [t.request.id for t in abandoned] == ["a", "b"]
+        assert queue.depth() == 0
+        assert queue.draining
+        with pytest.raises(QueueDraining):
+            queue.submit(_request())
+        # Second drain is a no-op.
+        assert queue.drain() == []
+
+    def test_take_returns_none_once_drained_empty(self):
+        queue = AdmissionQueue(max_depth=4)
+        queue.drain()
+        assert queue.take(timeout=5.0) is None  # returns fast, no block
+
+    def test_drain_wakes_blocked_taker(self):
+        queue = AdmissionQueue(max_depth=4)
+        result: list = ["unset"]
+
+        def taker():
+            result[0] = queue.take(timeout=10.0)
+
+        thread = threading.Thread(target=taker)
+        thread.start()
+        time.sleep(0.05)
+        queue.drain()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert result[0] is None
+
+    def test_take_matching_preserves_order_of_rest(self):
+        queue = AdmissionQueue(max_depth=8)
+        for rid, n in [("a", 4), ("b", 5), ("c", 4), ("d", 5)]:
+            queue.submit(_request(n=n, rid=rid))
+        taken = queue.take_matching(lambda req: req.n == 5, limit=10)
+        assert [t.request.id for t in taken] == ["b", "d"]
+        assert [queue.take().request.id for _ in range(2)] == ["a", "c"]
+
+    def test_on_depth_callback_mirrors_depth(self):
+        seen: list[int] = []
+        queue = AdmissionQueue(max_depth=4, on_depth=seen.append)
+        queue.submit(_request())
+        queue.submit(_request())
+        queue.take()
+        assert seen == [1, 2, 1]
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(max_depth=0)
+
+
+class TestBatcher:
+    def test_batch_key(self):
+        assert batch_key(_request(n=4)) == (4, "cached")
+        assert batch_key(_request(n=4, formation="legacy")) == (4, "legacy")
+
+    def test_coalesces_same_key(self):
+        queue = AdmissionQueue(max_depth=16)
+        batcher = Batcher(queue, max_batch=8, linger=0.0)
+        for rid in "abc":
+            queue.submit(_request(n=4, rid=rid))
+        batch = batcher.next_batch(timeout=1.0)
+        assert isinstance(batch, Batch)
+        assert batch.key == (4, "cached")
+        assert [t.request.id for t in batch.tickets] == ["a", "b", "c"]
+        assert batch.size == 3 and batch.n == 4 and batch.formation == "cached"
+
+    def test_different_keys_stay_separate(self):
+        queue = AdmissionQueue(max_depth=16)
+        batcher = Batcher(queue, max_batch=8, linger=0.0)
+        queue.submit(_request(n=4, rid="a"))
+        queue.submit(_request(n=5, rid="x"))
+        queue.submit(_request(n=4, rid="b"))
+        queue.submit(_request(n=4, formation="legacy", rid="c"))
+        first = batcher.next_batch(timeout=1.0)
+        assert [t.request.id for t in first.tickets] == ["a", "b"]
+        second = batcher.next_batch(timeout=1.0)
+        assert [t.request.id for t in second.tickets] == ["x"]
+        third = batcher.next_batch(timeout=1.0)
+        assert [t.request.id for t in third.tickets] == ["c"]
+        assert third.formation == "legacy"
+
+    def test_max_batch_cap(self):
+        queue = AdmissionQueue(max_depth=16)
+        batcher = Batcher(queue, max_batch=2, linger=0.0)
+        for rid in "abcd":
+            queue.submit(_request(n=4, rid=rid))
+        assert batcher.next_batch(timeout=1.0).size == 2
+        assert batcher.next_batch(timeout=1.0).size == 2
+
+    def test_linger_sweeps_late_arrivals(self):
+        queue = AdmissionQueue(max_depth=16)
+        batcher = Batcher(queue, max_batch=8, linger=0.5)
+        queue.submit(_request(n=4, rid="early"))
+
+        def late_submitter():
+            time.sleep(0.05)
+            queue.submit(_request(n=4, rid="late"))
+
+        thread = threading.Thread(target=late_submitter)
+        thread.start()
+        batch = batcher.next_batch(timeout=1.0)
+        thread.join()
+        assert [t.request.id for t in batch.tickets] == ["early", "late"]
+
+    def test_timeout_returns_none(self):
+        queue = AdmissionQueue(max_depth=4)
+        batcher = Batcher(queue, max_batch=4, linger=0.0)
+        assert batcher.next_batch(timeout=0.05) is None
+
+    def test_bad_knobs_rejected(self):
+        queue = AdmissionQueue(max_depth=4)
+        with pytest.raises(ValueError):
+            Batcher(queue, max_batch=0)
+        with pytest.raises(ValueError):
+            Batcher(queue, linger=-1.0)

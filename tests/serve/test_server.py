@@ -1,0 +1,265 @@
+"""In-process :class:`SolveService` tests: one service fixture, real sockets."""
+
+import json
+import socket
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.mea.synthetic import paper_like_spec
+from repro.mea.wetlab import run_campaign
+from repro.observe import Observer
+from repro.observe.manifest import load_manifest, validate_manifest
+from repro.serve import (
+    STATUS_DRAINING,
+    STATUS_INVALID,
+    STATUS_OK,
+    STATUS_QUEUE_FULL,
+    ServeConnectionError,
+    ServiceConfig,
+    SolveClient,
+    SolveService,
+)
+from repro.serve.protocol import recv_message, send_message
+
+
+@pytest.fixture()
+def measurement():
+    run = run_campaign(paper_like_spec(8, seed=7), seed=7)
+    return run.campaign.measurements[0]
+
+
+@pytest.fixture()
+def service(tmp_path):
+    """A started service on a tmp socket; stopped at teardown."""
+    obs = Observer()
+    config = ServiceConfig(
+        socket_path=tmp_path / "parma.sock",
+        results_dir=tmp_path / "results",
+        max_queue_depth=8,
+        max_batch=4,
+        linger=0.0,
+        observer=obs,
+    )
+    svc = SolveService(config)
+    svc.start()
+    client = SolveClient(config.socket_path, timeout=60.0)
+    assert client.wait_ready(timeout=10.0)
+    yield svc, client, obs
+    svc.stop()
+
+
+def _counter(obs: Observer, name: str) -> float:
+    return obs.metrics.snapshot().get(name, {}).get("value", 0.0)
+
+
+class TestSolvePath:
+    def test_solve_ok_with_manifest(self, service, measurement):
+        svc, client, obs = service
+        response = client.solve(
+            measurement.z_kohm, voltage=measurement.voltage, hour=measurement.hour
+        )
+        assert response.ok and response.exit_status == 0
+        assert response.batch_size >= 1
+        assert "Parma 8x8" in response.summary
+        manifest = load_manifest(response.manifest_path)
+        validate_manifest(manifest)
+        assert manifest["config"]["command"] == "serve"
+        assert manifest["config"]["n"] == 8
+        assert Path(response.manifest_path).parent.name.startswith("req-")
+
+    def test_result_bit_identical_to_standalone_engine(
+        self, service, measurement
+    ):
+        from repro.core.engine import ParmaEngine
+
+        svc, client, obs = service
+        response = client.solve(
+            measurement.z_kohm, voltage=measurement.voltage, hour=measurement.hour
+        )
+        reference = ParmaEngine(
+            strategy="single", threshold_sigmas=3.0
+        ).parametrize(measurement)
+        assert np.array_equal(
+            response.resistance_array(), reference.resistance
+        )
+        assert response.num_regions == reference.detection.num_regions
+
+    def test_want_field_false_omits_resistance(self, service, measurement):
+        svc, client, obs = service
+        response = client.solve(measurement.z_kohm, want_field=False)
+        assert response.ok
+        assert response.resistance is None
+
+    def test_request_id_is_honoured_and_generated(self, service, measurement):
+        svc, client, obs = service
+        named = client.solve(measurement.z_kohm, id="my-req")
+        assert named.id == "my-req"
+        assert "req-my-req" in named.manifest_path
+        anonymous = client.solve(measurement.z_kohm)
+        assert anonymous.id  # server-assigned
+        assert anonymous.id != named.id
+
+    def test_serve_metrics_move(self, service, measurement):
+        svc, client, obs = service
+        before = _counter(obs, "serve.requests")
+        client.solve(measurement.z_kohm)
+        snapshot = obs.metrics.snapshot()
+        assert snapshot["serve.requests"]["value"] == before + 1
+        assert snapshot["serve.batches"]["value"] >= 1
+        assert snapshot["serve.responses.ok"]["value"] >= 1
+        assert snapshot["serve.batch_size"]["count"] >= 1
+        assert snapshot["serve.queue_wait_seconds"]["count"] >= 1
+        # Per-request registries fold into the service registry.
+        assert snapshot["formation.runs"]["value"] >= 1
+
+    def test_deadline_maps_to_94(self, service, measurement):
+        svc, client, obs = service
+        response = client.solve(measurement.z_kohm, deadline=1e-9)
+        assert response.status == "deadline-exceeded"
+        assert response.exit_status == 94
+        assert response.manifest_path is not None
+
+    def test_validation_failure_is_failed_not_crash(self, service):
+        svc, client, obs = service
+        dirty = np.full((6, 6), 5000.0)
+        dirty[2, 3] = float("nan")
+        response = client.solve(dirty.tolist(), validate="strict")
+        assert response.status == "failed"
+        assert response.exit_status == 1
+        assert "z_kohm[" in response.error
+
+    def test_repair_policy_runs_server_side(self, service):
+        svc, client, obs = service
+        dirty = np.full((6, 6), 5000.0)
+        dirty[2, 3] = float("nan")
+        response = client.solve(dirty.tolist(), validate="repair")
+        assert response.ok
+        assert any("repaired" in event for event in response.events)
+
+
+class TestAdmissionAndProtocolEdges:
+    def test_invalid_shape_rejected_without_admission(self, service):
+        svc, client, obs = service
+        response = client.solve([[1.0, 2.0]])
+        assert response.status == STATUS_INVALID
+        assert response.exit_status == 2
+        assert _counter(obs, "serve.rejected.invalid") >= 1
+
+    def test_unknown_kind_rejected(self, service):
+        svc, client, obs = service
+        reply = client._roundtrip({"kind": "frobnicate", "id": "x"})
+        assert reply["status"] == STATUS_INVALID
+
+    def test_undecodable_frame_gets_invalid_response(self, service):
+        svc, client, obs = service
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.connect(str(svc.config.socket_path))
+            sock.sendall((4).to_bytes(4, "big") + b"!!!!")
+            reply = recv_message(sock)
+            assert reply["status"] == STATUS_INVALID
+        finally:
+            sock.close()
+
+    def test_ping_and_stats(self, service, measurement):
+        svc, client, obs = service
+        pong = client.ping()
+        assert pong["kind"] == "pong" and not pong["draining"]
+        client.solve(measurement.z_kohm)
+        stats = client.stats()
+        assert stats["kind"] == "stats"
+        assert stats["requests"] >= 1
+        assert stats["metrics"]["serve.responses.ok"]["value"] >= 1
+
+    def test_queue_full_is_retriable(self, tmp_path, measurement):
+        # A dedicated tiny-queue service whose worker is wedged by a
+        # slow request, so followers overflow the depth-1 queue.
+        obs = Observer()
+        config = ServiceConfig(
+            socket_path=tmp_path / "tiny.sock",
+            results_dir=tmp_path / "tiny-results",
+            max_queue_depth=1,
+            max_batch=1,
+            linger=0.0,
+            observer=obs,
+        )
+        svc = SolveService(config)
+        svc.start()
+        try:
+            client = SolveClient(config.socket_path, timeout=60.0)
+            assert client.wait_ready(timeout=10.0)
+            z = measurement.z_kohm
+
+            statuses: list[str] = []
+            lock = threading.Lock()
+
+            def submit():
+                response = client.solve(z)
+                with lock:
+                    statuses.append(response.status)
+
+            threads = [threading.Thread(target=submit) for _ in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120.0)
+            assert len(statuses) == 6
+            assert set(statuses) <= {STATUS_OK, STATUS_QUEUE_FULL}
+            assert STATUS_OK in statuses
+            if STATUS_QUEUE_FULL in statuses:
+                assert _counter(obs, "serve.rejected.queue_full") >= 1
+        finally:
+            svc.stop()
+
+
+class TestDrain:
+    def test_drain_rejects_new_submissions(self, service, measurement):
+        svc, client, obs = service
+        svc.request_drain()
+        response = client.solve(measurement.z_kohm)
+        assert response.status == STATUS_DRAINING
+        assert response.retriable and response.exit_status == 75
+
+    def test_drain_message_triggers_drain(self, service):
+        svc, client, obs = service
+        reply = client.drain()
+        assert reply["kind"] == "draining"
+        assert svc.draining
+        assert svc.wait(timeout=10.0)
+
+    def test_stop_removes_socket(self, tmp_path):
+        config = ServiceConfig(
+            socket_path=tmp_path / "gone.sock",
+            results_dir=tmp_path / "gone-results",
+        )
+        svc = SolveService(config)
+        svc.start()
+        assert config.socket_path.exists()
+        svc.stop()
+        assert not config.socket_path.exists()
+        with pytest.raises(ServeConnectionError):
+            SolveClient(config.socket_path).ping()
+
+    def test_start_rebinds_over_stale_socket(self, tmp_path):
+        stale = tmp_path / "stale.sock"
+        holder = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        holder.bind(str(stale))
+        holder.close()  # dead instance leaves the file behind
+        assert stale.exists()
+        svc = SolveService(
+            ServiceConfig(socket_path=stale, results_dir=tmp_path / "r")
+        )
+        svc.start()
+        try:
+            assert SolveClient(stale).wait_ready(timeout=10.0)
+        finally:
+            svc.stop()
+
+    def test_double_start_is_an_error(self, service):
+        svc, client, obs = service
+        with pytest.raises(RuntimeError, match="already started"):
+            svc.start()

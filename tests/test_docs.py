@@ -1,0 +1,121 @@
+"""The documentation must stay true: links resolve, snippets parse.
+
+Runs the same checkers as the CI ``docs`` job (``scripts/check_docs.py``
+and ``scripts/check_docstrings.py``) plus negative tests proving the
+checkers actually catch rot.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(
+        name, REPO_ROOT / "scripts" / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+check_docs = _load("check_docs")
+check_docstrings = _load("check_docstrings")
+
+
+class TestRepoDocsAreClean:
+    def test_links_and_snippets(self, capsys):
+        assert check_docs.main(["--root", str(REPO_ROOT)]) == 0
+
+    def test_docs_index_covers_every_doc(self):
+        """Every file in docs/ must be linked from the README's index."""
+        readme = (REPO_ROOT / "README.md").read_text()
+        for doc in sorted((REPO_ROOT / "docs").glob("*.md")):
+            assert f"docs/{doc.name}" in readme, f"{doc.name} not indexed"
+
+    def test_serve_docstrings(self):
+        assert check_docstrings.main([]) == 0
+
+
+class TestLinkChecker:
+    def test_github_slug(self):
+        slug = check_docs.github_slug
+        assert slug("Deadlines & supervision") == "deadlines--supervision"
+        assert slug("Run manifest (`manifest.json`)") == "run-manifest-manifestjson"
+        assert slug("A B-c_d") == "a-b-c_d"
+
+    def test_broken_relative_link_detected(self, tmp_path):
+        (tmp_path / "a.md").write_text("see [gone](missing.md)\n")
+        problems = check_docs.check_links([tmp_path / "a.md"], tmp_path)
+        assert len(problems) == 1 and "broken link" in problems[0]
+
+    def test_missing_anchor_detected(self, tmp_path):
+        (tmp_path / "a.md").write_text("see [b](b.md#nope)\n")
+        (tmp_path / "b.md").write_text("# Real heading\n")
+        problems = check_docs.check_links([tmp_path / "a.md"], tmp_path)
+        assert len(problems) == 1 and "missing anchor" in problems[0]
+
+    def test_good_anchor_and_external_links_pass(self, tmp_path):
+        (tmp_path / "a.md").write_text(
+            "[ok](b.md#real-heading) [web](https://example.com/x#y)\n"
+        )
+        (tmp_path / "b.md").write_text("# Real heading\n")
+        assert check_docs.check_links([tmp_path / "a.md"], tmp_path) == []
+
+    def test_links_inside_code_fences_ignored(self, tmp_path):
+        (tmp_path / "a.md").write_text(
+            "```\n[not a link](nowhere.md)\n```\n"
+        )
+        assert check_docs.check_links([tmp_path / "a.md"], tmp_path) == []
+
+
+class TestSnippetChecker:
+    def test_stale_flag_detected(self, tmp_path):
+        (tmp_path / "a.md").write_text(
+            "```bash\nparma solve day.txt --no-such-flag\n```\n"
+        )
+        problems = check_docs.check_snippets([tmp_path / "a.md"], REPO_ROOT)
+        assert len(problems) == 1 and "rejected by the CLI" in problems[0]
+
+    def test_valid_command_passes(self, tmp_path):
+        (tmp_path / "a.md").write_text(
+            "```bash\n"
+            "$ parma simulate --n 10 --seed 7 --out day.txt\n"
+            "parma serve --socket /tmp/s.sock --results r &\n"
+            "parma solve day.txt \\\n"
+            "    --trace runs/x --metrics\n"
+            "kill -TERM %1\n"
+            "```\n"
+        )
+        assert check_docs.check_snippets([tmp_path / "a.md"], REPO_ROOT) == []
+
+    def test_prose_parma_mentions_ignored(self, tmp_path):
+        (tmp_path / "a.md").write_text(
+            "Run parma solve --bogus to taste.\n"  # not in a fence
+        )
+        assert check_docs.check_snippets([tmp_path / "a.md"], REPO_ROOT) == []
+
+
+class TestDocstringChecker:
+    def test_missing_docstring_detected(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text('"""Module."""\n\ndef public():\n    pass\n')
+        problems = check_docstrings.check_file(bad, tmp_path)
+        assert len(problems) == 1 and "missing docstring" in problems[0]
+
+    def test_summary_punctuation_enforced(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            '"""Module."""\n\ndef public():\n    """no period"""\n'
+        )
+        problems = check_docstrings.check_file(bad, tmp_path)
+        assert len(problems) == 1 and "end with a period" in problems[0]
+
+    def test_private_names_exempt(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text('"""Module."""\n\ndef _helper():\n    pass\n')
+        assert check_docstrings.check_file(good, tmp_path) == []
