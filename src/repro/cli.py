@@ -188,6 +188,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         num_workers=args.workers,
         solver=args.solver,
+        backend=args.backend,
         threshold_sigmas=args.threshold,
         formation=args.formation,
         validate=args.validate,
@@ -206,6 +207,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         "strategy": args.strategy,
         "workers": args.workers,
         "solver": args.solver,
+        "backend": args.backend,
         "formation": args.formation,
         "validate": args.validate,
     }
@@ -289,6 +291,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     engine = ParmaEngine(
         strategy=args.strategy,
         num_workers=args.workers,
+        backend=args.backend,
         threshold_sigmas=args.threshold,
         formation=args.formation,
         retry=retry,
@@ -301,6 +304,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         "strategy": args.strategy,
         "workers": args.workers,
         "formation": args.formation,
+        "backend": args.backend,
         "warm_start": not args.no_warm_start,
     }
     memory = None
@@ -828,6 +832,19 @@ def _cmd_info(args: argparse.Namespace) -> int:
     # all_cache_stats() is the same single source the run manifest's
     # cache gauges are mirrored from, so both surfaces always agree.
     print(cache_stats_table(all_cache_stats()).render())
+    from repro.core.solver_backends import backend_status
+
+    status = backend_status()
+    numba_note = (
+        f"numba {status['numba_version']}"
+        if status["numba_available"]
+        else "numba absent -> compiled requests fall back to numpy"
+    )
+    print("solver backends:")
+    print(
+        f"  modes: {', '.join(status['modes'])} "
+        f"(default {status['default']}); {numba_note}"
+    )
     from repro.resilience.degrade import LADDER_RUNGS
 
     print("resilience:")
@@ -910,6 +927,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             hour=meas.hour,
             solver=args.solver,
             formation=args.formation,
+            backend=args.backend,
             threshold_sigmas=args.threshold,
             validate=args.validate,
             deadline=args.deadline,
@@ -983,6 +1001,10 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["nested", "full", "regularized", "bounded"])
     p_solve.add_argument("--lam", type=float, default=1e-3,
                          help="Tikhonov weight for --solver regularized")
+    p_solve.add_argument("--backend", default="numpy",
+                         choices=["numpy", "compiled"],
+                         help="solver compute backend (compiled = numba "
+                              "kernels; falls back to numpy when absent)")
     p_solve.add_argument("--validate", default="strict",
                          choices=["strict", "repair", "off"],
                          help="measurement boundary policy: reject bad "
@@ -1016,6 +1038,10 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["cached", "legacy"],
                        help="equation-formation path (template cache "
                             "or per-pair reference)")
+    p_mon.add_argument("--backend", default="numpy",
+                       choices=["numpy", "compiled"],
+                       help="solver compute backend (compiled = numba "
+                            "kernels; falls back to numpy when absent)")
     p_mon.add_argument("--threshold", type=float, default=3.0)
     p_mon.add_argument("--growth", type=float, default=0.25,
                        help="relative growth flag level")
@@ -1106,6 +1132,10 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["cached", "legacy"],
                        help="equation-formation path; also the batching "
                             "compatibility key together with n")
+    p_sub.add_argument("--backend", default="numpy",
+                       choices=["numpy", "compiled"],
+                       help="solver compute backend; part of the batching "
+                            "compatibility key")
     p_sub.add_argument("--threshold", type=float, default=3.0,
                        help="anomaly threshold in robust sigmas")
     p_sub.add_argument("--validate", default="strict",

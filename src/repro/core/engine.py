@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.anomaly.detect import DetectionResult, detect_anomalies
 from repro.core.solver import SolveResult, solve
+from repro.core.solver_backends import check_backend_mode
 from repro.core.strategies import FormationReport, make_strategy
 from repro.mea.dataset import Measurement, repair_z, validate_z
 from repro.observe.observer import as_observer
@@ -102,6 +103,11 @@ class ParmaEngine:
         ``single``; forced to 4 by ``parallel``).
     solver:
         ``"nested"`` (recommended) or ``"full"``.
+    backend:
+        Solver compute backend: ``"numpy"`` (default) or
+        ``"compiled"`` (numba-jit dense kernels; bit-identical
+        results, degrades to numpy with a recorded metric when numba
+        is absent — see :mod:`repro.core.solver_backends`).
     threshold_sigmas / min_region_size:
         Anomaly-detection knobs (see :mod:`repro.anomaly.detect`).
     formation:
@@ -153,6 +159,7 @@ class ParmaEngine:
         strategy: str = "pymp",
         num_workers: int = 4,
         solver: str = "nested",
+        backend: str = "numpy",
         threshold_sigmas: float = 4.0,
         min_region_size: int = 1,
         formation: str = "cached",
@@ -169,6 +176,7 @@ class ParmaEngine:
         self._strategy = make_strategy(strategy, num_workers, formation=formation)
         self.formation = self._strategy.formation
         self.solver = solver
+        self.backend = check_backend_mode(backend)
         self.threshold_sigmas = threshold_sigmas
         self.min_region_size = min_region_size
         self.degradation = bool(degradation)
@@ -351,13 +359,18 @@ class ParmaEngine:
             self.deadline.check("solve")
         degradation = None
         with sw.lap("solve"), obs.span(
-            "solve", n=n, method=self.solver, degradation=self.degradation
+            "solve",
+            n=n,
+            method=self.solver,
+            backend=self.backend,
+            degradation=self.degradation,
         ):
             if self.degradation:
                 solve_result, degradation = solve_with_degradation(
                     measurement.z_kohm,
                     voltage=measurement.voltage,
                     method=self.solver,
+                    backend=self.backend,
                     solver_kwargs=solver_kwargs,
                     faults=self._injector,
                     observer=obs,
@@ -367,6 +380,8 @@ class ParmaEngine:
                     measurement.z_kohm,
                     voltage=measurement.voltage,
                     method=self.solver,
+                    backend=self.backend,
+                    observer=obs,
                     **(solver_kwargs or {}),
                 )
         obs.record_degradation(degradation)

@@ -116,6 +116,7 @@ def run_pipeline(
     growth_threshold: float = 0.25,
     warm_start: bool = True,
     formation: str = "cached",
+    backend: str = "numpy",
     checkpoint_dir: str | Path | None = None,
     resume: bool = True,
     faults=None,
@@ -140,7 +141,9 @@ def run_pipeline(
 
     ``formation`` selects the equation-formation path for the default
     engine ("cached" template fast path or the "legacy" per-pair
-    reference); it is ignored when an ``engine`` is supplied.
+    reference) and ``backend`` its solver compute backend
+    (``"numpy"``/``"compiled"``); both are ignored when an ``engine``
+    is supplied.
 
     With ``checkpoint_dir`` set, each completed timepoint is persisted
     (field + metadata, atomically, digest-protected) to a
@@ -174,7 +177,7 @@ def run_pipeline(
     (checkpointed ones included), so callers salvage instead of
     discard.
     """
-    engine = engine or ParmaEngine(formation=formation)
+    engine = engine or ParmaEngine(formation=formation, backend=backend)
     obs = as_observer(observer)
     if observer is not None:
         engine.observer = observer

@@ -26,7 +26,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.solver import SolveResult, nested_jacobian, predict_z
+from repro.core.solver import SolveResult, _scaled_jacobian, predict_z
+from repro.core.solver_backends import resolve_backend
 from repro.utils.validation import require_positive_array
 
 
@@ -67,16 +68,32 @@ def solve_regularized(
     r0: np.ndarray | None = None,
     tol: float = 1e-12,
     max_iter: int = 100,
+    backend: str = "numpy",
+    observer=None,
 ) -> SolveResult:
     """Smoothness-regularized variable-projection solve.
 
     ``lam`` is the Tikhonov weight (0 = unregularized).  Returns a
     :class:`~repro.core.solver.SolveResult` with method
     ``"regularized"``.
+
+    The data block of the stacked system ``[J_data; √λ L]`` is
+    assembled by the backend's blocked/compiled kernel with the
+    row scaling fused in (:mod:`repro.core.solver_backends`) — bit
+    identical to the historical two-pass assembly, so the Levenberg
+    trajectory is unchanged.  The normal equations deliberately stay
+    in stacked form: splitting them as ``J_dataᵀJ_data + λ LᵀL``
+    perturbs the last bits of ``JᵀJ``, and near the optimum the
+    accept-on-cost-decrease test resolves below double precision, so
+    last-bit perturbations flip razor-edge convergence verdicts.
     """
+    from repro.observe.observer import as_observer
+
     z = require_positive_array(z, "z")
     if lam < 0:
         raise ValueError(f"lam must be non-negative, got {lam}")
+    obs = as_observer(observer)
+    backend = resolve_backend(backend, obs)
     m, n = z.shape
     start = time.perf_counter()
     if r0 is None:
@@ -99,7 +116,8 @@ def solve_regularized(
     iterations = 0
     converged = False
     for iterations in range(1, max_iter + 1):
-        jac_data = nested_jacobian(r_cur) / z_flat[:, None]
+        iter_start = time.perf_counter()
+        jac_data = _scaled_jacobian(r_cur, z, backend)
         jac = np.concatenate([jac_data, sqrt_lam * lop], axis=0)
         full_res = np.concatenate([res, prior])
         grad = jac.T @ full_res
@@ -107,14 +125,13 @@ def solve_regularized(
             converged = True
             break
         jtj = jac.T @ jac
+        diag_base = np.diag(jtj).copy()
+        diag_idx = np.diag_indices_from(jtj)
         accepted = False
         for _ in range(25):
+            jtj[diag_idx] = diag_base + damping * diag_base + 1e-300
             try:
-                step = np.linalg.solve(
-                    jtj + damping * np.diag(np.diag(jtj))
-                    + 1e-300 * np.eye(len(grad)),
-                    -grad,
-                )
+                step = np.linalg.solve(jtj, -grad)
             except np.linalg.LinAlgError:
                 damping = max(damping * 10.0, 1e-8)
                 continue
@@ -128,6 +145,9 @@ def solve_regularized(
                 accepted = True
                 break
             damping = max(damping * 10.0, 1e-8)
+        obs.observe_hist(
+            "solver.iteration.seconds", time.perf_counter() - iter_start
+        )
         if not accepted:
             break
         if np.max(np.abs(step)) < 1e-14:
@@ -140,6 +160,7 @@ def solve_regularized(
         residual_norm=float(np.linalg.norm(res)),
         elapsed_seconds=time.perf_counter() - start,
         converged=converged,
+        backend=backend,
     )
 
 

@@ -12,7 +12,7 @@ Two complementary solvers, both enforcing R > 0 via ``θ = log R``:
       ``∂Z_st / ∂R_ab = (x_st^T P b_ab)^2 / R_ab^2``
 
   (the squared transfer potential), computed for *all* pair/resistor
-  combinations with one broadcast expression.  This is the scalable,
+  combinations with a blocked broadcast kernel.  This is the scalable,
   recommended solver.
 
 * :func:`solve_full` — the paper's formulation taken literally: one
@@ -22,6 +22,28 @@ Two complementary solvers, both enforcing R > 0 via ``θ = log R``:
 
 Both return a :class:`SolveResult`; the test suite checks they agree
 with each other and with the ground truth on noise-free data.
+
+Fast path
+---------
+:func:`solve_nested` computes the Gauss–Newton step by solving the
+*square* system ``J s = -res`` directly instead of the normal
+equations: normal equations square the condition number
+(``cond(JᵀJ) = cond(J)²``), which stalls the late iterations near
+``tol``; the direct step — a single-precision LU factorisation
+polished by iterative refinement against the double-precision
+Jacobian — is accurate to ~1e-13, restoring quadratic convergence
+(fewer iterations *and* tighter recoveries).  Rejected steps fall to a
+backtracking line search whose trial evaluations are single forward
+solves (~1 ms), not new factorisations; only when the line search
+exhausts does the solver assemble the Levenberg normal equations as a
+rescue, with the damping ridge hoisted out of the retry loop and
+applied to the diagonal in place.
+
+Both dense kernels (Jacobian assembly, JᵀJ/grad) run behind the
+``backend="numpy"|"compiled"`` knob of
+:mod:`repro.core.solver_backends`; the two backends are bit-identical
+by construction, and a missing numba degrades to numpy with a
+recorded metric, never an error.
 """
 
 from __future__ import annotations
@@ -30,19 +52,41 @@ import time
 from dataclasses import dataclass
 
 import numpy as np
+import scipy.linalg
 import scipy.optimize
 
 from repro.core.residual import JointSystem
+from repro.core.solver_backends import (
+    fused_jtj_grad,
+    resolve_backend,
+    transfer_jacobian,
+)
 from repro.kirchhoff.forward import (
     effective_resistance_matrix,
+    laplacian_factor_cached,
     laplacian_pinv_cached,
 )
 from repro.utils.validation import require_positive, require_positive_array
 
+#: Relative residual at which an iteratively-refined GN step is
+#: accepted as exact for stepping purposes (~100x float64 epsilon).
+_REFINE_TARGET = 1e-13
+#: Relative residual beyond which the float32-factored step is deemed
+#: unusable and the solver re-factorises in double precision.
+_REFINE_LIMIT = 1e-10
+#: Maximum refinement sweeps before giving up on the float32 factor.
+_REFINE_SWEEPS = 6
+#: Maximum step halvings in the backtracking line search.
+_LINESEARCH_HALVINGS = 20
+
 
 @dataclass(frozen=True)
 class SolveResult:
-    """Outcome of an R-recovery solve."""
+    """Outcome of an R-recovery solve.
+
+    ``backend`` records the compute backend that actually executed
+    (``"numpy"`` after a compiled-requested-but-unavailable fallback).
+    """
 
     r_estimate: np.ndarray
     method: str
@@ -50,6 +94,7 @@ class SolveResult:
     residual_norm: float
     elapsed_seconds: float
     converged: bool
+    backend: str = "numpy"
 
     def max_relative_error(self, r_true: np.ndarray) -> float:
         r_true = np.asarray(r_true, dtype=np.float64)
@@ -72,11 +117,29 @@ def nested_jacobian(r: np.ndarray) -> np.ndarray:
     resistors (a, b) row-major.  Derivation: ``Z = x^T L^+ x``,
     ``∂L/∂G_ab = b b^T`` ⇒ ``∂Z/∂G_ab = -(x^T L^+ b)^2``; with
     ``G = e^{-θ}``, ``∂Z/∂θ_ab = (x^T L^+ b)^2 G_ab``.
+
+    Assembly is blocked over measurement-pair rows so the O(n⁴)
+    transfer tensor never materialises at once (peak scratch one
+    ~64 MB block; see
+    :func:`repro.core.solver_backends.jacobian_row_block`) — values
+    are bit-identical to the historical full-broadcast expression.
+    """
+    r = require_positive_array(r, "r")
+    # Cached: within one Gauss-Newton iteration the residual already
+    # factorised this same field, so this is usually a cache hit.
+    pinv = laplacian_pinv_cached(r)
+    return transfer_jacobian(pinv, r)
+
+
+def nested_jacobian_reference(r: np.ndarray) -> np.ndarray:
+    """The historical one-shot broadcast Jacobian (benchmarks/tests).
+
+    Materialises the full O(n⁴) ``transfer`` tensor at once — kept as
+    the bit-parity reference for the blocked/compiled kernels and as
+    the pre-fast-path baseline for ``benchmarks/bench_solver.py``.
     """
     r = require_positive_array(r, "r")
     m, n = r.shape
-    # Cached: within one Gauss-Newton iteration the residual already
-    # factorised this same field, so this is usually a cache hit.
     pinv = laplacian_pinv_cached(r)
     hh = pinv[:m, :m]  # P[H_s, H_a]
     hv = pinv[:m, m:]  # P[H_s, V_b]
@@ -92,18 +155,201 @@ def nested_jacobian(r: np.ndarray) -> np.ndarray:
     return jac.reshape(m * n, m * n)
 
 
+def _scaled_jacobian(r: np.ndarray, z: np.ndarray, backend: str) -> np.ndarray:
+    """The relative-residual Jacobian ``nested_jacobian(r) / z`` rows.
+
+    The per-row ``1/z_st`` scaling is fused into the blocked assembly
+    (same division, so bit-identical to the two-pass expression)
+    instead of a second full-matrix pass.  Reuses the factorisation
+    the residual evaluation left in the cache.
+    """
+    pinv = laplacian_factor_cached(r).pinv
+    return transfer_jacobian(pinv, r, z=z, backend=backend)
+
+
+def _gn_step(jac: np.ndarray, rhs: np.ndarray, obs) -> np.ndarray | None:
+    """Solve the square system ``jac @ step = rhs`` to ~1e-13.
+
+    Factorise once in float32 (half the memory traffic of dgetrf on
+    this n²×n² matrix), then polish by iterative refinement against
+    the double-precision ``jac``.  If refinement cannot reach
+    :data:`_REFINE_LIMIT` — ill-conditioned or overflowed float32
+    factor — re-factorise in double precision; ``None`` only when even
+    that is singular.
+    """
+    rhs_norm = float(np.linalg.norm(rhs))
+    if rhs_norm == 0.0:
+        return np.zeros_like(rhs)
+    step = None
+    try:
+        lu32 = scipy.linalg.lu_factor(
+            jac.astype(np.float32), check_finite=False
+        )
+        step = scipy.linalg.lu_solve(
+            lu32, rhs.astype(np.float32), check_finite=False
+        ).astype(np.float64)
+        for _ in range(_REFINE_SWEEPS):
+            resid = rhs - jac @ step
+            relres = float(np.linalg.norm(resid)) / rhs_norm
+            if not np.isfinite(relres) or relres <= _REFINE_TARGET:
+                break
+            step = step + scipy.linalg.lu_solve(
+                lu32, resid.astype(np.float32), check_finite=False
+            ).astype(np.float64)
+        resid = rhs - jac @ step
+        relres = float(np.linalg.norm(resid)) / rhs_norm
+        if np.isfinite(relres) and relres <= _REFINE_LIMIT:
+            return step
+    except (np.linalg.LinAlgError, scipy.linalg.LinAlgError, ValueError):
+        pass
+    obs.count("solver.gn.refine_fallbacks")
+    try:
+        return scipy.linalg.solve(jac, rhs, check_finite=False)
+    except (np.linalg.LinAlgError, scipy.linalg.LinAlgError):
+        return None
+
+
 def solve_nested(
     z: np.ndarray,
     voltage: float = 5.0,
     r0: np.ndarray | None = None,
     tol: float = 1e-12,
     max_iter: int = 100,
+    backend: str = "numpy",
+    observer=None,
 ) -> SolveResult:
     """Variable-projection solve of Z(R) = Z_measured.
 
-    Damped Gauss–Newton on ``θ = log R`` with residuals
-    ``(Z̃ - Z)/Z`` and the analytic Jacobian above; falls back to
-    halving steps when a full step does not reduce the cost.
+    Gauss–Newton on ``θ = log R`` with residuals ``(Z̃ - Z)/Z``, the
+    analytic blocked Jacobian, and the direct refined step of
+    :func:`_gn_step`; rejected steps backtrack along the GN direction
+    (cheap forward evaluations) before escalating to a Levenberg
+    rescue.  Per-iteration wall time lands in the
+    ``solver.iteration.seconds`` histogram of the active observer.
+    """
+    from repro.observe.observer import as_observer
+
+    z = require_positive_array(z, "z")
+    require_positive(voltage, "voltage")
+    obs = as_observer(observer)
+    backend = resolve_backend(backend, obs)
+    m, n = z.shape
+    start = time.perf_counter()
+    if r0 is None:
+        r_unif = float(np.median(z) * m * n / (m + n - 1))
+        r0 = np.full((m, n), r_unif)
+    theta = np.log(require_positive_array(r0, "r0")).ravel()
+    z_flat = z.ravel()
+
+    def cost_and_res(th: np.ndarray):
+        """(cost, res, r) at θ — (inf, None, None) for unusable trials.
+
+        A large trial step can overflow ``exp`` (non-finite field) or
+        produce a non-finite cost; both read as "worse than anything"
+        so the line search / rescue rejects them instead of crashing.
+        """
+        with np.errstate(over="ignore", invalid="ignore"):
+            r = np.exp(th).reshape(m, n)
+        if not np.all(np.isfinite(r)) or np.any(r <= 0.0):
+            return np.inf, None, None
+        pred = predict_z(r).ravel()
+        res = (pred - z_flat) / z_flat
+        cost = 0.5 * float(res @ res)
+        if not np.isfinite(cost):
+            return np.inf, None, None
+        return cost, res, r
+
+    cost, res, r_cur = cost_and_res(theta)
+    if res is None:
+        raise ValueError("r0 produces a non-finite forward prediction")
+    iterations = 0
+    converged = False
+    for iterations in range(1, max_iter + 1):
+        if np.max(np.abs(res)) < tol:
+            converged = True
+            break
+        iter_start = time.perf_counter()
+        jac = _scaled_jacobian(r_cur, z, backend)
+        step = _gn_step(jac, -res, obs)
+        accepted_step = None
+        if step is not None:
+            alpha = 1.0
+            for _ in range(_LINESEARCH_HALVINGS):
+                trial = theta + alpha * step
+                new_cost, new_res, new_r = cost_and_res(trial)
+                if new_cost < cost:
+                    theta = trial
+                    cost, res, r_cur = new_cost, new_res, new_r
+                    accepted_step = alpha * step
+                    break
+                alpha *= 0.5
+        if accepted_step is None:
+            obs.count("solver.gn.lm_rescues")
+            rescue = _lm_rescue(jac, res, theta, cost, cost_and_res, backend)
+            if rescue is not None:
+                accepted_step, cost, res, r_cur, theta = rescue
+        obs.observe_hist(
+            "solver.iteration.seconds", time.perf_counter() - iter_start
+        )
+        if accepted_step is None:
+            break  # no acceptable step found
+        if np.max(np.abs(accepted_step)) < 1e-15:
+            converged = True
+            break
+    if np.max(np.abs(res)) < tol:
+        converged = True
+    return SolveResult(
+        r_estimate=r_cur,
+        method="nested",
+        iterations=iterations,
+        residual_norm=float(np.linalg.norm(res)),
+        elapsed_seconds=time.perf_counter() - start,
+        converged=converged,
+        backend=backend,
+    )
+
+
+def _lm_rescue(jac, res, theta, cost, cost_and_res, backend):
+    """Levenberg fallback when the GN direction yields no decrease.
+
+    Assembles the normal equations lazily (only this path pays the
+    JᵀJ gemm) and retries with an escalating damping ridge written
+    onto the diagonal in place — diagonal values identical to the
+    historical ``jtj + lam·diag(diag(jtj)) + 1e-300·I`` expression,
+    without re-allocating two dense n²×n² matrices per retry.
+    """
+    jtj, grad = fused_jtj_grad(jac, res, backend)
+    diag_base = np.diag(jtj).copy()
+    diag_idx = np.diag_indices_from(jtj)
+    lam = 1e-4
+    for _ in range(25):
+        jtj[diag_idx] = diag_base + lam * diag_base + 1e-300
+        try:
+            step = np.linalg.solve(jtj, -grad)
+        except np.linalg.LinAlgError:
+            lam = max(lam * 10.0, 1e-8)
+            continue
+        new_cost, new_res, new_r = cost_and_res(theta + step)
+        if new_cost < cost:
+            return step, new_cost, new_res, new_r, theta + step
+        lam = max(lam * 10.0, 1e-8)
+    return None
+
+
+def solve_nested_reference(
+    z: np.ndarray,
+    voltage: float = 5.0,
+    r0: np.ndarray | None = None,
+    tol: float = 1e-12,
+    max_iter: int = 100,
+) -> SolveResult:
+    """The pre-fast-path damped Gauss–Newton solver, kept verbatim.
+
+    Normal-equation Levenberg–Marquardt over the full-broadcast
+    Jacobian — the baseline ``benchmarks/bench_solver.py`` measures
+    speedups against, and the behavioural reference the regression
+    suite compares :func:`solve_nested` recoveries to.  Not wired into
+    any production path.
     """
     z = require_positive_array(z, "z")
     require_positive(voltage, "voltage")
@@ -126,7 +372,7 @@ def solve_nested(
     converged = False
     lam = 0.0  # Levenberg damping, raised on rejected steps
     for iterations in range(1, max_iter + 1):
-        jac = nested_jacobian(r_cur) / z_flat[:, None]
+        jac = nested_jacobian_reference(r_cur) / z_flat[:, None]
         grad = jac.T @ res
         if np.max(np.abs(res)) < tol:
             converged = True
@@ -172,13 +418,18 @@ def solve_full(
     r0: np.ndarray | None = None,
     tol: float = 1e-10,
     max_nfev: int = 60,
+    backend: str = "numpy",
+    observer=None,
 ) -> SolveResult:
     """Joint solve over (θ, Ua, Ub) — the paper's literal formulation.
 
     Trust-region reflective least squares with the analytic sparse
     Jacobian; ``tr_solver='lsmr'`` keeps memory at the Jacobian's
-    O(n^4) nonzeros.
+    O(n^4) nonzeros.  The ``backend`` knob is accepted for interface
+    symmetry but has no effect: this path is sparse end to end and
+    never assembles the dense kernels the knob selects.
     """
+    del backend, observer  # sparse path: no dense kernels to select
     z = require_positive_array(z, "z")
     if z.shape[0] != z.shape[1]:
         raise ValueError("full solver requires a square device")
@@ -215,6 +466,8 @@ def solve_bounded(
     tol: float = 1e-10,
     max_nfev: int = 200,
     spread: float = 6.0,
+    backend: str = "numpy",
+    observer=None,
 ) -> SolveResult:
     """Box-bounded trust-region solve on ``θ = log R`` (safety net).
 
@@ -228,8 +481,11 @@ def solve_bounded(
     accurate than :func:`solve_nested`, but it always returns a finite
     field.
     """
+    from repro.observe.observer import as_observer
+
     z = require_positive_array(z, "z")
     require_positive(voltage, "voltage")
+    backend = resolve_backend(backend, as_observer(observer))
     m, n = z.shape
     start = time.perf_counter()
     theta_unif = float(np.log(np.median(z) * m * n / (m + n - 1)))
@@ -250,7 +506,7 @@ def solve_bounded(
 
     def jacobian(th: np.ndarray) -> np.ndarray:
         r = np.exp(th).reshape(m, n)
-        return nested_jacobian(r) / z_flat[:, None]
+        return _scaled_jacobian(require_positive_array(r, "r"), z, backend)
 
     result = scipy.optimize.least_squares(
         residual,
@@ -271,6 +527,7 @@ def solve_bounded(
         residual_norm=float(np.linalg.norm(result.fun)),
         elapsed_seconds=time.perf_counter() - start,
         converged=bool(result.success) and bool(np.all(np.isfinite(r_est))),
+        backend=backend,
     )
 
 
@@ -278,6 +535,8 @@ def solve(
     z: np.ndarray,
     voltage: float = 5.0,
     method: str = "nested",
+    backend: str = "numpy",
+    observer=None,
     **kwargs,
 ) -> SolveResult:
     """Dispatch to a solver by name.
@@ -286,19 +545,30 @@ def solve(
     ``"regularized"`` (Tikhonov-smoothed nested; pass ``lam=...``,
     default 1e-3 — see :mod:`repro.core.regularized`), or ``"bounded"``
     (box-constrained trust region, the degradation ladder's safety
-    net).
+    net).  ``backend`` selects the dense-kernel implementation
+    (``"numpy"``/``"compiled"``; see
+    :mod:`repro.core.solver_backends`) and threads to every method —
+    the sparse ``"full"`` solver accepts and ignores it.
     """
     if method == "nested":
-        return solve_nested(z, voltage=voltage, **kwargs)
+        return solve_nested(
+            z, voltage=voltage, backend=backend, observer=observer, **kwargs
+        )
     if method == "full":
-        return solve_full(z, voltage=voltage, **kwargs)
+        return solve_full(
+            z, voltage=voltage, backend=backend, observer=observer, **kwargs
+        )
     if method == "regularized":
         from repro.core.regularized import solve_regularized
 
         kwargs.setdefault("lam", 1e-3)
-        return solve_regularized(z, voltage=voltage, **kwargs)
+        return solve_regularized(
+            z, voltage=voltage, backend=backend, observer=observer, **kwargs
+        )
     if method == "bounded":
-        return solve_bounded(z, voltage=voltage, **kwargs)
+        return solve_bounded(
+            z, voltage=voltage, backend=backend, observer=observer, **kwargs
+        )
     raise ValueError(
         f"unknown method {method!r}; use 'nested', 'full', 'regularized' "
         "or 'bounded'"

@@ -1,0 +1,233 @@
+"""Solver compute backends: blocked numpy kernels and optional numba jit.
+
+The Gauss–Newton hot path spends its time in two dense kernels: the
+transfer-tensor square/accumulate that assembles the ``(n², n²)``
+Jacobian, and the ``JᵀJ``/``Jᵀr`` normal-equation assembly used by the
+Levenberg rescue.  Both live here behind a ``backend`` knob that
+mirrors the formation layer's ``formation="cached"|"legacy"`` pattern:
+
+* ``"numpy"`` (default) — blocked broadcast kernels.  The Jacobian is
+  assembled in row blocks over measurement pairs so the O(n⁴)
+  intermediate never materialises at once (see
+  :func:`jacobian_row_block`); at ``n = 100`` peak extra memory is one
+  ~64 MB block instead of an 800 MB tensor.
+* ``"compiled"`` — numba ``@njit`` kernels performing the same
+  floating-point operations *in the same order*, so the two backends
+  produce bit-identical Jacobians and therefore identical Gauss–Newton
+  trajectories (the parity suite asserts matching iteration counts and
+  ``r_estimate`` agreement).  When numba is not importable the request
+  degrades to ``"numpy"`` and a ``solver.backend.fallback`` counter is
+  recorded — never an error.
+
+The knob is validated at every entry point with
+:func:`check_backend_mode` and resolved (with the fallback metric) by
+:func:`resolve_backend`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Accepted values for the solver ``backend`` knob.
+BACKEND_MODES = ("numpy", "compiled")
+
+#: Target bytes for one Jacobian assembly row block (documented cap:
+#: the blocked kernel's peak intermediate is one ``(block, n, n, n)``
+#: float64 tensor, so ``block = TARGET / (8 n³)`` keeps assembly under
+#: ~64 MB of scratch at any device size — n = 100 fits a default CI
+#: runner with room to spare).
+JACOBIAN_BLOCK_TARGET_BYTES = 64 * 1024 * 1024
+
+_NUMBA_AVAILABLE: bool | None = None
+_NUMBA_KERNELS: tuple | None = None
+
+
+def check_backend_mode(backend: str) -> str:
+    """Validate a solver backend name, returning it unchanged."""
+    if backend not in BACKEND_MODES:
+        raise ValueError(
+            f"backend must be one of {BACKEND_MODES}, got {backend!r}"
+        )
+    return backend
+
+
+def numba_available() -> bool:
+    """True when numba imports cleanly (checked once per process)."""
+    global _NUMBA_AVAILABLE
+    if _NUMBA_AVAILABLE is None:
+        try:
+            import numba  # noqa: F401
+
+            _NUMBA_AVAILABLE = True
+        except Exception:  # pragma: no cover - import-environment specific
+            _NUMBA_AVAILABLE = False
+    return _NUMBA_AVAILABLE
+
+
+def resolve_backend(backend: str, observer=None) -> str:
+    """The backend that will actually execute (with fallback metric).
+
+    ``"compiled"`` without numba degrades to ``"numpy"``; the
+    degradation is observable (``solver.backend.fallback`` counter and
+    a ``solver.backend_fallback`` event on the observer stream) but
+    never raises.
+    """
+    from repro.observe.observer import as_observer
+
+    backend = check_backend_mode(backend)
+    if backend == "compiled" and not numba_available():
+        obs = as_observer(observer)
+        obs.count("solver.backend.fallback")
+        obs.event(
+            "solver.backend_fallback",
+            requested="compiled",
+            used="numpy",
+            reason="numba not importable",
+        )
+        return "numpy"
+    return backend
+
+
+def backend_status() -> dict:
+    """Availability summary for ``parma info`` and run manifests."""
+    status = {
+        "modes": list(BACKEND_MODES),
+        "default": "numpy",
+        "numba_available": numba_available(),
+        "numba_version": None,
+    }
+    if status["numba_available"]:
+        import numba
+
+        status["numba_version"] = getattr(numba, "__version__", "unknown")
+    return status
+
+
+def jacobian_row_block(m: int, n: int) -> int:
+    """Rows of measurement pairs per Jacobian assembly block.
+
+    One block holds ``block * n * m * n`` float64 transfer values;
+    this picks the largest block under
+    :data:`JACOBIAN_BLOCK_TARGET_BYTES` (always at least one row).
+    """
+    per_row = 8 * n * m * n
+    return int(np.clip(JACOBIAN_BLOCK_TARGET_BYTES // max(1, per_row), 1, m))
+
+
+def _get_numba_kernels():
+    """Compile (once) and return the numba kernels.
+
+    Only called when :func:`numba_available` is True; the kernels are
+    cached on disk by numba so repeat processes skip compilation.
+    """
+    global _NUMBA_KERNELS
+    if _NUMBA_KERNELS is None:
+        import numba
+
+        @numba.njit(cache=True, fastmath=False)
+        def _jac_kernel(hh, hv, vv, r, z, out, scale_rows):
+            # Same floating-point operations, same order, as the numpy
+            # blocked kernel: v = ((hh - hv) - hvT) + vv, then
+            # (v*v) / r, then / z.  fastmath stays off so the result
+            # is bit-identical to the numpy backend.
+            m = hh.shape[0]
+            n = vv.shape[0]
+            for s in range(m):
+                for t in range(n):
+                    row = s * n + t
+                    for a in range(m):
+                        for b in range(n):
+                            v = hh[s, a] - hv[s, b] - hv[a, t] + vv[t, b]
+                            val = (v * v) / r[a, b]
+                            if scale_rows:
+                                val = val / z[s, t]
+                            out[row, a * n + b] = val
+
+        @numba.njit(cache=True, fastmath=False)
+        def _jtj_grad_kernel(jac, res):
+            # JᵀJ / Jᵀr assembly for the Levenberg rescue.  The inner
+            # products dispatch to BLAS from nopython mode (numba's
+            # np.dot), fusing the transpose copy and both products in
+            # one compiled call.
+            jt = jac.T.copy()
+            return np.dot(jt, jac), np.dot(jt, res)
+
+        _NUMBA_KERNELS = (_jac_kernel, _jtj_grad_kernel)
+    return _NUMBA_KERNELS
+
+
+def transfer_jacobian(
+    pinv: np.ndarray,
+    r: np.ndarray,
+    z: np.ndarray | None = None,
+    backend: str = "numpy",
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Dense ``∂Z_st/∂θ_ab`` from the Laplacian pseudo-inverse.
+
+    Rows index measurement pairs ``(s, t)`` row-major; columns index
+    resistors ``(a, b)`` row-major.  With the transfer potential
+    ``T = P[Hs,Ha] - P[Hs,Vb] - P[Vt,Ha] + P[Vt,Vb]`` each entry is
+    ``T² / R_ab``; when ``z`` is given every row ``(s, t)`` is
+    additionally divided by ``z[s, t]`` (the relative-residual scaling
+    fused into assembly instead of a second full-matrix pass).
+
+    Assembly is blocked over measurement-pair rows
+    (:func:`jacobian_row_block`) so peak scratch stays bounded; the
+    ``"compiled"`` backend runs the numba kernel over the same
+    operation order, keeping both backends bit-identical.
+    """
+    m, n = r.shape
+    hh = pinv[:m, :m]
+    hv = pinv[:m, m:]
+    vv = pinv[m:, m:]
+    if out is None:
+        out = np.empty((m * n, m * n), dtype=np.float64)
+    if backend == "compiled" and numba_available():
+        jac_kernel, _ = _get_numba_kernels()
+        scale = z if z is not None else r  # dummy operand when unscaled
+        jac_kernel(
+            np.ascontiguousarray(hh),
+            np.ascontiguousarray(hv),
+            np.ascontiguousarray(vv),
+            np.ascontiguousarray(r),
+            np.ascontiguousarray(scale),
+            out,
+            z is not None,
+        )
+        return out
+    hvt = hv.T
+    block = jacobian_row_block(m, n)
+    for s0 in range(0, m, block):
+        s1 = min(s0 + block, m)
+        t = (
+            hh[s0:s1, None, :, None]
+            - hv[s0:s1, None, None, :]
+            - hvt[None, :, :, None]
+            + vv[None, :, None, :]
+        )
+        np.multiply(t, t, out=t)
+        t /= r[None, None, :, :]
+        if z is not None:
+            t /= z[s0:s1, :, None, None]
+        out[s0 * n : s1 * n] = t.reshape((s1 - s0) * n, m * n)
+    return out
+
+
+def fused_jtj_grad(
+    jac: np.ndarray, res: np.ndarray, backend: str = "numpy"
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(JᵀJ, Jᵀres)`` for the Levenberg rescue path.
+
+    Both backends use the contiguous-transpose-then-gemm formulation
+    (the compiled one through a single numba call) so the products are
+    computed by the same BLAS routine with the same operand layout —
+    keeping the backends bit-identical on the Levenberg trajectory.
+    Returned ``JᵀJ`` is freshly allocated and safe to mutate (the
+    rescue loop adds its damping ridge to the diagonal in place).
+    """
+    if backend == "compiled" and numba_available():
+        _, jtj_kernel = _get_numba_kernels()
+        return jtj_kernel(jac, res)
+    jt = jac.T.copy()
+    return np.dot(jt, jac), np.dot(jt, res)

@@ -22,7 +22,13 @@ service adds the ``serve.*`` family — ``serve.requests``,
 ``serve.queue_wait_seconds``, ``serve.latency.{cold,warm}_seconds``,
 ``serve.rejected.{queue_full,draining,invalid}``,
 ``serve.responses.{ok,failed,deadline}``, ``serve.drains`` — documented
-in ``docs/SERVING.md``.
+in ``docs/SERVING.md``.  The solver fast path adds the ``solver.*``
+family — ``solver.iteration.seconds`` (per-Gauss–Newton-iteration
+histogram), ``solver.gn.refine_fallbacks`` (float32 step factorisation
+abandoned for double precision), ``solver.gn.lm_rescues`` (line search
+exhausted, Levenberg normal equations assembled) and
+``solver.backend.fallback`` (``backend="compiled"`` requested without
+numba) — documented in ``docs/OBSERVABILITY.md``.
 
 One cross-registry operation exists for the serving path:
 :meth:`MetricsRegistry.merge` folds a *snapshot* of another registry
@@ -245,14 +251,17 @@ def all_cache_stats() -> list[Any]:
 def sync_cache_gauges(registry: MetricsRegistry) -> list[Any]:
     """Mirror the cache stats into ``cache.<name>.*`` gauges.
 
-    Returns the stats list so callers can also tabulate it.
+    Every numeric field of each stats dataclass becomes one gauge, so
+    cache-specific counters (the Laplacian cache's
+    ``pinv_materializations``, say) flow into manifests without this
+    function enumerating them.  Returns the stats list so callers can
+    also tabulate it.
     """
     stats_list = all_cache_stats()
     for stats in stats_list:
         prefix = f"cache.{stats.name}"
-        registry.gauge(f"{prefix}.entries").set(stats.entries)
-        registry.gauge(f"{prefix}.hits").set(stats.hits)
-        registry.gauge(f"{prefix}.misses").set(stats.misses)
-        registry.gauge(f"{prefix}.bytes_resident").set(stats.bytes_resident)
-        registry.gauge(f"{prefix}.build_seconds").set(stats.build_seconds)
+        for field_name, value in vars(stats).items():
+            if field_name == "name" or not isinstance(value, (int, float)):
+                continue
+            registry.gauge(f"{prefix}.{field_name}").set(value)
     return stats_list

@@ -387,6 +387,7 @@ class SolveService:
         key = (
             request.solver,
             request.formation,
+            request.backend,
             request.threshold_sigmas,
             request.validate,
         )
@@ -395,6 +396,7 @@ class SolveService:
                 strategy=self.config.strategy,
                 num_workers=self.config.num_workers,
                 solver=request.solver,
+                backend=request.backend,
                 threshold_sigmas=request.threshold_sigmas,
                 formation=request.formation,
                 validate=request.validate,
@@ -407,6 +409,7 @@ class SolveService:
                     strategy=self.config.strategy,
                     num_workers=self.config.num_workers,
                     solver=request.solver,
+                    backend=request.backend,
                     threshold_sigmas=request.threshold_sigmas,
                     formation=request.formation,
                     validate=request.validate,
@@ -423,6 +426,7 @@ class SolveService:
             "serve.batch",
             n=batch.n,
             formation=batch.formation,
+            backend=batch.backend,
             size=batch.size,
             cache_warm=warm,
         ):
@@ -486,6 +490,7 @@ class SolveService:
             "hour": request.hour,
             "solver": request.solver,
             "formation": request.formation,
+            "backend": request.backend,
             "strategy": self.config.strategy,
             "validate": request.validate,
             "batch_size": batch.size,

@@ -1,0 +1,202 @@
+"""Backend parity, fallback, and blocked-kernel bit-parity tests.
+
+The compiled backend's contract is *bit-identity* with the numpy
+backend (same floating-point operations in the same order), so the
+parity suite asserts exact array equality and identical iteration
+counts — not tolerances.  When numba is absent (the common CI case),
+a pure-Python ``njit`` shim stands in so the compiled code path is
+still exercised end to end; the dedicated fallback tests then assert
+the graceful degradation the production path takes.
+"""
+
+import sys
+import types
+
+import numpy as np
+import pytest
+
+from repro.core import solver_backends as sb
+from repro.core.solver import (
+    nested_jacobian,
+    nested_jacobian_reference,
+    solve,
+    solve_nested,
+)
+from repro.kirchhoff import forward
+from repro.observe.observer import Observer
+
+
+def _field(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.exp(rng.normal(np.log(8.0), 0.35, (n, n)))
+
+
+@pytest.fixture
+def fake_numba(monkeypatch):
+    """Make the compiled backend importable via a pure-Python njit shim.
+
+    The jit kernels are plain loops + ``np.dot``, so running them
+    uncompiled is slow but exact — which is the point: the parity
+    tests exercise the *compiled code path* (kernel selection,
+    argument marshalling, operation order) without requiring numba.
+    """
+    module = types.ModuleType("numba")
+
+    def njit(*args, **kwargs):
+        if args and callable(args[0]):
+            return args[0]
+
+        def decorate(fn):
+            return fn
+
+        return decorate
+
+    module.njit = njit
+    module.__version__ = "shim"
+    monkeypatch.setitem(sys.modules, "numba", module)
+    monkeypatch.setattr(sb, "_NUMBA_AVAILABLE", True)
+    monkeypatch.setattr(sb, "_NUMBA_KERNELS", None)
+    yield module
+    sb._NUMBA_KERNELS = None
+
+
+@pytest.fixture
+def no_numba(monkeypatch):
+    """Force the numba-absent environment regardless of the machine."""
+    monkeypatch.setitem(sys.modules, "numba", None)
+    monkeypatch.setattr(sb, "_NUMBA_AVAILABLE", False)
+
+
+class TestKnobValidation:
+    def test_accepts_known_modes(self):
+        assert sb.check_backend_mode("numpy") == "numpy"
+        assert sb.check_backend_mode("compiled") == "compiled"
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="backend"):
+            sb.check_backend_mode("fortran")
+
+    def test_solve_rejects_unknown_backend(self):
+        z = forward.measure(_field(4, 0))
+        with pytest.raises(ValueError, match="backend"):
+            solve_nested(z, backend="fortran")
+
+    def test_engine_rejects_unknown_backend(self):
+        from repro.core.engine import ParmaEngine
+
+        with pytest.raises(ValueError, match="backend"):
+            ParmaEngine(backend="fortran")
+
+
+class TestBlockedJacobianParity:
+    """The blocked kernel must be bit-identical to the historical one."""
+
+    @pytest.mark.parametrize("n", [2, 4, 7])
+    def test_blocked_matches_reference_exactly(self, n):
+        r = _field(n, seed=n)
+        assert np.array_equal(nested_jacobian(r), nested_jacobian_reference(r))
+
+    def test_blocked_matches_when_blocks_split_rows(self, monkeypatch):
+        # Shrink the block target so even n=6 assembles in many blocks.
+        monkeypatch.setattr(sb, "JACOBIAN_BLOCK_TARGET_BYTES", 8 * 6 * 6 * 6)
+        r = _field(6, seed=3)
+        assert sb.jacobian_row_block(6, 6) == 1
+        assert np.array_equal(nested_jacobian(r), nested_jacobian_reference(r))
+
+    def test_fused_row_scaling_matches_two_pass(self):
+        r = _field(5, seed=9)
+        z = forward.measure(r)
+        pinv = forward.laplacian_pinv_cached(r)
+        fused = sb.transfer_jacobian(pinv, r, z=z)
+        two_pass = nested_jacobian_reference(r) / z.ravel()[:, None]
+        assert np.array_equal(fused, two_pass)
+
+    def test_row_block_bounds(self):
+        assert sb.jacobian_row_block(100, 100) >= 1
+        # One block must stay under the documented byte target unless
+        # even a single row exceeds it.
+        block = sb.jacobian_row_block(60, 60)
+        assert block * 8 * 60 * 60 * 60 <= sb.JACOBIAN_BLOCK_TARGET_BYTES
+        # Tiny devices take the whole matrix in one block.
+        assert sb.jacobian_row_block(4, 4) == 4
+
+
+class TestCompiledBackendParity:
+    @pytest.mark.parametrize("n", [3, 5])
+    def test_jacobian_bit_identical(self, fake_numba, n):
+        r = _field(n, seed=n)
+        z = forward.measure(r)
+        pinv = forward.laplacian_pinv_cached(r)
+        assert np.array_equal(
+            sb.transfer_jacobian(pinv, r, backend="compiled"),
+            sb.transfer_jacobian(pinv, r, backend="numpy"),
+        )
+        assert np.array_equal(
+            sb.transfer_jacobian(pinv, r, z=z, backend="compiled"),
+            sb.transfer_jacobian(pinv, r, z=z, backend="numpy"),
+        )
+
+    def test_fused_jtj_grad_close(self, fake_numba):
+        rng = np.random.default_rng(0)
+        jac = rng.normal(size=(16, 16))
+        res = rng.normal(size=16)
+        jtj_c, grad_c = sb.fused_jtj_grad(jac, res, backend="compiled")
+        jtj_n, grad_n = sb.fused_jtj_grad(jac, res, backend="numpy")
+        np.testing.assert_allclose(jtj_c, jtj_n, rtol=1e-15)
+        np.testing.assert_allclose(grad_c, grad_n, rtol=1e-15)
+
+    @pytest.mark.parametrize("method", ["nested", "regularized", "bounded"])
+    @pytest.mark.parametrize("n", [4, 6])
+    def test_solve_parity_across_methods(self, fake_numba, method, n):
+        """r_estimate parity ≤ 1e-12 and identical iteration counts."""
+        r_true = _field(n, seed=10 + n)
+        z = forward.measure(r_true)
+        kwargs = {"lam": 1e-3} if method == "regularized" else {}
+        a = solve(z, method=method, backend="numpy", **kwargs)
+        b = solve(z, method=method, backend="compiled", **kwargs)
+        assert b.backend == "compiled"
+        assert a.iterations == b.iterations
+        max_rel = np.max(np.abs(b.r_estimate - a.r_estimate) / a.r_estimate)
+        assert max_rel <= 1e-12
+
+    def test_solve_parity_with_warm_cache(self, fake_numba):
+        """Parity holds whether or not the factor cache is warm."""
+        r_true = _field(5, seed=21)
+        z = forward.measure(r_true)
+        forward.clear_laplacian_cache()
+        cold = solve_nested(z, backend="compiled")
+        warm = solve_nested(z, backend="compiled")
+        baseline = solve_nested(z, backend="numpy")
+        for result in (cold, warm):
+            assert result.iterations == baseline.iterations
+            assert np.array_equal(result.r_estimate, baseline.r_estimate)
+
+    def test_backend_status_reports_shim(self, fake_numba):
+        status = sb.backend_status()
+        assert status["numba_available"] is True
+        assert status["numba_version"] == "shim"
+
+
+class TestNumbaFallback:
+    def test_resolve_falls_back_and_records_metric(self, no_numba):
+        obs = Observer()
+        assert sb.resolve_backend("compiled", obs) == "numpy"
+        snapshot = obs.metrics.snapshot()
+        assert snapshot["solver.backend.fallback"]["value"] == 1.0
+
+    def test_solve_compiled_without_numba_is_not_an_error(self, no_numba):
+        z = forward.measure(_field(4, seed=2))
+        result = solve_nested(z, backend="compiled")
+        assert result.converged
+        assert result.backend == "numpy"  # records what actually ran
+
+    def test_import_error_is_cached_and_quiet(self, no_numba):
+        assert sb.numba_available() is False
+        status = sb.backend_status()
+        assert status["numba_available"] is False
+        assert status["numba_version"] is None
+
+    def test_numpy_backend_never_touches_numba(self, no_numba):
+        z = forward.measure(_field(4, seed=5))
+        result = solve_nested(z, backend="numpy")
+        assert result.converged and result.backend == "numpy"
