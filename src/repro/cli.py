@@ -412,6 +412,7 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
 #: ``parma chaos --include`` keys, in execution order.
 CHAOS_CHECKS = (
     "kill", "hang", "slow", "signal", "stream", "campaign", "dirty", "ladder",
+    "serve",
 )
 
 
@@ -710,6 +711,97 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             deg.describe() if deg else "no degradation report",
         )
 
+    # 9. Serve chaos: kill/hang/corrupt/drop an executor worker under
+    #    the solve service; every recovered answer must be bit-identical
+    #    to a standalone solve, and the service must stay up throughout.
+    if want("serve"):
+        if fork_available():
+            from repro.serve import ServiceConfig, SolveClient, SolveService
+
+            serve_ref = ParmaEngine(
+                strategy="single", threshold_sigmas=3.0
+            ).parametrize(meas)
+
+            def serve_check(
+                name: str,
+                plan: FaultPlan,
+                *,
+                requests: int = 1,
+                max_salvage: int = 1,
+                stall_timeout: float = 30.0,
+            ) -> None:
+                with tempfile.TemporaryDirectory() as sd:
+                    sd = Path(sd)
+                    config = ServiceConfig(
+                        socket_path=sd / "chaos.sock",
+                        results_dir=sd / "results",
+                        linger=0.0,
+                        executor="subprocess",
+                        serve_workers=1,
+                        term_grace=0.2,
+                        stall_timeout=stall_timeout,
+                        max_salvage=max_salvage,
+                        faults=plan,
+                    )
+                    svc = SolveService(config)
+                    svc.start()
+                    try:
+                        client = SolveClient(
+                            config.socket_path,
+                            timeout=120.0,
+                            retries=3,
+                            backoff=0.05,
+                        )
+                        client.wait_ready(timeout=10.0)
+                        responses = [
+                            client.solve(meas.z_kohm, id=f"{name}-{i}")
+                            for i in range(requests)
+                        ]
+                        identical = all(
+                            r.ok
+                            and np.array_equal(
+                                r.resistance_array(), serve_ref.resistance
+                            )
+                            for r in responses
+                        )
+                        alive = client.ping()["kind"] == "pong"
+                        respawns = svc.pool.respawns
+                        salvaged = svc.pool.salvaged
+                    finally:
+                        svc.stop()
+                check(
+                    name,
+                    identical and alive and respawns >= 1,
+                    f"{respawns} respawn(s), {salvaged} salvaged; service "
+                    "up; recovered fields bit-identical to standalone",
+                )
+
+            serve_check(
+                "serve: executor kill -> salvage",
+                FaultPlan(seed=seed, serve_kill_requests=(1,)),
+                requests=3,
+            )
+            serve_check(
+                "serve: worker lost -> client retry",
+                FaultPlan(seed=seed, serve_kill_requests=(0,)),
+                max_salvage=0,
+            )
+            serve_check(
+                "serve: hung executor -> stall watchdog",
+                FaultPlan(seed=seed, serve_hang_requests=(0,)),
+                stall_timeout=1.0,
+            )
+            serve_check(
+                "serve: corrupt result frame -> respawn",
+                FaultPlan(seed=seed, serve_corrupt_frames=(0,)),
+            )
+            serve_check(
+                "serve: dropped executor connection -> respawn",
+                FaultPlan(seed=seed, serve_drop_connections=(0,)),
+            )
+        else:  # pragma: no cover - fork always available on test platforms
+            check("serve: executor chaos", True, "skipped (no fork)")
+
     _finish_observer(
         obs, args,
         {"command": "chaos", "n": n, "seed": seed, "checks": ",".join(selected)},
@@ -872,6 +964,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         num_workers=args.workers,
         max_deadline=args.max_deadline,
+        executor=args.executor,
+        stall_timeout=args.stall_timeout,
+        max_queue_seconds=args.max_queue_seconds,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
         observer=obs,
     )
     service = SolveService(config)
@@ -883,7 +980,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     signal_mod.signal(signal_mod.SIGTERM, _on_signal)
     signal_mod.signal(signal_mod.SIGINT, _on_signal)
     print(
-        f"serving on {args.socket} (results under {args.results}; "
+        f"serving on {args.socket} ({service.executor_mode} executors; "
+        f"results under {args.results}; "
         f"batch<= {args.max_batch}, queue<= {args.queue_depth}; "
         "SIGTERM drains)",
         flush=True,
@@ -895,7 +993,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         service.stop()
     if obs.trace_dir is not None:
         manifest = obs.finalize(
-            config={"command": "serve", "socket": str(args.socket)}
+            config={
+                "command": "serve",
+                "socket": str(args.socket),
+                "executor": service.executor_mode,
+                "worker_respawns": (
+                    service.pool.respawns if service.pool is not None else 0
+                ),
+                "requests_salvaged": (
+                    service.pool.salvaged if service.pool is not None else 0
+                ),
+            }
         )
         print(f"service manifest: {args.trace}/manifest.json "
               f"(run {manifest['run_id']})")
@@ -919,7 +1027,12 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    client = SolveClient(args.socket, timeout=args.timeout)
+    client = SolveClient(
+        args.socket,
+        timeout=args.timeout,
+        retries=args.retries,
+        backoff=args.backoff,
+    )
     try:
         response = client.solve(
             meas.z_kohm,
@@ -931,18 +1044,25 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             threshold_sigmas=args.threshold,
             validate=args.validate,
             deadline=args.deadline,
+            priority=args.priority,
+            client_id=args.client_id,
             solver_kwargs=(
                 {"lam": args.lam} if args.solver == "regularized" else {}
             ),
             want_field=args.field_out is not None or args.show,
         )
     except ServeConnectionError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        hint = (
+            "request never reached the service"
+            if exc.safe_to_retry
+            else "outcome unknown (request may have been executed)"
+        )
+        print(f"error: {exc} [{hint}]", file=sys.stderr)
         return RETRIABLE_EXIT_CODE
     if response.retriable:
         print(
             f"rejected ({response.status}): {response.error} — safe to "
-            "resubmit",
+            "resubmit (or raise --retries)",
             file=sys.stderr,
         )
         return response.exit_status
@@ -1115,6 +1235,25 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="cap every per-request deadline (and impose "
                             "one on requests that asked for none)")
+    p_srv.add_argument("--executor", default="subprocess",
+                       choices=["subprocess", "thread"],
+                       help="execution host: forked subprocess workers "
+                            "(crash-isolated, falls back to thread where "
+                            "fork is unavailable) or in-process threads")
+    p_srv.add_argument("--stall-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="heartbeat age after which a subprocess "
+                            "executor is killed and respawned")
+    p_srv.add_argument("--max-queue-seconds", type=float, default=None,
+                       metavar="SECONDS",
+                       help="shed lowest-priority work when estimated "
+                            "queue wait exceeds this bound")
+    p_srv.add_argument("--quota-rate", type=float, default=None,
+                       metavar="REQ_PER_SEC",
+                       help="per-client token-bucket refill; omit to "
+                            "disable quotas (anonymous clients are exempt)")
+    p_srv.add_argument("--quota-burst", type=float, default=8.0,
+                       help="token-bucket capacity per client id")
     _add_observe_args(p_srv)
     p_srv.set_defaults(func=_cmd_serve)
 
@@ -1147,6 +1286,22 @@ def build_parser() -> argparse.ArgumentParser:
                             "blown, like `parma solve --deadline`)")
     p_sub.add_argument("--timeout", type=float, default=300.0,
                        help="client socket timeout (queue wait + solve)")
+    p_sub.add_argument("--retries", type=int, default=0,
+                       help="resubmit this many times on retriable "
+                            "rejections (queue full, quota, worker lost) "
+                            "and connection failures; all attempts share "
+                            "one idempotency id")
+    p_sub.add_argument("--backoff", type=float, default=0.1,
+                       metavar="SECONDS",
+                       help="base retry backoff (exponential, with "
+                            "deterministic per-request jitter)")
+    p_sub.add_argument("--priority", default="batch",
+                       choices=["interactive", "batch"],
+                       help="admission class; interactive dequeues first "
+                            "and batch is shed first under overload")
+    p_sub.add_argument("--client-id", default="",
+                       help="quota accounting id (empty = exempt from "
+                            "per-client quotas)")
     p_sub.add_argument("--field-out", type=Path, default=None,
                        help="write recovered R field (.npy)")
     p_sub.add_argument("--show", action="store_true",

@@ -18,11 +18,15 @@ Canonical metric names are dotted lowercase (``formation.terms``,
 ``retry.attempts``, ``degrade.rung.bounded``, ``checkpoint.writes``,
 ``atomio.bytes_committed``, ``cache.pair-template.hits``).  The solve
 service adds the ``serve.*`` family — ``serve.requests``,
-``serve.batches``, ``serve.batch_size``, ``serve.queue_depth``,
+``serve.batches``, ``serve.batch_size``, ``serve.queue_depth`` (total
+plus per-class ``serve.queue_depth.{interactive,batch}`` gauges),
 ``serve.queue_wait_seconds``, ``serve.latency.{cold,warm}_seconds``,
-``serve.rejected.{queue_full,draining,invalid}``,
-``serve.responses.{ok,failed,deadline}``, ``serve.drains`` — documented
-in ``docs/SERVING.md``.  The solver fast path adds the ``solver.*``
+``serve.rejected.{queue_full,draining,invalid,quota}``,
+``serve.responses.{ok,failed,deadline,worker_lost}``,
+``serve.shed.{interactive,batch}``, ``serve.idempotent_hits``,
+``serve.drains``, and the executor-supervision counters
+``serve.worker_respawns`` / ``serve.requests_salvaged`` /
+``serve.worker_lost`` — documented in ``docs/SERVING.md``.  The solver fast path adds the ``solver.*``
 family — ``solver.iteration.seconds`` (per-Gauss–Newton-iteration
 histogram), ``solver.gn.refine_fallbacks`` (float32 step factorisation
 abandoned for double precision), ``solver.gn.lm_rescues`` (line search
@@ -33,7 +37,9 @@ numba) — documented in ``docs/OBSERVABILITY.md``.
 One cross-registry operation exists for the serving path:
 :meth:`MetricsRegistry.merge` folds a *snapshot* of another registry
 into this one, so the long-lived service registry can aggregate each
-per-request registry after the request's manifest is finalized.
+per-request registry after the request's manifest is finalized — and,
+with subprocess executors, the snapshots that each executor child
+ships back alongside its result frames.
 """
 
 from __future__ import annotations

@@ -91,6 +91,31 @@ class FaultPlan:
     fail_rungs:
         Degradation-ladder rung names that raise
         :class:`InjectedSolverFault` instead of solving.
+    serve_kill_requests:
+        Request ordinals (per executor child, counted from fork) at
+        which a serve executor worker dies *before* producing its
+        result — the parent observes mid-batch worker loss and must
+        salvage or answer ``worker-lost``.
+    serve_kill_generations:
+        Serve kills/hangs/drops fire only in child generations ``<``
+        this bound — the default 1 means the respawned worker
+        survives, which is the interesting recovery case (mirrors
+        ``kill_attempts``).
+    serve_hang_requests:
+        Request ordinals at which the executor worker stops making
+        progress (infinite sleep; only the serve stall watchdog can
+        reclaim it).
+    serve_slow_seconds:
+        Extra seconds every executor request sleeps before solving —
+        exercises queue-seconds load estimation without killing
+        anything.
+    serve_corrupt_frames:
+        Result-frame ordinals whose length prefix is mangled before
+        hitting the pipe, so the parent sees a :class:`ProtocolError`
+        and must treat the worker as lost.
+    serve_drop_connections:
+        Request ordinals at which the executor worker closes its pipe
+        mid-batch (clean EOF instead of a crash) and exits.
     """
 
     seed: int = 0
@@ -115,6 +140,21 @@ class FaultPlan:
     dirty_rate: float = 0.0
     saturation_kohm: float = 1.0e7
     fail_rungs: tuple[str, ...] = ()
+    serve_kill_requests: tuple[int, ...] = ()
+    serve_kill_generations: int = 1
+    serve_hang_requests: tuple[int, ...] = ()
+    serve_slow_seconds: float = 0.0
+    serve_corrupt_frames: tuple[int, ...] = ()
+    serve_drop_connections: tuple[int, ...] = ()
+
+    def any_serve_faults(self) -> bool:
+        return bool(
+            self.serve_kill_requests
+            or self.serve_hang_requests
+            or self.serve_slow_seconds > 0.0
+            or self.serve_corrupt_frames
+            or self.serve_drop_connections
+        )
 
     def any_measurement_faults(self) -> bool:
         return bool(
@@ -249,6 +289,47 @@ class FaultInjector:
             raise InjectedAbort(
                 f"injected campaign abort after {timepoints_done} timepoint(s)"
             )
+
+    # -- serve executor faults -----------------------------------------------
+
+    def _serve_gated(self, generation: int) -> bool:
+        """Whether destructive serve faults still fire for this child."""
+        return generation < self.plan.serve_kill_generations
+
+    def on_serve_request(self, ordinal: int, generation: int) -> None:
+        """Pre-solve hook inside an executor child: kill, hang or slow.
+
+        ``ordinal`` counts requests since the child forked;
+        ``generation`` counts respawns of its slot (0 = original).
+        Kills use ``os._exit`` / ``plan.kill_signal`` exactly like
+        :meth:`maybe_kill_worker`, so the parent sees the same death
+        shapes the formation supervisor does.
+        """
+        plan = self.plan
+        if not self._serve_gated(generation):
+            if plan.serve_slow_seconds > 0.0:
+                time.sleep(plan.serve_slow_seconds)
+            return
+        if ordinal in plan.serve_kill_requests:
+            if plan.kill_signal is not None:
+                os.kill(os.getpid(), int(plan.kill_signal))
+                time.sleep(60)  # pragma: no cover - signal delivery race
+            os._exit(KILLED_WORKER_EXIT)
+        if ordinal in plan.serve_hang_requests:
+            while True:  # pragma: no branch - exits only by signal
+                time.sleep(60)
+        if plan.serve_slow_seconds > 0.0:
+            time.sleep(plan.serve_slow_seconds)
+
+    def serve_frame_fate(self, ordinal: int, generation: int) -> str:
+        """``"ok"``, ``"corrupt"`` or ``"drop"`` for result frame ``ordinal``."""
+        if not self._serve_gated(generation):
+            return "ok"
+        if ordinal in self.plan.serve_drop_connections:
+            return "drop"
+        if ordinal in self.plan.serve_corrupt_frames:
+            return "corrupt"
+        return "ok"
 
     # -- dirty measurements --------------------------------------------------
 

@@ -219,6 +219,39 @@ class HeartbeatBoard:
         return out
 
 
+def kill_process(
+    pid: int, term_grace: float = 1.0, poll_interval: float = 0.02
+) -> int:
+    """SIGTERM, wait ``term_grace`` seconds, SIGKILL; returns the exit code.
+
+    The escalation ladder both :class:`Supervisor` and the serve-side
+    :class:`repro.serve.executor.ExecutorPool` use to retire a child:
+    polite first (atexit/finally blocks get to run), forceful after the
+    grace window, and always reaped — the return value is the child's
+    exit code (negative signal number when it died to a signal).
+    """
+    for sig, grace in (
+        (signal.SIGTERM, term_grace),
+        (signal.SIGKILL, None),
+    ):
+        try:
+            os.kill(pid, sig)
+        except ProcessLookupError:
+            pass
+        t_end = None if grace is None else time.monotonic() + grace
+        while True:
+            try:
+                wpid, status = os.waitpid(pid, 0 if grace is None else os.WNOHANG)
+            except ChildProcessError:  # pragma: no cover - stolen reap
+                return -int(sig)
+            if wpid != 0:
+                return os.waitstatus_to_exitcode(status)
+            if t_end is not None and time.monotonic() >= t_end:
+                break
+            time.sleep(min(poll_interval, 0.01))
+    return -int(signal.SIGKILL)  # pragma: no cover - unreachable
+
+
 class Supervisor:
     """Watches one parallel region at a time: reap, watchdog, deadline.
 
@@ -432,28 +465,9 @@ class Supervisor:
 
     def _kill_one(self, pid: int) -> int:
         """SIGTERM, wait ``term_grace``, SIGKILL; returns the exit code."""
-        for sig, grace in (
-            (signal.SIGTERM, self.term_grace),
-            (signal.SIGKILL, None),
-        ):
-            try:
-                os.kill(pid, sig)
-            except ProcessLookupError:
-                pass
-            t_end = None if grace is None else time.monotonic() + grace
-            while True:
-                try:
-                    wpid, status = os.waitpid(
-                        pid, 0 if grace is None else os.WNOHANG
-                    )
-                except ChildProcessError:  # pragma: no cover - stolen reap
-                    return -int(sig)
-                if wpid != 0:
-                    return os.waitstatus_to_exitcode(status)
-                if t_end is not None and time.monotonic() >= t_end:
-                    break
-                time.sleep(min(self.poll_interval, 0.01))
-        return -int(signal.SIGKILL)  # pragma: no cover - unreachable
+        return kill_process(
+            pid, term_grace=self.term_grace, poll_interval=self.poll_interval
+        )
 
     def _kill_pending(
         self,

@@ -4,26 +4,34 @@ The batch CLI pays full process startup — importing numpy, rebuilding
 the per-``n`` :class:`repro.core.templates.PairTemplate`, refactoring
 the Laplacian pseudo-inverse — on *every* invocation.  ``repro.serve``
 turns the reproduction into a long-lived local service instead: a
-:class:`SolveService` listens on a unix-domain socket, runs requests
-through a persistent engine pool (so the template, Jacobian-structure
-and Laplacian-pinv caches stay warm across requests), and coalesces
-compatible requests — same device side ``n``, same formation mode —
-into one formation pass per batch.
+:class:`SolveService` listens on a unix-domain socket, admits requests
+through a priority-aware bounded queue, coalesces compatible ones —
+same device side ``n``, same formation mode — into one formation pass
+per batch, and executes them on a crash-isolated pool of forked
+executor workers whose engine caches stay warm across requests.
 
 The pieces, each its own module:
 
 * :mod:`repro.serve.protocol` — the length-prefixed JSON wire format,
-  request/response schema, status → exit-status mapping (including
-  the deadline status 94 shared with the batch CLI);
-* :mod:`repro.serve.queue` — the bounded admission queue (depth-limited,
-  drain-aware, retriable rejections);
+  request/response schema (priority classes, client ids, idempotency
+  ids), status → exit-status mapping (including the deadline status 94
+  shared with the batch CLI and the retriable ``worker-lost``/quota
+  rejections);
+* :mod:`repro.serve.queue` — the bounded admission queue: priority
+  classes with an anti-starvation age bound, load shedding,
+  per-client token-bucket quotas, drain-aware retriable rejections;
 * :mod:`repro.serve.batcher` — compatibility keying and batch
   coalescing with a short linger window;
+* :mod:`repro.serve.runner` — the per-request execution pipeline both
+  hosts share (which is what keeps their results bit-identical);
+* :mod:`repro.serve.executor` — the forked executor pool: heartbeat
+  supervision, stall/deadline kills, respawn and batch salvage;
 * :mod:`repro.serve.server` — :class:`SolveService` itself: socket
-  accept loop, worker pool, per-request run manifests via
-  :mod:`repro.observe`, graceful drain on SIGTERM;
+  accept loop, dispatchers, idempotency cache, per-request run
+  manifests via :mod:`repro.observe`, graceful drain on SIGTERM;
 * :mod:`repro.serve.client` — :class:`SolveClient`, the library/CLI
-  client (one request per connection, no hidden retries).
+  client (one request per connection, opt-in bounded retries with
+  seeded-jitter backoff).
 
 See ``docs/SERVING.md`` for the wire protocol and operational
 semantics, and ``docs/ARCHITECTURE.md`` for where serving sits in the
@@ -32,7 +40,11 @@ stack.
 
 from repro.serve.batcher import Batch, Batcher, batch_key
 from repro.serve.client import ServeConnectionError, SolveClient
+from repro.serve.executor import ExecutorPool
 from repro.serve.protocol import (
+    PRIORITY_BATCH,
+    PRIORITY_CLASSES,
+    PRIORITY_INTERACTIVE,
     RETRIABLE_EXIT_CODE,
     RETRIABLE_STATUSES,
     STATUS_DEADLINE,
@@ -41,22 +53,38 @@ from repro.serve.protocol import (
     STATUS_INVALID,
     STATUS_OK,
     STATUS_QUEUE_FULL,
+    STATUS_QUOTA,
+    STATUS_WORKER_LOST,
     ProtocolError,
     Request,
     Response,
     exit_status_for,
 )
-from repro.serve.queue import AdmissionQueue, QueueDraining, QueueFull, Ticket
+from repro.serve.queue import (
+    AdmissionQueue,
+    QueueDraining,
+    QueueFull,
+    QuotaExceeded,
+    Ticket,
+    TokenBucket,
+)
+from repro.serve.runner import RequestRunner
 from repro.serve.server import ServiceConfig, SolveService
 
 __all__ = [
     "AdmissionQueue",
     "Batch",
     "Batcher",
+    "ExecutorPool",
+    "PRIORITY_BATCH",
+    "PRIORITY_CLASSES",
+    "PRIORITY_INTERACTIVE",
     "ProtocolError",
     "QueueDraining",
     "QueueFull",
+    "QuotaExceeded",
     "Request",
+    "RequestRunner",
     "Response",
     "RETRIABLE_EXIT_CODE",
     "RETRIABLE_STATUSES",
@@ -66,11 +94,14 @@ __all__ = [
     "STATUS_INVALID",
     "STATUS_OK",
     "STATUS_QUEUE_FULL",
+    "STATUS_QUOTA",
+    "STATUS_WORKER_LOST",
     "ServeConnectionError",
     "ServiceConfig",
     "SolveClient",
     "SolveService",
     "Ticket",
+    "TokenBucket",
     "batch_key",
     "exit_status_for",
 ]

@@ -11,9 +11,11 @@ Statuses map onto process exit codes so ``parma submit`` behaves like
 the batch CLI it replaces: ``ok`` → 0, ``failed`` → 1, ``invalid`` →
 2, ``deadline-exceeded`` → 94 (the same
 :data:`repro.resilience.supervise.DEADLINE_EXIT_CODE` the batch
-``--deadline`` path uses), and both admission rejections → 75
-(``EX_TEMPFAIL``; the request was *not* attempted and may be retried
-verbatim).  See ``docs/SERVING.md`` for the full table.
+``--deadline`` path uses), and every retriable rejection — queue
+full, draining, quota exhausted, executor worker lost — → 75
+(``EX_TEMPFAIL``; the request holds no partial server-side state and
+may be retried verbatim, carrying the same idempotency ``id``).  See
+``docs/SERVING.md`` for the full table.
 """
 
 from __future__ import annotations
@@ -51,10 +53,32 @@ STATUS_QUEUE_FULL = "rejected-queue-full"
 #: Admission control: the service is draining (SIGTERM); retry against
 #: the next instance.
 STATUS_DRAINING = "rejected-draining"
+#: The executor worker running the request died (segfault, OOM kill,
+#: stall past ``--stall-timeout``) before producing a result.  The
+#: service itself survived; a retry re-runs the solve from scratch.
+STATUS_WORKER_LOST = "worker-lost"
+#: Admission control: the client's token-bucket quota was empty.
+STATUS_QUOTA = "rejected-quota"
 
-#: Statuses a client may retry verbatim: the request was rejected at
-#: admission and never touched an engine, so no work is duplicated.
-RETRIABLE_STATUSES = frozenset({STATUS_QUEUE_FULL, STATUS_DRAINING})
+#: Statuses a client may retry verbatim.  Admission rejections never
+#: touched an engine; ``worker-lost`` means the executor died before a
+#: result frame was written, so no partial server-side state survives
+#: and a retry (same idempotency ``id``) duplicates no work.
+RETRIABLE_STATUSES = frozenset(
+    {STATUS_QUEUE_FULL, STATUS_DRAINING, STATUS_WORKER_LOST, STATUS_QUOTA}
+)
+
+# -- priority classes ---------------------------------------------------------
+
+#: Latency-sensitive work: dequeued ahead of ``batch`` and never shed
+#: while lower-priority tickets remain.
+PRIORITY_INTERACTIVE = "interactive"
+#: Throughput work (the default): first to be shed under overload.
+PRIORITY_BATCH = "batch"
+
+#: All priority classes, most urgent first.  Index order is the
+#: dequeue order and the *reverse* of the shedding order.
+PRIORITY_CLASSES = (PRIORITY_INTERACTIVE, PRIORITY_BATCH)
 
 #: Exit status ``parma submit`` returns for retriable rejections
 #: (sysexits.h ``EX_TEMPFAIL``, the conventional "try again" code,
@@ -68,6 +92,8 @@ _EXIT_FOR_STATUS = {
     STATUS_DEADLINE: DEADLINE_EXIT_CODE,
     STATUS_QUEUE_FULL: RETRIABLE_EXIT_CODE,
     STATUS_DRAINING: RETRIABLE_EXIT_CODE,
+    STATUS_WORKER_LOST: RETRIABLE_EXIT_CODE,
+    STATUS_QUOTA: RETRIABLE_EXIT_CODE,
 }
 
 
@@ -80,7 +106,16 @@ def exit_status_for(status: str) -> int:
 
 
 class ProtocolError(RuntimeError):
-    """The peer sent bytes that do not frame/parse as a message."""
+    """The peer sent bytes that do not frame/parse as a message.
+
+    ``bytes_read`` records how far into the current frame the stream
+    broke (0 when the failure happened between frames), so a client can
+    report the offset and decide whether the request was already acked.
+    """
+
+    def __init__(self, message: str, *, bytes_read: int = 0) -> None:
+        super().__init__(message)
+        self.bytes_read = bytes_read
 
 
 # -- schema -------------------------------------------------------------------
@@ -94,7 +129,12 @@ class Request:
     server never dereferences client-side paths; ``deadline`` is a
     per-request wall-clock budget in seconds, capped by the service's
     ``max_deadline`` at admission (see
-    :meth:`repro.resilience.supervise.Deadline.capped`).
+    :meth:`repro.resilience.supervise.Deadline.capped`).  ``priority``
+    selects the admission class (one of :data:`PRIORITY_CLASSES`) and
+    ``client_id`` keys per-client token-bucket quotas (empty string =
+    unmetered).  ``id`` doubles as the idempotency key: a retried
+    request carrying the same ``id`` joins the in-flight ticket or
+    returns the cached completed response instead of re-solving.
     """
 
     z: list
@@ -109,6 +149,8 @@ class Request:
     solver_kwargs: dict = field(default_factory=dict)
     want_field: bool = True
     id: str | None = None
+    priority: str = PRIORITY_BATCH
+    client_id: str = ""
 
     @property
     def n(self) -> int:
@@ -140,6 +182,8 @@ class Request:
             "deadline": self.deadline,
             "solver_kwargs": dict(self.solver_kwargs),
             "want_field": self.want_field,
+            "priority": self.priority,
+            "client_id": self.client_id,
         }
 
     @classmethod
@@ -153,6 +197,12 @@ class Request:
         kwargs = message.get("solver_kwargs") or {}
         if not isinstance(kwargs, dict):
             raise ValueError("request field 'solver_kwargs' must be an object")
+        priority = str(message.get("priority", PRIORITY_BATCH))
+        if priority not in PRIORITY_CLASSES:
+            raise ValueError(
+                f"unknown priority {priority!r}; "
+                f"expected one of {PRIORITY_CLASSES}"
+            )
         return cls(
             z=z,
             voltage=float(message.get("voltage", 5.0)),
@@ -169,6 +219,8 @@ class Request:
             solver_kwargs=dict(kwargs),
             want_field=bool(message.get("want_field", True)),
             id=(None if message.get("id") is None else str(message["id"])),
+            priority=priority,
+            client_id=str(message.get("client_id", "")),
         )
 
 
@@ -290,7 +342,8 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
             if got == 0:
                 return None
             raise ProtocolError(
-                f"connection closed mid-message ({got}/{count} bytes)"
+                f"connection closed mid-message ({got}/{count} bytes)",
+                bytes_read=got,
             )
         chunks.append(chunk)
         got += len(chunk)
@@ -308,9 +361,17 @@ def recv_message(sock: socket.socket) -> dict | None:
             f"peer announced a {length}-byte message (limit "
             f"{MAX_MESSAGE_BYTES})"
         )
-    payload = _recv_exact(sock, length)
+    try:
+        payload = _recv_exact(sock, length)
+    except ProtocolError as exc:
+        # Make the offset frame-relative: the 4-byte header landed.
+        exc.bytes_read += _LENGTH_BYTES
+        raise
     if payload is None:
-        raise ProtocolError("connection closed between header and payload")
+        raise ProtocolError(
+            "connection closed between header and payload",
+            bytes_read=_LENGTH_BYTES,
+        )
     try:
         message = json.loads(payload.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:

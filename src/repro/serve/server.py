@@ -1,23 +1,36 @@
-""":class:`SolveService` — the persistent solve server.
+""":class:`SolveService` — the persistent, crash-isolated solve server.
 
-One process, three kinds of threads:
+One acceptor process, three kinds of threads plus (by default) a pool
+of forked executor workers:
 
 * the **acceptor** owns the unix-domain listening socket and spawns a
   short-lived handler per connection;
 * **handlers** read one request, admit it to the
   :class:`repro.serve.queue.AdmissionQueue` (or answer a retriable
   rejection), block on the ticket, and write the response;
-* **workers** pull compatible batches through the
-  :class:`repro.serve.batcher.Batcher` and execute them against a
-  long-lived engine pool, so the per-``n`` pair template, the
-  Jacobian-structure cache and the Laplacian-pinv LRU stay warm
-  across requests (the whole point of serving instead of re-execing).
+* **dispatchers** pull compatible batches through the
+  :class:`repro.serve.batcher.Batcher` and execute them — on the
+  forked children of :class:`repro.serve.executor.ExecutorPool`
+  (``executor="subprocess"``, the default: a native crash, OOM kill or
+  hang takes out one child, not the service), or in-process through a
+  shared :class:`repro.serve.runner.RequestRunner`
+  (``executor="thread"``, the PR-5 behaviour kept for platforms
+  without fork and for the overhead benchmark).  Both paths run the
+  same runner code, so results are bit-identical.
+
+Admission is priority-aware (see :mod:`repro.serve.queue`): the queue
+sheds the newest lowest-priority ticket to admit more urgent work
+under saturation, meters per-client token-bucket quotas, and bounds
+how long any ticket can be bypassed.  Requests carry an idempotency
+``id``: a retry of an in-flight request joins its ticket, and a retry
+of a completed one returns the cached response instead of re-solving.
 
 Graceful drain (SIGTERM, or an admin ``drain`` message): admission
 closes, queued-but-unstarted tickets are answered with the retriable
 ``rejected-draining`` status, in-flight batches run to completion and
-their responses are delivered, then the workers exit and the socket
-is unlinked.  Nothing already being computed is discarded.
+their responses are delivered, then the dispatchers exit, executor
+children are retired and the socket is unlinked.  Nothing already
+being computed is discarded.
 
 Every request that executes gets a run manifest (plus trace
 artifacts) written through :mod:`repro.observe` under
@@ -35,33 +48,46 @@ import socket
 import threading
 import time
 import uuid
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass
 from pathlib import Path
 
-from repro.core.engine import ParmaEngine
 from repro.core.templates import has_template
-from repro.observe import Observer
-from repro.observe.observer import MANIFEST_FILE_NAME, as_observer
-from repro.resilience.supervise import Deadline, DeadlineExceeded
+from repro.observe.observer import as_observer
+from repro.parallel.pymp import fork_available
 from repro.serve.batcher import Batch, Batcher
+from repro.serve.executor import ExecutorPool
 from repro.serve.protocol import (
-    STATUS_DEADLINE,
+    PRIORITY_CLASSES,
     STATUS_DRAINING,
-    STATUS_FAILED,
     STATUS_INVALID,
-    STATUS_OK,
     STATUS_QUEUE_FULL,
+    STATUS_QUOTA,
     ProtocolError,
     Request,
     Response,
     recv_message,
     send_message,
 )
-from repro.serve.queue import AdmissionQueue, QueueDraining, QueueFull, Ticket
+from repro.serve.queue import (
+    AdmissionQueue,
+    QueueDraining,
+    QueueFull,
+    QuotaExceeded,
+    Ticket,
+)
+from repro.serve.runner import RequestRunner
 from repro.utils import logging as rlog
 
 #: How long blocked socket/queue polls sleep between liveness checks.
 _POLL_SECONDS = 0.1
+
+#: Status → rejection counter name (see ``serve.*`` metric family).
+_REJECT_COUNTERS = {
+    STATUS_QUEUE_FULL: "serve.rejected.queue_full",
+    STATUS_DRAINING: "serve.rejected.draining",
+    STATUS_QUOTA: "serve.rejected.quota",
+}
 
 
 @dataclass(frozen=True)
@@ -69,12 +95,21 @@ class ServiceConfig:
     """Everything a :class:`SolveService` needs to run.
 
     ``strategy``/``num_workers`` configure the engines (the default
-    ``single`` strategy avoids forking out of a multi-threaded server;
-    forked strategies work but are the operator's informed choice).
-    ``serve_workers`` is the number of executor threads — keep it at 1
-    unless solves are short and BLAS contention is acceptable.
-    ``max_deadline`` caps any per-request budget; ``None`` accepts the
-    request's own value unchanged.
+    ``single`` strategy avoids forking *inside* an executor; forked
+    strategies work but are the operator's informed choice).
+    ``serve_workers`` is the number of executor slots.  ``executor``
+    picks the execution host: ``"subprocess"`` (default; falls back to
+    ``"thread"`` where fork is unavailable) isolates solves in forked
+    children supervised by ``stall_timeout``/``term_grace`` and
+    salvages a dying worker's batch up to ``max_salvage`` times per
+    request; ``"thread"`` runs solves in-process.  ``max_deadline``
+    caps any per-request budget; ``None`` accepts the request's own
+    value unchanged.  ``quota_rate``/``quota_burst`` meter per-client
+    admission, ``max_queue_seconds`` triggers load shedding on
+    estimated wait, ``max_bypass_age`` bounds priority/batching
+    starvation and ``idempotency_cache`` sizes the completed-response
+    LRU.  ``faults`` (a ``FaultPlan``/``FaultInjector``) arms the
+    serve chaos hooks inside executor children.
     """
 
     socket_path: Path
@@ -87,6 +122,16 @@ class ServiceConfig:
     num_workers: int = 4
     max_deadline: float | None = None
     observer: object | None = None
+    executor: str = "subprocess"
+    stall_timeout: float = 30.0
+    term_grace: float = 1.0
+    max_salvage: int = 1
+    quota_rate: float | None = None
+    quota_burst: float = 8.0
+    max_queue_seconds: float | None = None
+    max_bypass_age: float = 5.0
+    idempotency_cache: int = 128
+    faults: object | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "socket_path", Path(self.socket_path))
@@ -94,6 +139,11 @@ class ServiceConfig:
         if self.serve_workers < 1:
             raise ValueError(
                 f"serve_workers must be >= 1, got {self.serve_workers}"
+            )
+        if self.executor not in ("thread", "subprocess"):
+            raise ValueError(
+                f"executor must be 'thread' or 'subprocess', "
+                f"got {self.executor!r}"
             )
 
 
@@ -103,51 +153,98 @@ class SolveService:
     Lifecycle::
 
         service = SolveService(ServiceConfig(socket_path, results_dir))
-        service.start()           # binds + spawns acceptor/workers
+        service.start()           # binds + spawns acceptor/executors
         ...                       # clients connect and submit
         service.request_drain()   # e.g. from a SIGTERM handler
         service.wait()            # until drained and stopped
         service.stop()            # idempotent final cleanup
 
     ``start()``/``stop()`` are safe to call from the main thread while
-    handlers and workers run; ``request_drain()`` is async-signal-safe
-    enough for a Python signal handler (it only sets events and
-    resolves tickets).
+    handlers and dispatchers run; ``request_drain()`` is
+    async-signal-safe enough for a Python signal handler (it only sets
+    events and resolves tickets).
     """
 
     def __init__(self, config: ServiceConfig) -> None:
         self.config = config
         self.observer = as_observer(config.observer)
+        #: The execution host actually in effect (subprocess falls back
+        #: to thread where fork is unavailable).
+        self.executor_mode = (
+            "subprocess"
+            if config.executor == "subprocess" and fork_available()
+            else "thread"
+        )
         self.queue = AdmissionQueue(
             max_depth=config.max_queue_depth,
-            on_depth=lambda depth: self.observer.gauge(
-                "serve.queue_depth", float(depth)
-            ),
+            on_depth=self._on_depth,
+            max_bypass_age=config.max_bypass_age,
+            max_queue_seconds=config.max_queue_seconds,
+            quota_rate=config.quota_rate,
+            quota_burst=config.quota_burst,
+            on_shed=self._on_shed,
         )
         self.batcher = Batcher(
             self.queue, max_batch=config.max_batch, linger=config.linger
         )
+        self.pool: ExecutorPool | None = None
+        self._runner: RequestRunner | None = None
+        if self.executor_mode == "thread":
+            self._runner = RequestRunner(
+                config.results_dir,
+                strategy=config.strategy,
+                num_workers=config.num_workers,
+                max_deadline=config.max_deadline,
+                pool_engines=(config.serve_workers == 1),
+                observer=self.observer,
+            )
         self._sock: socket.socket | None = None
         self._acceptor: threading.Thread | None = None
         self._workers: list[threading.Thread] = []
         self._handlers: set[threading.Thread] = set()
         self._handlers_lock = threading.Lock()
-        self._engines: dict[tuple, ParmaEngine] = {}
-        self._engines_lock = threading.Lock()
         self._stopping = threading.Event()
         self._drained = threading.Event()
         self._started_at = time.monotonic()
         self._requests_seen = 0
+        self._shed_counts = {name: 0 for name in PRIORITY_CLASSES}
+        self._quota_rejections = 0
+        self._idempotent_hits = 0
+        self._idempotency_lock = threading.Lock()
+        self._inflight: dict[str, Ticket] = {}
+        self._completed: OrderedDict[str, Response] = OrderedDict()
 
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> None:
-        """Bind the socket and spawn the acceptor and worker threads."""
+        """Bind the socket and spawn executors, acceptor and dispatchers.
+
+        Executor children fork first, while the process is still
+        single-threaded — the acceptor/handler threads only exist
+        afterwards, so the initial pool avoids fork-with-locks hazards
+        entirely (respawns after a crash do fork from a threaded
+        parent; see :meth:`repro.serve.executor.ExecutorPool.start`).
+        """
         if self._sock is not None:
             raise RuntimeError("service already started")
         path = self.config.socket_path
         path.parent.mkdir(parents=True, exist_ok=True)
         self.config.results_dir.mkdir(parents=True, exist_ok=True)
+        if self.executor_mode == "subprocess":
+            self.pool = ExecutorPool(
+                self.config.serve_workers,
+                self.config.results_dir,
+                strategy=self.config.strategy,
+                num_workers=self.config.num_workers,
+                max_deadline=self.config.max_deadline,
+                stall_timeout=self.config.stall_timeout,
+                term_grace=self.config.term_grace,
+                max_salvage=self.config.max_salvage,
+                observer=self.observer,
+                faults=self.config.faults,
+                on_response=self._on_executed,
+            )
+            self.pool.start()
         if path.exists():
             # A previous instance that died uncleanly leaves its socket
             # file behind; binding over it requires the unlink.
@@ -165,7 +262,8 @@ class SolveService:
         for rank in range(self.config.serve_workers):
             worker = threading.Thread(
                 target=self._worker_loop,
-                name=f"serve-worker-{rank}",
+                args=(rank,),
+                name=f"serve-dispatch-{rank}",
                 daemon=True,
             )
             worker.start()
@@ -175,6 +273,7 @@ class SolveService:
             socket=str(path),
             workers=self.config.serve_workers,
             max_batch=self.config.max_batch,
+            executor=self.executor_mode,
         )
 
     def request_drain(self) -> None:
@@ -182,7 +281,7 @@ class SolveService:
 
         New submissions are rejected with ``rejected-draining``,
         queued-but-unstarted tickets are resolved with the same
-        retriable status, and workers exit once in-flight batches
+        retriable status, and dispatchers exit once in-flight batches
         finish.  :meth:`wait` observes completion.
         """
         if self._stopping.is_set():
@@ -209,9 +308,11 @@ class SolveService:
         return True
 
     def stop(self) -> None:
-        """Drain, join every thread and remove the socket (idempotent)."""
+        """Drain, join every thread, retire executors, unlink the socket."""
         self.request_drain()
         self.wait()
+        if self.pool is not None:
+            self.pool.stop()
         if self._acceptor is not None:
             self._acceptor.join(timeout=5.0)
             self._acceptor = None
@@ -232,6 +333,36 @@ class SolveService:
     def draining(self) -> bool:
         """True once a drain has been requested."""
         return self._stopping.is_set()
+
+    # -- admission callbacks -------------------------------------------------
+
+    def _on_depth(self, depth: int) -> None:
+        """Mirror queue depth (total and per class) into gauges."""
+        self.observer.gauge("serve.queue_depth", float(depth))
+        for name, count in self.queue.depths().items():
+            self.observer.gauge(f"serve.queue_depth.{name}", float(count))
+
+    def _on_shed(self, ticket: Ticket) -> None:
+        """Resolve a load-shed ticket with the retriable rejection."""
+        priority = ticket.request.priority
+        self._shed_counts[priority] = self._shed_counts.get(priority, 0) + 1
+        self.observer.count(f"serve.shed.{priority}")
+        ticket.try_resolve(
+            Response(
+                id=ticket.request.id or "",
+                status=STATUS_QUEUE_FULL,
+                error=(
+                    "shed to admit higher-priority work under overload; "
+                    "retry later"
+                ),
+                queue_seconds=ticket.queue_seconds(),
+            )
+        )
+
+    def _on_executed(self, ticket: Ticket, response: Response) -> None:
+        """Per-delivery bookkeeping: feed the queue's load estimator."""
+        if response.elapsed_seconds > 0.0:
+            self.queue.note_service_time(response.elapsed_seconds)
 
     # -- acceptor / handlers -------------------------------------------------
 
@@ -297,8 +428,20 @@ class SolveService:
             return {
                 "kind": "stats",
                 "queue_depth": self.queue.depth(),
+                "queue_depths": self.queue.depths(),
+                "estimated_queue_seconds": self.queue.estimated_queue_seconds(),
                 "draining": self.draining,
                 "requests": self._requests_seen,
+                "executor": self.executor_mode,
+                "shed": dict(self._shed_counts),
+                "quota_rejections": self._quota_rejections,
+                "idempotent_hits": self._idempotent_hits,
+                "worker_respawns": (
+                    self.pool.respawns if self.pool is not None else 0
+                ),
+                "requests_salvaged": (
+                    self.pool.salvaged if self.pool is not None else 0
+                ),
                 "metrics": snapshot,
             }
         if kind == "drain":
@@ -313,7 +456,13 @@ class SolveService:
         return self._handle_solve(message)
 
     def _handle_solve(self, message: dict) -> dict:
-        """Admit a solve request, wait for its ticket, return the reply."""
+        """Admit a solve request, wait for its ticket, return the reply.
+
+        Client-supplied ids are idempotency keys: a duplicate of a
+        completed request answers from the cache, a duplicate of an
+        in-flight request joins the existing ticket, and only then does
+        a fresh ticket enter admission.
+        """
         try:
             request = Request.from_dict(message)
             request.z_array()  # shape-check before admission
@@ -328,14 +477,43 @@ class SolveService:
             request = dataclasses.replace(request, id=uuid.uuid4().hex[:12])
         self._requests_seen += 1
         self.observer.count("serve.requests")
+        assert request.id is not None
+        with self._idempotency_lock:
+            cached = self._completed.get(request.id)
+            if cached is not None:
+                self._completed.move_to_end(request.id)
+                joined = None
+            else:
+                joined = self._inflight.get(request.id)
+        if cached is not None:
+            self._idempotent_hits += 1
+            self.observer.count("serve.idempotent_hits")
+            return cached.to_dict()
+        if joined is not None:
+            self._idempotent_hits += 1
+            self.observer.count("serve.idempotent_hits")
+            response = joined.wait()
+            assert response is not None
+            return response.to_dict()
         try:
             ticket = self.queue.submit(request)
         except QueueFull as exc:
             return self._reject(request, STATUS_QUEUE_FULL, error=str(exc))
         except QueueDraining as exc:
             return self._reject(request, STATUS_DRAINING, error=str(exc))
+        except QuotaExceeded as exc:
+            self._quota_rejections += 1
+            return self._reject(request, STATUS_QUOTA, error=str(exc))
+        with self._idempotency_lock:
+            self._inflight[request.id] = ticket
         response = ticket.wait()
         assert response is not None  # tickets are always resolved
+        with self._idempotency_lock:
+            self._inflight.pop(request.id, None)
+            if not response.retriable:
+                self._completed[request.id] = response
+                while len(self._completed) > self.config.idempotency_cache:
+                    self._completed.popitem(last=False)
         return response.to_dict()
 
     def _reject(
@@ -346,24 +524,21 @@ class SolveService:
         ticket: Ticket | None = None,
     ) -> dict:
         """Build (and deliver, for queued tickets) a retriable rejection."""
-        counter = (
-            "serve.rejected.queue_full"
-            if status == STATUS_QUEUE_FULL
-            else "serve.rejected.draining"
+        self.observer.count(
+            _REJECT_COUNTERS.get(status, "serve.rejected.draining")
         )
-        self.observer.count(counter)
         response = Response(
             id=request.id or "",
             status=status,
             error=error or "service is draining; retry against the next instance",
         )
         if ticket is not None:
-            ticket.resolve(response)
+            ticket.try_resolve(response)
         return response.to_dict()
 
-    # -- workers -------------------------------------------------------------
+    # -- dispatchers ---------------------------------------------------------
 
-    def _worker_loop(self) -> None:
+    def _worker_loop(self, rank: int) -> None:
         """Pull batches until the queue is drained empty, then exit."""
         while True:
             batch = self.batcher.next_batch(timeout=_POLL_SECONDS)
@@ -371,57 +546,24 @@ class SolveService:
                 if self._stopping.is_set() and self.queue.depth() == 0:
                     return
                 continue
-            self._execute_batch(batch)
+            self._execute_batch(rank, batch)
 
-    def _engine_for(self, request: Request, deadline: Deadline | None) -> ParmaEngine:
-        """A pooled engine for the request's knobs (fresh when deadlined).
-
-        Engines are stateless between calls, so one per knob
-        combination serves every matching request; a per-request
-        deadline (and the observer handle) is mutable engine state, so
-        deadlined requests — and every request when more than one
-        executor thread could share a pooled engine — get a throwaway.
-        Engine construction is cheap; the expensive state (templates,
-        pinv LRU, Jacobian structure) is process-global either way.
-        """
-        key = (
-            request.solver,
-            request.formation,
-            request.backend,
-            request.threshold_sigmas,
-            request.validate,
-        )
-        if deadline is not None or self.config.serve_workers > 1:
-            return ParmaEngine(
-                strategy=self.config.strategy,
-                num_workers=self.config.num_workers,
-                solver=request.solver,
-                backend=request.backend,
-                threshold_sigmas=request.threshold_sigmas,
-                formation=request.formation,
-                validate=request.validate,
-                deadline=deadline,
-            )
-        with self._engines_lock:
-            engine = self._engines.get(key)
-            if engine is None:
-                engine = ParmaEngine(
-                    strategy=self.config.strategy,
-                    num_workers=self.config.num_workers,
-                    solver=request.solver,
-                    backend=request.backend,
-                    threshold_sigmas=request.threshold_sigmas,
-                    formation=request.formation,
-                    validate=request.validate,
-                )
-                self._engines[key] = engine
-        return engine
-
-    def _execute_batch(self, batch: Batch) -> None:
-        """Run one compatible batch: shared warm-up, then each member."""
-        warm = batch.formation != "cached" or has_template(batch.n)
+    def _execute_batch(self, rank: int, batch: Batch) -> None:
+        """Run one compatible batch on this dispatcher's execution host."""
         self.observer.count("serve.batches")
         self.observer.observe_hist("serve.batch_size", float(batch.size))
+        if self.pool is not None:
+            with self.observer.span(
+                "serve.batch",
+                n=batch.n,
+                formation=batch.formation,
+                backend=batch.backend,
+                size=batch.size,
+                executor="subprocess",
+            ):
+                self.pool.run_batch(rank, list(batch.tickets))
+            return
+        warm = batch.formation != "cached" or has_template(batch.n)
         with self.observer.span(
             "serve.batch",
             n=batch.n,
@@ -439,137 +581,15 @@ class SolveService:
                 self._execute_ticket(ticket, batch, warm or index > 0)
 
     def _execute_ticket(self, ticket: Ticket, batch: Batch, warm: bool) -> None:
-        """Execute one request and resolve its ticket (never raises)."""
-        request = ticket.request
+        """Execute one request in-process and resolve its ticket."""
+        assert self._runner is not None
         queue_seconds = ticket.queue_seconds()
         self.observer.observe_hist("serve.queue_wait_seconds", queue_seconds)
-        started = time.perf_counter()
-        try:
-            response = self._run_request(request, batch, warm, queue_seconds)
-        except Exception as exc:  # noqa: BLE001 - tickets must resolve
-            self.observer.count("serve.responses.failed")
-            response = Response(
-                id=request.id or "",
-                status=STATUS_FAILED,
-                error=f"{type(exc).__name__}: {exc}",
-                batch_size=batch.size,
-                cache_warm=warm,
-                queue_seconds=queue_seconds,
-                elapsed_seconds=time.perf_counter() - started,
-            )
-        ticket.resolve(response)
-
-    def _fold_request_metrics(self, request_observer: Observer) -> None:
-        """Aggregate a finished request's registry into the service's.
-
-        Per-request observers own their formation/solve/cache counters
-        (they land in that request's manifest); merging them here keeps
-        the service-level ``stats`` reply a running total across every
-        request served.
-        """
-        if self.observer.metrics is not None:
-            self.observer.metrics.merge(request_observer.metrics.snapshot())
-
-    def _run_request(
-        self, request: Request, batch: Batch, warm: bool, queue_seconds: float
-    ) -> Response:
-        """The per-request pipeline: engine, observer, manifest, response."""
-        from repro.mea.dataset import Measurement, MeasurementValidationError
-        from repro.resilience.degrade import SolverDegradationError
-
-        started = time.perf_counter()
-        deadline = Deadline.capped(request.deadline, self.config.max_deadline)
-        engine = self._engine_for(request, deadline)
-        request_dir = self.config.results_dir / f"req-{request.id}"
-        obs = Observer(trace_dir=request_dir)
-        engine.observer = obs
-        config = {
-            "command": "serve",
-            "request_id": request.id,
-            "n": request.n,
-            "hour": request.hour,
-            "solver": request.solver,
-            "formation": request.formation,
-            "backend": request.backend,
-            "strategy": self.config.strategy,
-            "validate": request.validate,
-            "batch_size": batch.size,
-            "cache_warm": warm,
-        }
-        z = request.z_array()
-        try:
-            measurement: Measurement | object
-            try:
-                measurement = Measurement(
-                    z_kohm=z, voltage=request.voltage, hour=request.hour
-                )
-            except ValueError:
-                # Dirty acquisitions cannot satisfy Measurement's own
-                # invariants; hand the raw array to the engine's
-                # validate policy (strict will name the channel).
-                measurement = z
-            with obs.span("run", command="serve", n=request.n):
-                result = engine.parametrize(
-                    measurement,
-                    solver_kwargs=request.solver_kwargs or None,
-                    voltage=request.voltage,
-                    hour=request.hour,
-                )
-        except DeadlineExceeded as exc:
-            obs.finalize(config=config)
-            self._fold_request_metrics(obs)
-            self.observer.count("serve.responses.deadline")
-            return Response(
-                id=request.id or "",
-                status=STATUS_DEADLINE,
-                error=str(exc),
-                manifest_path=str(request_dir / MANIFEST_FILE_NAME),
-                batch_size=batch.size,
-                cache_warm=warm,
-                queue_seconds=queue_seconds,
-                elapsed_seconds=time.perf_counter() - started,
-            )
-        except (SolverDegradationError, MeasurementValidationError) as exc:
-            self.observer.count("serve.responses.failed")
-            return Response(
-                id=request.id or "",
-                status=STATUS_FAILED,
-                error=str(exc),
-                batch_size=batch.size,
-                cache_warm=warm,
-                queue_seconds=queue_seconds,
-                elapsed_seconds=time.perf_counter() - started,
-            )
-        finally:
-            engine.observer = None
-        elapsed = time.perf_counter() - started
-        obs.finalize(config=config)
-        self._fold_request_metrics(obs)
-        failed = (
-            result.degradation is not None
-            and result.degradation.degraded
-            and not result.solve.converged
-        )
-        bucket = "serve.latency.warm_seconds" if warm else "serve.latency.cold_seconds"
-        self.observer.observe_hist(bucket, elapsed)
-        self.observer.count(
-            "serve.responses.failed" if failed else "serve.responses.ok"
-        )
-        return Response(
-            id=request.id or "",
-            status=STATUS_FAILED if failed else STATUS_OK,
-            summary=result.summary(),
-            error=(
-                "solve did not converge even after degradation" if failed else ""
-            ),
-            manifest_path=str(request_dir / MANIFEST_FILE_NAME),
-            num_regions=result.detection.num_regions,
-            resistance=(
-                result.resistance.tolist() if request.want_field else None
-            ),
-            events=result.events,
+        response = self._runner.run(
+            ticket.request,
             batch_size=batch.size,
-            cache_warm=warm,
+            warm=warm,
             queue_seconds=queue_seconds,
-            elapsed_seconds=elapsed,
         )
+        ticket.try_resolve(response)
+        self._on_executed(ticket, response)

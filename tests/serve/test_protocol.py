@@ -7,6 +7,9 @@ import pytest
 
 from repro.serve.protocol import (
     MAX_MESSAGE_BYTES,
+    PRIORITY_BATCH,
+    PRIORITY_CLASSES,
+    PRIORITY_INTERACTIVE,
     RETRIABLE_EXIT_CODE,
     RETRIABLE_STATUSES,
     STATUS_DEADLINE,
@@ -15,6 +18,8 @@ from repro.serve.protocol import (
     STATUS_INVALID,
     STATUS_OK,
     STATUS_QUEUE_FULL,
+    STATUS_QUOTA,
+    STATUS_WORKER_LOST,
     ProtocolError,
     Request,
     Response,
@@ -55,8 +60,22 @@ class TestFraming:
             frame = encode_message({"kind": "ping"})
             a.sendall(frame[: len(frame) - 2])
             a.close()
-            with pytest.raises(ProtocolError, match="mid-message"):
+            with pytest.raises(ProtocolError, match="mid-message") as info:
                 recv_message(b)
+            # Offset is frame-relative: full header + partial payload.
+            assert info.value.bytes_read == len(frame) - 2
+        finally:
+            b.close()
+
+    def test_eof_between_header_and_payload_reports_offset(self):
+        a, b = socket.socketpair()
+        try:
+            frame = encode_message({"kind": "ping"})
+            a.sendall(frame[:4])
+            a.close()
+            with pytest.raises(ProtocolError) as info:
+                recv_message(b)
+            assert info.value.bytes_read == 4
         finally:
             b.close()
 
@@ -130,6 +149,23 @@ class TestRequestSchema:
         with pytest.raises(ValueError, match="JSON object"):
             Request.from_dict([1, 2])
 
+    def test_priority_and_client_id_roundtrip(self):
+        request = Request(
+            z=_z(3), priority=PRIORITY_INTERACTIVE, client_id="alice"
+        )
+        parsed = Request.from_dict(request.to_dict())
+        assert parsed.priority == PRIORITY_INTERACTIVE
+        assert parsed.client_id == "alice"
+
+    def test_priority_defaults_to_batch(self):
+        parsed = Request.from_dict({"kind": "solve", "z": _z(3)})
+        assert parsed.priority == PRIORITY_BATCH
+        assert parsed.client_id == ""
+
+    def test_unknown_priority_rejected(self):
+        with pytest.raises(ValueError, match="unknown priority"):
+            Request.from_dict({"kind": "solve", "z": _z(3), "priority": "vip"})
+
 
 class TestResponseSchema:
     def test_roundtrip(self):
@@ -168,16 +204,27 @@ class TestStatusMapping:
         assert exit_status_for(STATUS_DEADLINE) == 94
         assert exit_status_for(STATUS_QUEUE_FULL) == RETRIABLE_EXIT_CODE
         assert exit_status_for(STATUS_DRAINING) == RETRIABLE_EXIT_CODE
+        assert exit_status_for(STATUS_WORKER_LOST) == RETRIABLE_EXIT_CODE
+        assert exit_status_for(STATUS_QUOTA) == RETRIABLE_EXIT_CODE
 
     def test_deadline_exit_matches_batch_cli(self):
         from repro.resilience.supervise import DEADLINE_EXIT_CODE
 
         assert exit_status_for(STATUS_DEADLINE) == DEADLINE_EXIT_CODE
 
-    def test_retriable_statuses_are_exactly_the_rejections(self):
-        assert RETRIABLE_STATUSES == {STATUS_QUEUE_FULL, STATUS_DRAINING}
+    def test_retriable_statuses_are_exactly_the_safe_resubmits(self):
+        assert RETRIABLE_STATUSES == {
+            STATUS_QUEUE_FULL,
+            STATUS_DRAINING,
+            STATUS_WORKER_LOST,
+            STATUS_QUOTA,
+        }
         for status in RETRIABLE_STATUSES:
             assert Response(id="x", status=status).retriable
+
+    def test_priority_classes_order_interactive_first(self):
+        assert PRIORITY_CLASSES[0] == PRIORITY_INTERACTIVE
+        assert PRIORITY_BATCH in PRIORITY_CLASSES
 
     def test_unknown_status_raises(self):
         with pytest.raises(ValueError):

@@ -14,10 +14,13 @@ from repro.mea.wetlab import run_campaign
 from repro.observe import Observer
 from repro.observe.manifest import load_manifest, validate_manifest
 from repro.serve import (
+    PRIORITY_BATCH,
+    PRIORITY_INTERACTIVE,
     STATUS_DRAINING,
     STATUS_INVALID,
     STATUS_OK,
     STATUS_QUEUE_FULL,
+    STATUS_QUOTA,
     ServeConnectionError,
     ServiceConfig,
     SolveClient,
@@ -175,6 +178,42 @@ class TestAdmissionAndProtocolEdges:
         assert stats["requests"] >= 1
         assert stats["metrics"]["serve.responses.ok"]["value"] >= 1
 
+    def test_stats_reports_resilience_telemetry(self, service, measurement):
+        svc, client, obs = service
+        client.solve(measurement.z_kohm)
+        stats = client.stats()
+        assert stats["executor"] in {"thread", "subprocess"}
+        assert set(stats["queue_depths"]) == {
+            PRIORITY_INTERACTIVE,
+            PRIORITY_BATCH,
+        }
+        assert stats["estimated_queue_seconds"] >= 0.0
+        assert set(stats["shed"]) == {PRIORITY_INTERACTIVE, PRIORITY_BATCH}
+        assert stats["quota_rejections"] == 0
+        assert stats["idempotent_hits"] == 0
+        assert stats["worker_respawns"] == 0
+        assert stats["requests_salvaged"] == 0
+
+    def test_priority_request_accepted_end_to_end(self, service, measurement):
+        svc, client, obs = service
+        response = client.solve(
+            measurement.z_kohm,
+            priority=PRIORITY_INTERACTIVE,
+            client_id="tester",
+        )
+        assert response.ok
+
+    def test_unknown_priority_rejected_as_invalid(self, service, measurement):
+        svc, client, obs = service
+        payload = {
+            "kind": "solve",
+            "z": np.asarray(measurement.z_kohm).tolist(),
+            "priority": "urgent",
+        }
+        reply = client._roundtrip(payload)
+        assert reply["status"] == STATUS_INVALID
+        assert "priority" in reply["error"]
+
     def test_queue_full_is_retriable(self, tmp_path, measurement):
         # A dedicated tiny-queue service whose worker is wedged by a
         # slow request, so followers overflow the depth-1 queue.
@@ -214,6 +253,57 @@ class TestAdmissionAndProtocolEdges:
                 assert _counter(obs, "serve.rejected.queue_full") >= 1
         finally:
             svc.stop()
+
+
+class TestQuotasAndIdempotency:
+    def test_quota_rejection_is_retriable(self, tmp_path, measurement):
+        # Effectively-zero refill with burst 1: the second request from
+        # the same client id must bounce with the quota status.
+        obs = Observer()
+        config = ServiceConfig(
+            socket_path=tmp_path / "quota.sock",
+            results_dir=tmp_path / "quota-results",
+            linger=0.0,
+            quota_rate=1e-6,
+            quota_burst=1.0,
+            observer=obs,
+        )
+        svc = SolveService(config)
+        svc.start()
+        try:
+            client = SolveClient(config.socket_path, timeout=60.0)
+            assert client.wait_ready(timeout=10.0)
+            first = client.solve(measurement.z_kohm, client_id="greedy")
+            assert first.ok
+            second = client.solve(measurement.z_kohm, client_id="greedy")
+            assert second.status == STATUS_QUOTA
+            assert second.retriable and second.exit_status == 75
+            # Anonymous requests are exempt from quotas.
+            assert client.solve(measurement.z_kohm).ok
+            stats = client.stats()
+            assert stats["quota_rejections"] == 1
+            assert _counter(obs, "serve.rejected.quota") == 1
+        finally:
+            svc.stop()
+
+    def test_duplicate_id_returns_cached_response(self, service, measurement):
+        svc, client, obs = service
+        first = client.solve(measurement.z_kohm, id="dup-key")
+        assert first.ok
+        again = client.solve(measurement.z_kohm, id="dup-key")
+        assert again.ok
+        # Same solve, not a re-execution: manifests are written once.
+        assert again.manifest_path == first.manifest_path
+        assert again.elapsed_seconds == first.elapsed_seconds
+        assert _counter(obs, "serve.idempotent_hits") == 1
+        assert client.stats()["idempotent_hits"] == 1
+
+    def test_retriable_responses_are_not_cached(self, service, measurement):
+        svc, client, obs = service
+        svc.request_drain()
+        rejected = client.solve(measurement.z_kohm, id="while-draining")
+        assert rejected.status == STATUS_DRAINING
+        assert _counter(obs, "serve.idempotent_hits") == 0
 
 
 class TestDrain:
