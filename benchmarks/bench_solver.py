@@ -165,6 +165,47 @@ def run_benchmark(sizes: list[int]) -> dict:
     }
 
 
+def write_manifests(
+    report: dict, directory: Path, catalog_db: Path | None = None
+) -> None:
+    """One bench-tagged run manifest per size, for the run catalog.
+
+    Each size becomes a ``bench-solver-n<N>/manifest.json`` whose
+    ``solve`` phase carries the measured cold time and whose
+    ``extra.bench = "solver"`` tag is what ``parma runs regress``
+    matches against ``BENCH_solver.json``.
+    """
+    directory.mkdir(parents=True, exist_ok=True)
+    for row in report["sizes"]:
+        obs = Observer(trace_dir=directory / f"bench-solver-n{row['n']}")
+        # Span timestamps are perf_counter coordinates; anchor the
+        # synthesized span so the manifest wall equals the bench time.
+        obs.add_span(
+            "solve",
+            ts=time.perf_counter() - row["fast_cold_seconds"],
+            dur=row["fast_cold_seconds"],
+            n=row["n"],
+        )
+        obs.gauge("bench.iterations", row["iterations"])
+        obs.finalize(
+            config={
+                "command": "bench-solver",
+                "n": row["n"],
+                "solver": "nested",
+                "backend": "numpy",
+                "status": "ok" if row["converged"] else "unconverged",
+            },
+            extra={"bench": "solver"},
+        )
+    print(f"wrote {len(report['sizes'])} bench manifest(s) under {directory}")
+    if catalog_db is not None:
+        from repro.observe.catalog import Catalog
+
+        with Catalog(catalog_db) as catalog:
+            ingested = catalog.ingest([directory])
+            print(f"catalog: {ingested.summary()} -> {catalog_db}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -176,16 +217,29 @@ def main(argv: list[str] | None = None) -> int:
         help="write the JSON report here (default: print only)",
     )
     parser.add_argument(
+        "--manifests", type=Path, default=None, metavar="DIR",
+        help="also write one bench-tagged run manifest per size under "
+        "DIR (ingestable by `parma runs ingest`)",
+    )
+    parser.add_argument(
+        "--catalog", type=Path, default=None, metavar="DB",
+        help="ingest the --manifests output into this run catalog",
+    )
+    parser.add_argument(
         "--require-speedup", type=float, default=None, metavar="X",
         help="exit nonzero unless the largest reference-timed size "
         "reaches an X-fold speedup (small sizes are sub-millisecond "
         "and timing noise dominates them)",
     )
     args = parser.parse_args(argv)
+    if args.catalog is not None and args.manifests is None:
+        parser.error("--catalog requires --manifests DIR")
     report = run_benchmark(args.sizes)
     if args.out is not None:
         args.out.write_text(json.dumps(report, indent=2) + "\n")
         print(f"wrote {args.out}")
+    if args.manifests is not None:
+        write_manifests(report, args.manifests, catalog_db=args.catalog)
     failures = []
     for row in report["sizes"]:
         if row.get("within_budget") is False:

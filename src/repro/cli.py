@@ -28,7 +28,13 @@ Subcommands mirror the wet-lab workflow:
 ``trace``
     Inspect observability artifacts: ``parma trace summarize DIR``
     prints the phase rollup, metrics and environment of a traced run
-    (``parma solve/monitor --trace DIR``).
+    (``parma solve/monitor --trace DIR``); ``--json`` emits the same
+    flattened record the run catalog ingests.
+``runs``
+    The SQLite run catalog (docs/OBSERVABILITY.md): ``ingest``
+    manifest directories, ``list``/``show``/``query``/``stats`` them,
+    ``regress`` bench-tagged runs against the committed BENCH_*.json
+    trajectories, and ``watch`` a live ``parma serve`` instance.
 ``serve``
     Run the persistent solve service on a unix-domain socket: a
     long-lived engine pool with warm formation/pinv caches, request
@@ -46,7 +52,9 @@ as ``parma ...`` (console script) or ``python -m repro.cli ...``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
@@ -59,6 +67,17 @@ def _make_observer(args: argparse.Namespace):
     the zero-overhead no-op).
     """
     trace_dir = getattr(args, "trace", None)
+    if trace_dir is None:
+        if getattr(args, "catalog", None) is not None:
+            raise ValueError(
+                "--catalog requires --trace DIR (the catalog ingests the "
+                "run manifest written there)"
+            )
+        if getattr(args, "bench_tag", None):
+            raise ValueError(
+                "--bench-tag requires --trace DIR (the tag is stamped into "
+                "the run manifest)"
+            )
     if trace_dir is None and not getattr(args, "metrics", False):
         return None
     from repro.observe import Observer, set_observer
@@ -77,7 +96,10 @@ def _finish_observer(obs, args: argparse.Namespace, config: dict, memory=None) -
 
     try:
         if obs.trace_dir is not None:
-            manifest = obs.finalize(config=config, memory=memory)
+            extra = None
+            if getattr(args, "bench_tag", None):
+                extra = {"bench": args.bench_tag}
+            manifest = obs.finalize(config=config, memory=memory, extra=extra)
             print(
                 f"trace: {manifest['num_spans']} span(s) -> {obs.trace_dir} "
                 f"(run {manifest['run_id']}; open trace.chrome.json in "
@@ -85,6 +107,16 @@ def _finish_observer(obs, args: argparse.Namespace, config: dict, memory=None) -
                 f"{obs.trace_dir}`)"
             )
             print(f"manifest: {obs.trace_dir / MANIFEST_FILE_NAME}")
+            catalog_path = getattr(args, "catalog", None)
+            if catalog_path is not None:
+                from repro.observe.catalog import Catalog
+
+                with Catalog(catalog_path) as catalog:
+                    report = catalog.ingest([obs.trace_dir])
+                    print(
+                        f"catalog: {report.summary()} -> {catalog_path} "
+                        f"({catalog.count()} run(s) total)"
+                    )
         if getattr(args, "metrics", False):
             from repro.instrument.report import metrics_table
             from repro.observe.metrics import sync_cache_gauges
@@ -111,6 +143,15 @@ def _add_observe_args(parser: argparse.ArgumentParser) -> None:
                              "manifest.json for this run to DIR")
     parser.add_argument("--metrics", action="store_true",
                         help="print the run's metrics table")
+    parser.add_argument("--catalog", type=Path, default=None, metavar="DB",
+                        help="also ingest this run's manifest into the "
+                             "SQLite run catalog at DB (requires --trace; "
+                             "query it with `parma runs`)")
+    parser.add_argument("--bench-tag", default=None, metavar="NAME",
+                        help="stamp extra.bench=NAME into the manifest so "
+                             "`parma runs regress` gates this run against "
+                             "the committed BENCH_*.json trajectory "
+                             "(requires --trace)")
 
 
 def _add_deadline_args(parser: argparse.ArgumentParser) -> None:
@@ -134,7 +175,7 @@ _DEADLINE_EXIT = 94
 
 def _deadline_failure(exc, obs, args, config) -> None:
     """Report a blown deadline: finalize artifacts, print the salvage."""
-    _finish_observer(obs, args, config)
+    _finish_observer(obs, args, {**config, "status": "deadline"})
     print(f"error: {exc}", file=sys.stderr)
     partial = getattr(exc, "partial", None)
     if partial is not None and hasattr(partial, "summary"):
@@ -245,6 +286,13 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         _drop_observer(obs)
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    degraded = result.degradation is not None and result.degradation.degraded
+    unconverged = degraded and not result.solve.converged
+    # Stamped before finalize so the manifest (and the run catalog's
+    # `status` column) records the outcome, not just the knobs.
+    config["status"] = (
+        "unconverged" if unconverged else "degraded" if degraded else "ok"
+    )
     _finish_observer(obs, args, config, memory=memory)
     print(result.summary())
     for event in result.events:
@@ -339,6 +387,14 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     except DeadlineExceeded as exc:
         _deadline_failure(exc, obs, args, config)
         return DEADLINE_EXIT_CODE
+    config["status"] = (
+        "degraded"
+        if any(
+            r.degradation is not None and r.degradation.degraded
+            for r in out.results
+        )
+        else "ok"
+    )
     _finish_observer(obs, args, config, memory=memory)
     print(out.summary())
     resumed = sum(
@@ -832,6 +888,16 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"error: no {MANIFEST_FILE_NAME} in {directory}", file=sys.stderr)
         return 2
     manifest = load_manifest(manifest_path)
+    if args.json:
+        # Same serializer the run catalog ingests through, so scripted
+        # consumers and `parma runs` always agree on derived fields.
+        from repro.observe.catalog import summarize_run
+
+        print(json.dumps(
+            summarize_run(manifest, source_path=str(manifest_path)),
+            indent=2, sort_keys=True, default=str,
+        ))
+        return 0
     env = manifest["environment"]
     print(f"run {manifest['run_id']}")
     print(
@@ -969,6 +1035,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue_seconds=args.max_queue_seconds,
         quota_rate=args.quota_rate,
         quota_burst=args.quota_burst,
+        catalog_path=args.catalog,
         observer=obs,
     )
     service = SolveService(config)
@@ -997,16 +1064,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "command": "serve",
                 "socket": str(args.socket),
                 "executor": service.executor_mode,
+                "status": "ok",  # the drain completed
                 "worker_respawns": (
                     service.pool.respawns if service.pool is not None else 0
                 ),
                 "requests_salvaged": (
                     service.pool.salvaged if service.pool is not None else 0
                 ),
-            }
+            },
+            extra={"bench": args.bench_tag} if args.bench_tag else None,
         )
         print(f"service manifest: {args.trace}/manifest.json "
               f"(run {manifest['run_id']})")
+        if args.catalog is not None:
+            from repro.observe.catalog import Catalog
+
+            with Catalog(args.catalog) as catalog:
+                report = catalog.ingest([obs.trace_dir])
+                print(
+                    f"catalog: {report.summary()} -> {args.catalog} "
+                    f"({catalog.count()} run(s) total)"
+                )
     if args.metrics and obs.metrics is not None:
         from repro.instrument.report import metrics_table
 
@@ -1089,6 +1167,317 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         np.save(args.field_out, field)
         print(f"wrote recovered field to {args.field_out}")
     return response.exit_status
+
+
+# -- `parma runs`: the SQLite run catalog -------------------------------------
+
+#: Default catalog database (override with ``--db``).
+DEFAULT_CATALOG_DB = Path("runs-catalog.sqlite")
+
+
+def _runs_filters(args: argparse.Namespace) -> dict:
+    """Shared ``runs`` filter flags -> :meth:`Catalog._filters` knobs."""
+    from repro.observe.catalog import parse_since
+
+    filters: dict = {}
+    if getattr(args, "kind", None):
+        filters["kind"] = args.kind
+    if getattr(args, "status", None):
+        filters["status"] = args.status
+    if getattr(args, "bench", None):
+        filters["bench"] = args.bench
+    if getattr(args, "since", None):
+        filters["since"] = parse_since(args.since)
+    if getattr(args, "min_rung", None) is not None:
+        filters["min_rung"] = args.min_rung
+    if getattr(args, "grep", None):
+        filters["search"] = args.grep
+    if getattr(args, "where", None):
+        filters["where"] = args.where
+    return filters
+
+
+def _cmd_runs_ingest(args: argparse.Namespace) -> int:
+    from repro.observe.catalog import Catalog
+
+    with Catalog(args.db) as catalog:
+        report = catalog.ingest(args.paths)
+        for path, error in report.errors:
+            print(f"rejected {path}: {error}", file=sys.stderr)
+        print(report.summary())
+        print(f"catalog: {args.db} ({catalog.count()} run(s) total)")
+    return 1 if report.errors else 0
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    from repro.instrument.report import ResultTable
+    from repro.observe.catalog import Catalog
+
+    with Catalog(args.db, readonly=True) as catalog:
+        rows = catalog.list_runs(limit=args.limit, **_runs_filters(args))
+    if args.json:
+        print(json.dumps([dict(r) for r in rows], indent=2, default=str))
+        return 0
+    table = ResultTable(
+        f"runs ({len(rows)} shown, newest first)",
+        ("run", "kind", "status", "n", "backend", "rung", "started",
+         "wall s", "solve s", "bench"),
+    )
+    for row in rows:
+        started = (
+            time.strftime("%m-%d %H:%M:%S", time.localtime(row["started_unix"]))
+            if row["started_unix"]
+            else "-"
+        )
+        table.add_row(
+            row["run_id"][:17],
+            row["kind"],
+            row["status"],
+            row["n"] if row["n"] is not None else "-",
+            row["backend"] or "-",
+            row["rung_name"] if row["degradation_rung"] else "-",
+            started,
+            f"{row['wall_seconds']:.3f}" if row["wall_seconds"] else "-",
+            (
+                f"{row['solve_seconds']:.3f}"
+                if row["solve_seconds"] is not None
+                else "-"
+            ),
+            row["bench"] or "-",
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> int:
+    from repro.instrument.report import ResultTable, human_bytes, human_seconds
+    from repro.observe.catalog import Catalog
+
+    with Catalog(args.db, readonly=True) as catalog:
+        run, phases, metrics = catalog.get_run(args.run_id)
+    if args.json:
+        print(json.dumps(
+            {
+                "run": dict(run),
+                "phases": [dict(p) for p in phases],
+                "metrics": [dict(m) for m in metrics],
+            },
+            indent=2, default=str,
+        ))
+        return 0
+    print(f"run {run['run_id']} [{run['kind']}] status={run['status']}")
+    knobs = ", ".join(
+        f"{key}={run[key]}"
+        for key in ("n", "hour", "strategy", "workers", "solver", "backend",
+                    "formation", "validate", "timepoints")
+        if run[key] is not None
+    )
+    if knobs:
+        print(f"  config: {knobs}")
+    print(
+        f"  wall {human_seconds(run['wall_seconds'] or 0)}, "
+        f"cpu {human_seconds(run['cpu_seconds'] or 0)}, "
+        f"{run['num_spans'] or 0} span(s); "
+        f"rung {run['degradation_rung']} ({run['rung_name']})"
+    )
+    if run["bench"]:
+        print(f"  bench tag: {run['bench']}")
+    if run["mem_peak_bytes"]:
+        print(
+            f"  memory: peak {human_bytes(run['mem_peak_bytes'])}, "
+            f"p50 {human_bytes(run['mem_p50_bytes'] or 0)}, "
+            f"p90 {human_bytes(run['mem_p90_bytes'] or 0)}"
+        )
+    rates = [
+        f"{label} {run[column]:.1%}"
+        for label, column in (
+            ("template", "template_hit_rate"),
+            ("laplacian", "laplacian_hit_rate"),
+            ("jacobian", "jacobian_hit_rate"),
+        )
+        if run[column] is not None
+    ]
+    if rates:
+        print(f"  cache hit rates: {', '.join(rates)}")
+    if run["source_path"]:
+        print(f"  manifest: {run['source_path']}")
+    table = ResultTable("phases", ("phase", "count", "total s", "self s"))
+    for phase in phases:
+        table.add_row(
+            phase["name"], phase["count"],
+            f"{phase['total_seconds']:.4f}", f"{phase['self_seconds']:.4f}",
+        )
+    if phases:
+        print(table.render())
+    return 0
+
+
+def _cmd_runs_query(args: argparse.Namespace) -> int:
+    from repro.instrument.report import ResultTable
+    from repro.observe.catalog import Catalog
+
+    with Catalog(args.db, readonly=True) as catalog:
+        columns, rows = catalog.query(args.sql)
+    if args.json:
+        print(json.dumps(
+            [dict(zip(columns, row)) for row in rows], indent=2, default=str
+        ))
+        return 0
+    table = ResultTable(f"query ({len(rows)} row(s))", tuple(columns) or ("?",))
+    for row in rows:
+        table.add_row(*[value if value is not None else "-" for value in row])
+    print(table.render())
+    return 0
+
+
+def _cmd_runs_stats(args: argparse.Namespace) -> int:
+    from repro.instrument.report import ResultTable
+    from repro.observe.catalog import Catalog
+
+    group_by = tuple(
+        g.strip() for g in args.group_by.split(",") if g.strip()
+    )
+    with Catalog(args.db, readonly=True) as catalog:
+        entries = catalog.stats(
+            group_by=group_by, metric=args.metric, **_runs_filters(args)
+        )
+    if args.json:
+        print(json.dumps(entries, indent=2, default=str))
+        return 0
+    table = ResultTable(
+        f"{args.metric} by {', '.join(group_by) or 'all'}",
+        (*group_by, "count", "p50", "p95", "mean", "max"),
+    )
+    for entry in entries:
+        table.add_row(
+            *[entry[g] if entry[g] is not None else "-" for g in group_by],
+            entry["count"],
+            f"{entry['p50']:.4f}",
+            f"{entry['p95']:.4f}",
+            f"{entry['mean']:.4f}",
+            f"{entry['max']:.4f}",
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_runs_regress(args: argparse.Namespace) -> int:
+    from repro.observe.catalog import Catalog
+
+    bench_paths = args.bench or [
+        path
+        for path in (Path("BENCH_solver.json"), Path("BENCH_formation.json"))
+        if path.exists()
+    ]
+    if not bench_paths:
+        print(
+            "error: no benchmark trajectories (pass --bench PATH or run "
+            "from a checkout with BENCH_solver.json / BENCH_formation.json)",
+            file=sys.stderr,
+        )
+        return 2
+    with Catalog(args.db, readonly=True) as catalog:
+        report = catalog.regress(bench_paths, threshold=args.threshold)
+    print(report.render())
+    if not report.checks:
+        # An empty gate passes nothing; surface it as a failure so CI
+        # can't silently stop gating when tagging breaks.
+        print(
+            "error: no bench-tagged runs matched any trajectory "
+            "(run with --trace DIR --catalog DB --bench-tag solver|formation)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0 if report.ok else 1
+
+
+def _watch_render(stats: dict, previous: dict | None) -> str:
+    """One dashboard frame from a serve stats reply (+ the previous one)."""
+    from repro.instrument.report import human_seconds
+    from repro.observe.metrics import histogram_quantile
+
+    elapsed = None
+    if previous is not None:
+        delta = stats.get("server_monotonic", 0.0) - previous.get(
+            "server_monotonic", 0.0
+        )
+        if delta > 0:
+            elapsed = delta
+
+    def rate(current: float, key: str) -> str:
+        if elapsed is None:
+            return ""
+        per_second = (current - (previous or {}).get(key, 0)) / elapsed
+        return f" ({per_second:+.2f}/s)"
+
+    lines = [
+        f"parma serve — up {human_seconds(stats.get('uptime_seconds', 0.0))}"
+        f" | executor {stats.get('executor', '?')}"
+        f" | {'DRAINING' if stats.get('draining') else 'serving'}"
+    ]
+    requests = stats.get("requests", 0)
+    lines.append(
+        f"requests {requests}{rate(requests, 'requests')}"
+        f" | idempotent hits {stats.get('idempotent_hits', 0)}"
+        f" | respawns {stats.get('worker_respawns', 0)}"
+        f" | salvaged {stats.get('requests_salvaged', 0)}"
+    )
+    depths = stats.get("queue_depths", {}) or {}
+    per_class = ", ".join(f"{k} {v}" for k, v in sorted(depths.items()))
+    lines.append(
+        f"queue depth {stats.get('queue_depth', 0)}"
+        + (f" ({per_class})" if per_class else "")
+        + f" | est wait {stats.get('estimated_queue_seconds', 0.0):.2f}s"
+    )
+    shed = stats.get("shed", {}) or {}
+    shed_text = ", ".join(f"{k} {v}" for k, v in sorted(shed.items())) or "none"
+    lines.append(
+        f"shed: {shed_text}"
+        f" | quota rejections {stats.get('quota_rejections', 0)}"
+    )
+    metrics = stats.get("metrics", {}) or {}
+    for label, name in (
+        ("latency warm", "serve.latency.warm_seconds"),
+        ("latency cold", "serve.latency.cold_seconds"),
+        ("queue wait", "serve.queue_wait_seconds"),
+    ):
+        entry = metrics.get(name)
+        if not isinstance(entry, dict) or not entry.get("count"):
+            continue
+        lines.append(
+            f"{label}: n={entry['count']} "
+            f"p50 {histogram_quantile(entry, 0.50) * 1e3:.1f}ms "
+            f"p95 {histogram_quantile(entry, 0.95) * 1e3:.1f}ms"
+        )
+    if elapsed is not None:
+        lines.append(f"rates over the last {elapsed:.1f}s")
+    return "\n".join(lines)
+
+
+def _cmd_runs_watch(args: argparse.Namespace) -> int:
+    """Poll a running ``parma serve`` and render a live text dashboard."""
+    from repro.serve import ServeConnectionError, SolveClient
+
+    client = SolveClient(args.socket, timeout=args.timeout)
+    previous = None
+    frames = 0
+    try:
+        while True:
+            try:
+                stats = client.stats()
+            except ServeConnectionError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            if not args.no_clear and sys.stdout.isatty():
+                print("\x1b[2J\x1b[H", end="")
+            print(_watch_render(stats, previous), flush=True)
+            previous = stats
+            frames += 1
+            if args.iterations is not None and frames >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1321,7 +1710,121 @@ def build_parser() -> argparse.ArgumentParser:
                         help="directory written by --trace")
     p_tsum.add_argument("--tree", action="store_true",
                         help="also print the reconstructed span tree")
+    p_tsum.add_argument("--json", action="store_true",
+                        help="emit the flattened run record as JSON (the "
+                             "same serializer `parma runs ingest` indexes)")
     p_tsum.set_defaults(func=_cmd_trace)
+
+    p_runs = sub.add_parser(
+        "runs", help="SQLite run catalog over manifest directories"
+    )
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+
+    def _add_db(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--db", type=Path, default=DEFAULT_CATALOG_DB,
+                       help="catalog database path "
+                            f"(default {DEFAULT_CATALOG_DB})")
+
+    def _add_filters(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--kind", default=None,
+                       help="filter: run kind (solve, monitor, serve, "
+                            "serve-request, chaos, ...)")
+        p.add_argument("--status", default=None,
+                       help="filter: exit status (ok, degraded, unconverged, "
+                            "deadline, failed, exhausted)")
+        p.add_argument("--bench", default=None,
+                       help="filter: bench tag (solver, formation, ...)")
+        p.add_argument("--since", default=None, metavar="AGE|ISO",
+                       help="filter: started within a relative age (12h, 7d, "
+                            "2w) or after an ISO date")
+        p.add_argument("--min-rung", type=int, default=None, metavar="K",
+                       help="filter: degradation ladder reached rung >= K "
+                            "(1 = any degradation)")
+        p.add_argument("--grep", default=None, metavar="TEXT",
+                       help="filter: free-text search over config/"
+                            "environment/extra (FTS5 when available)")
+        p.add_argument("--where", default=None, metavar="SQL",
+                       help="filter: raw SQL condition over runs columns, "
+                            "e.g. \"n >= 20 AND solver = 'nested'\"")
+
+    p_ringest = runs_sub.add_parser(
+        "ingest", help="index manifest files/directories (idempotent)"
+    )
+    p_ringest.add_argument("paths", type=Path, nargs="+",
+                           help="manifest.json files or directories to "
+                                "scan recursively")
+    _add_db(p_ringest)
+    p_ringest.set_defaults(func=_cmd_runs_ingest)
+
+    p_rlist = runs_sub.add_parser("list", help="tabulate cataloged runs")
+    _add_db(p_rlist)
+    _add_filters(p_rlist)
+    p_rlist.add_argument("--limit", type=int, default=50)
+    p_rlist.add_argument("--json", action="store_true",
+                         help="emit rows as JSON")
+    p_rlist.set_defaults(func=_cmd_runs_list)
+
+    p_rshow = runs_sub.add_parser(
+        "show", help="one run's columns, phases and metrics"
+    )
+    p_rshow.add_argument("run_id", help="full run id or unique prefix")
+    _add_db(p_rshow)
+    p_rshow.add_argument("--json", action="store_true")
+    p_rshow.set_defaults(func=_cmd_runs_show)
+
+    p_rquery = runs_sub.add_parser(
+        "query", help="read-only SQL over the catalog (SELECT only)"
+    )
+    p_rquery.add_argument("sql", help="a SELECT/WITH statement; tables: "
+                                      "runs, phases, metrics")
+    _add_db(p_rquery)
+    p_rquery.add_argument("--json", action="store_true")
+    p_rquery.set_defaults(func=_cmd_runs_query)
+
+    p_rstats = runs_sub.add_parser(
+        "stats", help="percentile aggregates (p50/p95/mean/max) of a column"
+    )
+    _add_db(p_rstats)
+    _add_filters(p_rstats)
+    p_rstats.add_argument("--group-by", default="n,backend", metavar="COLS",
+                          help="comma-separated runs columns to group by")
+    p_rstats.add_argument("--metric", default="solve_seconds",
+                          help="runs column to aggregate "
+                               "(solve_seconds, formation_seconds, "
+                               "wall_seconds, mem_peak_bytes, ...)")
+    p_rstats.add_argument("--json", action="store_true")
+    p_rstats.set_defaults(func=_cmd_runs_stats)
+
+    p_rregress = runs_sub.add_parser(
+        "regress", help="gate bench-tagged runs against BENCH_*.json "
+                        "(exit 1 past threshold)"
+    )
+    _add_db(p_rregress)
+    p_rregress.add_argument("--bench", type=Path, action="append",
+                            default=None, metavar="PATH",
+                            help="benchmark trajectory JSON (repeatable; "
+                                 "default: BENCH_solver.json and "
+                                 "BENCH_formation.json when present)")
+    p_rregress.add_argument("--threshold", type=float, default=1.5,
+                            help="fail when observed > threshold x baseline")
+    p_rregress.set_defaults(func=_cmd_runs_regress)
+
+    p_rwatch = runs_sub.add_parser(
+        "watch", help="live dashboard over a running `parma serve`"
+    )
+    p_rwatch.add_argument("--socket", type=Path, required=True,
+                          help="socket of the running `parma serve`")
+    p_rwatch.add_argument("--interval", type=float, default=2.0,
+                          help="seconds between polls")
+    p_rwatch.add_argument("--iterations", type=int, default=None,
+                          help="stop after this many frames (default: "
+                               "until interrupted)")
+    p_rwatch.add_argument("--timeout", type=float, default=5.0,
+                          help="per-poll socket timeout")
+    p_rwatch.add_argument("--no-clear", action="store_true",
+                          help="append frames instead of clearing the "
+                               "screen (useful for logs)")
+    p_rwatch.set_defaults(func=_cmd_runs_watch)
 
     return parser
 

@@ -18,7 +18,10 @@ all together next to the results.
   phase rollups, metric snapshot) with CI-gated required keys;
 * :mod:`repro.observe.observer` — the :class:`Observer` bundle and
   the global no-op default (:data:`NULL_OBSERVER`), which keeps hot
-  paths at < 2 % overhead when tracing is off.
+  paths at < 2 % overhead when tracing is off;
+* :mod:`repro.observe.catalog` — the SQLite run catalog indexing
+  manifest directories for ``parma runs``
+  (list/query/stats/regress/watch).
 
 ``manifest`` is imported lazily (PEP 562): it depends on
 :mod:`repro.resilience.atomio`, which itself reports byte counts
@@ -33,6 +36,7 @@ from repro.observe.metrics import (
     Histogram,
     MetricsRegistry,
     all_cache_stats,
+    histogram_quantile,
     record_degradation,
     record_formation,
     sync_cache_gauges,
@@ -60,11 +64,19 @@ from repro.observe.tracing import (
 _LAZY = {
     "ManifestError": "manifest",
     "REQUIRED_KEYS": "manifest",
+    "SUPPORTED_SCHEMA_VERSIONS": "manifest",
     "build_manifest": "manifest",
     "load_manifest": "manifest",
     "phase_total_seconds": "manifest",
     "validate_manifest": "manifest",
     "write_manifest": "manifest",
+    # catalog pulls in sqlite3 + manifest; keep it off the hot import path
+    "Catalog": "catalog",
+    "CatalogError": "catalog",
+    "IngestReport": "catalog",
+    "RegressReport": "catalog",
+    "flatten_manifest": "catalog",
+    "summarize_run": "catalog",
 }
 
 
@@ -94,6 +106,7 @@ __all__ = [
     "build_span_tree",
     "chrome_trace_events",
     "get_observer",
+    "histogram_quantile",
     "phase_rollup",
     "read_jsonl",
     "record_degradation",

@@ -31,6 +31,11 @@ from typing import Any
 
 MANIFEST_SCHEMA_VERSION = 1
 
+#: Schema versions this build can read.  :func:`validate_manifest`
+#: rejects anything else up front with a clear error, instead of
+#: letting a future manifest fail later on some missing/renamed key.
+SUPPORTED_SCHEMA_VERSIONS = (1,)
+
 #: Keys every manifest must carry (CI fails a traced run without them).
 REQUIRED_KEYS = (
     "schema_version",
@@ -168,6 +173,18 @@ def validate_manifest(manifest: Any) -> dict:
         raise ManifestError(
             f"manifest must be a JSON object, got {type(manifest).__name__}"
         )
+    # Schema gate first: a manifest from a newer (or corrupted) writer
+    # should be rejected by version, not by whichever renamed key
+    # happens to trip a confusing missing-key error below.
+    if "schema_version" in manifest:
+        version = manifest["schema_version"]
+        if version not in SUPPORTED_SCHEMA_VERSIONS:
+            supported = ", ".join(str(v) for v in SUPPORTED_SCHEMA_VERSIONS)
+            raise ManifestError(
+                f"manifest schema version {version!r} is not supported by "
+                f"this build (supported: {supported}); it was written by a "
+                "different parma version"
+            )
     missing = [key for key in REQUIRED_KEYS if key not in manifest]
     if missing:
         raise ManifestError(

@@ -203,6 +203,35 @@ class MetricsRegistry:
                     hist.count += int(entry.get("count", 0))
 
 
+def histogram_quantile(entry: dict, q: float) -> float:
+    """Estimate a quantile from a snapshot histogram dict.
+
+    Linear interpolation inside the winning bucket, the standard
+    fixed-bucket estimator (same convention as Prometheus'
+    ``histogram_quantile``): the true value is within one bucket width.
+    Values in the overflow bucket clamp to the last edge.  Accepts the
+    :meth:`Histogram.to_dict` shape; returns 0.0 for empty histograms.
+    """
+    buckets = [float(b) for b in entry.get("buckets", ())]
+    counts = [int(c) for c in entry.get("counts", ())]
+    total = sum(counts)
+    if total == 0 or not buckets:
+        return 0.0
+    target = max(1.0, q * total)
+    cumulative = 0
+    lower = 0.0
+    for index, count in enumerate(counts):
+        upper = buckets[index] if index < len(buckets) else buckets[-1]
+        if cumulative + count >= target:
+            if index >= len(buckets):  # overflow bucket: clamp
+                return buckets[-1]
+            fraction = (target - cumulative) / count
+            return lower + fraction * (upper - lower)
+        cumulative += count
+        lower = upper
+    return buckets[-1]
+
+
 # -- pipeline-specific recorders ----------------------------------------------
 
 

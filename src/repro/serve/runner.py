@@ -183,6 +183,7 @@ class RequestRunner:
             "validate": request.validate,
             "batch_size": batch_size,
             "cache_warm": warm,
+            "queue_seconds": queue_seconds,
         }
         z = request.z_array()
         try:
@@ -204,6 +205,7 @@ class RequestRunner:
                     hour=request.hour,
                 )
         except DeadlineExceeded as exc:
+            config["status"] = "deadline"
             obs.finalize(config=config)
             self._fold_request_metrics(obs)
             self.observer.count("serve.responses.deadline")
@@ -231,13 +233,17 @@ class RequestRunner:
         finally:
             engine.observer = None
         elapsed = time.perf_counter() - started
-        obs.finalize(config=config)
-        self._fold_request_metrics(obs)
         failed = (
             result.degradation is not None
             and result.degradation.degraded
             and not result.solve.converged
         )
+        degraded = result.degradation is not None and result.degradation.degraded
+        # Stamped before finalize so the manifest (and hence the run
+        # catalog's `status` column) records the request's outcome.
+        config["status"] = "failed" if failed else "degraded" if degraded else "ok"
+        obs.finalize(config=config)
+        self._fold_request_metrics(obs)
         bucket = (
             "serve.latency.warm_seconds" if warm else "serve.latency.cold_seconds"
         )

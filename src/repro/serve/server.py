@@ -109,7 +109,9 @@ class ServiceConfig:
     estimated wait, ``max_bypass_age`` bounds priority/batching
     starvation and ``idempotency_cache`` sizes the completed-response
     LRU.  ``faults`` (a ``FaultPlan``/``FaultInjector``) arms the
-    serve chaos hooks inside executor children.
+    serve chaos hooks inside executor children.  ``catalog_path``
+    auto-ingests every executed request's run manifest into the SQLite
+    run catalog (:mod:`repro.observe.catalog`) as it finalizes.
     """
 
     socket_path: Path
@@ -132,6 +134,7 @@ class ServiceConfig:
     max_bypass_age: float = 5.0
     idempotency_cache: int = 128
     faults: object | None = None
+    catalog_path: Path | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "socket_path", Path(self.socket_path))
@@ -213,6 +216,7 @@ class SolveService:
         self._idempotency_lock = threading.Lock()
         self._inflight: dict[str, Ticket] = {}
         self._completed: OrderedDict[str, Response] = OrderedDict()
+        self._catalog: object | None = None  # opened lazily on first ingest
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -327,6 +331,9 @@ class SolveService:
             self.config.socket_path.unlink()
         except FileNotFoundError:
             pass
+        if self._catalog is not None:
+            self._catalog.close()
+            self._catalog = None
         rlog.info("serve.stopped", requests=self._requests_seen)
 
     @property
@@ -363,6 +370,29 @@ class SolveService:
         """Per-delivery bookkeeping: feed the queue's load estimator."""
         if response.elapsed_seconds > 0.0:
             self.queue.note_service_time(response.elapsed_seconds)
+        self._ingest_manifest(response)
+
+    def _ingest_manifest(self, response: Response) -> None:
+        """Index the finished request's manifest into the run catalog.
+
+        Active only with ``catalog_path`` configured; the Catalog's own
+        lock serializes the dispatcher threads and WAL mode keeps
+        concurrent external readers/ingesters safe.  Ingest failures
+        are counted, never allowed to fail the request — the manifest
+        file on disk remains the source of truth either way.
+        """
+        if self.config.catalog_path is None or not response.manifest_path:
+            return
+        try:
+            if self._catalog is None:
+                from repro.observe.catalog import Catalog
+
+                self._catalog = Catalog(self.config.catalog_path)
+            if self._catalog.ingest([Path(response.manifest_path)]).ingested:
+                self.observer.count("serve.catalog.ingested")
+        except Exception as exc:  # noqa: BLE001 - never fail the request
+            self.observer.count("serve.catalog.errors")
+            rlog.info("serve.catalog_error", error=str(exc))
 
     # -- acceptor / handlers -------------------------------------------------
 
@@ -425,8 +455,15 @@ class SolveService:
                 if self.observer.metrics is not None
                 else {}
             )
+            now = time.monotonic()
             return {
                 "kind": "stats",
+                # Server-side monotonic clock + uptime: pollers (e.g.
+                # `parma runs watch`) difference successive replies to
+                # turn raw counters into rates without trusting their
+                # own wall clock against the service's.
+                "server_monotonic": now,
+                "uptime_seconds": now - self._started_at,
                 "queue_depth": self.queue.depth(),
                 "queue_depths": self.queue.depths(),
                 "estimated_queue_seconds": self.queue.estimated_queue_seconds(),

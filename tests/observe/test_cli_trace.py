@@ -120,3 +120,25 @@ class TestTraceSummarize:
         code = main(["trace", "summarize", str(tmp_path / "nope")])
         assert code == 2
         assert "manifest.json" in capsys.readouterr().err
+
+    def test_summarize_json_matches_catalog_serializer(
+        self, campaign_file, tmp_path, capsys
+    ):
+        from repro.observe.catalog import flatten_manifest
+
+        run_dir = tmp_path / "run"
+        assert main([
+            "solve", str(campaign_file), "--strategy", "single",
+            "--trace", str(run_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(run_dir), "--json"]) == 0
+        digest = json.loads(capsys.readouterr().out)
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        expected = flatten_manifest(
+            manifest, source_path=str(run_dir / "manifest.json")
+        )
+        assert digest["run"] == json.loads(json.dumps(expected, default=str))
+        assert digest["run"]["kind"] == "solve"
+        assert digest["run"]["status"] == "ok"
+        assert digest["phases"] == manifest["phases"]

@@ -81,6 +81,35 @@ class TestValidate:
         with pytest.raises(ManifestError, match="kind"):
             validate_manifest(manifest)
 
+    @pytest.mark.parametrize("version", [0, 2, 99, "two"])
+    def test_rejects_unknown_schema_version(self, version):
+        manifest = _manifest()
+        manifest["schema_version"] = version
+        with pytest.raises(
+            ManifestError, match=f"schema version {version!r}"
+        ):
+            validate_manifest(manifest)
+
+    def test_schema_gate_beats_missing_key_error(self):
+        # A future manifest should fail by version, not by whichever
+        # renamed key happens to be missing.
+        manifest = _manifest()
+        manifest["schema_version"] = 7
+        del manifest["phases"]
+        with pytest.raises(ManifestError, match="schema version"):
+            validate_manifest(manifest)
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        from repro.observe.manifest import write_manifest
+
+        path = tmp_path / "manifest.json"
+        write_manifest(path, _manifest())
+        bumped = json.loads(path.read_text())
+        bumped["schema_version"] = 99
+        path.write_text(json.dumps(bumped))
+        with pytest.raises(ManifestError, match="written by a different"):
+            load_manifest(path)
+
 
 class TestIo:
     def test_write_load_round_trip(self, tmp_path):

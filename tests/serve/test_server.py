@@ -178,6 +178,19 @@ class TestAdmissionAndProtocolEdges:
         assert stats["requests"] >= 1
         assert stats["metrics"]["serve.responses.ok"]["value"] >= 1
 
+    def test_stats_carries_server_clock(self, service, measurement):
+        # Pollers (`parma runs watch`) difference successive replies to
+        # turn counters into rates; that needs a server-side clock.
+        svc, client, obs = service
+        first = client.stats()
+        assert first["server_monotonic"] > 0.0
+        assert first["uptime_seconds"] >= 0.0
+        time.sleep(0.01)
+        second = client.stats()
+        assert second["server_monotonic"] > first["server_monotonic"]
+        assert second["uptime_seconds"] > first["uptime_seconds"]
+        assert client.ping()["uptime_seconds"] >= first["uptime_seconds"]
+
     def test_stats_reports_resilience_telemetry(self, service, measurement):
         svc, client, obs = service
         client.solve(measurement.z_kohm)
@@ -353,3 +366,38 @@ class TestDrain:
         svc, client, obs = service
         with pytest.raises(RuntimeError, match="already started"):
             svc.start()
+
+
+class TestCatalogIngest:
+    def test_requests_land_in_catalog(self, tmp_path, measurement):
+        from repro.observe.catalog import Catalog
+
+        db = tmp_path / "cat.db"
+        obs = Observer()
+        config = ServiceConfig(
+            socket_path=tmp_path / "cat.sock",
+            results_dir=tmp_path / "results",
+            linger=0.0,
+            catalog_path=db,
+            observer=obs,
+        )
+        svc = SolveService(config)
+        svc.start()
+        try:
+            client = SolveClient(config.socket_path, timeout=60.0)
+            assert client.wait_ready(timeout=10.0)
+            response = client.solve(
+                measurement.z_kohm,
+                voltage=measurement.voltage,
+                hour=measurement.hour,
+            )
+            assert response.ok
+        finally:
+            svc.stop()
+        assert _counter(obs, "serve.catalog.ingested") == 1
+        with Catalog(db, readonly=True) as catalog:
+            rows = catalog.list_runs()
+        assert len(rows) == 1
+        assert rows[0]["kind"] == "serve-request"
+        assert rows[0]["status"] == "ok"
+        assert rows[0]["n"] == 8
