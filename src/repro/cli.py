@@ -23,6 +23,13 @@ Subcommands mirror the wet-lab workflow:
     Fault-injection smoke: kill workers, corrupt streamed blocks,
     dirty measurements, force solver rungs — and verify every
     recovery path produces the fault-free answer.
+``scale``
+    Elastic campaign dispatch + the strategy × rank scaling sweep:
+    run a quiet and a churn formation campaign (SIGKILL one worker,
+    shrink then grow the pool mid-run), verify bit-identical part
+    files, then sweep the simulated cluster clock to ``--ranks``
+    (default 1,024) and optionally write the ``BENCH_scaling.json``
+    shape with ``--out``.
 ``info``
     Print device/topology/accounting facts for a given n.
 ``trace``
@@ -468,7 +475,7 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
 #: ``parma chaos --include`` keys, in execution order.
 CHAOS_CHECKS = (
     "kill", "hang", "slow", "signal", "stream", "campaign", "dirty", "ladder",
-    "serve",
+    "elastic", "serve",
 )
 
 
@@ -767,7 +774,64 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             deg.describe() if deg else "no degradation report",
         )
 
-    # 9. Serve chaos: kill/hang/corrupt/drop an executor worker under
+    # 9. Elastic dispatch: a churn campaign (one worker SIGKILLed, the
+    #    pool shrunk then grown mid-run) must commit part files
+    #    byte-identical to a quiet run's, with the lease reassignment
+    #    and both resizes visible as elastic.* counters.
+    if want("elastic"):
+        if fork_available():
+            from repro.parallel.elastic import (
+                part_files_identical,
+                run_elastic_formation,
+            )
+
+            with tempfile.TemporaryDirectory() as ed:
+                ed = Path(ed)
+                quiet = run_elastic_formation(
+                    meas.z_kohm,
+                    workers=3,
+                    chunk_items=16,
+                    output_dir=ed / "quiet",
+                    lease_timeout=30.0,
+                )
+                chunks = quiet.chunks_total
+                before_reassigned = counter("elastic.lease_reassigned")
+                before_resized = counter("elastic.pool_resized")
+                run_elastic_formation(
+                    meas.z_kohm,
+                    workers=3,
+                    chunk_items=16,
+                    output_dir=ed / "churn",
+                    lease_timeout=30.0,
+                    faults=FaultPlan(
+                        seed=seed,
+                        kill_workers=(1,),
+                        kill_signal=int(signal_mod.SIGKILL),
+                    ),
+                    resize_schedule=[
+                        (max(1, chunks // 3), 2),
+                        (max(2, 2 * chunks // 3), 3),
+                    ],
+                    observer=sup_obs,
+                )
+                identical, detail = part_files_identical(
+                    ed / "quiet", ed / "churn"
+                )
+                reassigned = (
+                    counter("elastic.lease_reassigned") - before_reassigned
+                )
+                resized = counter("elastic.pool_resized") - before_resized
+                check(
+                    "elastic: churn -> bit-identical part files",
+                    identical and reassigned >= 1 and resized >= 2,
+                    f"{detail}; {int(reassigned)} lease(s) reassigned, "
+                    f"{int(resized)} resize(s)",
+                )
+        else:  # pragma: no cover - fork always available on test platforms
+            check("elastic: churn -> bit-identical part files", True,
+                  "skipped (no fork)")
+
+    # 10. Serve chaos: kill/hang/corrupt/drop an executor worker under
     #    the solve service; every recovered answer must be bit-identical
     #    to a standalone solve, and the service must stay up throughout.
     if want("serve"):
@@ -868,6 +932,261 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
               f"{', '.join(failed)}", file=sys.stderr)
         return 1
     print(f"chaos: all {len(checks)} checks passed")
+    return 0
+
+
+def _cmd_scale(args: argparse.Namespace) -> int:
+    """Elastic campaign + strategy × rank scaling sweep.
+
+    Two halves, mirroring ``BENCH_scaling.json``:
+
+    1. A *real* elastic formation campaign on this host — a quiet run,
+       then (unless ``--no-churn``) a churn run with one worker
+       SIGKILLed and the pool shrunk-then-grown mid-campaign.  The
+       churn run must commit part files byte-identical to the quiet
+       run's; the elapsed ratio is the measured churn overhead.
+    2. A *simulated* strategy × rank-count sweep on the deterministic
+       cluster clock (powers of two up to ``--ranks``), plus failover
+       and heterogeneous-awareness reference points.
+    """
+    import contextlib
+    import signal as signal_mod
+    import tempfile
+
+    from repro.core.partition import make_items
+    from repro.core.strategies import calibrate_sec_per_term
+    from repro.parallel.elastic import (
+        part_files_identical,
+        run_elastic_formation,
+        sweep_scaling_curves,
+    )
+    from repro.parallel.heterogeneous import HeterogeneousCluster
+    from repro.parallel.pymp import fork_available
+    from repro.parallel.simcluster import HPC_FDR, simulate_with_failures
+    from repro.parallel.workstealing import simulate_stealing_with_failures
+    from repro.instrument.report import ResultTable
+    from repro.mea.synthetic import paper_like_spec
+    from repro.mea.wetlab import run_campaign
+    from repro.resilience.faults import FaultPlan
+    from repro.resilience.supervise import Deadline, DeadlineExceeded
+
+    n, seed = args.n, args.seed
+    try:
+        obs = _make_observer(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = {
+        "command": "scale",
+        "n": n,
+        "seed": seed,
+        "workers": args.workers,
+        "chunk_items": args.chunk_items,
+        "max_ranks": args.ranks,
+        "churn": not args.no_churn,
+    }
+    deadline = Deadline.coerce(args.deadline)
+    # --stall-timeout maps onto the lease watchdog: a worker silent
+    # longer than this loses its lease (and is killed + replaced).
+    lease_timeout = (
+        args.stall_timeout if args.stall_timeout is not None else 30.0
+    )
+    meas = run_campaign(
+        paper_like_spec(n, seed=seed), seed=seed
+    ).campaign.measurements[0]
+
+    campaign: dict[str, object] = {"ran": False}
+    try:
+        if fork_available():
+            span = (
+                obs.span("formation", strategy="elastic", n=n)
+                if obs is not None
+                else contextlib.nullcontext()
+            )
+            with tempfile.TemporaryDirectory() as td, span:
+                td = Path(td)
+                quiet = run_elastic_formation(
+                    meas.z_kohm,
+                    workers=args.workers,
+                    chunk_items=args.chunk_items,
+                    output_dir=td / "quiet",
+                    lease_timeout=lease_timeout,
+                    observer=obs,
+                    deadline=deadline,
+                )
+                print(
+                    f"quiet campaign: {quiet.chunks_completed}/"
+                    f"{quiet.chunks_total} chunk(s), "
+                    f"{quiet.terms_formed} terms in "
+                    f"{quiet.elapsed_seconds:.3f}s "
+                    f"({quiet.workers_spawned} worker(s))"
+                )
+                campaign = {
+                    "ran": True,
+                    "chunks": quiet.chunks_total,
+                    "quiet_seconds": quiet.elapsed_seconds,
+                }
+                if not args.no_churn:
+                    chunks = quiet.chunks_total
+                    churn = run_elastic_formation(
+                        meas.z_kohm,
+                        workers=args.workers,
+                        chunk_items=args.chunk_items,
+                        output_dir=td / "churn",
+                        lease_timeout=lease_timeout,
+                        faults=FaultPlan(
+                            seed=seed,
+                            kill_workers=(1,),
+                            kill_signal=int(signal_mod.SIGKILL),
+                        ),
+                        resize_schedule=[
+                            (max(1, chunks // 3), max(1, args.workers - 1)),
+                            (max(2, 2 * chunks // 3), args.workers),
+                        ],
+                        observer=obs,
+                        deadline=deadline,
+                    )
+                    identical, detail = part_files_identical(
+                        td / "quiet", td / "churn"
+                    )
+                    if not identical:
+                        print(
+                            f"error: churn campaign diverged from the "
+                            f"quiet run ({detail})",
+                            file=sys.stderr,
+                        )
+                        _finish_observer(
+                            obs, args, {**config, "status": "diverged"}
+                        )
+                        return 1
+                    overhead = (
+                        churn.elapsed_seconds / quiet.elapsed_seconds - 1.0
+                    )
+                    print(
+                        f"churn campaign: {detail}; "
+                        f"{churn.leases_reassigned} lease(s) reassigned, "
+                        f"{churn.pool_resizes} resize(s), "
+                        f"{churn.workers_respawned} respawn(s); "
+                        f"overhead {overhead * 100:+.1f}% vs quiet"
+                    )
+                    campaign.update(
+                        churn_seconds=churn.elapsed_seconds,
+                        churn_overhead=overhead,
+                        leases_reassigned=churn.leases_reassigned,
+                        pool_resizes=churn.pool_resizes,
+                        workers_respawned=churn.workers_respawned,
+                        part_files_identical=True,
+                    )
+        else:
+            print("elastic campaign skipped: fork unavailable on this host")
+
+        # -- the simulated sweep (rank counts beyond the host) -------------
+        rank_counts = []
+        r = 1
+        while r <= args.ranks:
+            rank_counts.append(r)
+            r *= 2
+        sec_per_term = calibrate_sec_per_term(n)
+        curves = sweep_scaling_curves(
+            n, rank_counts, sec_per_term=sec_per_term
+        )
+        table = ResultTable(
+            f"simulated strong scaling, n={n} "
+            f"(sec/term {sec_per_term:.2e})",
+            ("strategy", "ranks", "seconds", "speedup", "efficiency"),
+        )
+        for curve in curves.values():
+            for i, ranks in enumerate(curve.rank_counts):
+                if ranks not in (curve.rank_counts[0], curve.rank_counts[-1]):
+                    continue
+                table.add_row(
+                    curve.strategy,
+                    ranks,
+                    f"{curve.total_seconds[i]:.4f}",
+                    f"{curve.speedup[i]:.1f}",
+                    f"{curve.efficiency[i]:.3f}",
+                )
+        print(table.render())
+
+        items = make_items(n)
+        costs = np.array([it.cost for it in items], dtype=np.float64)
+        costs *= sec_per_term
+        failover_ranks = min(256, max(2, args.ranks))
+        recovery = simulate_with_failures(
+            costs,
+            failover_ranks,
+            HPC_FDR,
+            failed_ranks=(1,),
+            observer=obs,
+        )
+        steal = simulate_stealing_with_failures(
+            costs,
+            num_workers=8,
+            death_times={1: float(costs.sum()) / 16.0},
+            observer=obs,
+        )
+        hetero_ranks = min(64, max(2, args.ranks))
+        hetero = HeterogeneousCluster(
+            {
+                "old": (hetero_ranks // 2, 1.0),
+                "new": (hetero_ranks - hetero_ranks // 2, 1.8),
+            },
+            HPC_FDR,
+        )
+        awareness = hetero.awareness_gain(costs)
+        print(
+            f"failover at {failover_ranks} ranks: "
+            f"{recovery.total / recovery.baseline_total - 1.0:+.1%} over "
+            f"the quiet makespan ({recovery.tasks_redispatched} task(s) "
+            f"redispatched); stealing failover reran {steal.tasks_rerun} "
+            f"task(s); heterogeneous awareness gain at {hetero_ranks} "
+            f"ranks: {awareness:.2f}x"
+        )
+    except DeadlineExceeded as exc:
+        _deadline_failure(exc, obs, args, config)
+        return _DEADLINE_EXIT
+
+    if args.out is not None:
+        sizes = []
+        if campaign.get("ran"):
+            total = float(campaign["quiet_seconds"]) + float(
+                campaign.get("churn_seconds", 0.0)
+            )
+            sizes.append({"n": n, "elastic_formation_seconds": total})
+        payload = {
+            "benchmark": "elastic_scaling",
+            "n": n,
+            "seed": seed,
+            "sec_per_term": sec_per_term,
+            "campaign": campaign,
+            "curves": {
+                name: {
+                    "rank_counts": list(c.rank_counts),
+                    "total_seconds": list(c.total_seconds),
+                    "speedup": list(c.speedup),
+                    "efficiency": list(c.efficiency),
+                }
+                for name, c in curves.items()
+            },
+            "failover": {
+                "ranks": failover_ranks,
+                "baseline_seconds": recovery.baseline_total,
+                "recovered_seconds": recovery.total,
+                "tasks_redispatched": recovery.tasks_redispatched,
+                "stealing_tasks_rerun": steal.tasks_rerun,
+            },
+            "heterogeneous": {
+                "ranks": hetero_ranks,
+                "awareness_gain": awareness,
+            },
+            "sizes": sizes,
+        }
+        args.out.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.out}")
+
+    _finish_observer(obs, args, config)
     return 0
 
 
@@ -1366,13 +1685,18 @@ def _cmd_runs_regress(args: argparse.Namespace) -> int:
 
     bench_paths = args.bench or [
         path
-        for path in (Path("BENCH_solver.json"), Path("BENCH_formation.json"))
+        for path in (
+            Path("BENCH_solver.json"),
+            Path("BENCH_formation.json"),
+            Path("BENCH_scaling.json"),
+        )
         if path.exists()
     ]
     if not bench_paths:
         print(
             "error: no benchmark trajectories (pass --bench PATH or run "
-            "from a checkout with BENCH_solver.json / BENCH_formation.json)",
+            "from a checkout with BENCH_solver.json / BENCH_formation.json "
+            "/ BENCH_scaling.json)",
             file=sys.stderr,
         )
         return 2
@@ -1592,6 +1916,28 @@ def build_parser() -> argparse.ArgumentParser:
                               f"({', '.join(CHAOS_CHECKS)}); default all")
     _add_observe_args(p_chaos)
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_scale = sub.add_parser(
+        "scale",
+        help="elastic campaign + strategy x rank scaling sweep",
+    )
+    p_scale.add_argument("--n", type=int, default=20, help="device side")
+    p_scale.add_argument("--seed", type=int, default=7)
+    p_scale.add_argument("--workers", type=int, default=3,
+                         help="elastic pool size for the real campaign")
+    p_scale.add_argument("--chunk-items", type=int, default=16,
+                         help="items leased per work chunk")
+    p_scale.add_argument("--ranks", type=int, default=1024,
+                         help="largest simulated rank count (the sweep "
+                              "covers powers of two up to this)")
+    p_scale.add_argument("--no-churn", action="store_true",
+                         help="skip the churn campaign (quiet run only)")
+    p_scale.add_argument("--out", type=Path, default=None,
+                         help="write the BENCH_scaling.json-shaped report "
+                              "here")
+    _add_observe_args(p_scale)
+    _add_deadline_args(p_scale)
+    p_scale.set_defaults(func=_cmd_scale)
 
     p_srv = sub.add_parser("serve",
                            help="persistent solve service (unix socket)")

@@ -417,7 +417,10 @@ def load_bench_trajectory(path: str | Path) -> tuple[str, str, dict[int, float]]
     ``bench=solver`` against ``fast_cold_seconds`` (cold is the
     generous bound — a fresh CLI process never has warm caches);
     ``BENCH_formation.json`` gates ``formation_seconds`` of
-    ``bench=formation`` runs against ``cached_seconds``.
+    ``bench=formation`` runs against ``cached_seconds``;
+    ``BENCH_scaling.json`` gates ``formation_seconds`` of
+    ``bench=scaling`` runs (the ``parma scale`` elastic campaign,
+    quiet + churn) against ``elastic_formation_seconds``.
     """
     path = Path(path)
     try:
@@ -429,10 +432,12 @@ def load_bench_trajectory(path: str | Path) -> tuple[str, str, dict[int, float]]
         tag, column, key = "solver", "solve_seconds", "fast_cold_seconds"
     elif benchmark == "formation_cache":
         tag, column, key = "formation", "formation_seconds", "cached_seconds"
+    elif benchmark == "elastic_scaling":
+        tag, column, key = "scaling", "formation_seconds", "elastic_formation_seconds"
     else:
         raise CatalogError(
             f"{path}: unknown benchmark kind {benchmark!r} (expected "
-            "solver_fastpath or formation_cache)"
+            "solver_fastpath, formation_cache or elastic_scaling)"
         )
     baselines: dict[int, float] = {}
     for size in data.get("sizes", []):

@@ -10,6 +10,13 @@
 * :mod:`repro.parallel.simcluster` — the deterministic LogGP-style
   cluster clock behind the 1,024-core scaling figures (see DESIGN.md
   §2 for why scaling is simulated on this machine).
+* :mod:`repro.parallel.elastic` — churn-tolerant campaign dispatch:
+  lease-based work chunks, a grow/shrink-able forked pool, and the
+  strategy × rank scaling sweep behind ``BENCH_scaling.json``.
+
+``elastic`` sits *above* the resilience layer (it uses the growable
+``HeartbeatBoard`` and fault injection), so its names are exported
+lazily — importing :mod:`repro.parallel` alone never pulls it in.
 """
 
 from repro.parallel.heterogeneous import (
@@ -39,6 +46,27 @@ from repro.parallel.workstealing import (
     simulate_runtime_stealing,
 )
 
+# Lazily exported from repro.parallel.elastic (PEP 562): the module
+# imports repro.resilience.supervise, which imports this package —
+# eager import here would deadlock that cycle at startup.
+_ELASTIC_EXPORTS = frozenset(
+    {
+        "ElasticError",
+        "ElasticPool",
+        "ElasticReport",
+        "LeaseVerificationError",
+        "StrategyCurve",
+        "WorkChunk",
+        "WorkLedger",
+        "WorkerContext",
+        "part_files_identical",
+        "plan_chunks",
+        "run_elastic_formation",
+        "scaling_strategy_schedulers",
+        "sweep_scaling_curves",
+    }
+)
+
 __all__ = [
     "ANY_TAG",
     "HeterogeneousCluster",
@@ -66,4 +94,17 @@ __all__ = [
     "simulate_runtime_stealing",
     "simulate_strong_scaling",
     "speedup_curve",
+    *sorted(_ELASTIC_EXPORTS),
 ]
+
+
+def __getattr__(name: str):
+    if name in _ELASTIC_EXPORTS:
+        from repro.parallel import elastic
+
+        value = getattr(elastic, name)
+        globals()[name] = value  # cache for the next access
+        return value
+    raise AttributeError(
+        f"module 'repro.parallel' has no attribute {name!r}"
+    )

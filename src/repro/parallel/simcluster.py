@@ -30,6 +30,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.observe.observer import as_observer
 from repro.parallel.workstealing import (
     Assignment,
     contiguous_schedule,
@@ -171,13 +172,21 @@ def scaling_sweep(
 def speedup_curve(points: Sequence[ScalingPoint]) -> np.ndarray:
     """Speedups relative to the first (usually 1-rank) point."""
     if not points:
-        return np.empty(0)
+        raise ValueError(
+            "speedup_curve needs at least one scaling point "
+            "(an empty sweep has no baseline)"
+        )
     base = points[0].total
     return np.array([base / p.total for p in points])
 
 
 def parallel_efficiency(points: Sequence[ScalingPoint]) -> np.ndarray:
     """Speedup / ranks, relative to the first point's rank count."""
+    if not points:
+        raise ValueError(
+            "parallel_efficiency needs at least one scaling point "
+            "(an empty sweep has no baseline rank count)"
+        )
     sp = speedup_curve(points)
     base_ranks = points[0].ranks
     return np.array([s * base_ranks / p.ranks for s, p in zip(sp, points)])
@@ -255,6 +264,7 @@ def simulate_with_failures(
     failure_fraction: float = 0.5,
     detection_latency: float | None = None,
     scheduler: Scheduler = lpt_schedule,
+    observer=None,
 ) -> RecoveryPoint:
     """Strong-scaling makespan when ``failed_ranks`` die mid-compute.
 
@@ -263,7 +273,10 @@ def simulate_with_failures(
     over the survivors, who begin the re-dispatch once their own share
     *and* the failure detection (default: one 100·alpha heartbeat
     period) are behind them.  Deterministic — the failover curves in
-    the chaos benchmarks are exactly reproducible.
+    the chaos benchmarks are exactly reproducible.  With an
+    ``observer`` the re-dispatch lands in the run manifest as a
+    ``simcluster.redispatch`` event plus ``simcluster.failures`` /
+    ``simcluster.tasks_redispatched`` counters.
     """
     costs = np.asarray(task_costs, dtype=np.float64)
     if ranks < 2:
@@ -320,6 +333,18 @@ def simulate_with_failures(
     # One extra gather round for the re-dispatched results.
     per_rank_bytes = model.result_bytes_per_task * len(costs) / ranks
     comm = (depth + 1) * (model.alpha + model.beta * per_rank_bytes)
+    obs = as_observer(observer)
+    obs.event(
+        "simcluster.redispatch",
+        ranks=ranks,
+        failed_ranks=list(failed),
+        tasks_redispatched=int(len(orphan_tasks)),
+        lost_work_seconds=round(lost_work, 9),
+        detect_seconds=round(detect, 9),
+        redispatch_seconds=round(redispatch.makespan, 9),
+    )
+    obs.count("simcluster.failures", len(failed))
+    obs.count("simcluster.tasks_redispatched", int(len(orphan_tasks)))
     return RecoveryPoint(
         ranks=ranks,
         failed_ranks=failed,

@@ -235,6 +235,7 @@ def simulate_stealing_with_failures(
     steal_overhead: float = 0.0,
     detection_latency: float = 0.0,
     initial: str = "contiguous",
+    observer=None,
 ) -> FailoverTrace:
     """Runtime stealing where some workers die mid-run.
 
@@ -243,7 +244,11 @@ def simulate_stealing_with_failures(
     ``lost_work_seconds``); the task and the worker's remaining queue
     become stealable by survivors only after
     ``death + detection_latency`` (heartbeat lag).  Fully
-    deterministic, so failover overhead curves are reproducible.
+    deterministic, so failover overhead curves are reproducible.  With
+    an ``observer`` the trace lands in the run manifest as a
+    ``workstealing.failover`` event plus ``workstealing.steals`` /
+    ``workstealing.tasks_rerun`` / ``workstealing.tasks_redispatched``
+    counters.
 
     Raises ``RuntimeError`` if every worker dies with work remaining —
     the no-survivor case a real deployment must treat as a campaign
@@ -354,11 +359,31 @@ def simulate_stealing_with_failures(
             continue
         clock[w] = end
         done += 1
+    failed = tuple(sorted(w for w in death_times if not alive[w]))
+    # Imported here: repro.observe sits above this scheduling layer.
+    from repro.observe.observer import as_observer
+
+    obs = as_observer(observer)
+    obs.event(
+        "workstealing.failover",
+        num_workers=num_workers,
+        failed_workers=list(failed),
+        steals=steals,
+        tasks_rerun=tasks_rerun,
+        tasks_redispatched=redispatched,
+        lost_work_seconds=round(float(lost_work), 9),
+    )
+    if steals:
+        obs.count("workstealing.steals", steals)
+    if tasks_rerun:
+        obs.count("workstealing.tasks_rerun", tasks_rerun)
+    if redispatched:
+        obs.count("workstealing.tasks_redispatched", redispatched)
     return FailoverTrace(
         makespan=float(clock[alive].max(initial=0.0)) if any(alive) else 0.0,
         steals=steals,
         finish_times=clock,
-        failed_workers=tuple(sorted(w for w in death_times if not alive[w])),
+        failed_workers=failed,
         tasks_rerun=tasks_rerun,
         redispatched_tasks=redispatched,
         lost_work_seconds=float(lost_work),

@@ -151,12 +151,18 @@ class HeartbeatBoard:
     """Per-worker progress slots in anonymous shared memory.
 
     One row per region member: ``[items_done, items_assigned,
-    last_beat (monotonic seconds), state]``.  The board is an
-    anonymous ``MAP_SHARED`` mapping (:func:`repro.parallel.pymp.
-    shared_array`), so it must be created *before* the fork; a tick is
-    two array stores plus one ``time.monotonic`` call — cheap enough
-    for per-item use.  ``dump()`` serialises a snapshot for error
-    payloads and trace events.
+    last_beat (monotonic seconds), state]``.  Rows live in anonymous
+    ``MAP_SHARED`` mappings (:func:`repro.parallel.pymp.shared_array`),
+    so each mapping must be created *before* the fork of any worker
+    that will write to it; a tick is two array stores plus one
+    ``time.monotonic`` call — cheap enough for per-item use.
+    ``dump()`` serialises a snapshot for error payloads and events.
+
+    The board is *growable*: :meth:`grow` appends a fresh shared
+    segment of rows (again, pre-fork) so an elastic pool can admit
+    workers mid-campaign.  Existing rows — and the mappings already
+    inherited by running children — are untouched, so pre-growth
+    workers keep beating into the same memory.
     """
 
     STATE_STARTING = 0.0
@@ -166,56 +172,105 @@ class HeartbeatBoard:
     def __init__(self, workers: int) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
-        self.workers = int(workers)
-        self._slots = pymp.shared_array((self.workers, 4), dtype=np.float64)
-        now = time.monotonic()
-        self._slots[:, 2] = now
+        first = pymp.shared_array((int(workers), 4), dtype=np.float64)
+        first[:, 2] = time.monotonic()
+        self._segments: list[np.ndarray] = [first]
+
+    @property
+    def workers(self) -> int:
+        """Total rows across all segments (grows with :meth:`grow`)."""
+        return sum(seg.shape[0] for seg in self._segments)
+
+    @property
+    def _slots(self) -> np.ndarray:
+        """The initial segment (compatibility view for fixed-size users)."""
+        return self._segments[0]
+
+    def grow(self, extra: int = 1) -> int:
+        """Append ``extra`` rows in a new shared segment; return the
+        index of the first new row.
+
+        Must be called in the parent *before* forking the workers that
+        will own the new rows — children forked earlier cannot see the
+        new mapping (and never need to: rows are single-writer).
+        """
+        if extra < 1:
+            raise ValueError(f"extra must be >= 1, got {extra}")
+        first_new = self.workers
+        segment = pymp.shared_array((int(extra), 4), dtype=np.float64)
+        segment[:, 2] = time.monotonic()
+        self._segments.append(segment)
+        return first_new
+
+    def _row(self, worker: int) -> np.ndarray:
+        if worker < 0:
+            raise IndexError(f"worker index must be >= 0, got {worker}")
+        for seg in self._segments:
+            rows = seg.shape[0]
+            if worker < rows:
+                return seg[worker]
+            worker -= rows
+        raise IndexError(f"worker {worker + self.workers} out of range")
 
     # -- worker side ---------------------------------------------------------
 
     def assign(self, worker: int, total: int) -> None:
-        self._slots[worker, 1] = float(total)
-        self._slots[worker, 2] = time.monotonic()
-        self._slots[worker, 3] = self.STATE_RUNNING
+        row = self._row(worker)
+        row[1] = float(total)
+        row[2] = time.monotonic()
+        row[3] = self.STATE_RUNNING
+
+    def provisional_assign(self, worker: int, amount: float) -> None:
+        """Parent-side estimate of a share size, pre-fork.
+
+        Overwritten by the worker's own :meth:`assign` once it knows
+        its exact share; keeps ``progress()`` denominators meaningful
+        from the first poll."""
+        self._row(worker)[1] = float(amount)
 
     def tick(self, worker: int, advance: int = 1) -> None:
-        row = self._slots[worker]
+        row = self._row(worker)
         row[0] += float(advance)
         row[2] = time.monotonic()
 
     def mark_done(self, worker: int) -> None:
-        row = self._slots[worker]
+        row = self._row(worker)
         row[2] = time.monotonic()
         row[3] = self.STATE_DONE
 
     # -- parent side ---------------------------------------------------------
 
     def items_done(self, worker: int) -> int:
-        return int(self._slots[worker, 0])
+        return int(self._row(worker)[0])
 
     def is_done(self, worker: int) -> bool:
-        return self._slots[worker, 3] == self.STATE_DONE
+        return self._row(worker)[3] == self.STATE_DONE
 
     def age(self, worker: int, now: float | None = None) -> float:
         """Seconds since the worker's last heartbeat."""
         now = time.monotonic() if now is None else now
-        return now - float(self._slots[worker, 2])
+        return now - float(self._row(worker)[2])
 
     def progress(self) -> tuple[int, int]:
         """(items done, items assigned) across the whole region."""
-        return int(self._slots[:, 0].sum()), int(self._slots[:, 1].sum())
+        done = sum(float(seg[:, 0].sum()) for seg in self._segments)
+        assigned = sum(float(seg[:, 1].sum()) for seg in self._segments)
+        return int(done), int(assigned)
 
     def dump(self, now: float | None = None) -> dict[int, dict[str, float]]:
         """Snapshot per-rank progress for error payloads and events."""
         now = time.monotonic() if now is None else now
         out: dict[int, dict[str, float]] = {}
-        for w in range(self.workers):
-            out[w] = {
-                "items_done": float(self._slots[w, 0]),
-                "items_assigned": float(self._slots[w, 1]),
-                "age_seconds": round(now - float(self._slots[w, 2]), 4),
-                "done": bool(self._slots[w, 3] == self.STATE_DONE),
-            }
+        w = 0
+        for seg in self._segments:
+            for i in range(seg.shape[0]):
+                out[w] = {
+                    "items_done": float(seg[i, 0]),
+                    "items_assigned": float(seg[i, 1]),
+                    "age_seconds": round(now - float(seg[i, 2]), 4),
+                    "done": bool(seg[i, 3] == self.STATE_DONE),
+                }
+                w += 1
         return out
 
 
@@ -333,7 +388,7 @@ class Supervisor:
             # the exact share size via ``assign`` once inside.
             per = float(total_items) / workers
             for w in range(workers):
-                self.board._slots[w, 1] = per
+                self.board.provisional_assign(w, per)
         if observer is not None:
             self.observer = observer
         return self.board

@@ -494,6 +494,53 @@ class TestRegress:
         with pytest.raises(CatalogError, match="unknown benchmark"):
             load_bench_trajectory(junk)
 
+    def test_elastic_scaling_kind(self, tmp_path):
+        scaling = tmp_path / "BENCH_scaling.json"
+        scaling.write_text(json.dumps({
+            "benchmark": "elastic_scaling",
+            "sizes": [{"n": 20, "elastic_formation_seconds": 0.6}],
+        }))
+        assert load_bench_trajectory(scaling) == (
+            "scaling", "formation_seconds", {20: 0.6}
+        )
+
+    def test_elastic_scaling_run_gated(self, tmp_path):
+        """A scaling-tagged run's formation phase is judged against
+        ``elastic_formation_seconds`` (the ``parma scale`` loop)."""
+        scaling = tmp_path / "BENCH_scaling.json"
+        scaling.write_text(json.dumps({
+            "benchmark": "elastic_scaling",
+            "sizes": [{"n": 20, "elastic_formation_seconds": 0.5}],
+        }))
+        good = make_manifest(
+            run_id="scale-ok",
+            started=100.0,
+            command="scale",
+            n=20,
+            extra={"bench": "scaling"},
+            phases={"formation": {"count": 1, "total": 0.6, "self": 0.6}},
+        )
+        directory = write_manifest_dir(tmp_path, "scale-ok", good)
+        with Catalog(tmp_path / "cat.db") as catalog:
+            catalog.ingest([directory])
+            report = catalog.regress([scaling], threshold=1.5)
+        assert report.ok
+        assert report.checks[0].bench == "scaling"
+        assert report.checks[0].ratio == pytest.approx(1.2)
+        slow = make_manifest(
+            run_id="scale-slow",
+            started=200.0,
+            command="scale",
+            n=20,
+            extra={"bench": "scaling"},
+            phases={"formation": {"count": 1, "total": 2.0, "self": 2.0}},
+        )
+        directory = write_manifest_dir(tmp_path, "scale-slow", slow)
+        with Catalog(tmp_path / "cat.db") as catalog:
+            catalog.ingest([directory])
+            report = catalog.regress([scaling], threshold=1.5)
+        assert not report.ok
+
 
 class TestSchema:
     def test_version_and_migration_audit(self, tmp_path):

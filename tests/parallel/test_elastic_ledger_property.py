@@ -1,0 +1,173 @@
+"""Property tests: the WorkLedger under arbitrary interleavings.
+
+Drives lease grant / expiry / worker death / pool resize in any order
+hypothesis can dream up and checks the two core invariants from
+ISSUE: every chunk completes exactly once, and no lease is ever held
+by two workers at the same time.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.elastic import ElasticError, WorkChunk, WorkLedger
+
+
+def _chunks(count):
+    return [
+        WorkChunk(
+            chunk_id=i,
+            item_lo=i * 10,
+            item_hi=(i + 1) * 10,
+            expected_terms=100 + i,
+            expected_checksum=float(i) * 1.5,
+        )
+        for i in range(count)
+    ]
+
+
+def _check_lease_maps(ledger):
+    """No chunk owned twice, and the two owner maps mirror each other."""
+    owners = ledger._owner_of_chunk
+    held = ledger._chunk_of_worker
+    assert len(set(owners.values())) == len(owners)
+    assert {c: w for w, c in held.items()} == dict(owners)
+
+
+# An interleaving step: which action, applied to which worker (by
+# index into a rotating roster, so death/resize keep ids meaningful).
+steps = st.lists(
+    st.tuples(
+        st.sampled_from(["lease", "complete", "expire", "die", "shrink",
+                         "grow"]),
+        st.integers(min_value=0, max_value=7),
+    ),
+    max_size=60,
+)
+
+
+class TestLedgerInterleavings:
+    @settings(max_examples=200, deadline=None)
+    @given(chunk_count=st.integers(min_value=1, max_value=12), ops=steps)
+    def test_every_chunk_completes_exactly_once(self, chunk_count, ops):
+        chunks = _chunks(chunk_count)
+        ledger = WorkLedger(chunks)
+        alive = set(range(1, 4))
+        next_id = 4
+        completed_chunks = []
+
+        for action, pick in ops:
+            workers = sorted(alive)
+            if not workers:
+                alive.add(next_id)
+                next_id += 1
+                continue
+            worker = workers[pick % len(workers)]
+            if action == "lease":
+                if ledger.lease_of(worker) is None:
+                    ledger.lease(worker)
+            elif action == "complete":
+                cid = ledger.lease_of(worker)
+                if cid is not None:
+                    chunk = ledger.chunk(cid)
+                    assert ledger.complete(
+                        worker, cid, chunk.expected_terms,
+                        chunk.expected_checksum,
+                    )
+                    completed_chunks.append(cid)
+            elif action in ("expire", "die"):
+                # Watchdog expiry and crash reap both funnel through
+                # forfeit; racing them must re-enqueue once.
+                ledger.forfeit(worker)
+                if action == "expire":
+                    ledger.forfeit(worker)  # the racing second observer
+                else:
+                    alive.discard(worker)
+            elif action == "shrink":
+                ledger.forfeit(worker)
+                alive.discard(worker)
+            elif action == "grow":
+                alive.add(next_id)
+                next_id += 1
+            _check_lease_maps(ledger)
+
+        # Drain: surviving (or fresh) workers finish whatever is left.
+        if not alive:
+            alive.add(next_id)
+            next_id += 1
+        guard = 0
+        while not ledger.done:
+            guard += 1
+            assert guard < 10_000
+            for worker in sorted(alive):
+                if ledger.lease_of(worker) is None:
+                    if ledger.lease(worker) is None:
+                        continue
+                cid = ledger.lease_of(worker)
+                chunk = ledger.chunk(cid)
+                ledger.complete(
+                    worker, cid, chunk.expected_terms, chunk.expected_checksum
+                )
+                completed_chunks.append(cid)
+            _check_lease_maps(ledger)
+
+        assert sorted(completed_chunks) == list(range(chunk_count))
+        assert ledger.completions == chunk_count
+        assert ledger.pending_count == 0
+        assert ledger.leased_count == 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(ops=steps)
+    def test_stale_completions_never_double_complete(self, ops):
+        """A dead worker's late result can never finish a chunk twice."""
+        chunks = _chunks(6)
+        ledger = WorkLedger(chunks)
+        ghosts = []  # (worker, chunk) pairs whose lease was lost
+        alive = {1, 2, 3}
+        next_id = 4
+        for action, pick in ops:
+            workers = sorted(alive)
+            if not workers:
+                break
+            worker = workers[pick % len(workers)]
+            if action == "lease" and ledger.lease_of(worker) is None:
+                ledger.lease(worker)
+            elif action == "complete":
+                cid = ledger.lease_of(worker)
+                if cid is not None:
+                    chunk = ledger.chunk(cid)
+                    ledger.complete(
+                        worker, cid, chunk.expected_terms,
+                        chunk.expected_checksum,
+                    )
+            elif action in ("expire", "die", "shrink"):
+                cid = ledger.lease_of(worker)
+                if cid is not None:
+                    ghosts.append((worker, cid))
+                ledger.forfeit(worker)
+                if action != "expire":
+                    alive.discard(worker)
+                    alive.add(next_id)
+                    next_id += 1
+        before = ledger.completions
+        replayed = 0
+        for worker, cid in ghosts:
+            chunk = ledger.chunk(cid)
+            if ledger._owner_of_chunk.get(cid) == worker:
+                continue  # legitimately re-leased to the same id
+            assert not ledger.complete(
+                worker, cid, chunk.expected_terms, chunk.expected_checksum
+            )
+            replayed += 1
+        assert ledger.completions == before
+        assert ledger.stale_results >= replayed
+
+
+class TestLedgerBasicsViaProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=1, max_value=20))
+    def test_double_lease_always_rejected(self, chunk_count):
+        ledger = WorkLedger(_chunks(chunk_count))
+        assert ledger.lease(1) is not None
+        with pytest.raises(ElasticError):
+            ledger.lease(1)

@@ -109,3 +109,58 @@ class TestStealingFailover:
                 np.full(16, 10.0), 2,
                 death_times={0: 1.0, 1: 1.0},
             )
+
+
+class TestFailoverObservability:
+    """Both failover simulators report what they redispatched."""
+
+    def test_redispatch_event_and_counters(self):
+        from repro.observe.observer import Observer
+
+        obs = Observer()
+        result = simulate_with_failures(
+            uniform_costs(256), 8, Z820_SMP, failed_ranks=(3,), observer=obs
+        )
+        events = [s for s in obs.tracer.spans
+                  if s.name == "simcluster.redispatch"]
+        assert len(events) == 1
+        attrs = events[0].attrs
+        assert attrs["failed_ranks"] == [3]
+        assert attrs["tasks_redispatched"] == result.tasks_redispatched
+        snapshot = obs.metrics.snapshot()
+        assert snapshot["simcluster.failures"]["value"] == 1
+        assert (
+            snapshot["simcluster.tasks_redispatched"]["value"]
+            == result.tasks_redispatched
+        )
+
+    def test_no_failures_no_event(self):
+        from repro.observe.observer import Observer
+
+        obs = Observer()
+        simulate_with_failures(
+            uniform_costs(64), 4, Z820_SMP, failed_ranks=(), observer=obs
+        )
+        assert not [s for s in obs.tracer.spans
+                    if s.name == "simcluster.redispatch"]
+
+    def test_stealing_failover_event(self):
+        from repro.observe.observer import Observer
+
+        obs = Observer()
+        trace = simulate_stealing_with_failures(
+            uniform_costs(64, each=1.0), 4, death_times={1: 2.0},
+            observer=obs,
+        )
+        events = [s for s in obs.tracer.spans
+                  if s.name == "workstealing.failover"]
+        assert len(events) == 1
+        attrs = events[0].attrs
+        assert attrs["failed_workers"] == [1]
+        assert attrs["tasks_rerun"] == trace.tasks_rerun
+        snapshot = obs.metrics.snapshot()
+        if trace.tasks_rerun:
+            assert (
+                snapshot["workstealing.tasks_rerun"]["value"]
+                == trace.tasks_rerun
+            )

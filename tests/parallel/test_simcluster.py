@@ -101,8 +101,13 @@ class TestHelpers:
         with pytest.raises(ValueError):
             amdahl_bound(0.5, 0)
 
-    def test_speedup_empty(self):
-        assert speedup_curve([]).size == 0
+    def test_speedup_empty_raises(self):
+        with pytest.raises(ValueError, match="scaling point"):
+            speedup_curve([])
+
+    def test_efficiency_empty_raises(self):
+        with pytest.raises(ValueError, match="scaling point"):
+            parallel_efficiency([])
 
     def test_model_overrides(self):
         model = Z820_SMP.with_overrides(alpha=1.0)

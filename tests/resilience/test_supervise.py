@@ -106,6 +106,57 @@ class TestHeartbeatBoard:
         with pytest.raises(ValueError):
             HeartbeatBoard(0)
 
+    def test_grow_preserves_pre_growth_progress(self):
+        """Growth must never disturb rows already in flight."""
+        board = HeartbeatBoard(2)
+        board.assign(0, 4)
+        board.tick(0, advance=3)
+        board.mark_done(1)
+        first_new = board.grow(2)
+        assert first_new == 2
+        assert board.workers == 4
+        assert board.items_done(0) == 3
+        assert not board.is_done(0)
+        assert board.is_done(1)
+        board.assign(3, 6)
+        board.tick(3, advance=2)
+        assert board.items_done(3) == 2
+        assert board.progress() == (5, 10)
+        snap = board.dump()
+        assert len(snap) == 4
+        assert snap[0]["items_done"] == 3.0
+        assert snap[3]["items_assigned"] == 6.0
+
+    def test_grow_rejects_non_positive(self):
+        board = HeartbeatBoard(1)
+        with pytest.raises(ValueError):
+            board.grow(0)
+
+    def test_new_rows_start_fresh(self):
+        board = HeartbeatBoard(1)
+        row = board.grow(1)
+        now = time.monotonic()
+        # A fresh row's heartbeat is "now", not the board's creation
+        # time — otherwise a watchdog would kill a just-joined worker.
+        assert board.age(row, now) == pytest.approx(0.0, abs=0.05)
+        assert not board.is_done(row)
+        with pytest.raises(IndexError):
+            board.items_done(board.workers)
+
+    @needs_fork
+    def test_grown_rows_cross_the_fork_boundary(self):
+        board = HeartbeatBoard(1)
+        row = board.grow(1)
+        pid = os.fork()
+        if pid == 0:
+            board.assign(row, 5)
+            board.tick(row, advance=5)
+            board.mark_done(row)
+            os._exit(0)
+        os.waitpid(pid, 0)
+        assert board.items_done(row) == 5
+        assert board.is_done(row)
+
     @needs_fork
     def test_ticks_cross_the_fork_boundary(self):
         board = HeartbeatBoard(2)

@@ -200,3 +200,62 @@ class TestRegularizedSolver:
         ]) == 0
         out = capsys.readouterr().out
         assert "solve regularized" in out
+
+
+class TestScale:
+    def test_scale_writes_bench_shape(self, tmp_path, capsys):
+        out = tmp_path / "scaling.json"
+        assert main([
+            "scale", "--n", "8", "--ranks", "16", "--chunk-items", "32",
+            "--out", str(out),
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "simulated strong scaling" in text
+        import json
+
+        payload = json.loads(out.read_text())
+        assert payload["benchmark"] == "elastic_scaling"
+        assert set(payload["curves"]) >= {"contiguous", "balanced", "betti"}
+        for curve in payload["curves"].values():
+            assert curve["rank_counts"][-1] <= 16
+            assert len(curve["speedup"]) == len(curve["rank_counts"])
+        from repro.parallel.pymp import fork_available
+
+        if fork_available():
+            assert payload["campaign"]["part_files_identical"] is True
+            assert payload["sizes"][0]["n"] == 8
+            assert payload["sizes"][0]["elastic_formation_seconds"] > 0
+
+    def test_scale_no_churn_quiet_only(self, tmp_path, capsys):
+        out = tmp_path / "scaling.json"
+        assert main([
+            "scale", "--n", "8", "--ranks", "4", "--no-churn",
+            "--out", str(out),
+        ]) == 0
+        import json
+
+        payload = json.loads(out.read_text())
+        assert "churn_overhead" not in payload["campaign"]
+
+    def test_scale_traced_run_is_regressable(self, tmp_path, capsys):
+        """scale --trace --catalog --bench-tag scaling feeds the gate."""
+        from repro.parallel.pymp import fork_available
+
+        if not fork_available():
+            pytest.skip("requires os.fork")
+        bench = tmp_path / "BENCH_scaling.json"
+        trace = tmp_path / "trace"
+        db = tmp_path / "cat.db"
+        assert main([
+            "scale", "--n", "8", "--ranks", "4",
+            "--out", str(bench),
+            "--trace", str(trace), "--catalog", str(db),
+            "--bench-tag", "scaling",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "runs", "regress", "--db", str(db),
+            "--bench", str(bench), "--threshold", "25",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "scaling" in out
