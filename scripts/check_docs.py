@@ -1,7 +1,7 @@
 #!/usr/bin/env python
-"""Documentation checker: relative links, anchors, CLI snippets.
+"""Documentation checker: links, anchors, CLI snippets, index coverage.
 
-Two classes of rot this catches, both of which have bitten real
+Three classes of rot this catches, all of which have bitten real
 projects silently:
 
 1. **Broken relative links.**  Every ``[text](path)`` /
@@ -15,6 +15,10 @@ projects silently:
    (``repro.cli.build_parser``) — flags renamed or removed in the CLI
    fail the docs build instead of lingering in the README.  Commands
    are only parsed, never executed.
+
+3. **Orphaned docs pages.**  Every ``docs/*.md`` file must be linked
+   from the README (its docs index) — a page nobody can reach from
+   the front door rots unnoticed.
 
 Usage::
 
@@ -177,6 +181,36 @@ def iter_cli_snippets(path: Path):
         yield number, argv
 
 
+def check_index(files: list[Path], root: Path) -> list[str]:
+    """Every ``docs/*.md`` page must be reachable from the README.
+
+    A runbook nobody can find is a runbook nobody follows: the README
+    keeps a docs index table, and a page added under ``docs/`` without
+    a row there is invisible to anyone browsing the repo front page.
+    Flags each checked docs page that no README link points at.
+    """
+    readme = root / "README.md"
+    if not readme.is_file():
+        return []
+    linked: set[Path] = set()
+    for _, target in iter_links(readme):
+        if target.startswith(_EXTERNAL_PREFIXES):
+            continue
+        base, _, _ = target.partition("#")
+        if base:
+            linked.add((readme.parent / base).resolve())
+    problems: list[str] = []
+    for path in files:
+        if path.resolve() == readme.resolve():
+            continue
+        if path.resolve() not in linked:
+            problems.append(
+                f"{_display(path, root)}: not linked from README.md "
+                "(add a docs-index row)"
+            )
+    return problems
+
+
 def check_snippets(files: list[Path], root: Path) -> list[str]:
     """Parse every documented ``parma`` invocation with the real CLI."""
     sys.path.insert(0, str(root / "src"))
@@ -218,7 +252,11 @@ def main(argv: list[str] | None = None) -> int:
     if not files:
         print(f"no markdown files found under {root}", file=sys.stderr)
         return 2
-    problems = check_links(files, root) + check_snippets(files, root)
+    problems = (
+        check_links(files, root)
+        + check_index(files, root)
+        + check_snippets(files, root)
+    )
     for problem in problems:
         print(problem, file=sys.stderr)
     if problems:

@@ -475,7 +475,7 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
 #: ``parma chaos --include`` keys, in execution order.
 CHAOS_CHECKS = (
     "kill", "hang", "slow", "signal", "stream", "campaign", "dirty", "ladder",
-    "elastic", "serve",
+    "elastic", "serve", "fleet",
 )
 
 
@@ -922,6 +922,70 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         else:  # pragma: no cover - fork always available on test platforms
             check("serve: executor chaos", True, "skipped (no fork)")
 
+    # 11. Fleet chaos: SIGKILL the routed shard process right before a
+    #    forward; the front must walk the ring to another shard, the
+    #    watchdog must respawn the dead one, and every answer must stay
+    #    bit-identical to a standalone solve.
+    if want("fleet"):
+        if fork_available():
+            from repro.serve import SolveClient
+            from repro.serve.fleet import FleetConfig, SolveFleet
+
+            fleet_ref = ParmaEngine(
+                strategy="single", threshold_sigmas=3.0
+            ).parametrize(meas)
+            with tempfile.TemporaryDirectory() as fd:
+                fd = Path(fd)
+                fleet = SolveFleet(FleetConfig(
+                    listen=fd / "front.sock",
+                    results_dir=fd / "results",
+                    shards=2,
+                    linger=0.0,
+                    term_grace=0.2,
+                    faults=FaultPlan(seed=seed, fleet_kill_requests=(2,)),
+                ))
+                fleet.start()
+                try:
+                    client = SolveClient(
+                        fd / "front.sock",
+                        timeout=120.0,
+                        retries=3,
+                        backoff=0.05,
+                    )
+                    responses = [
+                        client.solve(meas.z_kohm, id=f"fleet-{i}")
+                        for i in range(3)
+                    ]
+                    identical = all(
+                        r.ok
+                        and np.array_equal(
+                            r.resistance_array(), fleet_ref.resistance
+                        )
+                        for r in responses
+                    )
+                    respawned = False
+                    wait_until = time.monotonic() + 10.0
+                    while time.monotonic() < wait_until:
+                        fstats = client.stats()["fleet"]
+                        if (
+                            fstats["shard_respawns"] >= 1
+                            and len(fstats["alive"]) == 2
+                        ):
+                            respawned = True
+                            break
+                        time.sleep(0.2)
+                    reroutes = client.stats()["fleet"]["reroutes"]
+                finally:
+                    fleet.stop()
+            check(
+                "fleet: shard kill -> reroute + respawn",
+                identical and respawned and reroutes >= 1,
+                f"{reroutes} reroute(s), shard respawned; recovered "
+                "fields bit-identical to standalone",
+            )
+        else:  # pragma: no cover - fork always available on test platforms
+            check("fleet: shard chaos", True, "skipped (no fork)")
+
     _finish_observer(
         obs, args,
         {"command": "chaos", "n": n, "seed": seed, "checks": ",".join(selected)},
@@ -1342,6 +1406,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = ServiceConfig(
         socket_path=args.socket,
         results_dir=args.results,
+        tcp=args.tcp,
         max_queue_depth=args.queue_depth,
         max_batch=args.max_batch,
         linger=args.linger,
@@ -1365,8 +1430,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     signal_mod.signal(signal_mod.SIGTERM, _on_signal)
     signal_mod.signal(signal_mod.SIGINT, _on_signal)
+    tcp_note = ""
+    if service.tcp_address is not None:
+        host, port = service.tcp_address
+        tcp_note = f" + tcp {host}:{port}"
     print(
-        f"serving on {args.socket} ({service.executor_mode} executors; "
+        f"serving on {args.socket}{tcp_note} "
+        f"({service.executor_mode} executors; "
         f"results under {args.results}; "
         f"batch<= {args.max_batch}, queue<= {args.queue_depth}; "
         "SIGTERM drains)",
@@ -1412,6 +1482,87 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Run a sharded solve fleet until SIGTERM/SIGINT drains it."""
+    import signal as signal_mod
+
+    from repro.observe import Observer
+    from repro.serve.fleet import FleetConfig, SolveFleet
+
+    obs = Observer(trace_dir=args.trace)
+    config = FleetConfig(
+        listen=args.listen,
+        results_dir=args.results,
+        shards=args.shards,
+        max_queue_depth=args.queue_depth,
+        max_batch=args.max_batch,
+        linger=args.linger,
+        serve_workers=args.serve_workers,
+        strategy=args.strategy,
+        num_workers=args.workers,
+        max_deadline=args.max_deadline,
+        shard_executor=args.shard_executor,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        max_inflight_per_shard=args.max_inflight,
+        shard_stall_timeout=args.shard_stall_timeout,
+        catalog_path=args.catalog,
+        observer=obs,
+    )
+    fleet = SolveFleet(config)
+    fleet.start()
+
+    def _on_signal(signum, frame) -> None:
+        fleet.request_drain()
+
+    signal_mod.signal(signal_mod.SIGTERM, _on_signal)
+    signal_mod.signal(signal_mod.SIGINT, _on_signal)
+    where = str(args.listen)
+    if fleet.tcp_address is not None:
+        host, port = fleet.tcp_address
+        where = f"{host}:{port}"
+    print(
+        f"fleet front on {where} ({args.shards} shard(s) keyed on "
+        f"(n, formation); results under {args.results}; SIGTERM drains)",
+        flush=True,
+    )
+    try:
+        while not fleet.wait(timeout=0.5):
+            pass
+    finally:
+        fleet.stop()
+    if obs.trace_dir is not None:
+        manifest = obs.finalize(
+            config={
+                "command": "fleet",
+                "listen": where,
+                "shards": args.shards,
+                "status": "ok",  # the drain completed
+                "requests": fleet.requests,
+                "reroutes": fleet.reroutes,
+                "shard_respawns": fleet.respawns,
+            },
+            extra={"bench": args.bench_tag} if args.bench_tag else None,
+        )
+        print(f"fleet manifest: {args.trace}/manifest.json "
+              f"(run {manifest['run_id']})")
+        if args.catalog is not None:
+            from repro.observe.catalog import Catalog
+
+            with Catalog(args.catalog) as catalog:
+                report = catalog.ingest([obs.trace_dir])
+                print(
+                    f"catalog: {report.summary()} -> {args.catalog} "
+                    f"({catalog.count()} run(s) total)"
+                )
+    if args.metrics and obs.metrics is not None:
+        from repro.instrument.report import metrics_table
+
+        print(metrics_table(obs.metrics.snapshot()).render())
+    print("drained; all shards retired cleanly")
+    return 0
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
     """Send one timepoint to a running service and print the result."""
     from repro.io.textformat import load_campaign
@@ -1424,8 +1575,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    target = args.tcp if args.tcp is not None else args.socket
+    if target is None:
+        print("error: give --socket PATH or --tcp HOST:PORT",
+              file=sys.stderr)
+        return 2
     client = SolveClient(
-        args.socket,
+        target,
         timeout=args.timeout,
         retries=args.retries,
         backoff=args.backoff,
@@ -1462,6 +1618,24 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             "resubmit (or raise --retries)",
             file=sys.stderr,
         )
+        # Per-priority queue depths tell the operator *which* class is
+        # backed up (a full batch lane with an idle interactive lane
+        # means "resubmit with --priority interactive", not "back off").
+        try:
+            stats = client.stats()
+        except ServeConnectionError:
+            stats = {}
+        depths = stats.get("queue_depths") or {}
+        if depths:
+            per_class = ", ".join(
+                f"{name} {count}" for name, count in sorted(depths.items())
+            )
+            print(
+                f"  queue depth {stats.get('queue_depth', 0)} "
+                f"({per_class}), estimated wait "
+                f"{stats.get('estimated_queue_seconds', 0.0):.1f}s",
+                file=sys.stderr,
+            )
         return response.exit_status
     if not response.ok:
         print(f"error: {response.status}: {response.error}", file=sys.stderr)
@@ -1683,20 +1857,27 @@ def _cmd_runs_stats(args: argparse.Namespace) -> int:
 def _cmd_runs_regress(args: argparse.Namespace) -> int:
     from repro.observe.catalog import Catalog
 
-    bench_paths = args.bench or [
-        path
-        for path in (
-            Path("BENCH_solver.json"),
-            Path("BENCH_formation.json"),
-            Path("BENCH_scaling.json"),
-        )
-        if path.exists()
-    ]
+    default_benches = {
+        "solver": Path("BENCH_solver.json"),
+        "formation": Path("BENCH_formation.json"),
+        "scaling": Path("BENCH_scaling.json"),
+        "serve": Path("BENCH_serve.json"),
+    }
+    bench_paths = args.bench
+    if bench_paths is None and args.kind is not None:
+        path = default_benches[args.kind]
+        if not path.exists():
+            print(f"error: {path} not found for --kind {args.kind}",
+                  file=sys.stderr)
+            return 2
+        bench_paths = [path]
+    if bench_paths is None:
+        bench_paths = [p for p in default_benches.values() if p.exists()]
     if not bench_paths:
         print(
             "error: no benchmark trajectories (pass --bench PATH or run "
             "from a checkout with BENCH_solver.json / BENCH_formation.json "
-            "/ BENCH_scaling.json)",
+            "/ BENCH_scaling.json / BENCH_serve.json)",
             file=sys.stderr,
         )
         return 2
@@ -1759,6 +1940,16 @@ def _watch_render(stats: dict, previous: dict | None) -> str:
         f"shed: {shed_text}"
         f" | quota rejections {stats.get('quota_rejections', 0)}"
     )
+    fleet = stats.get("fleet")
+    if isinstance(fleet, dict):
+        alive = fleet.get("alive", [])
+        routed = fleet.get("routed", [])
+        lines.append(
+            f"fleet: {len(alive)}/{fleet.get('shards', '?')} shards up"
+            f" | routed {routed}"
+            f" | reroutes {fleet.get('reroutes', 0)}"
+            f" | shard respawns {fleet.get('shard_respawns', 0)}"
+        )
     metrics = stats.get("metrics", {}) or {}
     for label, name in (
         ("latency warm", "serve.latency.warm_seconds"),
@@ -1943,6 +2134,11 @@ def build_parser() -> argparse.ArgumentParser:
                            help="persistent solve service (unix socket)")
     p_srv.add_argument("--socket", type=Path, required=True,
                        help="unix-domain socket path to listen on")
+    p_srv.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                       help="also listen on a TCP address (same framed "
+                            "protocol; port 0 picks an ephemeral port; "
+                            "bind loopback unless the network is trusted "
+                            "— the protocol has no authentication)")
     p_srv.add_argument("--results", type=Path, required=True,
                        help="directory for per-request run manifests "
                             "(req-<id>/manifest.json)")
@@ -1992,11 +2188,71 @@ def build_parser() -> argparse.ArgumentParser:
     _add_observe_args(p_srv)
     p_srv.set_defaults(func=_cmd_serve)
 
+    p_fleet = sub.add_parser("fleet",
+                             help="sharded multi-process solve fleet "
+                                  "behind one TCP/unix front")
+    p_fleet.add_argument("--listen", required=True, metavar="ADDR",
+                         help="front address: HOST:PORT (TCP; port 0 "
+                              "picks an ephemeral port) or a unix "
+                              "socket path")
+    p_fleet.add_argument("--results", type=Path, required=True,
+                         help="fleet root; shard i serves on "
+                              "<results>/shard-i/shard.sock and writes "
+                              "its manifests there")
+    p_fleet.add_argument("--shards", type=int, default=2,
+                         help="worker processes; requests shard by "
+                              "(n, formation) on a consistent-hash ring")
+    p_fleet.add_argument("--queue-depth", type=int, default=64,
+                         help="per-shard admission bound")
+    p_fleet.add_argument("--max-batch", type=int, default=8,
+                         help="per-shard batch coalescing bound")
+    p_fleet.add_argument("--linger", type=float, default=0.05,
+                         metavar="SECONDS",
+                         help="per-shard batch linger window")
+    p_fleet.add_argument("--serve-workers", type=int, default=1,
+                         help="executor slots inside each shard")
+    p_fleet.add_argument("--strategy", default="single",
+                         choices=["single", "parallel", "balanced",
+                                  "pymp", "pymp-dynamic"],
+                         help="formation strategy inside each shard")
+    p_fleet.add_argument("--workers", type=int, default=4,
+                         help="region width for multi-worker strategies")
+    p_fleet.add_argument("--max-deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="cap every per-request deadline fleet-wide")
+    p_fleet.add_argument("--shard-executor", default="thread",
+                         choices=["thread", "subprocess"],
+                         help="execution host inside each shard (the "
+                              "shard process is already the crash-"
+                              "isolation boundary, so thread is the "
+                              "default; subprocess nests executor "
+                              "isolation within each shard)")
+    p_fleet.add_argument("--quota-rate", type=float, default=None,
+                         metavar="REQ_PER_SEC",
+                         help="per-client token-bucket refill, enforced "
+                              "at the front (anonymous clients exempt)")
+    p_fleet.add_argument("--quota-burst", type=float, default=8.0,
+                         help="front token-bucket capacity per client id")
+    p_fleet.add_argument("--max-inflight", type=int, default=8,
+                         help="per-shard in-flight bound beyond which "
+                              "batch-priority work is shed at the front "
+                              "(interactive is still admitted)")
+    p_fleet.add_argument("--shard-stall-timeout", type=float, default=15.0,
+                         metavar="SECONDS",
+                         help="heartbeat age after which a shard is "
+                              "declared dead and respawned")
+    _add_observe_args(p_fleet)
+    p_fleet.set_defaults(func=_cmd_fleet)
+
     p_sub = sub.add_parser("submit",
                            help="submit one timepoint to a running serve")
     p_sub.add_argument("campaign", type=Path)
-    p_sub.add_argument("--socket", type=Path, required=True,
-                       help="socket of the running `parma serve`")
+    p_sub.add_argument("--socket", type=Path, default=None,
+                       help="unix socket of the running `parma serve`")
+    p_sub.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                       help="TCP address of a `parma fleet` front or a "
+                            "`parma serve --tcp` service (alternative "
+                            "to --socket)")
     p_sub.add_argument("--hour", type=float, default=0.0)
     p_sub.add_argument("--solver", default="nested",
                        choices=["nested", "full", "regularized", "bounded"])
@@ -2149,8 +2405,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_rregress.add_argument("--bench", type=Path, action="append",
                             default=None, metavar="PATH",
                             help="benchmark trajectory JSON (repeatable; "
-                                 "default: BENCH_solver.json and "
-                                 "BENCH_formation.json when present)")
+                                 "default: every committed BENCH_*.json "
+                                 "present in the working directory)")
+    p_rregress.add_argument("--kind", default=None,
+                            choices=["solver", "formation", "scaling",
+                                     "serve"],
+                            help="gate only this benchmark family's "
+                                 "default BENCH_*.json (ignored when "
+                                 "--bench is given)")
     p_rregress.add_argument("--threshold", type=float, default=1.5,
                             help="fail when observed > threshold x baseline")
     p_rregress.set_defaults(func=_cmd_runs_regress)
@@ -2158,8 +2420,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_rwatch = runs_sub.add_parser(
         "watch", help="live dashboard over a running `parma serve`"
     )
-    p_rwatch.add_argument("--socket", type=Path, required=True,
-                          help="socket of the running `parma serve`")
+    p_rwatch.add_argument("--socket", required=True, metavar="ADDR",
+                          help="unix socket of a running `parma serve`, "
+                               "or HOST:PORT of a `parma fleet` front")
     p_rwatch.add_argument("--interval", type=float, default=2.0,
                           help="seconds between polls")
     p_rwatch.add_argument("--iterations", type=int, default=None,

@@ -420,7 +420,11 @@ def load_bench_trajectory(path: str | Path) -> tuple[str, str, dict[int, float]]
     ``bench=formation`` runs against ``cached_seconds``;
     ``BENCH_scaling.json`` gates ``formation_seconds`` of
     ``bench=scaling`` runs (the ``parma scale`` elastic campaign,
-    quiet + churn) against ``elastic_formation_seconds``.
+    quiet + churn) against ``elastic_formation_seconds``;
+    ``BENCH_serve.json`` gates ``solve_seconds`` of ``bench=serve``
+    runs (the ``benchmarks/bench_serve.py`` load generator) against
+    the *measured* single-host ``warm_p95_seconds`` — the SLO the
+    fleet front promises per request once caches are warm.
     """
     path = Path(path)
     try:
@@ -434,10 +438,13 @@ def load_bench_trajectory(path: str | Path) -> tuple[str, str, dict[int, float]]
         tag, column, key = "formation", "formation_seconds", "cached_seconds"
     elif benchmark == "elastic_scaling":
         tag, column, key = "scaling", "formation_seconds", "elastic_formation_seconds"
+    elif benchmark == "serve_slo":
+        tag, column, key = "serve", "solve_seconds", "warm_p95_seconds"
     else:
         raise CatalogError(
             f"{path}: unknown benchmark kind {benchmark!r} (expected "
-            "solver_fastpath, formation_cache or elastic_scaling)"
+            "solver_fastpath, formation_cache, elastic_scaling or "
+            "serve_slo)"
         )
     baselines: dict[int, float] = {}
     for size in data.get("sizes", []):

@@ -116,6 +116,17 @@ class FaultPlan:
     serve_drop_connections:
         Request ordinals at which the executor worker closes its pipe
         mid-batch (clean EOF instead of a crash) and exits.
+    fleet_kill_requests:
+        Front solve ordinals (counted at the fleet front, from 1) at
+        which the *routed shard process* is SIGKILLed before the
+        request is forwarded — exercising the front's ring-walk
+        reroute and the watchdog respawn
+        (:class:`repro.serve.fleet.SolveFleet`).
+    fleet_kill_generations:
+        Fleet shard kills fire only while the target shard's
+        generation is ``<=`` this bound (generations start at 1 on
+        first spawn) — the default 1 means the respawned shard
+        survives, mirroring ``serve_kill_generations``.
     """
 
     seed: int = 0
@@ -146,6 +157,11 @@ class FaultPlan:
     serve_slow_seconds: float = 0.0
     serve_corrupt_frames: tuple[int, ...] = ()
     serve_drop_connections: tuple[int, ...] = ()
+    fleet_kill_requests: tuple[int, ...] = ()
+    fleet_kill_generations: int = 1
+
+    def any_fleet_faults(self) -> bool:
+        return bool(self.fleet_kill_requests)
 
     def any_serve_faults(self) -> bool:
         return bool(
@@ -320,6 +336,19 @@ class FaultInjector:
                 time.sleep(60)
         if plan.serve_slow_seconds > 0.0:
             time.sleep(plan.serve_slow_seconds)
+
+    def fleet_kill_at(self, ordinal: int, generation: int) -> bool:
+        """Whether the fleet front should kill the routed shard now.
+
+        ``ordinal`` counts solve requests at the front (from 1);
+        ``generation`` is the target shard's spawn generation (1 =
+        original).  Deciding at the front — not inside the shard —
+        keeps the fault deterministic under rerouting: the killed
+        process is always the one the ring chose first.
+        """
+        if generation > self.plan.fleet_kill_generations:
+            return False
+        return ordinal in self.plan.fleet_kill_requests
 
     def serve_frame_fate(self, ordinal: int, generation: int) -> str:
         """``"ok"``, ``"corrupt"`` or ``"drop"`` for result frame ``ordinal``."""

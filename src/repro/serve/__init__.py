@@ -30,8 +30,13 @@ The pieces, each its own module:
   accept loop, dispatchers, idempotency cache, per-request run
   manifests via :mod:`repro.observe`, graceful drain on SIGTERM;
 * :mod:`repro.serve.client` — :class:`SolveClient`, the library/CLI
-  client (one request per connection, opt-in bounded retries with
-  seeded-jitter backoff).
+  client (one request per connection, unix-socket or TCP, opt-in
+  bounded retries with seeded-jitter backoff);
+* :mod:`repro.serve.fleet` — horizontal scale-out:
+  :class:`SolveFleet`, a TCP/unix front listener dispatching to a
+  consistent-hash-sharded fleet of :class:`SolveService` worker
+  processes with heartbeat health, rerouting and front-side
+  quotas/shedding (``parma fleet``, ``docs/OPERATIONS.md``).
 
 See ``docs/SERVING.md`` for the wire protocol and operational
 semantics, and ``docs/ARCHITECTURE.md`` for where serving sits in the
@@ -41,6 +46,7 @@ stack.
 from repro.serve.batcher import Batch, Batcher, batch_key
 from repro.serve.client import ServeConnectionError, SolveClient
 from repro.serve.executor import ExecutorPool
+from repro.serve.fleet import FleetConfig, ShardMap, SolveFleet
 from repro.serve.protocol import (
     PRIORITY_BATCH,
     PRIORITY_CLASSES,
@@ -76,6 +82,7 @@ __all__ = [
     "Batch",
     "Batcher",
     "ExecutorPool",
+    "FleetConfig",
     "PRIORITY_BATCH",
     "PRIORITY_CLASSES",
     "PRIORITY_INTERACTIVE",
@@ -98,7 +105,9 @@ __all__ = [
     "STATUS_WORKER_LOST",
     "ServeConnectionError",
     "ServiceConfig",
+    "ShardMap",
     "SolveClient",
+    "SolveFleet",
     "SolveService",
     "Ticket",
     "TokenBucket",

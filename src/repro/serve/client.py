@@ -38,6 +38,9 @@ from repro.serve.protocol import (
     ProtocolError,
     Request,
     Response,
+    connect_address,
+    format_address,
+    parse_address,
     recv_message,
     send_message,
 )
@@ -91,7 +94,9 @@ class SolveClient:
     Parameters
     ----------
     socket_path:
-        The unix-domain socket the service listens on.
+        Where the service listens: a unix-domain socket path, or a
+        TCP ``HOST:PORT`` / ``tcp://HOST:PORT`` spec for a fleet
+        front (see :func:`repro.serve.protocol.parse_address`).
     timeout:
         Per-request socket timeout in seconds.  This must cover the
         request's *queue wait plus solve time*; the default is
@@ -119,7 +124,13 @@ class SolveClient:
         backoff: float = 0.1,
         jitter: float = 0.5,
     ) -> None:
-        self.socket_path = Path(socket_path)
+        kind, _ = parse_address(socket_path)
+        # Unix specs keep the Path type callers have always seen;
+        # "HOST:PORT" stays a string so it round-trips verbatim.
+        self.socket_path = (
+            socket_path if kind == "tcp" else Path(socket_path)
+        )
+        self.address = format_address(socket_path)
         self.timeout = float(timeout)
         self.retries = int(retries)
         self.backoff = float(backoff)
@@ -129,30 +140,38 @@ class SolveClient:
 
     def _roundtrip(self, message: dict) -> dict:
         """Connect, send one message, read one reply, disconnect."""
-        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        sock.settimeout(self.timeout)
         sent = False
         try:
-            try:
-                sock.connect(str(self.socket_path))
-            except (FileNotFoundError, ConnectionRefusedError) as exc:
-                raise ServeConnectionError(
-                    f"no solve service on {self.socket_path} "
-                    f"(start one with `parma serve --socket "
-                    f"{self.socket_path}`)"
-                ) from exc
+            sock = connect_address(self.socket_path, timeout=self.timeout)
+        except (
+            FileNotFoundError,
+            ConnectionRefusedError,
+            socket.timeout,
+            socket.gaierror,
+        ) as exc:
+            kind, _ = parse_address(self.socket_path)
+            hint = (
+                f"start one with `parma fleet --listen {self.address}` "
+                f"or `parma serve --tcp {self.address}`"
+                if kind == "tcp"
+                else f"start one with `parma serve --socket {self.address}`"
+            )
+            raise ServeConnectionError(
+                f"no solve service on {self.address} ({hint})"
+            ) from exc
+        try:
             try:
                 send_message(sock, message)
             except OSError as exc:
                 raise ServeConnectionError(
-                    f"send to {self.socket_path} failed: {exc}"
+                    f"send to {self.address} failed: {exc}"
                 ) from exc
             sent = True
             try:
                 reply = recv_message(sock)
             except ProtocolError as exc:
                 raise ServeConnectionError(
-                    f"reply stream from {self.socket_path} broke "
+                    f"reply stream from {self.address} broke "
                     f"{exc.bytes_read} byte(s) into the frame: {exc}",
                     request_sent=True,
                     acked=exc.bytes_read > 0,
@@ -160,7 +179,7 @@ class SolveClient:
                 ) from exc
             except OSError as exc:
                 raise ServeConnectionError(
-                    f"receive from {self.socket_path} failed: {exc}",
+                    f"receive from {self.address} failed: {exc}",
                     request_sent=True,
                 ) from exc
         finally:

@@ -379,3 +379,68 @@ def recv_message(sock: socket.socket) -> dict | None:
     if not isinstance(message, dict):
         raise ProtocolError("message payload must be a JSON object")
     return message
+
+
+# -- addresses ----------------------------------------------------------------
+
+
+def parse_address(spec: object) -> tuple[str, object]:
+    """Classify a listen/connect spec as TCP or unix-domain.
+
+    ``HOST:PORT`` — an all-digit port after the last colon, no ``/``
+    anywhere — means TCP, as does an explicit ``tcp://HOST:PORT``
+    prefix.  Everything else is a filesystem path to a unix-domain
+    socket.  Returns ``("tcp", (host, port))`` or ``("unix", path)``.
+
+    An empty TCP host (``:7433``) resolves to ``127.0.0.1``: the safe
+    default for a protocol with no authentication (see the security
+    note in ``docs/SERVING.md``).  IPv6 literals are not parsed — put
+    a resolver name or an IPv4 address in the host part.
+
+    A ``(host, port)`` pair — the form ``getsockname`` returns and
+    :attr:`SolveService.tcp_address` holds after binding port 0 — is
+    accepted as TCP directly.
+    """
+    if isinstance(spec, (tuple, list)) and len(spec) == 2:
+        host, port = spec
+        return ("tcp", (str(host) or "127.0.0.1", int(port)))
+    text = str(spec)
+    explicit = text.startswith("tcp://")
+    if explicit:
+        text = text[len("tcp://"):]
+    if "/" not in text and ":" in text:
+        host, _, port = text.rpartition(":")
+        if port.isdigit():
+            return ("tcp", (host or "127.0.0.1", int(port)))
+    if explicit:
+        raise ValueError(f"malformed tcp address {spec!r} (want HOST:PORT)")
+    return ("unix", str(spec))
+
+
+def format_address(spec: object) -> str:
+    """A human-readable rendering of a parsed or raw address spec."""
+    kind, target = parse_address(spec)
+    if kind == "tcp":
+        host, port = target
+        return f"{host}:{port}"
+    return str(target)
+
+
+def connect_address(spec: object, timeout: float | None = None) -> socket.socket:
+    """Open a stream connection to ``spec``.
+
+    TCP or unix, per :func:`parse_address`.  Raises the underlying
+    ``OSError`` family untranslated — callers own the retry/error
+    story.
+    """
+    kind, target = parse_address(spec)
+    family = socket.AF_INET if kind == "tcp" else socket.AF_UNIX
+    sock = socket.socket(family, socket.SOCK_STREAM)
+    if timeout is not None:
+        sock.settimeout(timeout)
+    try:
+        sock.connect(target if kind == "tcp" else str(target))
+    except BaseException:
+        sock.close()
+        raise
+    return sock

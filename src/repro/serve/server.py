@@ -66,6 +66,7 @@ from repro.serve.protocol import (
     ProtocolError,
     Request,
     Response,
+    parse_address,
     recv_message,
     send_message,
 )
@@ -112,10 +113,15 @@ class ServiceConfig:
     serve chaos hooks inside executor children.  ``catalog_path``
     auto-ingests every executed request's run manifest into the SQLite
     run catalog (:mod:`repro.observe.catalog`) as it finalizes.
+    ``tcp`` additionally binds a ``HOST:PORT`` stream listener beside
+    the unix socket (same framing; port ``0`` picks an ephemeral port,
+    observable as :attr:`SolveService.tcp_address`) — the transport
+    the fleet front and remote clients use.
     """
 
     socket_path: Path
     results_dir: Path
+    tcp: str | None = None
     max_queue_depth: int = 64
     max_batch: int = 8
     linger: float = 0.05
@@ -139,6 +145,12 @@ class ServiceConfig:
     def __post_init__(self) -> None:
         object.__setattr__(self, "socket_path", Path(self.socket_path))
         object.__setattr__(self, "results_dir", Path(self.results_dir))
+        if self.tcp is not None:
+            kind, _ = parse_address(self.tcp)
+            if kind != "tcp":
+                raise ValueError(
+                    f"tcp must be a HOST:PORT spec, got {self.tcp!r}"
+                )
         if self.serve_workers < 1:
             raise ValueError(
                 f"serve_workers must be >= 1, got {self.serve_workers}"
@@ -202,6 +214,11 @@ class SolveService:
                 observer=self.observer,
             )
         self._sock: socket.socket | None = None
+        self._tcp_sock: socket.socket | None = None
+        #: ``(host, port)`` actually bound when ``config.tcp`` is set
+        #: (resolves port 0 to the kernel's pick); None otherwise.
+        self.tcp_address: tuple[str, int] | None = None
+        self._acceptors: list[threading.Thread] = []
         self._acceptor: threading.Thread | None = None
         self._workers: list[threading.Thread] = []
         self._handlers: set[threading.Thread] = set()
@@ -258,11 +275,30 @@ class SolveService:
         sock.listen(min(128, self.config.max_queue_depth * 2))
         sock.settimeout(_POLL_SECONDS)
         self._sock = sock
+        if self.config.tcp is not None:
+            _, target = parse_address(self.config.tcp)
+            tcp_sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            tcp_sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            tcp_sock.bind(target)
+            tcp_sock.listen(min(128, self.config.max_queue_depth * 2))
+            tcp_sock.settimeout(_POLL_SECONDS)
+            self._tcp_sock = tcp_sock
+            self.tcp_address = tcp_sock.getsockname()[:2]
         self._started_at = time.monotonic()
-        self._acceptor = threading.Thread(
-            target=self._accept_loop, name="serve-acceptor", daemon=True
-        )
-        self._acceptor.start()
+        self._acceptors = []
+        for listener, name in (
+            (self._sock, "serve-acceptor"),
+            (self._tcp_sock, "serve-acceptor-tcp"),
+        ):
+            if listener is None:
+                continue
+            acceptor = threading.Thread(
+                target=self._accept_loop, args=(listener,), name=name,
+                daemon=True,
+            )
+            acceptor.start()
+            self._acceptors.append(acceptor)
+        self._acceptor = self._acceptors[0]
         for rank in range(self.config.serve_workers):
             worker = threading.Thread(
                 target=self._worker_loop,
@@ -317,9 +353,10 @@ class SolveService:
         self.wait()
         if self.pool is not None:
             self.pool.stop()
-        if self._acceptor is not None:
-            self._acceptor.join(timeout=5.0)
-            self._acceptor = None
+        for acceptor in self._acceptors:
+            acceptor.join(timeout=5.0)
+        self._acceptors = []
+        self._acceptor = None
         with self._handlers_lock:
             handlers = list(self._handlers)
         for handler in handlers:
@@ -327,6 +364,10 @@ class SolveService:
         if self._sock is not None:
             self._sock.close()
             self._sock = None
+        if self._tcp_sock is not None:
+            self._tcp_sock.close()
+            self._tcp_sock = None
+            self.tcp_address = None
         try:
             self.config.socket_path.unlink()
         except FileNotFoundError:
@@ -396,12 +437,11 @@ class SolveService:
 
     # -- acceptor / handlers -------------------------------------------------
 
-    def _accept_loop(self) -> None:
+    def _accept_loop(self, listener: socket.socket) -> None:
         """Accept connections until stopped; one handler thread each."""
-        assert self._sock is not None
         while not self._stopping.is_set():
             try:
-                conn, _ = self._sock.accept()
+                conn, _ = listener.accept()
             except socket.timeout:
                 continue
             except OSError:  # pragma: no cover - socket closed under us

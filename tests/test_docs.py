@@ -73,6 +73,32 @@ class TestLinkChecker:
         assert check_docs.check_links([tmp_path / "a.md"], tmp_path) == []
 
 
+class TestIndexChecker:
+    def test_orphaned_docs_page_detected(self, tmp_path):
+        """A docs page with no README link must fail the docs build."""
+        (tmp_path / "README.md").write_text(
+            "| [docs/KNOWN.md](docs/KNOWN.md) | indexed |\n"
+        )
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "KNOWN.md").write_text("# Known\n")
+        (docs / "ORPHAN.md").write_text("# Orphan\n")
+        problems = check_docs.check_index(
+            [docs / "KNOWN.md", docs / "ORPHAN.md"], tmp_path
+        )
+        assert len(problems) == 1
+        assert "ORPHAN.md" in problems[0]
+        assert "not linked from README" in problems[0]
+
+    def test_readme_itself_exempt(self, tmp_path):
+        (tmp_path / "README.md").write_text("no links at all\n")
+        assert check_docs.check_index([tmp_path / "README.md"], tmp_path) == []
+
+    def test_no_readme_is_not_an_error(self, tmp_path):
+        (tmp_path / "a.md").write_text("# A\n")
+        assert check_docs.check_index([tmp_path / "a.md"], tmp_path) == []
+
+
 class TestSnippetChecker:
     def test_stale_flag_detected(self, tmp_path):
         (tmp_path / "a.md").write_text(
